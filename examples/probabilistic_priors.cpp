@@ -1,0 +1,66 @@
+// The paper's Section-VI extension: probabilistic priors over LICM.
+//
+// Possibilistic bounds tell the analyst the best and worst case; when the
+// analyst additionally believes each possibility has an (independent)
+// probability, LICM answers with an expected value and the full
+// distribution — while the possibilistic bounds remain available by just
+// dropping the priors.
+//
+// Build & run:  ./build/examples/probabilistic_priors
+#include <cstdio>
+
+#include "licm/evaluator.h"
+#include "licm/probabilistic.h"
+
+using namespace licm;
+
+int main() {
+  // Five integrated address records per customer, 1-2 of which are
+  // correct (Example 1), for a handful of customers.
+  LicmDatabase db;
+  LicmRelation records(rel::Schema(
+      {{"customer", rel::ValueType::kInt}, {"region", rel::ValueType::kInt}}));
+  for (int64_t cust = 0; cust < 4; ++cust) {
+    std::vector<BVar> candidates;
+    for (int64_t r = 0; r < 4; ++r) {
+      BVar b = db.pool().New();
+      candidates.push_back(b);
+      records.AppendUnchecked({cust, (cust + r) % 6}, Ext::Maybe(b));
+    }
+    db.constraints().AddCardinality(candidates, 1, 2);
+  }
+  LICM_CHECK_OK(db.AddRelation("customer_region", std::move(records)));
+
+  auto query = rel::CountStar(rel::Scan("customer_region"));
+
+  // 1. Possibilistic: exact bounds over all worlds.
+  auto bounds = AnswerAggregate(*query, db);
+  LICM_CHECK_OK(bounds.status());
+  std::printf("possibilistic bounds on COUNT(*): [%.0f, %.0f]\n",
+              bounds->bounds.min.value, bounds->bounds.max.value);
+
+  // 2. Probabilistic: each candidate record deemed correct with its own
+  // prior; source A (first candidate) is trusted more.
+  Priors priors;
+  priors.p.assign(db.pool().size(), 0.3);
+  for (size_t v = 0; v < priors.p.size(); v += 4) priors.p[v] = 0.8;
+  auto prob = ExpectedAggregate(*query, db, priors);
+  LICM_CHECK_OK(prob.status());
+  std::printf("\nwith priors (trusted source at 0.8, others 0.3):\n");
+  std::printf("  E[COUNT] = %.3f  (variance %.3f, %s)\n", prob->expected,
+              prob->variance, prob->exact ? "exact" : "sampled");
+  std::printf("  distribution:\n");
+  for (const auto& [value, p] : prob->distribution) {
+    std::printf("    P[COUNT = %2.0f] = %.4f\n", value, p);
+  }
+
+  // 3. Uniform priors for comparison — the "all worlds equally likely"
+  // assumption the paper warns gives false semantics if presented as the
+  // only answer; here it is explicit and sits beside the exact bounds.
+  auto uniform =
+      ExpectedAggregate(*query, db, Priors::Uniform(db.pool().size()));
+  LICM_CHECK_OK(uniform.status());
+  std::printf("\nuniform priors: E[COUNT] = %.3f\n", uniform->expected);
+  std::printf("(both expectations lie inside the possibilistic bounds)\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: the paper's running example (Figure 2).
+//
+// Transaction T1 = {Alcohol, Shampoo}, where "Alcohol" is a generalized
+// item that could be any non-empty subset of {Beer, Wine, Liquor}. We
+// build the LICM encoding of Figure 2(c), print it, enumerate its possible
+// worlds, and answer an aggregate query with exact bounds.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "licm/evaluator.h"
+#include "licm/worlds.h"
+
+using namespace licm;
+
+int main() {
+  // --- Build the LICM database of Figure 2(c). ---------------------------
+  LicmDatabase db;
+  LicmRelation trans_item(rel::Schema(
+      {{"tid", rel::ValueType::kInt}, {"item", rel::ValueType::kString}}));
+
+  // "Alcohol" in T1: maybe-tuples for each covered leaf...
+  std::vector<BVar> alcohol;
+  for (const char* item : {"beer", "wine", "liquor"}) {
+    BVar b = db.pool().New();
+    alcohol.push_back(b);
+    trans_item.AppendUnchecked({int64_t{1}, std::string(item)},
+                               Ext::Maybe(b));
+  }
+  // ...with the cardinality constraint b1 + b2 + b3 >= 1.
+  db.constraints().AddCardinality(alcohol, 1, 3);
+  // "Shampoo" in T1 is certain: Ext = 1.
+  trans_item.AppendUnchecked({int64_t{1}, std::string("shampoo")},
+                             Ext::Certain());
+  LICM_CHECK_OK(db.AddRelation("trans_item", std::move(trans_item)));
+
+  std::printf("LICM relation (Figure 2(c)):\n%s",
+              db.GetRelation("trans_item").value()->ToString().c_str());
+  std::printf("Constraints:\n");
+  for (const auto& c : db.constraints().constraints()) {
+    std::printf("  %s\n", c.ToString().c_str());
+  }
+
+  // --- Enumerate the possible worlds (only viable for toy data!). --------
+  auto worlds = EnumerateWorlds(*db.GetRelation("trans_item").value(),
+                                db.constraints(), db.pool().size());
+  LICM_CHECK_OK(worlds.status());
+  std::printf("\n%zu possible worlds (non-empty subsets of the alcohol "
+              "expansion, each plus shampoo)\n",
+              worlds->size());
+
+  // --- Answer "how many items did T1 buy?" with exact bounds. ------------
+  auto query = rel::CountStar(rel::Scan("trans_item"));
+  auto answer = AnswerAggregate(*query, db);
+  LICM_CHECK_OK(answer.status());
+  std::printf("\nCOUNT(*) over trans_item:\n");
+  std::printf("  lower bound: %.0f (exact: %s)\n", answer->bounds.min.value,
+              answer->bounds.min.exact ? "yes" : "no");
+  std::printf("  upper bound: %.0f (exact: %s)\n", answer->bounds.max.value,
+              answer->bounds.max.exact ? "yes" : "no");
+
+  // The solver also returns the extreme world achieving each bound.
+  std::vector<uint8_t> assignment(db.pool().size(), 0);
+  for (const auto& [var, value] : answer->bounds.max.world) {
+    assignment[var] = value;
+  }
+  std::printf("\nA world achieving the upper bound:\n%s",
+              db.GetRelation("trans_item")
+                  .value()
+                  ->Instantiate(assignment)
+                  .ToString()
+                  .c_str());
+  return 0;
+}

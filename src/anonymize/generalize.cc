@@ -1,0 +1,348 @@
+#include "anonymize/generalize.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace licm::anonymize {
+
+namespace {
+
+// Recodes one transaction's items through a global cut: leaf -> cut node,
+// deduplicated (set semantics) and sorted.
+std::vector<NodeId> RecodeThroughCut(const std::vector<data::ItemId>& items,
+                                     const std::vector<NodeId>& cut_of_leaf) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(items.size());
+  for (data::ItemId it : items) nodes.push_back(cut_of_leaf[it]);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+}  // namespace
+
+GeneralizedDataset::Stats GeneralizedDataset::ComputeStats(
+    const Hierarchy& h) const {
+  Stats s;
+  for (const auto& t : transactions) {
+    for (NodeId n : t.nodes) {
+      if (h.IsLeaf(n)) {
+        ++s.exact_items;
+      } else {
+        ++s.generalized_nodes;
+        s.expansion += h.LeafCount(n) - 1;
+      }
+    }
+  }
+  return s;
+}
+
+Result<GeneralizedDataset> KmAnonymize(const data::TransactionDataset& data,
+                                       const Hierarchy& hierarchy,
+                                       const KmConfig& config) {
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (config.m < 1 || config.m > 2) {
+    return Status::Unimplemented("k^m-anonymity supports m in {1, 2}");
+  }
+  if (hierarchy.num_leaves() < data.num_items) {
+    return Status::InvalidArgument("hierarchy smaller than item domain");
+  }
+  if (data.transactions.size() < config.k) {
+    return Status::InvalidArgument("fewer than k transactions");
+  }
+
+  // Global cut through the hierarchy: cut_of_leaf[i] = the node item i is
+  // currently recoded to.
+  std::vector<NodeId> cut_of_leaf(hierarchy.num_leaves());
+  for (uint32_t i = 0; i < hierarchy.num_leaves(); ++i) cut_of_leaf[i] = i;
+
+  // Lifts every leaf under Parent(node) to Parent(node), keeping the cut an
+  // antichain.
+  auto lift = [&](NodeId node) {
+    const NodeId p = hierarchy.Parent(node);
+    for (uint32_t l = hierarchy.LeafBegin(p); l < hierarchy.LeafEnd(p); ++l) {
+      cut_of_leaf[l] = p;
+    }
+  };
+
+  for (int round = 0;; ++round) {
+    LICM_CHECK(round < 64);  // bounded by hierarchy depth
+    // Recode all transactions through the current cut and count supports.
+    std::vector<std::vector<NodeId>> recoded;
+    recoded.reserve(data.transactions.size());
+    std::unordered_map<NodeId, uint32_t> support;
+    std::map<std::pair<NodeId, NodeId>, uint32_t> pair_support;
+    for (const auto& t : data.transactions) {
+      recoded.push_back(RecodeThroughCut(t.items, cut_of_leaf));
+      const auto& nodes = recoded.back();
+      for (NodeId n : nodes) ++support[n];
+      if (config.m >= 2) {
+        for (size_t i = 0; i < nodes.size(); ++i) {
+          for (size_t j = i + 1; j < nodes.size(); ++j) {
+            ++pair_support[{nodes[i], nodes[j]}];
+          }
+        }
+      }
+    }
+
+    // Collect violating nodes (batch, then lift all at once: rounds are
+    // bounded by the hierarchy depth instead of the node count).
+    std::unordered_set<NodeId> to_lift;
+    for (const auto& [n, sup] : support) {
+      if (sup < config.k && n != hierarchy.root()) to_lift.insert(n);
+    }
+    if (config.m >= 2) {
+      for (const auto& [pr, sup] : pair_support) {
+        if (sup >= config.k) continue;
+        // Lift the less-supported member of the pair (greedy; the original
+        // algorithm searches recodings more carefully).
+        const NodeId a = pr.first, b = pr.second;
+        NodeId victim = support[a] <= support[b] ? a : b;
+        if (victim == hierarchy.root()) victim = (victim == a) ? b : a;
+        if (victim != hierarchy.root()) to_lift.insert(victim);
+      }
+    }
+    if (to_lift.empty()) {
+      GeneralizedDataset out;
+      out.transactions.reserve(data.transactions.size());
+      for (size_t i = 0; i < data.transactions.size(); ++i) {
+        out.transactions.push_back({data.transactions[i].tid,
+                                    data.transactions[i].location,
+                                    std::move(recoded[i])});
+      }
+      return out;
+    }
+    for (NodeId n : to_lift) {
+      // The node may already have been lifted past this level by another
+      // victim sharing its parent; lifting is idempotent per parent.
+      lift(n);
+    }
+  }
+}
+
+namespace {
+
+// A partition cell during top-down local k-anonymization: members plus the
+// common generalized representation (an antichain of hierarchy nodes) all
+// of them currently share, and nodes we failed to specialize further.
+struct KGroup {
+  std::vector<const data::Transaction*> members;
+  std::vector<NodeId> rep;           // sorted antichain
+  std::unordered_set<NodeId> blocked;
+};
+
+// Signature of one member w.r.t. specializing `n` into its children: the
+// sorted list of children the member has at least one item under.
+std::vector<NodeId> Signature(const data::Transaction& t, NodeId n,
+                              const Hierarchy& h) {
+  std::vector<NodeId> sig;
+  for (NodeId c : h.Children(n)) {
+    for (data::ItemId item : t.items) {
+      if (h.Covers(c, item)) {
+        sig.push_back(c);
+        break;
+      }
+    }
+  }
+  return sig;
+}
+
+}  // namespace
+
+Result<GeneralizedDataset> KAnonymize(const data::TransactionDataset& data,
+                                      const Hierarchy& hierarchy,
+                                      const KAnonConfig& config) {
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (hierarchy.num_leaves() < data.num_items) {
+    return Status::InvalidArgument("hierarchy smaller than item domain");
+  }
+  if (data.transactions.size() < config.k) {
+    return Status::InvalidArgument("fewer than k transactions");
+  }
+  const size_t k = config.k;
+
+  // Top-down local partitioning in the spirit of He & Naughton: start with
+  // everyone generalized to the root; repeatedly specialize the most
+  // general node of a group's representation, partitioning the group by
+  // which children each member has items under. Splits that would strand
+  // fewer than k members either steal members back from the largest part
+  // (they keep the unspecialized representation: local recoding) or are
+  // rolled back for that node.
+  std::vector<KGroup> done;
+  std::vector<KGroup> work;
+  {
+    KGroup root;
+    for (const auto& t : data.transactions) root.members.push_back(&t);
+    root.rep = {hierarchy.root()};
+    work.push_back(std::move(root));
+  }
+
+  while (!work.empty()) {
+    KGroup g = std::move(work.back());
+    work.pop_back();
+
+    // Most-general specializable node of the representation.
+    NodeId pick = hierarchy.num_nodes();
+    uint32_t best_leaves = 1;
+    for (NodeId n : g.rep) {
+      if (hierarchy.IsLeaf(n) || g.blocked.contains(n)) continue;
+      if (hierarchy.LeafCount(n) > best_leaves) {
+        best_leaves = hierarchy.LeafCount(n);
+        pick = n;
+      }
+    }
+    if (pick == hierarchy.num_nodes()) {
+      done.push_back(std::move(g));
+      continue;
+    }
+
+    // Partition members by signature.
+    std::map<std::vector<NodeId>, std::vector<const data::Transaction*>>
+        parts;
+    for (const auto* t : g.members) {
+      parts[Signature(*t, pick, hierarchy)].push_back(t);
+    }
+
+    std::vector<KGroup> split_off;
+    KGroup leftover;
+    leftover.rep = g.rep;
+    leftover.blocked = g.blocked;
+    leftover.blocked.insert(pick);
+    for (auto& [sig, members] : parts) {
+      if (members.size() >= k) {
+        KGroup part;
+        part.members = std::move(members);
+        part.blocked = g.blocked;
+        // rep \ {pick} ∪ sig, kept sorted.
+        for (NodeId n : g.rep) {
+          if (n != pick) part.rep.push_back(n);
+        }
+        part.rep.insert(part.rep.end(), sig.begin(), sig.end());
+        std::sort(part.rep.begin(), part.rep.end());
+        split_off.push_back(std::move(part));
+      } else {
+        leftover.members.insert(leftover.members.end(), members.begin(),
+                                members.end());
+      }
+    }
+
+    if (!leftover.members.empty() && leftover.members.size() < k) {
+      // Steal from the largest split part while it stays >= k.
+      auto largest = std::max_element(
+          split_off.begin(), split_off.end(),
+          [](const KGroup& a, const KGroup& b) {
+            return a.members.size() < b.members.size();
+          });
+      const size_t need = k - leftover.members.size();
+      if (largest != split_off.end() &&
+          largest->members.size() >= k + need) {
+        for (size_t i = 0; i < need; ++i) {
+          leftover.members.push_back(largest->members.back());
+          largest->members.pop_back();
+        }
+      } else {
+        // Cannot repair: roll this specialization back and block the node.
+        g.blocked.insert(pick);
+        work.push_back(std::move(g));
+        continue;
+      }
+    }
+
+    if (split_off.empty()) {
+      // No part reached size k: the node is unsplittable for this group.
+      work.push_back(std::move(leftover));
+      continue;
+    }
+    for (KGroup& part : split_off) work.push_back(std::move(part));
+    if (!leftover.members.empty()) work.push_back(std::move(leftover));
+  }
+
+  GeneralizedDataset out;
+  out.transactions.reserve(data.transactions.size());
+  for (const KGroup& g : done) {
+    for (const auto* t : g.members) {
+      out.transactions.push_back({t->tid, t->location, g.rep});
+    }
+  }
+  return out;
+}
+
+Status CheckKmAnonymity(const GeneralizedDataset& out, uint32_t k,
+                        uint32_t m) {
+  std::unordered_map<NodeId, uint32_t> support;
+  std::map<std::pair<NodeId, NodeId>, uint32_t> pair_support;
+  for (const auto& t : out.transactions) {
+    for (NodeId a : t.nodes) ++support[a];
+    if (m >= 2) {
+      for (size_t i = 0; i < t.nodes.size(); ++i) {
+        for (size_t j = i + 1; j < t.nodes.size(); ++j) {
+          ++pair_support[{t.nodes[i], t.nodes[j]}];
+        }
+      }
+    }
+  }
+  for (const auto& [node, sup] : support) {
+    if (sup < k) {
+      return Status::Internal("node " + std::to_string(node) +
+                              " has support " + std::to_string(sup));
+    }
+  }
+  for (const auto& [pr, sup] : pair_support) {
+    if (sup < k) {
+      return Status::Internal("pair support " + std::to_string(sup) +
+                              " below k");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckKAnonymity(const GeneralizedDataset& out, uint32_t k) {
+  std::map<std::vector<NodeId>, uint32_t> counts;
+  for (const auto& t : out.transactions) ++counts[t.nodes];
+  for (const auto& [nodes, c] : counts) {
+    if (c < k) {
+      return Status::Internal("an output transaction has only " +
+                              std::to_string(c) + " duplicates");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckRecodingValid(const data::TransactionDataset& original,
+                          const GeneralizedDataset& out,
+                          const Hierarchy& hierarchy) {
+  if (original.transactions.size() != out.transactions.size()) {
+    return Status::Internal("transaction count changed");
+  }
+  std::unordered_map<int64_t, const data::Transaction*> by_tid;
+  for (const auto& t : original.transactions) by_tid[t.tid] = &t;
+  for (const auto& t : out.transactions) {
+    // Antichain check.
+    for (size_t i = 0; i < t.nodes.size(); ++i) {
+      for (size_t j = 0; j < t.nodes.size(); ++j) {
+        if (i != j && hierarchy.Covers(t.nodes[i], t.nodes[j])) {
+          return Status::Internal("output nodes overlap");
+        }
+      }
+    }
+    auto it = by_tid.find(t.tid);
+    if (it == by_tid.end()) return Status::Internal("unknown tid in output");
+    // Every original item is covered by exactly one output node (antichain
+    // => at most one; coverage => at least one).
+    for (data::ItemId item : it->second->items) {
+      bool covered = false;
+      for (NodeId n : t.nodes) covered |= hierarchy.Covers(n, item);
+      if (!covered) {
+        return Status::Internal("item " + std::to_string(item) +
+                                " of tid " + std::to_string(t.tid) +
+                                " not covered");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace licm::anonymize

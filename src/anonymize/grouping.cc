@@ -1,0 +1,225 @@
+#include "anonymize/grouping.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace licm::anonymize {
+
+namespace {
+
+// Builds item -> transaction indices adjacency.
+std::unordered_map<data::ItemId, std::vector<uint32_t>> ItemToTxns(
+    const data::TransactionDataset& data) {
+  std::unordered_map<data::ItemId, std::vector<uint32_t>> adj;
+  for (uint32_t t = 0; t < data.transactions.size(); ++t) {
+    for (data::ItemId i : data.transactions[t].items) adj[i].push_back(t);
+  }
+  return adj;
+}
+
+}  // namespace
+
+Result<BipartiteGroups> SafeGrouping(const data::TransactionDataset& data,
+                                     const GroupingConfig& config) {
+  if (config.k < 1 || config.l < 1) {
+    return Status::InvalidArgument("group sizes must be >= 1");
+  }
+  if (data.transactions.size() < config.k) {
+    return Status::InvalidArgument("fewer than k transactions");
+  }
+  BipartiteGroups out;
+  Rng rng(config.seed);
+
+  // --- Transaction side: greedy first-fit; a group is safe for txn t when
+  // no member shares an item with t (then any item group can touch the
+  // txn group at most once through t).
+  std::vector<uint32_t> txn_order(data.transactions.size());
+  for (uint32_t i = 0; i < txn_order.size(); ++i) txn_order[i] = i;
+  rng.Shuffle(&txn_order);
+
+  std::vector<std::unordered_set<data::ItemId>> group_items;
+  std::vector<size_t> open_txn_groups;  // indices of groups below size k
+  for (uint32_t t : txn_order) {
+    const auto& items = data.transactions[t].items;
+    size_t target = out.txn_groups.size();
+    for (size_t gi : open_txn_groups) {
+      bool clash = false;
+      for (data::ItemId i : items) clash |= group_items[gi].contains(i);
+      if (!clash) {
+        target = gi;
+        break;
+      }
+    }
+    if (target == out.txn_groups.size()) {
+      out.txn_groups.emplace_back();
+      group_items.emplace_back();
+      open_txn_groups.push_back(target);
+    }
+    out.txn_groups[target].push_back(t);
+    group_items[target].insert(items.begin(), items.end());
+    if (out.txn_groups[target].size() >= config.k) {
+      std::erase(open_txn_groups, target);
+    }
+  }
+  // Fold undersized groups together until every group has >= k members
+  // (merged groups may lose safety, which we count below). Merging two
+  // undersized groups first preserves more of the safe structure than
+  // dumping them into a full group.
+  auto fold = [](std::vector<std::vector<uint32_t>>* groups, size_t min_size)
+      -> Status {
+    for (;;) {
+      size_t small = groups->size();
+      for (size_t g = 0; g < groups->size(); ++g) {
+        if ((*groups)[g].size() < min_size &&
+            (small == groups->size() ||
+             (*groups)[g].size() < (*groups)[small].size())) {
+          small = g;
+        }
+      }
+      if (small == groups->size()) return Status::OK();
+      if (groups->size() == 1) {
+        return Status::Internal("too few elements to form one full group");
+      }
+      // Merge the smallest group into the next-smallest other group.
+      size_t partner = groups->size();
+      for (size_t g = 0; g < groups->size(); ++g) {
+        if (g == small) continue;
+        if (partner == groups->size() ||
+            (*groups)[g].size() < (*groups)[partner].size()) {
+          partner = g;
+        }
+      }
+      auto& dst = (*groups)[partner];
+      dst.insert(dst.end(), (*groups)[small].begin(), (*groups)[small].end());
+      groups->erase(groups->begin() + small);
+    }
+  };
+  LICM_RETURN_NOT_OK(fold(&out.txn_groups, config.k));
+  group_items.clear();  // stale after folding; not needed below
+
+  // --- Item side: same greedy over items that occur in the data.
+  auto adj = ItemToTxns(data);
+  std::vector<data::ItemId> items;
+  items.reserve(adj.size());
+  for (const auto& [i, txns] : adj) items.push_back(i);
+  std::sort(items.begin(), items.end(),
+            [&](data::ItemId a, data::ItemId b) {
+              return adj[a].size() > adj[b].size();  // hardest first
+            });
+  std::vector<std::unordered_set<uint32_t>> group_txns;
+  std::vector<size_t> open_item_groups;
+  for (data::ItemId item : items) {
+    const auto& txns = adj[item];
+    size_t target = out.item_groups.size();
+    for (size_t gi : open_item_groups) {
+      bool clash = false;
+      for (uint32_t t : txns) clash |= group_txns[gi].contains(t);
+      if (!clash) {
+        target = gi;
+        break;
+      }
+    }
+    if (target == out.item_groups.size()) {
+      out.item_groups.emplace_back();
+      group_txns.emplace_back();
+      open_item_groups.push_back(target);
+    }
+    out.item_groups[target].push_back(item);
+    group_txns[target].insert(txns.begin(), txns.end());
+    if (out.item_groups[target].size() >= config.l) {
+      std::erase(open_item_groups, target);
+    }
+  }
+  {
+    // Same folding pass on the item side; vector element types differ, so
+    // reuse via a temporary index representation is not worth it.
+    for (;;) {
+      size_t small = out.item_groups.size();
+      for (size_t g = 0; g < out.item_groups.size(); ++g) {
+        if (out.item_groups[g].size() < config.l &&
+            (small == out.item_groups.size() ||
+             out.item_groups[g].size() < out.item_groups[small].size())) {
+          small = g;
+        }
+      }
+      if (small == out.item_groups.size()) break;
+      if (out.item_groups.size() == 1) {
+        return Status::Internal("too few items to form one full group");
+      }
+      size_t partner = out.item_groups.size();
+      for (size_t g = 0; g < out.item_groups.size(); ++g) {
+        if (g == small) continue;
+        if (partner == out.item_groups.size() ||
+            out.item_groups[g].size() < out.item_groups[partner].size()) {
+          partner = g;
+        }
+      }
+      auto& dst = out.item_groups[partner];
+      dst.insert(dst.end(), out.item_groups[small].begin(),
+                 out.item_groups[small].end());
+      out.item_groups.erase(out.item_groups.begin() + small);
+      group_txns.erase(group_txns.begin() + small);
+    }
+  }
+
+  LICM_RETURN_NOT_OK(CheckGrouping(data, out, config.k, config.l,
+                                   &out.safety_violations));
+  return out;
+}
+
+Status CheckGrouping(const data::TransactionDataset& data,
+                     const BipartiteGroups& groups, uint32_t k, uint32_t l,
+                     size_t* violations_out) {
+  // Coverage and sizes.
+  std::unordered_map<uint32_t, size_t> txn_group_of;
+  for (size_t g = 0; g < groups.txn_groups.size(); ++g) {
+    if (groups.txn_groups[g].size() < k) {
+      return Status::Internal("transaction group below k");
+    }
+    for (uint32_t t : groups.txn_groups[g]) {
+      if (!txn_group_of.emplace(t, g).second) {
+        return Status::Internal("transaction in two groups");
+      }
+    }
+  }
+  if (txn_group_of.size() != data.transactions.size()) {
+    return Status::Internal("not all transactions grouped");
+  }
+  std::unordered_map<data::ItemId, size_t> item_group_of;
+  for (size_t g = 0; g < groups.item_groups.size(); ++g) {
+    if (groups.item_groups[g].size() < l) {
+      return Status::Internal("item group below l");
+    }
+    for (data::ItemId i : groups.item_groups[g]) {
+      if (!item_group_of.emplace(i, g).second) {
+        return Status::Internal("item in two groups");
+      }
+    }
+  }
+
+  // Safety: count (member, opposite group) incidences > 1.
+  size_t violations = 0;
+  for (uint32_t t = 0; t < data.transactions.size(); ++t) {
+    std::unordered_map<size_t, int> per_group;
+    for (data::ItemId i : data.transactions[t].items) {
+      auto it = item_group_of.find(i);
+      if (it == item_group_of.end()) {
+        return Status::Internal("item of a transaction is ungrouped");
+      }
+      if (++per_group[it->second] == 2) ++violations;
+    }
+  }
+  auto adj = ItemToTxns(data);
+  for (const auto& [item, gi] : item_group_of) {
+    (void)gi;
+    std::unordered_map<size_t, int> per_group;
+    for (uint32_t t : adj[item]) {
+      if (++per_group[txn_group_of[t]] == 2) ++violations;
+    }
+  }
+  if (violations_out != nullptr) *violations_out = violations;
+  return Status::OK();
+}
+
+}  // namespace licm::anonymize

@@ -1,0 +1,46 @@
+// Permutation-based anonymization: bipartite safe (k, l)-grouping
+// (Appendix B; Cormode et al., VLDB'08).
+//
+// The transaction-item bipartite graph is published exactly, but the
+// mapping from transactions (items) to their graph nodes is hidden inside
+// groups of size >= k (>= l): within each group only "some bijection"
+// is known. A grouping is *safe* when any two members of a group share no
+// neighbor group, which defeats density-based re-identification.
+#ifndef LICM_ANONYMIZE_GROUPING_H_
+#define LICM_ANONYMIZE_GROUPING_H_
+
+#include "common/rng.h"
+#include "data/transactions.h"
+
+namespace licm::anonymize {
+
+struct BipartiteGroups {
+  /// Groups of transaction indices into `dataset.transactions`.
+  std::vector<std::vector<uint32_t>> txn_groups;
+  /// Groups of item ids.
+  std::vector<std::vector<data::ItemId>> item_groups;
+  /// Pairs whose grouping violates safety because no safe slot existed
+  /// (the greedy algorithm places them anyway and reports).
+  size_t safety_violations = 0;
+};
+
+struct GroupingConfig {
+  uint32_t k = 2;  // minimum transaction-group size
+  uint32_t l = 2;  // minimum item-group size
+  uint64_t seed = 7;
+};
+
+/// Greedy first-fit safe grouping. Only items that occur in at least one
+/// transaction are grouped (absent items carry no uncertainty).
+Result<BipartiteGroups> SafeGrouping(const data::TransactionDataset& data,
+                                     const GroupingConfig& config);
+
+/// Verifies group sizes and counts safety violations (two members of one
+/// group adjacent to the same opposite-side group).
+Status CheckGrouping(const data::TransactionDataset& data,
+                     const BipartiteGroups& groups, uint32_t k, uint32_t l,
+                     size_t* violations_out = nullptr);
+
+}  // namespace licm::anonymize
+
+#endif  // LICM_ANONYMIZE_GROUPING_H_

@@ -1,0 +1,84 @@
+#include "anonymize/hierarchy.h"
+
+#include <algorithm>
+
+namespace licm::anonymize {
+
+Hierarchy Hierarchy::BuildUniform(uint32_t num_leaves, uint32_t fanout) {
+  LICM_CHECK(num_leaves >= 1);
+  LICM_CHECK(fanout >= 2);
+  Hierarchy h;
+  h.num_leaves_ = num_leaves;
+
+  // Level by level: leaves are nodes [0, num_leaves); each level groups
+  // `fanout` consecutive nodes under a fresh parent until one node remains.
+  std::vector<NodeId> level(num_leaves);
+  for (uint32_t i = 0; i < num_leaves; ++i) level[i] = i;
+  h.parent_.resize(num_leaves);
+  h.children_.resize(num_leaves);
+  h.leaf_begin_.resize(num_leaves);
+  h.leaf_end_.resize(num_leaves);
+  for (uint32_t i = 0; i < num_leaves; ++i) {
+    h.leaf_begin_[i] = i;
+    h.leaf_end_[i] = i + 1;
+  }
+
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    for (size_t i = 0; i < level.size(); i += fanout) {
+      const NodeId node = static_cast<NodeId>(h.parent_.size());
+      h.parent_.push_back(node);  // provisional self-parent
+      h.children_.emplace_back();
+      const size_t end = std::min(i + fanout, level.size());
+      for (size_t j = i; j < end; ++j) {
+        h.parent_[level[j]] = node;
+        h.children_[node].push_back(level[j]);
+      }
+      h.leaf_begin_.push_back(h.leaf_begin_[level[i]]);
+      h.leaf_end_.push_back(h.leaf_end_[level[end - 1]]);
+      next.push_back(node);
+    }
+    level = std::move(next);
+  }
+  h.parent_[level[0]] = level[0];  // root is its own parent
+
+  // Depths via a sweep from the root (node ids are topologically ordered:
+  // children < parent).
+  h.depth_.assign(h.num_nodes(), 0);
+  for (NodeId n = h.num_nodes(); n-- > 0;) {
+    if (n != h.root()) h.depth_[n] = h.depth_[h.parent_[n]] + 1;
+  }
+  return h;
+}
+
+Status Hierarchy::Validate() const {
+  if (num_leaves_ == 0 || parent_.empty()) {
+    return Status::InvalidArgument("empty hierarchy");
+  }
+  if (parent_[root()] != root()) {
+    return Status::Internal("root must be its own parent");
+  }
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    if (n != root() && parent_[n] <= n) {
+      return Status::Internal("parents must have larger ids than children");
+    }
+    if (IsLeaf(n)) {
+      if (LeafCount(n) != 1) return Status::Internal("leaf range broken");
+    } else {
+      if (children_[n].empty()) {
+        return Status::Internal("internal node without children");
+      }
+      uint32_t covered = 0;
+      for (NodeId c : children_[n]) {
+        if (!Covers(n, c)) return Status::Internal("child range escapes");
+        covered += LeafCount(c);
+      }
+      if (covered != LeafCount(n)) {
+        return Status::Internal("children do not partition leaf range");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace licm::anonymize

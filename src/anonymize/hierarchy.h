@@ -1,0 +1,67 @@
+// Item generalization hierarchy (Figure 2(b)).
+//
+// Generalization-based anonymization replaces items (leaves) with internal
+// nodes of a domain hierarchy; the LICM encoding expands a generalized item
+// back into "one or more of the leaves under it". We build balanced
+// fanout-F hierarchies over dense item ids, with leaves occupying
+// contiguous ranges so leaf expansion is O(1) range lookup.
+#ifndef LICM_ANONYMIZE_HIERARCHY_H_
+#define LICM_ANONYMIZE_HIERARCHY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace licm::anonymize {
+
+/// Node ids: [0, num_leaves) are the items themselves; internal nodes
+/// follow, with the root last.
+using NodeId = uint32_t;
+
+class Hierarchy {
+ public:
+  /// Builds a balanced hierarchy with the given fanout over `num_leaves`
+  /// items. fanout >= 2.
+  static Hierarchy BuildUniform(uint32_t num_leaves, uint32_t fanout);
+
+  uint32_t num_leaves() const { return num_leaves_; }
+  uint32_t num_nodes() const { return static_cast<uint32_t>(parent_.size()); }
+  NodeId root() const { return num_nodes() - 1; }
+
+  bool IsLeaf(NodeId n) const { return n < num_leaves_; }
+  /// Parent of `n`; the root is its own parent.
+  NodeId Parent(NodeId n) const { return parent_[n]; }
+  const std::vector<NodeId>& Children(NodeId n) const { return children_[n]; }
+
+  /// Number of leaves under `n` (1 for a leaf).
+  uint32_t LeafCount(NodeId n) const {
+    return leaf_end_[n] - leaf_begin_[n];
+  }
+  /// Leaves under `n` occupy the id range [LeafBegin(n), LeafEnd(n)).
+  uint32_t LeafBegin(NodeId n) const { return leaf_begin_[n]; }
+  uint32_t LeafEnd(NodeId n) const { return leaf_end_[n]; }
+
+  /// True if `ancestor` is `n` or an ancestor of `n`.
+  bool Covers(NodeId ancestor, NodeId n) const {
+    return leaf_begin_[ancestor] <= leaf_begin_[n] &&
+           leaf_end_[n] <= leaf_end_[ancestor];
+  }
+
+  /// Distance to the root (root has depth 0).
+  uint32_t Depth(NodeId n) const { return depth_[n]; }
+
+  /// Structural invariants (used by tests / failure injection).
+  Status Validate() const;
+
+ private:
+  uint32_t num_leaves_ = 0;
+  std::vector<NodeId> parent_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<uint32_t> leaf_begin_, leaf_end_;
+  std::vector<uint32_t> depth_;
+};
+
+}  // namespace licm::anonymize
+
+#endif  // LICM_ANONYMIZE_HIERARCHY_H_

@@ -1,0 +1,234 @@
+#include "anonymize/licm_encode.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "data/transactions.h"
+
+namespace licm::anonymize {
+
+namespace {
+
+rel::Schema TransGroupSchema() {
+  return rel::Schema({{"tid", rel::ValueType::kInt},
+                      {"loc", rel::ValueType::kInt},
+                      {"lnode", rel::ValueType::kInt}});
+}
+rel::Schema GraphSchema() {
+  return rel::Schema(
+      {{"lnode", rel::ValueType::kInt}, {"rnode", rel::ValueType::kInt}});
+}
+rel::Schema ItemGroupSchema() {
+  return rel::Schema({{"item", rel::ValueType::kInt},
+                      {"price", rel::ValueType::kInt},
+                      {"rnode", rel::ValueType::kInt}});
+}
+
+}  // namespace
+
+namespace {
+// tid -> item set of the original data, for original-world reconstruction.
+std::unordered_map<int64_t, const data::Transaction*> ByTid(
+    const data::TransactionDataset& original) {
+  std::unordered_map<int64_t, const data::Transaction*> m;
+  for (const auto& t : original.transactions) m[t.tid] = &t;
+  return m;
+}
+
+bool HasItem(const data::Transaction* t, data::ItemId item) {
+  if (t == nullptr) return false;
+  return std::find(t->items.begin(), t->items.end(), item) != t->items.end();
+}
+}  // namespace
+
+Result<EncodedDb> EncodeGeneralized(
+    const GeneralizedDataset& anon, const Hierarchy& hierarchy,
+    const data::TransactionDataset& original) {
+  EncodedDb out;
+  auto by_tid = ByTid(original);
+  LicmRelation r(data::TransItemSchema());
+  for (const auto& t : anon.transactions) {
+    const data::Transaction* orig =
+        by_tid.contains(t.tid) ? by_tid.at(t.tid) : nullptr;
+    for (NodeId n : t.nodes) {
+      if (hierarchy.IsLeaf(n)) {
+        if (n >= original.price.size()) {
+          return Status::InvalidArgument("leaf outside item domain");
+        }
+        r.AppendUnchecked({t.tid, t.location, static_cast<int64_t>(n),
+                           original.price[n]},
+                          Ext::Certain());
+      } else {
+        sampler::CardinalityBlock block;
+        for (uint32_t leaf = hierarchy.LeafBegin(n);
+             leaf < hierarchy.LeafEnd(n); ++leaf) {
+          if (leaf >= original.price.size()) {
+            return Status::InvalidArgument(
+                "generalized node covers leaves outside the item domain");
+          }
+          const BVar b = out.db.pool().New();
+          block.vars.push_back(b);
+          out.original_world.push_back(HasItem(orig, leaf) ? 1 : 0);
+          r.AppendUnchecked({t.tid, t.location, static_cast<int64_t>(leaf),
+                             original.price[leaf]},
+                            Ext::Maybe(b));
+        }
+        // "at least one of the covered items was present".
+        out.db.constraints().AddCardinality(
+            block.vars, 1, static_cast<int64_t>(block.vars.size()));
+        block.z1 = 1;
+        block.z2 = -1;
+        out.structure.cardinality_blocks.push_back(std::move(block));
+      }
+    }
+  }
+  out.structure.num_vars = out.db.pool().size();
+  LICM_RETURN_NOT_OK(out.db.AddRelation("trans_item", std::move(r)));
+  LICM_RETURN_NOT_OK(out.structure.Validate());
+  return out;
+}
+
+Result<EncodedDb> EncodeBipartite(const BipartiteGroups& groups,
+                                  const data::TransactionDataset& original) {
+  EncodedDb out;
+
+  // The published graph: lnode = transaction index, rnode = item id (both
+  // opaque labels; the hidden part is which tid/item owns which node).
+  rel::Relation graph(GraphSchema());
+  for (uint32_t t = 0; t < original.transactions.size(); ++t) {
+    for (data::ItemId i : original.transactions[t].items) {
+      graph.AppendUnchecked(
+          {static_cast<int64_t>(t), static_cast<int64_t>(i)});
+    }
+  }
+  {
+    LicmRelation g(GraphSchema());
+    for (const auto& row : graph.rows()) {
+      g.AppendUnchecked(row, Ext::Certain());
+    }
+    LICM_RETURN_NOT_OK(out.db.AddRelation("graph", std::move(g)));
+  }
+
+  // trans_group: all (tid_i, lnode_j) pairs of each group, bijection
+  // constrained. Row-major (i over tids, j over nodes); identity = truth.
+  LicmRelation tg(TransGroupSchema());
+  for (const auto& group : groups.txn_groups) {
+    const uint32_t k = static_cast<uint32_t>(group.size());
+    sampler::PermutationBlock block;
+    block.k = k;
+    block.vars.resize(static_cast<size_t>(k) * k);
+    std::vector<std::vector<BVar>> b(k, std::vector<BVar>(k));
+    for (uint32_t i = 0; i < k; ++i) {
+      const auto& txn = original.transactions[group[i]];
+      for (uint32_t j = 0; j < k; ++j) {
+        b[i][j] = out.db.pool().New();
+        block.vars[static_cast<size_t>(i) * k + j] = b[i][j];
+        out.original_world.push_back(i == j ? 1 : 0);  // truth = identity
+        tg.AppendUnchecked(
+            {txn.tid, txn.location, static_cast<int64_t>(group[j])},
+            Ext::Maybe(b[i][j]));
+      }
+    }
+    for (uint32_t i = 0; i < k; ++i) {
+      std::vector<BVar> row(k), col(k);
+      for (uint32_t j = 0; j < k; ++j) {
+        row[j] = b[i][j];
+        col[j] = b[j][i];
+      }
+      out.db.constraints().AddCardinality(row, 1, 1);
+      out.db.constraints().AddCardinality(col, 1, 1);
+    }
+    out.structure.permutation_blocks.push_back(std::move(block));
+  }
+  LICM_RETURN_NOT_OK(out.db.AddRelation("trans_group", std::move(tg)));
+
+  // item_group: same construction on the item side.
+  LicmRelation ig(ItemGroupSchema());
+  for (const auto& group : groups.item_groups) {
+    const uint32_t l = static_cast<uint32_t>(group.size());
+    sampler::PermutationBlock block;
+    block.k = l;
+    block.vars.resize(static_cast<size_t>(l) * l);
+    std::vector<std::vector<BVar>> b(l, std::vector<BVar>(l));
+    for (uint32_t i = 0; i < l; ++i) {
+      const data::ItemId item = group[i];
+      if (item >= original.price.size()) {
+        return Status::InvalidArgument("grouped item outside domain");
+      }
+      for (uint32_t j = 0; j < l; ++j) {
+        b[i][j] = out.db.pool().New();
+        block.vars[static_cast<size_t>(i) * l + j] = b[i][j];
+        out.original_world.push_back(i == j ? 1 : 0);
+        ig.AppendUnchecked({static_cast<int64_t>(item),
+                            original.price[item],
+                            static_cast<int64_t>(group[j])},
+                           Ext::Maybe(b[i][j]));
+      }
+    }
+    for (uint32_t i = 0; i < l; ++i) {
+      std::vector<BVar> row(l), col(l);
+      for (uint32_t j = 0; j < l; ++j) {
+        row[j] = b[i][j];
+        col[j] = b[j][i];
+      }
+      out.db.constraints().AddCardinality(row, 1, 1);
+      out.db.constraints().AddCardinality(col, 1, 1);
+    }
+    out.structure.permutation_blocks.push_back(std::move(block));
+  }
+  LICM_RETURN_NOT_OK(out.db.AddRelation("item_group", std::move(ig)));
+
+  out.structure.num_vars = out.db.pool().size();
+  LICM_RETURN_NOT_OK(out.structure.Validate());
+  return out;
+}
+
+Result<EncodedDb> EncodeSuppressed(const SuppressedDataset& anon,
+                                   const data::TransactionDataset& original) {
+  EncodedDb out;
+  auto by_tid = ByTid(original);
+  LicmRelation r(data::TransItemSchema());
+  for (const auto& t : anon.transactions) {
+    const data::Transaction* orig =
+        by_tid.contains(t.tid) ? by_tid.at(t.tid) : nullptr;
+    for (data::ItemId i : t.items) {
+      if (i >= original.price.size()) {
+        return Status::InvalidArgument("item outside domain");
+      }
+      r.AppendUnchecked(
+          {t.tid, t.location, static_cast<int64_t>(i), original.price[i]},
+          Ext::Certain());
+    }
+    // Appendix C: any transaction could contain any globally suppressed
+    // item; the variables are unconstrained.
+    for (data::ItemId i : anon.suppressed_items) {
+      const BVar b = out.db.pool().New();
+      out.original_world.push_back(HasItem(orig, i) ? 1 : 0);
+      r.AppendUnchecked(
+          {t.tid, t.location, static_cast<int64_t>(i), original.price[i]},
+          Ext::Maybe(b));
+    }
+  }
+  out.structure.num_vars = out.db.pool().size();
+  LICM_RETURN_NOT_OK(out.db.AddRelation("trans_item", std::move(r)));
+  return out;
+}
+
+rel::QueryNodePtr BipartiteTransItemView(
+    std::vector<rel::Predicate> txn_predicates,
+    std::vector<rel::Predicate> item_predicates) {
+  rel::QueryNodePtr tg = rel::Scan("trans_group");
+  if (!txn_predicates.empty()) {
+    tg = rel::Select(tg, std::move(txn_predicates));
+  }
+  rel::QueryNodePtr ig = rel::Scan("item_group");
+  if (!item_predicates.empty()) {
+    ig = rel::Select(ig, std::move(item_predicates));
+  }
+  auto joined = rel::Join(rel::Join(tg, rel::Scan("graph"),
+                                    {{"lnode", "lnode"}}),
+                          ig, {{"rnode", "rnode"}});
+  return rel::Project(joined, {"tid", "loc", "item", "price"});
+}
+
+}  // namespace licm::anonymize

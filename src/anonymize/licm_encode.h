@@ -1,0 +1,67 @@
+// LICM encodings of anonymized data (the paper's Appendix).
+//
+// Each encoder turns an anonymization output into (i) an LicmDatabase —
+// relations with existence variables plus the linear constraints capturing
+// the uncertainty — and (ii) a sampler::WorldStructure describing the same
+// uncertainty for the Monte-Carlo baseline. The original dataset is always
+// one of the possible worlds of the encoding (tested).
+//
+// Relation schemas:
+//  - Generalization / suppression: trans_item(tid, loc, item, price).
+//  - Bipartite grouping: trans_group(tid, loc, lnode),
+//    graph(lnode, rnode), item_group(item, price, rnode); queries compose
+//    them with joins (see BipartiteTransItemView).
+#ifndef LICM_ANONYMIZE_LICM_ENCODE_H_
+#define LICM_ANONYMIZE_LICM_ENCODE_H_
+
+#include "anonymize/generalize.h"
+#include "anonymize/grouping.h"
+#include "anonymize/hierarchy.h"
+#include "anonymize/suppress.h"
+#include "licm/licm_relation.h"
+#include "relational/query.h"
+#include "sampler/structure.h"
+
+namespace licm::anonymize {
+
+struct EncodedDb {
+  LicmDatabase db;
+  sampler::WorldStructure structure;
+  /// The assignment that reproduces the original (pre-anonymization) data:
+  /// the anonymized description must always admit the truth as a world.
+  std::vector<uint8_t> original_world;
+};
+
+/// Appendix A: each exact item becomes a certain tuple; each generalized
+/// item becomes one maybe-tuple per covered leaf, with the constraint
+/// b_1 + ... + b_k >= 1.
+Result<EncodedDb> EncodeGeneralized(const GeneralizedDataset& anon,
+                                    const Hierarchy& hierarchy,
+                                    const data::TransactionDataset& original);
+
+/// Appendix B: trans_group holds all (tid, lnode) pairs of each group with
+/// row/column bijection constraints (likewise item_group); the graph
+/// topology is certain. The true node assignment is the identity, so the
+/// original data is a possible world.
+Result<EncodedDb> EncodeBipartite(const BipartiteGroups& groups,
+                                  const data::TransactionDataset& original);
+
+/// Appendix C: surviving items are certain tuples; every transaction that
+/// could contain suppressed items gets an unconstrained maybe-tuple per
+/// globally suppressed item.
+Result<EncodedDb> EncodeSuppressed(const SuppressedDataset& anon,
+                                   const data::TransactionDataset& original);
+
+/// Query subtree that reconstructs trans_item(tid, loc, item, price) from
+/// the three bipartite relations:
+///   project(join(join(trans_group, graph), item_group)).
+/// `txn_predicates` / `item_predicates` are pushed below the joins (onto
+/// trans_group / item_group) — the paper's point that LICM reuses ordinary
+/// relational optimization.
+rel::QueryNodePtr BipartiteTransItemView(
+    std::vector<rel::Predicate> txn_predicates = {},
+    std::vector<rel::Predicate> item_predicates = {});
+
+}  // namespace licm::anonymize
+
+#endif  // LICM_ANONYMIZE_LICM_ENCODE_H_

@@ -1,0 +1,55 @@
+#include "anonymize/suppress.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace licm::anonymize {
+
+Result<SuppressedDataset> SuppressRareItems(
+    const data::TransactionDataset& data, const SuppressConfig& config) {
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
+  std::unordered_map<data::ItemId, uint32_t> support;
+  for (const auto& t : data.transactions) {
+    for (data::ItemId i : t.items) ++support[i];
+  }
+  std::unordered_set<data::ItemId> suppressed;
+  for (const auto& [item, sup] : support) {
+    if (sup < config.k) suppressed.insert(item);
+  }
+  SuppressedDataset out;
+  out.transactions.reserve(data.transactions.size());
+  for (const auto& t : data.transactions) {
+    data::Transaction nt{t.tid, t.location, {}};
+    for (data::ItemId i : t.items) {
+      if (!suppressed.contains(i)) nt.items.push_back(i);
+    }
+    out.transactions.push_back(std::move(nt));
+  }
+  out.suppressed_items.assign(suppressed.begin(), suppressed.end());
+  std::sort(out.suppressed_items.begin(), out.suppressed_items.end());
+  return out;
+}
+
+Status CheckSuppression(const SuppressedDataset& out, uint32_t k) {
+  std::unordered_set<data::ItemId> suppressed(out.suppressed_items.begin(),
+                                              out.suppressed_items.end());
+  std::unordered_map<data::ItemId, uint32_t> support;
+  for (const auto& t : out.transactions) {
+    for (data::ItemId i : t.items) {
+      if (suppressed.contains(i)) {
+        return Status::Internal("suppressed item survives in output");
+      }
+      ++support[i];
+    }
+  }
+  for (const auto& [item, sup] : support) {
+    if (sup < k) {
+      return Status::Internal("remaining item " + std::to_string(item) +
+                              " has support " + std::to_string(sup));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace licm::anonymize

@@ -1,0 +1,37 @@
+// Suppression-based anonymization (Appendix C; Xu et al., KDD'08).
+//
+// Suppression removes items from transactions outright — the extreme form
+// of generalization. We implement the global variant used for
+// (h,k,p)-coherence-style guarantees: items whose support falls below k are
+// suppressed from every transaction. After global suppression, a
+// transaction that lost items "could have contained any subset of the
+// suppressed vocabulary", which is what the LICM encoding captures.
+#ifndef LICM_ANONYMIZE_SUPPRESS_H_
+#define LICM_ANONYMIZE_SUPPRESS_H_
+
+#include "data/transactions.h"
+
+namespace licm::anonymize {
+
+struct SuppressedDataset {
+  /// Transactions with suppressed items removed (tids/locations kept).
+  std::vector<data::Transaction> transactions;
+  /// Globally suppressed items, ascending.
+  std::vector<data::ItemId> suppressed_items;
+};
+
+struct SuppressConfig {
+  /// Items with support < k are suppressed (global recoding: everywhere).
+  uint32_t k = 2;
+};
+
+Result<SuppressedDataset> SuppressRareItems(
+    const data::TransactionDataset& data, const SuppressConfig& config);
+
+/// Verifies that every remaining item has support >= k and that no
+/// suppressed item survives anywhere.
+Status CheckSuppression(const SuppressedDataset& out, uint32_t k);
+
+}  // namespace licm::anonymize
+
+#endif  // LICM_ANONYMIZE_SUPPRESS_H_

@@ -1,0 +1,27 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace licm {
+
+ZipfSampler::ZipfSampler(uint32_t n, double s) {
+  LICM_CHECK(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint32_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+uint32_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+}  // namespace licm

@@ -1,0 +1,112 @@
+// Deterministic, seedable PRNG (xoshiro256**) plus distribution helpers.
+//
+// All randomized components (data generator, Monte-Carlo sampler, test
+// fuzzers) take an explicit Rng so every run is reproducible from a seed.
+#ifndef LICM_COMMON_RNG_H_
+#define LICM_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace licm {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seed using splitmix64 expansion of `seed`.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      // splitmix64 step
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) {
+    LICM_CHECK(n > 0);
+    // Rejection to avoid modulo bias.
+    uint64_t threshold = (-n) % n;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    LICM_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// A uniformly random permutation of {0, ..., n-1}.
+  std::vector<uint32_t> Permutation(uint32_t n) {
+    std::vector<uint32_t> p(n);
+    for (uint32_t i = 0; i < n; ++i) p[i] = i;
+    Shuffle(&p);
+    return p;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+/// Zipf(s) sampler over ranks {0, ..., n-1} using precomputed CDF.
+/// Rank 0 is the most frequent. Used by the synthetic BMS-POS-like
+/// generator: real retail item frequencies are heavy-tailed.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint32_t n, double s);
+
+  /// Sample a rank in [0, n).
+  uint32_t Sample(Rng* rng) const;
+
+  uint32_t n() const { return static_cast<uint32_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace licm
+
+#endif  // LICM_COMMON_RNG_H_

@@ -1,0 +1,168 @@
+// Status / Result error handling, in the style of Arrow/RocksDB.
+//
+// Library code never throws for anticipated failures (bad input, infeasible
+// models, I/O errors); it returns Status or Result<T>. LICM_CHECK-style
+// macros guard internal invariants and abort on programmer error.
+#ifndef LICM_COMMON_STATUS_H_
+#define LICM_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace licm {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kInfeasible,    // constraint system has no valid assignment
+  kUnbounded,     // optimization objective is unbounded
+  kTimeLimit,     // solver stopped at its deadline with a bound gap
+  kIOError,
+};
+
+/// Outcome of an operation that can fail without a payload.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Infeasible(std::string m) {
+    return Status(StatusCode::kInfeasible, std::move(m));
+  }
+  static Status Unbounded(std::string m) {
+    return Status(StatusCode::kUnbounded, std::move(m));
+  }
+  static Status TimeLimit(std::string m) {
+    return Status(StatusCode::kTimeLimit, std::move(m));
+  }
+  static Status IOError(std::string m) {
+    return Status(StatusCode::kIOError, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + msg_;
+  }
+
+  static const char* CodeName(StatusCode c) {
+    switch (c) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kUnimplemented: return "Unimplemented";
+      case StatusCode::kInternal: return "Internal";
+      case StatusCode::kInfeasible: return "Infeasible";
+      case StatusCode::kUnbounded: return "Unbounded";
+      case StatusCode::kTimeLimit: return "TimeLimit";
+      case StatusCode::kIOError: return "IOError";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace licm
+
+/// Propagate a non-OK Status from the current function.
+#define LICM_RETURN_NOT_OK(expr)                  \
+  do {                                            \
+    ::licm::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#define LICM_CONCAT_IMPL(a, b) a##b
+#define LICM_CONCAT(a, b) LICM_CONCAT_IMPL(a, b)
+
+/// ASSIGN_OR_RETURN: unwrap a Result<T> or propagate its error.
+#define LICM_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  auto LICM_CONCAT(_res_, __LINE__) = (rexpr);                 \
+  if (!LICM_CONCAT(_res_, __LINE__).ok())                      \
+    return LICM_CONCAT(_res_, __LINE__).status();              \
+  lhs = std::move(LICM_CONCAT(_res_, __LINE__)).value()
+
+/// Internal invariant check; aborts on violation (programmer error).
+#define LICM_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "LICM_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define LICM_CHECK_OK(expr)                                               \
+  do {                                                                    \
+    ::licm::Status _st = (expr);                                          \
+    if (!_st.ok()) {                                                      \
+      std::fprintf(stderr, "LICM_CHECK_OK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, _st.ToString().c_str());           \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // LICM_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by the benchmark harnesses to report the
+// paper's L-model / L-query / L-solve phase timings.
+#ifndef LICM_COMMON_STOPWATCH_H_
+#define LICM_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace licm {
+
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed milliseconds since construction or the last Restart().
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace licm
+
+#endif  // LICM_COMMON_STOPWATCH_H_

@@ -1,0 +1,105 @@
+#include "data/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace licm::data {
+
+Status SaveCsv(const TransactionDataset& dataset, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  f << "tid,loc,item\n";
+  for (const Transaction& t : dataset.transactions) {
+    for (ItemId i : t.items) {
+      f << t.tid << ',' << t.location << ',' << i << '\n';
+    }
+  }
+  if (!f) return Status::IOError("write failed for " + path);
+
+  std::ofstream pf(path + ".prices");
+  if (!pf) return Status::IOError("cannot open " + path + ".prices");
+  pf << "item,price\n";
+  for (size_t i = 0; i < dataset.price.size(); ++i) {
+    pf << i << ',' << dataset.price[i] << '\n';
+  }
+  if (!pf) return Status::IOError("write failed for " + path + ".prices");
+  return Status::OK();
+}
+
+namespace {
+
+Result<std::vector<int64_t>> SplitInts(const std::string& line, size_t n) {
+  std::vector<int64_t> out;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) {
+    char* end = nullptr;
+    const long long v = std::strtoll(cell.c_str(), &end, 10);
+    if (end == cell.c_str()) {
+      return Status::InvalidArgument("non-numeric CSV cell: '" + cell + "'");
+    }
+    out.push_back(v);
+  }
+  if (out.size() != n) {
+    return Status::InvalidArgument("expected " + std::to_string(n) +
+                                   " columns, got " +
+                                   std::to_string(out.size()) + " in: " +
+                                   line);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<TransactionDataset> LoadCsv(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  std::string line;
+  if (!std::getline(f, line) || line != "tid,loc,item") {
+    return Status::InvalidArgument("bad header in " + path);
+  }
+  std::map<int64_t, Transaction> txns;
+  ItemId max_item = 0;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    LICM_ASSIGN_OR_RETURN(auto cells, SplitInts(line, 3));
+    if (cells[2] < 0) {
+      return Status::InvalidArgument("negative item id in " + path);
+    }
+    Transaction& t = txns[cells[0]];
+    t.tid = cells[0];
+    t.location = cells[1];
+    t.items.push_back(static_cast<ItemId>(cells[2]));
+    max_item = std::max(max_item, static_cast<ItemId>(cells[2]));
+  }
+
+  TransactionDataset out;
+  std::ifstream pf(path + ".prices");
+  if (!pf) return Status::IOError("cannot open " + path + ".prices");
+  if (!std::getline(pf, line) || line != "item,price") {
+    return Status::InvalidArgument("bad header in " + path + ".prices");
+  }
+  std::map<ItemId, int64_t> prices;
+  while (std::getline(pf, line)) {
+    if (line.empty()) continue;
+    LICM_ASSIGN_OR_RETURN(auto cells, SplitInts(line, 2));
+    prices[static_cast<ItemId>(cells[0])] = cells[1];
+    max_item = std::max(max_item, static_cast<ItemId>(cells[0]));
+  }
+
+  out.num_items = max_item + 1;
+  out.price.assign(out.num_items, 0);
+  for (const auto& [item, price] : prices) out.price[item] = price;
+  out.transactions.reserve(txns.size());
+  for (auto& [tid, t] : txns) {
+    std::sort(t.items.begin(), t.items.end());
+    t.items.erase(std::unique(t.items.begin(), t.items.end()),
+                  t.items.end());
+    out.transactions.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace licm::data

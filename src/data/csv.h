@@ -1,0 +1,26 @@
+// CSV serialization for transaction datasets.
+//
+// Two files per dataset: `<path>` holds one "tid,loc,item" row per
+// transaction-item pair, and `<path>.prices` holds one "item,price" row
+// per item. The format round-trips exactly and is easy to feed from / into
+// external tools (the real BMS-POS distribution is a similar flat text
+// format).
+#ifndef LICM_DATA_CSV_H_
+#define LICM_DATA_CSV_H_
+
+#include <string>
+
+#include "data/transactions.h"
+
+namespace licm::data {
+
+Status SaveCsv(const TransactionDataset& dataset, const std::string& path);
+
+/// Loads a dataset previously written by SaveCsv (or hand-authored in the
+/// same shape). Transactions are reconstructed in tid order; item ids must
+/// be dense in [0, max_item].
+Result<TransactionDataset> LoadCsv(const std::string& path);
+
+}  // namespace licm::data
+
+#endif  // LICM_DATA_CSV_H_

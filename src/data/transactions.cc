@@ -1,0 +1,97 @@
+#include "data/transactions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace licm::data {
+
+rel::Schema TransItemSchema() {
+  return rel::Schema({{"tid", rel::ValueType::kInt},
+                      {"loc", rel::ValueType::kInt},
+                      {"item", rel::ValueType::kInt},
+                      {"price", rel::ValueType::kInt}});
+}
+
+rel::Relation TransactionDataset::ToTransItem() const {
+  rel::Relation r(TransItemSchema());
+  for (const Transaction& t : transactions) {
+    for (ItemId item : t.items) {
+      r.AppendUnchecked({t.tid, t.location, static_cast<int64_t>(item),
+                         price[item]});
+    }
+  }
+  return r;
+}
+
+TransactionDataset::Stats TransactionDataset::ComputeStats() const {
+  Stats s;
+  s.num_transactions = transactions.size();
+  std::unordered_set<ItemId> distinct;
+  for (const Transaction& t : transactions) {
+    s.num_rows += t.items.size();
+    s.max_size = std::max(s.max_size, t.items.size());
+    distinct.insert(t.items.begin(), t.items.end());
+  }
+  s.avg_size = s.num_transactions == 0
+                   ? 0.0
+                   : static_cast<double>(s.num_rows) /
+                         static_cast<double>(s.num_transactions);
+  s.distinct_items = static_cast<uint32_t>(distinct.size());
+  return s;
+}
+
+namespace {
+// Knuth's Poisson sampler; fine for the small means used here.
+uint32_t SamplePoisson(double lambda, Rng* rng) {
+  const double limit = std::exp(-lambda);
+  double p = 1.0;
+  uint32_t k = 0;
+  do {
+    ++k;
+    p *= rng->UniformDouble();
+  } while (p > limit);
+  return k - 1;
+}
+}  // namespace
+
+TransactionDataset GenerateTransactions(const GeneratorConfig& config) {
+  LICM_CHECK(config.num_items > 0);
+  LICM_CHECK(config.mean_size >= 1.0);
+  Rng rng(config.seed);
+  ZipfSampler zipf(config.num_items, config.zipf_s);
+
+  TransactionDataset out;
+  out.num_items = config.num_items;
+  out.price.resize(config.num_items);
+  for (auto& p : out.price) {
+    p = rng.UniformInt(0, static_cast<int64_t>(config.num_prices) - 1);
+  }
+
+  out.transactions.reserve(config.num_transactions);
+  for (uint32_t i = 0; i < config.num_transactions; ++i) {
+    Transaction t;
+    t.tid = static_cast<int64_t>(i);
+    t.location =
+        rng.UniformInt(0, static_cast<int64_t>(config.num_locations) - 1);
+    // Sizes: 1 + Poisson(mean - 1), capped; reproduces a right-skewed size
+    // distribution with the target mean.
+    uint32_t size = 1 + SamplePoisson(config.mean_size - 1.0, &rng);
+    size = std::min(size, std::min(config.max_size, config.num_items));
+    std::unordered_set<ItemId> items;
+    // Zipf with rejection for distinctness; guard against pathological
+    // configs where the head is too concentrated to find `size` distinct
+    // items quickly.
+    uint32_t attempts = 0;
+    while (items.size() < size && attempts < 50 * size) {
+      items.insert(zipf.Sample(&rng));
+      ++attempts;
+    }
+    t.items.assign(items.begin(), items.end());
+    std::sort(t.items.begin(), t.items.end());
+    out.transactions.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace licm::data

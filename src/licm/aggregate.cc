@@ -1,0 +1,357 @@
+#include "licm/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace licm {
+
+Objective CountObjective(const LicmRelation& relation) {
+  Objective obj;
+  for (size_t i = 0; i < relation.size(); ++i) {
+    const Ext e = relation.ext(i);
+    if (e.certain()) {
+      obj.constant += 1.0;
+    } else {
+      obj.coefs[e.var()] += 1.0;
+    }
+  }
+  return obj;
+}
+
+Result<Objective> SumObjective(const LicmRelation& relation,
+                               const std::string& column) {
+  LICM_ASSIGN_OR_RETURN(size_t idx, relation.schema().IndexOf(column));
+  const rel::ValueType t = relation.schema().column(idx).type;
+  if (t == rel::ValueType::kString) {
+    return Status::InvalidArgument("SUM over string column '" + column + "'");
+  }
+  Objective obj;
+  for (size_t i = 0; i < relation.size(); ++i) {
+    const rel::Value& v = relation.tuple(i)[idx];
+    const double x = t == rel::ValueType::kInt
+                         ? static_cast<double>(std::get<int64_t>(v))
+                         : std::get<double>(v);
+    const Ext e = relation.ext(i);
+    if (e.certain()) {
+      obj.constant += x;
+    } else {
+      obj.coefs[e.var()] += x;
+    }
+  }
+  return obj;
+}
+
+namespace {
+
+solver::RowOp ToRowOp(ConstraintOp op) {
+  switch (op) {
+    case ConstraintOp::kLe: return solver::RowOp::kLe;
+    case ConstraintOp::kGe: return solver::RowOp::kGe;
+    case ConstraintOp::kEq: return solver::RowOp::kEq;
+  }
+  return solver::RowOp::kEq;
+}
+
+}  // namespace
+
+Result<AggregateBounds> ComputeBounds(const Objective& objective,
+                                      const ConstraintSet& constraints,
+                                      uint32_t num_vars,
+                                      const BoundsOptions& options) {
+  // Determine the variable/constraint subsystem to hand to the solver.
+  std::vector<BVar> seeds;
+  seeds.reserve(objective.coefs.size());
+  for (const auto& [v, c] : objective.coefs) seeds.push_back(v);
+
+  PruneResult pruned;
+  if (options.prune) {
+    pruned = Prune(constraints, seeds, num_vars);
+  } else {
+    // Identity "prune": everything stays live.
+    pruned.kept = constraints.constraints();
+    for (BVar v = 0; v < num_vars; ++v) pruned.live.insert(v);
+    pruned.stats = {num_vars, num_vars, constraints.size(),
+                    constraints.size()};
+  }
+
+  // Build the BIP over live variables.
+  solver::LinearProgram lp;
+  std::unordered_map<BVar, solver::VarId> to_lp;
+  to_lp.reserve(pruned.live.size());
+  // Deterministic order: sort live variables.
+  std::vector<BVar> live_sorted(pruned.live.begin(), pruned.live.end());
+  std::sort(live_sorted.begin(), live_sorted.end());
+  for (BVar v : live_sorted) to_lp.emplace(v, lp.AddBinary());
+  for (const LinearConstraint& c : pruned.kept) {
+    solver::Row row;
+    row.terms.reserve(c.terms.size());
+    for (const auto& t : c.terms) {
+      row.terms.push_back(
+          {to_lp.at(t.var), static_cast<double>(t.coef)});
+    }
+    row.op = ToRowOp(c.op);
+    row.rhs = static_cast<double>(c.rhs);
+    lp.AddRow(std::move(row));
+  }
+  for (const auto& [v, coef] : objective.coefs) {
+    lp.SetObjectiveCoef(to_lp.at(v), coef);
+  }
+  lp.AddObjectiveConstant(objective.constant);
+
+  const solver::MipSolver solver(options.mip);
+  AggregateBounds out;
+  out.prune_stats = pruned.stats;
+
+  auto solve_side = [&](solver::Sense sense) -> Result<BoundSide> {
+    BoundSide side;
+    solver::MipResult r = solver.Solve(lp, sense);
+    side.stats = r.stats;
+    switch (r.status) {
+      case solver::SolveStatus::kInfeasible:
+        return Status::Infeasible(
+            "LICM constraint set admits no possible world");
+      case solver::SolveStatus::kUnbounded:
+        return Status::Unbounded("aggregate objective unbounded (bug: "
+                                 "binary programs are always bounded)");
+      case solver::SolveStatus::kOptimal:
+        side.exact = true;
+        break;
+      case solver::SolveStatus::kTimeLimit:
+        side.exact = false;
+        break;
+    }
+    side.proved = r.best_bound;
+    side.has_world = r.has_solution;
+    side.value = r.has_solution ? r.objective : r.best_bound;
+    if (r.has_solution) {
+      for (BVar v : live_sorted) {
+        side.world.emplace(
+            v, static_cast<uint8_t>(std::lround(r.solution[to_lp.at(v)])));
+      }
+    }
+    return side;
+  };
+
+  LICM_ASSIGN_OR_RETURN(out.min, solve_side(solver::Sense::kMinimize));
+  LICM_ASSIGN_OR_RETURN(out.max, solve_side(solver::Sense::kMaximize));
+  return out;
+}
+
+namespace {
+
+// Feasibility of `constraints` + `extras`: kFixpoint-style tri-state.
+enum class Feas { kYes, kNo, kUnknown };
+
+Feas CheckFeasible(const ConstraintSet& constraints,
+                   const std::vector<LinearConstraint>& extras,
+                   uint32_t num_vars, const BoundsOptions& options) {
+  ConstraintSet all = constraints;
+  std::vector<BVar> seeds;
+  for (const LinearConstraint& c : extras) {
+    for (const auto& t : c.terms) seeds.push_back(t.var);
+    all.Add(c);
+  }
+  PruneResult pruned;
+  if (options.prune) {
+    pruned = Prune(all, seeds, num_vars);
+  } else {
+    pruned.kept = all.constraints();
+    for (BVar v = 0; v < num_vars; ++v) pruned.live.insert(v);
+  }
+  solver::LinearProgram lp;
+  std::unordered_map<BVar, solver::VarId> to_lp;
+  std::vector<BVar> live(pruned.live.begin(), pruned.live.end());
+  std::sort(live.begin(), live.end());
+  for (BVar v : live) to_lp.emplace(v, lp.AddBinary());
+  for (const LinearConstraint& c : pruned.kept) {
+    solver::Row row;
+    for (const auto& t : c.terms) {
+      row.terms.push_back({to_lp.at(t.var), static_cast<double>(t.coef)});
+    }
+    row.op = ToRowOp(c.op);
+    row.rhs = static_cast<double>(c.rhs);
+    lp.AddRow(std::move(row));
+  }
+  solver::MipResult r =
+      solver::MipSolver(options.mip).Solve(lp, solver::Sense::kMaximize);
+  switch (r.status) {
+    case solver::SolveStatus::kOptimal: return Feas::kYes;
+    case solver::SolveStatus::kInfeasible: return Feas::kNo;
+    default: return Feas::kUnknown;
+  }
+}
+
+double NumericAt(const LicmRelation& r, size_t row, size_t col) {
+  const rel::Value& v = r.tuple(row)[col];
+  return rel::TypeOf(v) == rel::ValueType::kInt
+             ? static_cast<double>(std::get<int64_t>(v))
+             : std::get<double>(v);
+}
+
+// Constraint "at least one of `vars` is present" / "none are present".
+LinearConstraint AtLeastOne(const std::vector<BVar>& vars) {
+  LinearConstraint c;
+  for (BVar v : vars) c.terms.push_back({v, 1});
+  c.op = ConstraintOp::kGe;
+  c.rhs = 1;
+  return c;
+}
+LinearConstraint None(const std::vector<BVar>& vars) {
+  LinearConstraint c;
+  for (BVar v : vars) c.terms.push_back({v, 1});
+  c.op = ConstraintOp::kLe;
+  c.rhs = 0;
+  return c;
+}
+
+}  // namespace
+
+Result<MinMaxBounds> ComputeMinMaxBounds(const LicmRelation& relation,
+                                         const std::string& column,
+                                         const ConstraintSet& constraints,
+                                         uint32_t num_vars, bool is_max,
+                                         const BoundsOptions& options) {
+  LICM_ASSIGN_OR_RETURN(size_t col, relation.schema().IndexOf(column));
+  if (relation.schema().column(col).type == rel::ValueType::kString) {
+    return Status::InvalidArgument("MIN/MAX over string column '" + column +
+                                   "'");
+  }
+  MinMaxBounds out;
+  if (relation.empty()) {
+    out.always_empty = true;
+    out.may_be_empty = true;
+    return out;
+  }
+
+  // Distinct values ascending, with the variables / certainty per value.
+  std::map<double, std::pair<bool, std::vector<BVar>>> by_value;
+  bool any_certain = false;
+  for (size_t i = 0; i < relation.size(); ++i) {
+    auto& entry = by_value[NumericAt(relation, i, col)];
+    if (relation.ext(i).certain()) {
+      entry.first = true;
+      any_certain = true;
+    } else {
+      entry.second.push_back(relation.ext(i).var());
+    }
+  }
+  std::vector<double> values;
+  for (const auto& [v, e] : by_value) values.push_back(v);
+
+  // Emptiness: feasible to drop every tuple?
+  if (any_certain) {
+    out.may_be_empty = false;
+  } else {
+    std::vector<BVar> all_vars;
+    for (const auto& [v, e] : by_value) {
+      all_vars.insert(all_vars.end(), e.second.begin(), e.second.end());
+    }
+    Feas f = CheckFeasible(constraints, {None(all_vars)}, num_vars, options);
+    out.may_be_empty = f != Feas::kNo;
+    if (f == Feas::kUnknown) out.exact_lo = out.exact_hi = false;
+  }
+
+  // For MIN, mirror the values so the MAX logic below applies unchanged.
+  auto key = [&](double v) { return is_max ? v : -v; };
+  std::sort(values.begin(), values.end(),
+            [&](double a, double b) { return key(a) < key(b); });
+  // values is now ascending in "goodness": the extreme side (hi for MAX,
+  // lo for MIN) is the largest-key value that can be present.
+
+  // Extreme side: scan from the best value down; the first value whose
+  // tuple-set can be non-empty bounds the aggregate.
+  double extreme = values.front();
+  bool extreme_exact = true;
+  bool extreme_found = false;
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    const auto& entry = by_value.at(*it);
+    if (entry.first) {  // certain tuple: always present
+      extreme = *it;
+      extreme_found = true;
+      break;
+    }
+    Feas f = CheckFeasible(constraints, {AtLeastOne(entry.second)}, num_vars,
+                           options);
+    if (f == Feas::kYes) {
+      extreme = *it;
+      extreme_found = true;
+      break;
+    }
+    if (f == Feas::kUnknown) {
+      extreme = *it;  // conservative outer bound
+      extreme_exact = false;
+      extreme_found = true;
+      break;
+    }
+  }
+  if (!extreme_found) {
+    // No tuple can ever be present: either the whole constraint system is
+    // contradictory, or the relation is empty in every world. The global
+    // feasibility check must see every constraint, so pruning is off.
+    BoundsOptions full = options;
+    full.prune = false;
+    if (CheckFeasible(constraints, {}, num_vars, full) == Feas::kNo) {
+      return Status::Infeasible(
+          "LICM constraint set admits no possible world");
+    }
+    out.always_empty = true;
+    out.may_be_empty = true;
+    return out;
+  }
+
+  // Tame side: the smallest-key value v such that a world exists with all
+  // better-than-v tuples absent and some tuple (value-key <= v) present.
+  double tame = values.back();
+  bool tame_exact = true;
+  for (double v : values) {
+    // Certain tuple better than v => infeasible immediately.
+    bool certain_better = false;
+    std::vector<BVar> better, not_better;
+    bool tame_has_certain = false;
+    for (const auto& [val, entry] : by_value) {
+      if (key(val) > key(v)) {
+        certain_better |= entry.first;
+        better.insert(better.end(), entry.second.begin(),
+                      entry.second.end());
+      } else {
+        tame_has_certain |= entry.first;
+        not_better.insert(not_better.end(), entry.second.begin(),
+                          entry.second.end());
+      }
+    }
+    if (certain_better) continue;
+    std::vector<LinearConstraint> extras;
+    if (!better.empty()) extras.push_back(None(better));
+    if (!tame_has_certain) {
+      if (not_better.empty()) continue;
+      extras.push_back(AtLeastOne(not_better));
+    }
+    Feas f = CheckFeasible(constraints, extras, num_vars, options);
+    if (f == Feas::kYes) {
+      tame = v;
+      break;
+    }
+    if (f == Feas::kUnknown) {
+      tame = v;  // conservative outer bound
+      tame_exact = false;
+      break;
+    }
+  }
+
+  if (is_max) {
+    out.hi = extreme;
+    out.exact_hi = out.exact_hi && extreme_exact;
+    out.lo = tame;
+    out.exact_lo = out.exact_lo && tame_exact;
+  } else {
+    out.lo = extreme;
+    out.exact_lo = out.exact_lo && extreme_exact;
+    out.hi = tame;
+    out.exact_hi = out.exact_hi && tame_exact;
+  }
+  LICM_CHECK(out.lo <= out.hi);
+  return out;
+}
+
+}  // namespace licm

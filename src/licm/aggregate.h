@@ -1,0 +1,99 @@
+// Aggregate query answering (Section IV-D).
+//
+// The final LICM relation of a query plus the accumulated constraint set
+// define a binary integer program: objective = sum of Ext attributes
+// (COUNT) or sum of value * Ext (SUM); constraints = the lineage-encoding
+// constraint set. Minimizing/maximizing yields the exact lower/upper bound
+// over all possible worlds, and the solution vector names an extreme world.
+#ifndef LICM_LICM_AGGREGATE_H_
+#define LICM_LICM_AGGREGATE_H_
+
+#include <unordered_map>
+
+#include "licm/licm_relation.h"
+#include "licm/prune.h"
+#include "solver/mip_solver.h"
+
+namespace licm {
+
+/// Linear objective over existence variables: constant (from certain
+/// tuples) + sum of coef * b.
+struct Objective {
+  double constant = 0.0;
+  std::unordered_map<BVar, double> coefs;
+};
+
+/// COUNT(*) objective: each tuple contributes its Ext.
+Objective CountObjective(const LicmRelation& relation);
+
+/// SUM(column) objective: each tuple contributes value(column) * Ext.
+/// The column must be numeric.
+Result<Objective> SumObjective(const LicmRelation& relation,
+                               const std::string& column);
+
+struct BoundsOptions {
+  /// Remove variables/constraints unreachable from the objective before
+  /// solving (Section V-C).
+  bool prune = true;
+  solver::MipOptions mip;
+};
+
+/// One side of the answer range.
+struct BoundSide {
+  /// Best possible-world answer found. Always achievable by a world when
+  /// `has_world`; equals the true extremum when `exact`.
+  double value = 0.0;
+  bool exact = false;
+  bool has_world = false;
+  /// Proved outer bound: <= true min (for the min side), >= true max (for
+  /// the max side). Equals `value` when exact.
+  double proved = 0.0;
+  /// Assignment of the live (unpruned) variables achieving `value`. Pruned
+  /// variables are unconstrained by the objective and can be completed by
+  /// any satisfying assignment of the pruned remainder.
+  std::unordered_map<BVar, uint8_t> world;
+  solver::MipStats stats;
+};
+
+struct AggregateBounds {
+  BoundSide min;
+  BoundSide max;
+  PruneResult::Stats prune_stats;
+};
+
+/// Computes [min, max] of `objective` subject to `constraints` over
+/// variables 0..num_vars-1 (the database's pool). Returns
+/// Status::Infeasible when the constraint set admits no world.
+Result<AggregateBounds> ComputeBounds(const Objective& objective,
+                                      const ConstraintSet& constraints,
+                                      uint32_t num_vars,
+                                      const BoundsOptions& options = {});
+
+/// Bounds of a MIN or MAX aggregate over a numeric column (the paper's
+/// "MIN and MAX can be handled ... using case based reasoning"). The range
+/// is taken over the worlds where the result relation is non-empty.
+struct MinMaxBounds {
+  double lo = 0.0;
+  double hi = 0.0;
+  /// Feasibility subproblems that hit the solver's limits make the
+  /// corresponding side conservative (outer) rather than exact.
+  bool exact_lo = true;
+  bool exact_hi = true;
+  /// Some world instantiates the relation to empty (aggregate undefined
+  /// there); when every world is empty, `always_empty` is set and lo/hi
+  /// are meaningless.
+  bool may_be_empty = false;
+  bool always_empty = false;
+};
+
+/// Case-based MIN/MAX bounds: a sequence of solver feasibility probes over
+/// the distinct column values. `is_max` selects MAX (else MIN).
+Result<MinMaxBounds> ComputeMinMaxBounds(const LicmRelation& relation,
+                                         const std::string& column,
+                                         const ConstraintSet& constraints,
+                                         uint32_t num_vars, bool is_max,
+                                         const BoundsOptions& options = {});
+
+}  // namespace licm
+
+#endif  // LICM_LICM_AGGREGATE_H_

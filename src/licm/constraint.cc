@@ -1,0 +1,125 @@
+#include "licm/constraint.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace licm {
+
+const char* ConstraintOpName(ConstraintOp op) {
+  switch (op) {
+    case ConstraintOp::kLe: return "<=";
+    case ConstraintOp::kGe: return ">=";
+    case ConstraintOp::kEq: return "=";
+  }
+  return "?";
+}
+
+std::string LinearConstraint::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    const auto& t = terms[i];
+    if (i == 0) {
+      if (t.coef == -1) os << "-";
+      else if (t.coef != 1) os << t.coef << " ";
+    } else {
+      os << (t.coef < 0 ? " - " : " + ");
+      const int64_t a = std::abs(t.coef);
+      if (a != 1) os << a << " ";
+    }
+    os << "b" << t.var;
+  }
+  if (terms.empty()) os << "0";
+  os << " " << ConstraintOpName(op) << " " << rhs;
+  return os.str();
+}
+
+bool LinearConstraint::Satisfied(
+    const std::vector<uint8_t>& assignment) const {
+  int64_t lhs = 0;
+  for (const Term& t : terms) {
+    LICM_CHECK(t.var < assignment.size());
+    lhs += t.coef * assignment[t.var];
+  }
+  switch (op) {
+    case ConstraintOp::kLe: return lhs <= rhs;
+    case ConstraintOp::kGe: return lhs >= rhs;
+    case ConstraintOp::kEq: return lhs == rhs;
+  }
+  return false;
+}
+
+namespace {
+LinearConstraint SumConstraint(const std::vector<BVar>& vars,
+                               ConstraintOp op, int64_t rhs) {
+  LinearConstraint c;
+  c.terms.reserve(vars.size());
+  for (BVar v : vars) c.terms.push_back({v, 1});
+  c.op = op;
+  c.rhs = rhs;
+  return c;
+}
+}  // namespace
+
+void ConstraintSet::AddCardinality(const std::vector<BVar>& vars, int64_t z1,
+                                   int64_t z2) {
+  const int64_t n = static_cast<int64_t>(vars.size());
+  LICM_CHECK(z1 <= z2);
+  if (z1 > 0) Add(SumConstraint(vars, ConstraintOp::kGe, z1));
+  if (z2 < n) Add(SumConstraint(vars, ConstraintOp::kLe, z2));
+}
+
+void ConstraintSet::AddMutualExclusion(BVar b1, BVar b2) {
+  Add(LinearConstraint{{{b1, 1}, {b2, 1}}, ConstraintOp::kEq, 1});
+}
+
+void ConstraintSet::AddCoexistence(BVar b1, BVar b2) {
+  Add(LinearConstraint{{{b1, 1}, {b2, -1}}, ConstraintOp::kEq, 0});
+}
+
+void ConstraintSet::AddImplication(BVar b1, BVar b2) {
+  Add(LinearConstraint{{{b1, 1}, {b2, -1}}, ConstraintOp::kLe, 0});
+}
+
+void ConstraintSet::AddAnd(BVar out, BVar a, BVar b) {
+  Add(LinearConstraint{{{out, 1}, {a, -1}}, ConstraintOp::kLe, 0});
+  Add(LinearConstraint{{{out, 1}, {b, -1}}, ConstraintOp::kLe, 0});
+  Add(LinearConstraint{{{out, 1}, {a, -1}, {b, -1}}, ConstraintOp::kGe, -1});
+}
+
+void ConstraintSet::AddOr(BVar out, const std::vector<BVar>& in) {
+  LICM_CHECK(!in.empty());
+  LinearConstraint upper;
+  for (BVar v : in) {
+    Add(LinearConstraint{{{out, 1}, {v, -1}}, ConstraintOp::kGe, 0});
+    upper.terms.push_back({v, -1});
+  }
+  upper.terms.push_back({out, 1});
+  // Merge duplicated input vars (coefficients add).
+  std::sort(upper.terms.begin(), upper.terms.end(),
+            [](const auto& x, const auto& y) { return x.var < y.var; });
+  std::vector<LinearConstraint::Term> merged;
+  for (const auto& t : upper.terms) {
+    if (!merged.empty() && merged.back().var == t.var)
+      merged.back().coef += t.coef;
+    else
+      merged.push_back(t);
+  }
+  upper.terms = std::move(merged);
+  upper.op = ConstraintOp::kLe;
+  upper.rhs = 0;
+  Add(std::move(upper));
+}
+
+void ConstraintSet::AddFix(BVar b, int64_t value) {
+  LICM_CHECK(value == 0 || value == 1);
+  Add(LinearConstraint{{{b, 1}}, ConstraintOp::kEq, value});
+}
+
+bool ConstraintSet::Satisfied(const std::vector<uint8_t>& assignment) const {
+  for (const LinearConstraint& c : constraints_) {
+    if (!c.Satisfied(assignment)) return false;
+  }
+  return true;
+}
+
+}  // namespace licm

@@ -1,0 +1,96 @@
+// The constraint half of the Linear Integer Constraint Model.
+//
+// An LICM database (Definition 3) is a set of LICM relations plus a set of
+// linear constraints over the binary existence variables that appear in
+// those relations. This header defines the variables (BVar), linear
+// constraints with integer coefficients, and the growable pool/set that an
+// LicmDatabase owns. Query operators append new variables and constraints
+// here; the aggregate layer lowers them to a solver::LinearProgram.
+#ifndef LICM_LICM_CONSTRAINT_H_
+#define LICM_LICM_CONSTRAINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace licm {
+
+/// Id of a binary existence variable b in {0, 1}.
+using BVar = uint32_t;
+
+enum class ConstraintOp { kLe, kGe, kEq };
+
+const char* ConstraintOpName(ConstraintOp op);
+
+/// One linear constraint f(B) op Z with integer coefficients (Definition 3).
+struct LinearConstraint {
+  struct Term {
+    BVar var;
+    int64_t coef;
+    bool operator==(const Term&) const = default;
+  };
+  std::vector<Term> terms;
+  ConstraintOp op = ConstraintOp::kLe;
+  int64_t rhs = 0;
+
+  std::string ToString() const;
+
+  /// Evaluates the constraint under a 0/1 assignment (indexed by BVar).
+  bool Satisfied(const std::vector<uint8_t>& assignment) const;
+};
+
+/// Allocator for binary variables. Ids are dense and created sequentially,
+/// which the paper exploits for its one-pass pruning; we keep the property
+/// so instances stay compact.
+class VariablePool {
+ public:
+  BVar New() { return count_++; }
+  uint32_t size() const { return count_; }
+
+ private:
+  uint32_t count_ = 0;
+};
+
+/// The constraint set C of an LICM database, with convenience builders for
+/// the correlations of Section III (Example 5) and cardinality constraints
+/// (Definition 1).
+class ConstraintSet {
+ public:
+  void Add(LinearConstraint c) { constraints_.push_back(std::move(c)); }
+
+  /// Z1 <= sum(vars) <= Z2 (Definition 1). Bounds outside [0, n] are
+  /// clamped; a vacuous side is omitted.
+  void AddCardinality(const std::vector<BVar>& vars, int64_t z1, int64_t z2);
+
+  /// Mutual exclusion: b1 + b2 = 1 (exactly one of the two).
+  void AddMutualExclusion(BVar b1, BVar b2);
+  /// Co-existence: b1 - b2 = 0.
+  void AddCoexistence(BVar b1, BVar b2);
+  /// Material implication t1 -> t2: b1 - b2 <= 0.
+  void AddImplication(BVar b1, BVar b2);
+  /// AND-link (lineage of intersection/product, Example 6):
+  /// out <= a, out <= b, out >= a + b - 1.
+  void AddAnd(BVar out, BVar a, BVar b);
+  /// OR-link (lineage of projection, Algorithm 1):
+  /// out >= in_i for all i, out <= sum(in).
+  void AddOr(BVar out, const std::vector<BVar>& in);
+  /// Fixes a variable to a constant (0 or 1).
+  void AddFix(BVar b, int64_t value);
+
+  size_t size() const { return constraints_.size(); }
+  const std::vector<LinearConstraint>& constraints() const {
+    return constraints_;
+  }
+
+  /// True if every constraint holds under the 0/1 assignment.
+  bool Satisfied(const std::vector<uint8_t>& assignment) const;
+
+ private:
+  std::vector<LinearConstraint> constraints_;
+};
+
+}  // namespace licm
+
+#endif  // LICM_LICM_CONSTRAINT_H_

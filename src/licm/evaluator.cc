@@ -1,0 +1,117 @@
+#include "licm/evaluator.h"
+
+#include "common/stopwatch.h"
+#include "licm/ops.h"
+
+namespace licm {
+
+Result<LicmRelation> EvaluateLicm(const rel::QueryNode& node,
+                                  LicmDatabase* db) {
+  OpContext ctx{&db->pool(), &db->constraints()};
+  switch (node.kind) {
+    case rel::QueryKind::kScan: {
+      LICM_ASSIGN_OR_RETURN(const LicmRelation* r,
+                            db->GetRelation(node.relation_name));
+      // Set semantics on base relations, mirroring the deterministic
+      // engine's dedup-on-scan.
+      return MergeDuplicates(*r, ctx);
+    }
+    case rel::QueryKind::kSelect: {
+      LICM_ASSIGN_OR_RETURN(LicmRelation in, EvaluateLicm(*node.left, db));
+      return SelectOp(in, node.predicates);
+    }
+    case rel::QueryKind::kProject: {
+      LICM_ASSIGN_OR_RETURN(LicmRelation in, EvaluateLicm(*node.left, db));
+      return ProjectOp(in, node.columns, ctx);
+    }
+    case rel::QueryKind::kIntersect: {
+      LICM_ASSIGN_OR_RETURN(LicmRelation l, EvaluateLicm(*node.left, db));
+      LICM_ASSIGN_OR_RETURN(LicmRelation r, EvaluateLicm(*node.right, db));
+      return IntersectOp(l, r, ctx);
+    }
+    case rel::QueryKind::kProduct: {
+      LICM_ASSIGN_OR_RETURN(LicmRelation l, EvaluateLicm(*node.left, db));
+      LICM_ASSIGN_OR_RETURN(LicmRelation r, EvaluateLicm(*node.right, db));
+      return ProductOp(l, r, ctx);
+    }
+    case rel::QueryKind::kJoin: {
+      LICM_ASSIGN_OR_RETURN(LicmRelation l, EvaluateLicm(*node.left, db));
+      LICM_ASSIGN_OR_RETURN(LicmRelation r, EvaluateLicm(*node.right, db));
+      return JoinOp(l, r, node.join_on, ctx);
+    }
+    case rel::QueryKind::kCountPredicate: {
+      LICM_ASSIGN_OR_RETURN(LicmRelation in, EvaluateLicm(*node.left, db));
+      return CountPredicateOp(in, node.group_column, node.count_op,
+                              node.count_d, ctx);
+    }
+    case rel::QueryKind::kSumPredicate: {
+      LICM_ASSIGN_OR_RETURN(LicmRelation in, EvaluateLicm(*node.left, db));
+      return SumPredicateOp(in, node.group_column, node.sum_column,
+                            node.count_op, node.count_d, ctx);
+    }
+    case rel::QueryKind::kCountStar:
+    case rel::QueryKind::kSum:
+    case rel::QueryKind::kMin:
+    case rel::QueryKind::kMax:
+      return Status::InvalidArgument(
+          "aggregate root: use AnswerAggregate()");
+  }
+  return Status::Internal("unknown query kind");
+}
+
+Result<AggregateAnswer> AnswerAggregate(const rel::QueryNode& query,
+                                        LicmDatabase db,
+                                        const AnswerOptions& options) {
+  if (!rel::IsAggregate(query)) {
+    return Status::InvalidArgument(
+        "AnswerAggregate requires kCountStar or kSum at the root");
+  }
+  AggregateAnswer out;
+  StopWatch watch;
+
+  LICM_ASSIGN_OR_RETURN(LicmRelation result, EvaluateLicm(*query.left, &db));
+  // Aggregates count each distinct tuple once per world.
+  OpContext ctx{&db.pool(), &db.constraints()};
+  LICM_ASSIGN_OR_RETURN(result, MergeDuplicates(result, ctx));
+
+  if (query.kind == rel::QueryKind::kMin ||
+      query.kind == rel::QueryKind::kMax) {
+    out.vars_at_query = db.pool().size();
+    out.constraints_at_query = db.constraints().size();
+    out.query_ms = watch.ElapsedMs();
+    watch.Restart();
+    LICM_ASSIGN_OR_RETURN(
+        out.minmax,
+        ComputeMinMaxBounds(result, query.sum_column, db.constraints(),
+                            db.pool().size(),
+                            query.kind == rel::QueryKind::kMax,
+                            options.bounds));
+    out.is_minmax = true;
+    out.bounds.min.value = out.bounds.min.proved = out.minmax.lo;
+    out.bounds.min.exact = out.minmax.exact_lo;
+    out.bounds.max.value = out.bounds.max.proved = out.minmax.hi;
+    out.bounds.max.exact = out.minmax.exact_hi;
+    out.solve_ms = watch.ElapsedMs();
+    return out;
+  }
+
+  Objective obj;
+  if (query.kind == rel::QueryKind::kCountStar) {
+    obj = CountObjective(result);
+  } else {
+    LICM_ASSIGN_OR_RETURN(obj, SumObjective(result, query.sum_column));
+  }
+  out.vars_at_query = db.pool().size();
+  out.constraints_at_query = db.constraints().size();
+  out.query_ms = watch.ElapsedMs();
+
+  watch.Restart();
+  LICM_ASSIGN_OR_RETURN(
+      out.bounds,
+      ComputeBounds(obj, db.constraints(), db.pool().size(),
+                    options.bounds));
+  out.solve_ms = watch.ElapsedMs();
+  return out;
+}
+
+}  // namespace licm

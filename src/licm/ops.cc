@@ -1,0 +1,407 @@
+#include "licm/ops.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "relational/engine.h"
+
+namespace licm {
+
+namespace {
+
+// Collects the distinct maybe-variables of a tuple group; `any_certain` is
+// set when at least one group member is certain.
+struct GroupExt {
+  bool any_certain = false;
+  std::vector<BVar> vars;  // distinct
+};
+
+void Accumulate(GroupExt* g, Ext e) {
+  if (e.certain()) {
+    g->any_certain = true;
+  } else if (std::find(g->vars.begin(), g->vars.end(), e.var()) ==
+             g->vars.end()) {
+    g->vars.push_back(e.var());
+  }
+}
+
+// Existence of "at least one member of the group": certain, a reused single
+// variable (Example 7's optimization), or a fresh OR-linked variable.
+Ext GroupOrExt(const GroupExt& g, OpContext ctx) {
+  if (g.any_certain) return Ext::Certain();
+  LICM_CHECK(!g.vars.empty());
+  if (g.vars.size() == 1) return Ext::Maybe(g.vars[0]);
+  const BVar out = ctx.pool->New();
+  ctx.constraints->AddOr(out, g.vars);
+  return Ext::Maybe(out);
+}
+
+// AND of two tuple existences (Algorithm 2/3 case analysis).
+Ext AndExt(Ext a, Ext b, OpContext ctx) {
+  if (a == b || b.certain()) return a;
+  if (a.certain()) return b;
+  const BVar out = ctx.pool->New();
+  ctx.constraints->AddAnd(out, a.var(), b.var());
+  return Ext::Maybe(out);
+}
+
+}  // namespace
+
+Result<LicmRelation> SelectOp(
+    const LicmRelation& in, const std::vector<rel::Predicate>& predicates) {
+  std::vector<size_t> idx(predicates.size());
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    LICM_ASSIGN_OR_RETURN(idx[i],
+                          in.schema().IndexOf(predicates[i].column));
+  }
+  LicmRelation out(in.schema());
+  for (size_t t = 0; t < in.size(); ++t) {
+    bool pass = true;
+    for (size_t i = 0; i < predicates.size() && pass; ++i) {
+      pass = rel::CmpApply(predicates[i].op, in.tuple(t)[idx[i]],
+                           predicates[i].operand);
+    }
+    if (pass) out.AppendUnchecked(in.tuple(t), in.ext(t));
+  }
+  return out;
+}
+
+Result<LicmRelation> ProjectOp(const LicmRelation& in,
+                               const std::vector<std::string>& columns,
+                               OpContext ctx) {
+  std::vector<size_t> idx(columns.size());
+  std::vector<rel::Column> cols(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    LICM_ASSIGN_OR_RETURN(idx[i], in.schema().IndexOf(columns[i]));
+    cols[i] = in.schema().column(idx[i]);
+  }
+  // Group source tuples by their projected image, keeping first-seen order.
+  std::unordered_map<rel::Tuple, GroupExt, rel::TupleHash> groups;
+  std::vector<rel::Tuple> order;
+  for (size_t t = 0; t < in.size(); ++t) {
+    rel::Tuple key(idx.size());
+    for (size_t i = 0; i < idx.size(); ++i) key[i] = in.tuple(t)[idx[i]];
+    auto [it, inserted] = groups.emplace(std::move(key), GroupExt{});
+    if (inserted) order.push_back(it->first);
+    Accumulate(&it->second, in.ext(t));
+  }
+  LicmRelation out{rel::Schema(std::move(cols))};
+  for (const rel::Tuple& key : order) {
+    out.AppendUnchecked(key, GroupOrExt(groups.at(key), ctx));
+  }
+  return out;
+}
+
+Result<LicmRelation> MergeDuplicates(const LicmRelation& in, OpContext ctx) {
+  std::unordered_set<rel::Tuple, rel::TupleHash> seen;
+  bool has_dup = false;
+  for (const auto& t : in.tuples()) {
+    if (!seen.insert(t).second) {
+      has_dup = true;
+      break;
+    }
+  }
+  if (!has_dup) return in;
+  std::vector<std::string> all;
+  for (const auto& c : in.schema().columns()) all.push_back(c.name);
+  return ProjectOp(in, all, ctx);
+}
+
+Result<LicmRelation> IntersectOp(const LicmRelation& a, const LicmRelation& b,
+                                 OpContext ctx) {
+  if (!(a.schema() == b.schema())) {
+    return Status::InvalidArgument("intersect schema mismatch: " +
+                                   a.schema().ToString() + " vs " +
+                                   b.schema().ToString());
+  }
+  LICM_ASSIGN_OR_RETURN(LicmRelation left, MergeDuplicates(a, ctx));
+  LICM_ASSIGN_OR_RETURN(LicmRelation right, MergeDuplicates(b, ctx));
+
+  std::unordered_map<rel::Tuple, Ext, rel::TupleHash> rmap;
+  for (size_t t = 0; t < right.size(); ++t) {
+    rmap.emplace(right.tuple(t), right.ext(t));
+  }
+  LicmRelation out(left.schema());
+  for (size_t t = 0; t < left.size(); ++t) {
+    auto it = rmap.find(left.tuple(t));
+    if (it == rmap.end()) continue;
+    out.AppendUnchecked(left.tuple(t), AndExt(left.ext(t), it->second, ctx));
+  }
+  return out;
+}
+
+Result<LicmRelation> ProductOp(const LicmRelation& a, const LicmRelation& b,
+                               OpContext ctx) {
+  LICM_ASSIGN_OR_RETURN(LicmRelation left, MergeDuplicates(a, ctx));
+  LICM_ASSIGN_OR_RETURN(LicmRelation right, MergeDuplicates(b, ctx));
+  LicmRelation out(rel::ProductSchema(left.schema(), right.schema()));
+  for (size_t i = 0; i < left.size(); ++i) {
+    for (size_t j = 0; j < right.size(); ++j) {
+      rel::Tuple nt = left.tuple(i);
+      nt.insert(nt.end(), right.tuple(j).begin(), right.tuple(j).end());
+      out.AppendUnchecked(std::move(nt),
+                          AndExt(left.ext(i), right.ext(j), ctx));
+    }
+  }
+  return out;
+}
+
+Result<LicmRelation> JoinOp(
+    const LicmRelation& a, const LicmRelation& b,
+    const std::vector<std::pair<std::string, std::string>>& on,
+    OpContext ctx) {
+  if (on.empty()) {
+    return Status::InvalidArgument("join requires at least one key pair");
+  }
+  LICM_ASSIGN_OR_RETURN(LicmRelation left, MergeDuplicates(a, ctx));
+  LICM_ASSIGN_OR_RETURN(LicmRelation right, MergeDuplicates(b, ctx));
+
+  std::vector<size_t> lkeys, rkeys;
+  for (const auto& [ln, rn] : on) {
+    LICM_ASSIGN_OR_RETURN(size_t li, left.schema().IndexOf(ln));
+    LICM_ASSIGN_OR_RETURN(size_t ri, right.schema().IndexOf(rn));
+    lkeys.push_back(li);
+    rkeys.push_back(ri);
+  }
+  std::unordered_set<size_t> rdrop(rkeys.begin(), rkeys.end());
+
+  std::unordered_map<rel::Tuple, std::vector<size_t>, rel::TupleHash> index;
+  for (size_t j = 0; j < right.size(); ++j) {
+    rel::Tuple key(rkeys.size());
+    for (size_t i = 0; i < rkeys.size(); ++i) key[i] = right.tuple(j)[rkeys[i]];
+    index[std::move(key)].push_back(j);
+  }
+  LicmRelation out(rel::JoinSchema(left.schema(), right.schema(), on));
+  for (size_t i = 0; i < left.size(); ++i) {
+    rel::Tuple key(lkeys.size());
+    for (size_t k = 0; k < lkeys.size(); ++k) key[k] = left.tuple(i)[lkeys[k]];
+    auto it = index.find(key);
+    if (it == index.end()) continue;
+    for (size_t j : it->second) {
+      rel::Tuple nt = left.tuple(i);
+      for (size_t c = 0; c < right.tuple(j).size(); ++c) {
+        if (!rdrop.contains(c)) nt.push_back(right.tuple(j)[c]);
+      }
+      out.AppendUnchecked(std::move(nt),
+                          AndExt(left.ext(i), right.ext(j), ctx));
+    }
+  }
+  // Dropping key columns cannot merge distinct pairs when inputs are sets,
+  // but merge defensively so downstream set semantics never break.
+  return MergeDuplicates(out, ctx);
+}
+
+namespace {
+
+// One group of Algorithm 4: n certain tuples and maybe-terms B = sum of
+// existence variables (with multiplicity when several group members share
+// a variable).
+struct CountGroup {
+  int64_t n = 0;
+  std::vector<LinearConstraint::Term> terms;  // merged by variable
+  int64_t m = 0;  // number of maybe tuples (sum of coefficients)
+  // Group existence (set semantics: a group value only appears in the
+  // output when at least one of its tuples is present). Tracked over ALL
+  // group tuples, including zero-weight ones.
+  bool any_certain = false;
+  std::vector<BVar> existence_vars;  // distinct
+};
+
+// Existence outcome for a group under one one-sided count predicate.
+struct CountCase {
+  enum Kind { kCertain, kExcluded, kVariable } kind;
+  BVar var = 0;
+};
+
+// COUNT <= d over the group (Algorithm 4, case 1).
+CountCase EncodeLe(const CountGroup& g, int64_t d, OpContext ctx) {
+  if (g.m + g.n <= d) return {CountCase::kCertain, 0};
+  if (g.n > d) return {CountCase::kExcluded, 0};
+  const BVar b = ctx.pool->New();
+  // (d - n + 1) b + B >= d - n + 1
+  LinearConstraint c1;
+  c1.terms = g.terms;
+  c1.terms.push_back({b, d - g.n + 1});
+  c1.op = ConstraintOp::kGe;
+  c1.rhs = d - g.n + 1;
+  ctx.constraints->Add(std::move(c1));
+  // (m - d + n) b + B <= m
+  LinearConstraint c2;
+  c2.terms = g.terms;
+  c2.terms.push_back({b, g.m - d + g.n});
+  c2.op = ConstraintOp::kLe;
+  c2.rhs = g.m;
+  ctx.constraints->Add(std::move(c2));
+  return {CountCase::kVariable, b};
+}
+
+// COUNT >= d over the group (Algorithm 4, case 2).
+CountCase EncodeGe(const CountGroup& g, int64_t d, OpContext ctx) {
+  if (g.n >= d) return {CountCase::kCertain, 0};
+  if (g.m + g.n < d) return {CountCase::kExcluded, 0};
+  const BVar b = ctx.pool->New();
+  // (d - n) b <= B
+  LinearConstraint c1;
+  c1.terms = g.terms;
+  for (auto& t : c1.terms) t.coef = -t.coef;
+  c1.terms.push_back({b, d - g.n});
+  c1.op = ConstraintOp::kLe;
+  c1.rhs = 0;
+  ctx.constraints->Add(std::move(c1));
+  // B <= d - n - 1 + (m - d + n + 1) b
+  LinearConstraint c2;
+  c2.terms = g.terms;
+  c2.terms.push_back({b, -(g.m - d + g.n + 1)});
+  c2.op = ConstraintOp::kLe;
+  c2.rhs = d - g.n - 1;
+  ctx.constraints->Add(std::move(c2));
+  return {CountCase::kVariable, b};
+}
+
+}  // namespace
+
+namespace {
+
+// Shared engine of CountPredicateOp / SumPredicateOp: groups the merged
+// relation by `gidx`, weighting each tuple by 1 (count) or by its value in
+// column `vidx` (sum), and emits Algorithm 4's encoding per group.
+Result<LicmRelation> GroupPredicateImpl(const LicmRelation& merged,
+                                        size_t gidx, size_t vidx,
+                                        bool weighted, rel::CmpOp op,
+                                        int64_t d, OpContext ctx);
+
+}  // namespace
+
+Result<LicmRelation> CountPredicateOp(const LicmRelation& in,
+                                      const std::string& group_column,
+                                      rel::CmpOp op, int64_t d,
+                                      OpContext ctx) {
+  LICM_ASSIGN_OR_RETURN(size_t gidx, in.schema().IndexOf(group_column));
+  // Set semantics: each distinct tuple counts once per world.
+  LICM_ASSIGN_OR_RETURN(LicmRelation merged, MergeDuplicates(in, ctx));
+  return GroupPredicateImpl(merged, gidx, 0, /*weighted=*/false, op, d, ctx);
+}
+
+Result<LicmRelation> SumPredicateOp(const LicmRelation& in,
+                                    const std::string& group_column,
+                                    const std::string& sum_column,
+                                    rel::CmpOp op, int64_t d, OpContext ctx) {
+  LICM_ASSIGN_OR_RETURN(size_t gidx, in.schema().IndexOf(group_column));
+  LICM_ASSIGN_OR_RETURN(size_t vidx, in.schema().IndexOf(sum_column));
+  if (in.schema().column(vidx).type != rel::ValueType::kInt) {
+    return Status::InvalidArgument(
+        "SUM predicate needs an int column, got " +
+        std::string(rel::TypeName(in.schema().column(vidx).type)));
+  }
+  LICM_ASSIGN_OR_RETURN(LicmRelation merged, MergeDuplicates(in, ctx));
+  return GroupPredicateImpl(merged, gidx, vidx, /*weighted=*/true, op, d,
+                            ctx);
+}
+
+namespace {
+
+Result<LicmRelation> GroupPredicateImpl(const LicmRelation& merged,
+                                        size_t gidx, size_t vidx,
+                                        bool weighted, rel::CmpOp op,
+                                        int64_t d, OpContext ctx) {
+  // Normalize the comparison to <= and/or >=.
+  bool want_le = false, want_ge = false;
+  int64_t d_le = 0, d_ge = 0;
+  switch (op) {
+    case rel::CmpOp::kLe: want_le = true; d_le = d; break;
+    case rel::CmpOp::kLt: want_le = true; d_le = d - 1; break;
+    case rel::CmpOp::kGe: want_ge = true; d_ge = d; break;
+    case rel::CmpOp::kGt: want_ge = true; d_ge = d + 1; break;
+    case rel::CmpOp::kEq:
+      want_le = want_ge = true;
+      d_le = d_ge = d;
+      break;
+    case rel::CmpOp::kNe:
+      return Status::Unimplemented(
+          "COUNT != d requires disjunctive lineage, which LICM encodes only "
+          "via the completeness construction");
+  }
+
+  // Group tuples by the group column value, weighting by the summed
+  // column (or 1 for COUNT).
+  std::unordered_map<rel::Value, CountGroup, rel::ValueHash> groups;
+  std::vector<rel::Value> order;
+  for (size_t t = 0; t < merged.size(); ++t) {
+    int64_t w = 1;
+    if (weighted) {
+      w = std::get<int64_t>(merged.tuple(t)[vidx]);
+      if (w < 0) {
+        return Status::Unimplemented(
+            "SUM predicate requires non-negative values (Algorithm 4's "
+            "case analysis assumes monotone activity)");
+      }
+    }
+    const rel::Value& g = merged.tuple(t)[gidx];
+    auto [it, inserted] = groups.emplace(g, CountGroup{});
+    if (inserted) order.push_back(g);
+    {
+      CountGroup& cg = it->second;
+      if (merged.ext(t).certain()) {
+        cg.any_certain = true;
+      } else {
+        const BVar v = merged.ext(t).var();
+        if (std::find(cg.existence_vars.begin(), cg.existence_vars.end(),
+                      v) == cg.existence_vars.end()) {
+          cg.existence_vars.push_back(v);
+        }
+      }
+    }
+    if (w == 0) continue;  // zero-weight tuples cannot affect the sum
+    CountGroup& cg = it->second;
+    if (merged.ext(t).certain()) {
+      cg.n += w;
+    } else {
+      cg.m += w;
+      const BVar v = merged.ext(t).var();
+      auto term = std::find_if(cg.terms.begin(), cg.terms.end(),
+                               [v](const auto& x) { return x.var == v; });
+      if (term == cg.terms.end()) {
+        cg.terms.push_back({v, w});
+      } else {
+        term->coef += w;
+      }
+    }
+  }
+
+  LicmRelation out{rel::Schema({merged.schema().column(gidx)})};
+  for (const rel::Value& g : order) {
+    const CountGroup& cg = groups.at(g);
+    CountCase le{CountCase::kCertain, 0}, ge{CountCase::kCertain, 0};
+    if (want_le) le = EncodeLe(cg, d_le, ctx);
+    if (want_ge) ge = EncodeGe(cg, d_ge, ctx);
+    if (le.kind == CountCase::kExcluded || ge.kind == CountCase::kExcluded) {
+      continue;
+    }
+    Ext e = Ext::Certain();
+    if (le.kind == CountCase::kVariable &&
+        ge.kind == CountCase::kVariable) {
+      e = AndExt(Ext::Maybe(le.var), Ext::Maybe(ge.var), ctx);
+    } else if (le.kind == CountCase::kVariable) {
+      e = Ext::Maybe(le.var);
+    } else if (ge.kind == CountCase::kVariable) {
+      e = Ext::Maybe(ge.var);
+    }
+    // Set semantics: the group value only exists in the output when some
+    // group tuple is present. A satisfied >= d side with d >= 1 already
+    // implies this; otherwise (pure <=, or thresholds <= 0) AND it in.
+    const bool existence_implied = want_ge && d_ge >= 1;
+    if (!existence_implied && !cg.any_certain) {
+      if (cg.existence_vars.empty()) continue;  // cannot ever exist
+      GroupExt gext;
+      gext.vars = cg.existence_vars;
+      e = AndExt(e, GroupOrExt(gext, ctx), ctx);
+    }
+    out.AppendUnchecked(rel::Tuple{g}, e);
+  }
+  return out;
+}
+
+}  // namespace
+
+}  // namespace licm

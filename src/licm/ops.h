@@ -1,0 +1,85 @@
+// Relational operators over LICM relations (Section IV, Algorithms 1-4).
+//
+// Each operator consumes LICM relations and produces an LICM relation,
+// appending any new lineage variables and linking constraints to the
+// enclosing database's pool/constraint set (passed as OpContext). The
+// operators are deterministic in the paper's sense: given an assignment to
+// the input variables, the constraints admit exactly one assignment to the
+// output variables.
+#ifndef LICM_LICM_OPS_H_
+#define LICM_LICM_OPS_H_
+
+#include "licm/licm_relation.h"
+#include "relational/query.h"
+
+namespace licm {
+
+/// Mutable variable pool + constraint set of the database being queried.
+struct OpContext {
+  VariablePool* pool;
+  ConstraintSet* constraints;
+};
+
+/// Selection (Section IV-B): keeps tuples whose normal attributes satisfy
+/// the conjunctive predicates; constraints pass through untouched.
+/// Predicates may not reference the Ext attribute (it is not part of the
+/// schema, so this holds by construction).
+Result<LicmRelation> SelectOp(const LicmRelation& in,
+                              const std::vector<rel::Predicate>& predicates);
+
+/// Projection with set semantics (Algorithm 1, generalized to any column
+/// list). Distinct projected tuples backed by a certain source tuple are
+/// certain; single-source maybe tuples reuse their variable (the Example 7
+/// optimization); multi-source tuples get a fresh OR-linked variable.
+Result<LicmRelation> ProjectOp(const LicmRelation& in,
+                               const std::vector<std::string>& columns,
+                               OpContext ctx);
+
+/// Intersection (Algorithm 2): tuples present in both inputs; existence is
+/// the AND of the inputs' existence.
+Result<LicmRelation> IntersectOp(const LicmRelation& a,
+                                 const LicmRelation& b, OpContext ctx);
+
+/// Cartesian product (Algorithm 3). Output schema follows
+/// rel::ProductSchema (clashing right columns get an "r_" prefix).
+Result<LicmRelation> ProductOp(const LicmRelation& a, const LicmRelation& b,
+                               OpContext ctx);
+
+/// Equi-join: product restricted to key-equal pairs, dropping the right key
+/// columns (the paper builds join from product + selection + projection;
+/// this fuses them). Output schema follows rel::JoinSchema. Duplicate
+/// output tuples are merged with OR lineage so downstream set semantics
+/// hold.
+Result<LicmRelation> JoinOp(
+    const LicmRelation& a, const LicmRelation& b,
+    const std::vector<std::pair<std::string, std::string>>& on,
+    OpContext ctx);
+
+/// Mid-tree COUNT predicate (Algorithm 4): emits one tuple per group value
+/// whose group cardinality can satisfy `COUNT op d` in some world, with
+/// existence variable linked by the paper's two linear constraints.
+/// Supports <=, <, >=, >, and = (encoded as the AND of <= and >=).
+/// Output schema: (group_column).
+Result<LicmRelation> CountPredicateOp(const LicmRelation& in,
+                                      const std::string& group_column,
+                                      rel::CmpOp op, int64_t d,
+                                      OpContext ctx);
+
+/// Mid-tree SUM predicate: like CountPredicateOp but the group condition
+/// is `SUM(sum_column) op d`. The summed column must hold non-negative
+/// integers (the paper's "SUM over a constant numeric attribute" case);
+/// Algorithm 4's two constraints generalize verbatim with weighted terms.
+Result<LicmRelation> SumPredicateOp(const LicmRelation& in,
+                                    const std::string& group_column,
+                                    const std::string& sum_column,
+                                    rel::CmpOp op, int64_t d, OpContext ctx);
+
+/// Merges duplicate normal-attribute tuples into one tuple whose existence
+/// is the OR of the duplicates' (projection onto all columns). Needed
+/// before aggregates so that summed Ext values count each distinct tuple
+/// once per world.
+Result<LicmRelation> MergeDuplicates(const LicmRelation& in, OpContext ctx);
+
+}  // namespace licm
+
+#endif  // LICM_LICM_OPS_H_

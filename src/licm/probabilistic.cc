@@ -1,0 +1,120 @@
+#include "licm/probabilistic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/rng.h"
+#include "relational/engine.h"
+
+namespace licm {
+
+namespace {
+
+// MIN/MAX of an empty world relation is undefined; those worlds are
+// excluded from the conditional distribution (consistent with
+// ComputeMinMaxBounds' non-empty-world semantics).
+Result<ProbabilisticAnswer> ExactEnumeration(const rel::QueryNode& query,
+                                             const LicmDatabase& db,
+                                             const Priors& priors) {
+  const uint32_t n = db.pool().size();
+  ProbabilisticAnswer out;
+  out.exact = true;
+  std::map<double, double> dist;
+  double total_weight = 0.0;
+  const uint64_t limit = 1ull << n;
+  std::vector<uint8_t> a(n);
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    for (uint32_t v = 0; v < n; ++v) a[v] = (mask >> v) & 1;
+    if (!db.constraints().Satisfied(a)) continue;
+    double w = 1.0;
+    for (uint32_t v = 0; v < n; ++v) {
+      const double p = priors.Of(v);
+      w *= a[v] ? p : (1.0 - p);
+    }
+    if (w == 0.0) continue;
+    rel::Database world = db.Instantiate(a);
+    auto val = rel::EvaluateAggregate(query, world);
+    if (!val.ok()) continue;  // undefined (empty MIN/MAX world)
+    dist[*val] += w;
+    total_weight += w;
+  }
+  if (total_weight == 0.0) {
+    return Status::Infeasible(
+        "no possible world has positive prior probability");
+  }
+  double mean = 0.0, second = 0.0;
+  for (auto& [value, w] : dist) {
+    w /= total_weight;
+    mean += value * w;
+    second += value * value * w;
+  }
+  out.expected = mean;
+  out.variance = std::max(0.0, second - mean * mean);
+  out.distribution.assign(dist.begin(), dist.end());
+  return out;
+}
+
+Result<ProbabilisticAnswer> RejectionSampling(
+    const rel::QueryNode& query, const LicmDatabase& db, const Priors& priors,
+    const ProbabilisticOptions& options) {
+  const uint32_t n = db.pool().size();
+  Rng rng(options.seed);
+  ProbabilisticAnswer out;
+  out.exact = false;
+  std::vector<uint8_t> a(n);
+  double sum = 0.0, sum_sq = 0.0;
+  int accepted = 0;
+  int64_t tries = 0;
+  while (accepted < options.num_samples) {
+    if (++tries > options.max_tries) {
+      if (accepted == 0) {
+        return Status::OutOfRange(
+            "rejection sampling exhausted its attempt budget without "
+            "finding a valid world; constraints too tight for priors");
+      }
+      break;
+    }
+    for (uint32_t v = 0; v < n; ++v) {
+      a[v] = rng.Bernoulli(priors.Of(v)) ? 1 : 0;
+    }
+    if (!db.constraints().Satisfied(a)) continue;
+    rel::Database world = db.Instantiate(a);
+    auto val = rel::EvaluateAggregate(query, world);
+    if (!val.ok()) continue;  // undefined world for MIN/MAX
+    sum += *val;
+    sum_sq += *val * *val;
+    ++accepted;
+  }
+  const double m = static_cast<double>(accepted);
+  out.expected = sum / m;
+  out.variance = std::max(0.0, sum_sq / m - out.expected * out.expected);
+  out.ci_halfwidth = accepted > 1
+                         ? 1.96 * std::sqrt(out.variance / m)
+                         : std::numeric_limits<double>::infinity();
+  out.acceptance_rate = m / static_cast<double>(tries);
+  return out;
+}
+
+}  // namespace
+
+Result<ProbabilisticAnswer> ExpectedAggregate(
+    const rel::QueryNode& query, const LicmDatabase& db, const Priors& priors,
+    const ProbabilisticOptions& options) {
+  if (!rel::IsAggregate(query)) {
+    return Status::InvalidArgument(
+        "ExpectedAggregate requires an aggregate root");
+  }
+  for (double p : priors.p) {
+    if (p < 0.0 || p > 1.0 || !std::isfinite(p)) {
+      return Status::InvalidArgument("priors must lie in [0, 1]");
+    }
+  }
+  if (db.pool().size() <= options.exact_var_limit) {
+    return ExactEnumeration(query, db, priors);
+  }
+  return RejectionSampling(query, db, priors, options);
+}
+
+}  // namespace licm

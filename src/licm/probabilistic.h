@@ -1,0 +1,71 @@
+// Probabilistic extension of LICM (the paper's Concluding Remarks):
+// independent prior probabilities on the binary existence variables,
+// conditioned on the constraint set. Query answering then returns the
+// expected value of an aggregate and tail estimates instead of (or in
+// addition to) the possibilistic bounds.
+//
+// Exact conditioning is exponential in the number of variables, so small
+// databases are enumerated exactly and larger ones fall back to rejection
+// sampling with a normal-approximation confidence interval. Dropping the
+// priors recovers the paper's possibilistic bounds unchanged.
+#ifndef LICM_LICM_PROBABILISTIC_H_
+#define LICM_LICM_PROBABILISTIC_H_
+
+#include <vector>
+
+#include "licm/licm_relation.h"
+#include "relational/query.h"
+
+namespace licm {
+
+/// Independent prior P(b = 1) per variable, indexed by BVar. Variables
+/// beyond the vector's size default to 1/2.
+struct Priors {
+  std::vector<double> p;
+
+  double Of(BVar v) const {
+    return v < p.size() ? p[v] : 0.5;
+  }
+  static Priors Uniform(uint32_t num_vars) {
+    Priors pr;
+    pr.p.assign(num_vars, 0.5);
+    return pr;
+  }
+};
+
+struct ProbabilisticOptions {
+  /// Exhaustive enumeration cutoff (2^n weighted terms).
+  uint32_t exact_var_limit = 18;
+  /// Accepted Monte-Carlo samples to draw past the cutoff.
+  int num_samples = 2000;
+  /// Rejection-sampling attempt budget (tight constraints reject a lot).
+  int64_t max_tries = 2'000'000;
+  uint64_t seed = 1;
+};
+
+struct ProbabilisticAnswer {
+  double expected = 0.0;
+  double variance = 0.0;
+  /// True when computed by exact enumeration; false for sampling.
+  bool exact = false;
+  /// 95% normal-approximation half-width of `expected` (0 when exact).
+  double ci_halfwidth = 0.0;
+  /// Exact mode only: the full answer distribution as (value, probability)
+  /// pairs, ascending by value.
+  std::vector<std::pair<double, double>> distribution;
+  /// Sampling mode only: accepted / attempted ratio.
+  double acceptance_rate = 1.0;
+};
+
+/// Expected value (and distribution / CI) of an aggregate query under
+/// independent priors conditioned on the constraint set. The query must be
+/// rooted at kCountStar / kSum / kMin / kMax. Returns Status::Infeasible
+/// when no valid assignment exists, and Status::OutOfRange when rejection
+/// sampling cannot find valid worlds within the attempt budget.
+Result<ProbabilisticAnswer> ExpectedAggregate(
+    const rel::QueryNode& query, const LicmDatabase& db, const Priors& priors,
+    const ProbabilisticOptions& options = {});
+
+}  // namespace licm
+
+#endif  // LICM_LICM_PROBABILISTIC_H_

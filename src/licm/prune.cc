@@ -1,0 +1,48 @@
+#include "licm/prune.h"
+
+#include <deque>
+
+namespace licm {
+
+PruneResult Prune(const ConstraintSet& constraints,
+                  const std::vector<BVar>& seeds, uint32_t num_vars) {
+  PruneResult out;
+  const auto& cs = constraints.constraints();
+  out.stats.vars_before = num_vars;
+  out.stats.constraints_before = cs.size();
+
+  // var -> constraints mentioning it.
+  std::vector<std::vector<uint32_t>> var_cons(num_vars);
+  for (uint32_t c = 0; c < cs.size(); ++c) {
+    for (const auto& t : cs[c].terms) {
+      LICM_CHECK(t.var < num_vars);
+      var_cons[t.var].push_back(c);
+    }
+  }
+
+  std::vector<bool> con_live(cs.size(), false);
+  std::deque<BVar> queue;
+  for (BVar s : seeds) {
+    if (out.live.insert(s).second) queue.push_back(s);
+  }
+  while (!queue.empty()) {
+    const BVar v = queue.front();
+    queue.pop_front();
+    for (uint32_t c : var_cons[v]) {
+      if (con_live[c]) continue;
+      con_live[c] = true;
+      for (const auto& t : cs[c].terms) {
+        if (out.live.insert(t.var).second) queue.push_back(t.var);
+      }
+    }
+  }
+
+  for (uint32_t c = 0; c < cs.size(); ++c) {
+    if (con_live[c]) out.kept.push_back(cs[c]);
+  }
+  out.stats.vars_after = out.live.size();
+  out.stats.constraints_after = out.kept.size();
+  return out;
+}
+
+}  // namespace licm

@@ -1,0 +1,125 @@
+#include "licm/worlds.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace licm {
+
+Result<std::vector<std::vector<uint8_t>>> EnumerateValidAssignments(
+    const ConstraintSet& constraints, uint32_t num_vars, size_t limit) {
+  if (num_vars > 24) {
+    return Status::InvalidArgument(
+        "EnumerateValidAssignments: too many variables (" +
+        std::to_string(num_vars) + " > 24); use the solver instead");
+  }
+  std::vector<std::vector<uint8_t>> out;
+  const uint64_t total = 1ull << num_vars;
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    std::vector<uint8_t> a(num_vars);
+    for (uint32_t v = 0; v < num_vars; ++v) a[v] = (mask >> v) & 1;
+    if (constraints.Satisfied(a)) {
+      if (out.size() >= limit) {
+        return Status::OutOfRange("valid assignment count exceeds limit");
+      }
+      out.push_back(std::move(a));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<rel::Relation>> EnumerateWorlds(
+    const LicmRelation& relation, const ConstraintSet& constraints,
+    uint32_t num_vars) {
+  LICM_ASSIGN_OR_RETURN(auto assignments,
+                        EnumerateValidAssignments(constraints, num_vars));
+  std::vector<rel::Relation> worlds;
+  for (const auto& a : assignments) {
+    rel::Relation w = relation.Instantiate(a);
+    bool dup = false;
+    for (const rel::Relation& seen : worlds) {
+      if (seen.SetEquals(w)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) worlds.push_back(std::move(w));
+  }
+  return worlds;
+}
+
+Result<LicmDatabase> EncodeWorlds(const std::vector<rel::Relation>& worlds,
+                                  const std::string& relation_name) {
+  if (worlds.empty()) {
+    return Status::InvalidArgument("EncodeWorlds: need at least one world");
+  }
+  const rel::Schema& schema = worlds[0].schema();
+  for (const rel::Relation& w : worlds) {
+    if (!(w.schema() == schema)) {
+      return Status::InvalidArgument("EncodeWorlds: schema mismatch");
+    }
+  }
+
+  // Tuple universe T: every tuple appearing in any world, in first-seen
+  // order; each gets an existence variable (Theorem 1 proof).
+  std::unordered_map<rel::Tuple, uint32_t, rel::TupleHash> tuple_index;
+  std::vector<rel::Tuple> universe;
+  for (const rel::Relation& w : worlds) {
+    for (const rel::Tuple& t : w.rows()) {
+      if (tuple_index.emplace(t, universe.size()).second) {
+        universe.push_back(t);
+      }
+    }
+  }
+  if (universe.size() > 20) {
+    return Status::InvalidArgument(
+        "EncodeWorlds: universe of " + std::to_string(universe.size()) +
+        " tuples needs 2^n CNF clauses; refuse above 20");
+  }
+
+  // Which assignments correspond to worlds?
+  const uint32_t n = static_cast<uint32_t>(universe.size());
+  std::unordered_set<uint64_t> world_masks;
+  for (const rel::Relation& w : worlds) {
+    uint64_t mask = 0;
+    std::unordered_set<rel::Tuple, rel::TupleHash> tuples(w.rows().begin(),
+                                                          w.rows().end());
+    for (const rel::Tuple& t : tuples) {
+      mask |= 1ull << tuple_index.at(t);
+    }
+    world_masks.insert(mask);
+  }
+
+  LicmDatabase db;
+  std::vector<BVar> vars(n);
+  LicmRelation r(schema);
+  for (uint32_t i = 0; i < n; ++i) {
+    vars[i] = db.pool().New();
+    r.AppendUnchecked(universe[i], Ext::Maybe(vars[i]));
+  }
+
+  // DNF over worlds -> CNF: one clause per excluded assignment, linearized
+  // as sum(b_i : a_i = 0) + sum(1 - b_i : a_i = 1) >= 1, i.e.
+  // sum(+-b_i) >= 1 - (#ones in a).
+  for (uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    if (world_masks.contains(mask)) continue;
+    LinearConstraint c;
+    int64_t ones = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) {
+        c.terms.push_back({vars[i], -1});
+        ++ones;
+      } else {
+        c.terms.push_back({vars[i], 1});
+      }
+    }
+    c.op = ConstraintOp::kGe;
+    c.rhs = 1 - ones;
+    db.constraints().Add(std::move(c));
+  }
+
+  LICM_RETURN_NOT_OK(db.AddRelation(relation_name, std::move(r)));
+  return db;
+}
+
+}  // namespace licm

@@ -1,0 +1,44 @@
+// Possible-world enumeration and the Theorem-1 completeness construction.
+//
+// Enumeration is exponential by design — it exists as the ground-truth
+// oracle for tests and for the paper's toy examples, exactly the
+// "explicit representation ... is usually not feasible" strawman LICM
+// replaces. The completeness encoder realizes Theorem 1: any finite set of
+// worlds becomes an LICM database (one blocking clause per excluded
+// assignment, the linearized CNF of the proof).
+#ifndef LICM_LICM_WORLDS_H_
+#define LICM_LICM_WORLDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "licm/licm_relation.h"
+
+namespace licm {
+
+/// Enumerates every valid 0/1 assignment of `num_vars` variables under the
+/// constraint set (at most `limit` results; exceeding it is an error since
+/// a truncated enumeration would silently corrupt oracle tests).
+/// Requires num_vars <= 24.
+Result<std::vector<std::vector<uint8_t>>> EnumerateValidAssignments(
+    const ConstraintSet& constraints, uint32_t num_vars,
+    size_t limit = 1u << 22);
+
+/// All possible worlds of a single-relation database: instantiates
+/// `relation` under every valid assignment and deduplicates identical
+/// worlds.
+Result<std::vector<rel::Relation>> EnumerateWorlds(
+    const LicmRelation& relation, const ConstraintSet& constraints,
+    uint32_t num_vars);
+
+/// Theorem 1: builds an LICM database whose possible worlds are exactly
+/// `worlds` (each a set of tuples over `schema`). The returned database
+/// contains one relation `relation_name` with a variable per distinct
+/// tuple, plus blocking constraints that exclude every non-world
+/// assignment. Requires the tuple universe to have <= 20 tuples.
+Result<LicmDatabase> EncodeWorlds(const std::vector<rel::Relation>& worlds,
+                                  const std::string& relation_name);
+
+}  // namespace licm
+
+#endif  // LICM_LICM_WORLDS_H_

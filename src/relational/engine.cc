@@ -1,0 +1,277 @@
+#include "relational/engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace licm::rel {
+
+Status Database::Add(std::string name, Relation relation) {
+  auto [it, inserted] = map_.emplace(std::move(name), std::move(relation));
+  if (!inserted) {
+    return Status::AlreadyExists("relation '" + it->first +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+Result<const Relation*> Database::Get(const std::string& name) const {
+  auto it = map_.find(name);
+  if (it == map_.end()) return Status::NotFound("no relation '" + name + "'");
+  return &it->second;
+}
+
+Schema ProductSchema(const Schema& left, const Schema& right) {
+  std::vector<Column> cols = left.columns();
+  for (const Column& c : right.columns()) {
+    Column nc = c;
+    if (left.Has(nc.name)) nc.name = "r_" + nc.name;
+    cols.push_back(std::move(nc));
+  }
+  return Schema(std::move(cols));
+}
+
+Schema JoinSchema(const Schema& left, const Schema& right,
+                  const std::vector<std::pair<std::string, std::string>>& on) {
+  std::vector<Column> cols = left.columns();
+  std::unordered_set<std::string> drop;
+  for (const auto& [l, r] : on) drop.insert(r);
+  for (const Column& c : right.columns()) {
+    if (drop.contains(c.name)) continue;
+    Column nc = c;
+    if (left.Has(nc.name)) nc.name = "r_" + nc.name;
+    cols.push_back(std::move(nc));
+  }
+  return Schema(std::move(cols));
+}
+
+namespace {
+
+Result<Relation> EvalSelect(const QueryNode& node, const Database& db) {
+  LICM_ASSIGN_OR_RETURN(Relation in, Evaluate(*node.left, db));
+  // Resolve predicate columns once.
+  std::vector<size_t> idx(node.predicates.size());
+  for (size_t i = 0; i < node.predicates.size(); ++i) {
+    LICM_ASSIGN_OR_RETURN(idx[i],
+                          in.schema().IndexOf(node.predicates[i].column));
+  }
+  Relation out(in.schema());
+  for (const Tuple& t : in.rows()) {
+    bool pass = true;
+    for (size_t i = 0; i < node.predicates.size() && pass; ++i) {
+      pass = CmpApply(node.predicates[i].op, t[idx[i]],
+                      node.predicates[i].operand);
+    }
+    if (pass) out.AppendUnchecked(t);
+  }
+  return out;
+}
+
+Result<Relation> EvalProject(const QueryNode& node, const Database& db) {
+  LICM_ASSIGN_OR_RETURN(Relation in, Evaluate(*node.left, db));
+  std::vector<size_t> idx(node.columns.size());
+  std::vector<Column> cols(node.columns.size());
+  for (size_t i = 0; i < node.columns.size(); ++i) {
+    LICM_ASSIGN_OR_RETURN(idx[i], in.schema().IndexOf(node.columns[i]));
+    cols[i] = in.schema().column(idx[i]);
+  }
+  Relation out(Schema(std::move(cols)));
+  for (const Tuple& t : in.rows()) {
+    Tuple nt(idx.size());
+    for (size_t i = 0; i < idx.size(); ++i) nt[i] = t[idx[i]];
+    out.AppendUnchecked(std::move(nt));
+  }
+  out.Deduplicate();
+  return out;
+}
+
+Result<Relation> EvalIntersect(const QueryNode& node, const Database& db) {
+  LICM_ASSIGN_OR_RETURN(Relation l, Evaluate(*node.left, db));
+  LICM_ASSIGN_OR_RETURN(Relation r, Evaluate(*node.right, db));
+  if (!(l.schema() == r.schema())) {
+    return Status::InvalidArgument("intersect schema mismatch: " +
+                                   l.schema().ToString() + " vs " +
+                                   r.schema().ToString());
+  }
+  std::unordered_set<Tuple, TupleHash> rset(r.rows().begin(), r.rows().end());
+  Relation out(l.schema());
+  for (const Tuple& t : l.rows()) {
+    if (rset.contains(t)) out.AppendUnchecked(t);
+  }
+  out.Deduplicate();
+  return out;
+}
+
+Result<Relation> EvalProduct(const QueryNode& node, const Database& db) {
+  LICM_ASSIGN_OR_RETURN(Relation l, Evaluate(*node.left, db));
+  LICM_ASSIGN_OR_RETURN(Relation r, Evaluate(*node.right, db));
+  Relation out(ProductSchema(l.schema(), r.schema()));
+  for (const Tuple& lt : l.rows()) {
+    for (const Tuple& rt : r.rows()) {
+      Tuple nt = lt;
+      nt.insert(nt.end(), rt.begin(), rt.end());
+      out.AppendUnchecked(std::move(nt));
+    }
+  }
+  return out;
+}
+
+Result<Relation> EvalJoin(const QueryNode& node, const Database& db) {
+  LICM_ASSIGN_OR_RETURN(Relation l, Evaluate(*node.left, db));
+  LICM_ASSIGN_OR_RETURN(Relation r, Evaluate(*node.right, db));
+  if (node.join_on.empty()) {
+    return Status::InvalidArgument("join requires at least one key pair");
+  }
+  std::vector<size_t> lkeys, rkeys;
+  for (const auto& [ln, rn] : node.join_on) {
+    LICM_ASSIGN_OR_RETURN(size_t li, l.schema().IndexOf(ln));
+    LICM_ASSIGN_OR_RETURN(size_t ri, r.schema().IndexOf(rn));
+    lkeys.push_back(li);
+    rkeys.push_back(ri);
+  }
+  std::unordered_set<size_t> rdrop(rkeys.begin(), rkeys.end());
+
+  // Hash join on the key tuple.
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> index;
+  for (const Tuple& rt : r.rows()) {
+    Tuple key(rkeys.size());
+    for (size_t i = 0; i < rkeys.size(); ++i) key[i] = rt[rkeys[i]];
+    index[std::move(key)].push_back(&rt);
+  }
+  Relation out(JoinSchema(l.schema(), r.schema(), node.join_on));
+  for (const Tuple& lt : l.rows()) {
+    Tuple key(lkeys.size());
+    for (size_t i = 0; i < lkeys.size(); ++i) key[i] = lt[lkeys[i]];
+    auto it = index.find(key);
+    if (it == index.end()) continue;
+    for (const Tuple* rt : it->second) {
+      Tuple nt = lt;
+      for (size_t c = 0; c < rt->size(); ++c) {
+        if (!rdrop.contains(c)) nt.push_back((*rt)[c]);
+      }
+      out.AppendUnchecked(std::move(nt));
+    }
+  }
+  out.Deduplicate();
+  return out;
+}
+
+Result<Relation> EvalSumPredicate(const QueryNode& node, const Database& db) {
+  LICM_ASSIGN_OR_RETURN(Relation in, Evaluate(*node.left, db));
+  LICM_ASSIGN_OR_RETURN(size_t gidx, in.schema().IndexOf(node.group_column));
+  LICM_ASSIGN_OR_RETURN(size_t vidx, in.schema().IndexOf(node.sum_column));
+  if (in.schema().column(vidx).type != ValueType::kInt) {
+    return Status::InvalidArgument("SUM predicate needs an int column, got " +
+                                   std::string(TypeName(
+                                       in.schema().column(vidx).type)));
+  }
+  in.Deduplicate();
+  std::unordered_map<Value, int64_t, ValueHash> sums;
+  std::vector<Value> order;
+  for (const Tuple& t : in.rows()) {
+    const int64_t w = std::get<int64_t>(t[vidx]);
+    if (w < 0) {
+      return Status::Unimplemented("SUM predicate requires non-negative "
+                                   "values");
+    }
+    auto [it, inserted] = sums.emplace(t[gidx], 0);
+    if (inserted) order.push_back(t[gidx]);
+    it->second += w;
+  }
+  Relation out(Schema({in.schema().column(gidx)}));
+  for (const Value& g : order) {
+    if (CmpApply(node.count_op, Value(sums[g]), Value(node.count_d))) {
+      out.AppendUnchecked(Tuple{g});
+    }
+  }
+  return out;
+}
+
+Result<Relation> EvalCountPredicate(const QueryNode& node,
+                                    const Database& db) {
+  LICM_ASSIGN_OR_RETURN(Relation in, Evaluate(*node.left, db));
+  LICM_ASSIGN_OR_RETURN(size_t gidx, in.schema().IndexOf(node.group_column));
+  // Enforce set semantics before counting group members.
+  in.Deduplicate();
+  std::unordered_map<Value, int64_t, ValueHash> counts;
+  std::vector<Value> order;  // first-seen order for stable output
+  for (const Tuple& t : in.rows()) {
+    auto [it, inserted] = counts.emplace(t[gidx], 0);
+    if (inserted) order.push_back(t[gidx]);
+    ++it->second;
+  }
+  Relation out(Schema({in.schema().column(gidx)}));
+  for (const Value& g : order) {
+    if (CmpApply(node.count_op, Value(counts[g]), Value(node.count_d))) {
+      out.AppendUnchecked(Tuple{g});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Relation> Evaluate(const QueryNode& node, const Database& db) {
+  switch (node.kind) {
+    case QueryKind::kScan: {
+      LICM_ASSIGN_OR_RETURN(const Relation* r, db.Get(node.relation_name));
+      Relation copy = *r;
+      copy.Deduplicate();
+      return copy;
+    }
+    case QueryKind::kSelect: return EvalSelect(node, db);
+    case QueryKind::kProject: return EvalProject(node, db);
+    case QueryKind::kIntersect: return EvalIntersect(node, db);
+    case QueryKind::kProduct: return EvalProduct(node, db);
+    case QueryKind::kJoin: return EvalJoin(node, db);
+    case QueryKind::kCountPredicate: return EvalCountPredicate(node, db);
+    case QueryKind::kSumPredicate: return EvalSumPredicate(node, db);
+    case QueryKind::kCountStar:
+    case QueryKind::kSum:
+    case QueryKind::kMin:
+    case QueryKind::kMax:
+      return Status::InvalidArgument(
+          "aggregate root: use EvaluateAggregate()");
+  }
+  return Status::Internal("unknown query kind");
+}
+
+Result<double> EvaluateAggregate(const QueryNode& node, const Database& db) {
+  if (!IsAggregate(node)) {
+    return Status::InvalidArgument("EvaluateAggregate requires kCountStar "
+                                   "or kSum at the root");
+  }
+  LICM_ASSIGN_OR_RETURN(Relation in, Evaluate(*node.left, db));
+  in.Deduplicate();
+  if (node.kind == QueryKind::kCountStar) {
+    return static_cast<double>(in.size());
+  }
+  LICM_ASSIGN_OR_RETURN(size_t idx, in.schema().IndexOf(node.sum_column));
+  const ValueType t = in.schema().column(idx).type;
+  if (t == ValueType::kString) {
+    return Status::InvalidArgument("numeric aggregate over string column '" +
+                                   node.sum_column + "'");
+  }
+  auto numeric = [&](const Tuple& row) {
+    return t == ValueType::kInt
+               ? static_cast<double>(std::get<int64_t>(row[idx]))
+               : std::get<double>(row[idx]);
+  };
+  if (node.kind == QueryKind::kMin || node.kind == QueryKind::kMax) {
+    if (in.empty()) {
+      return Status::InvalidArgument("MIN/MAX over an empty relation");
+    }
+    double best = numeric(in.rows()[0]);
+    for (const Tuple& row : in.rows()) {
+      const double v = numeric(row);
+      best = node.kind == QueryKind::kMin ? std::min(best, v)
+                                          : std::max(best, v);
+    }
+    return best;
+  }
+  double sum = 0.0;
+  for (const Tuple& row : in.rows()) sum += numeric(row);
+  return sum;
+}
+
+}  // namespace licm::rel

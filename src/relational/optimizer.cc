@@ -1,0 +1,210 @@
+#include "relational/optimizer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "relational/engine.h"
+
+namespace licm::rel {
+
+Result<Schema> InferSchema(const QueryNode& node, const Catalog& catalog) {
+  switch (node.kind) {
+    case QueryKind::kScan: {
+      auto it = catalog.find(node.relation_name);
+      if (it == catalog.end()) {
+        return Status::NotFound("no schema for relation '" +
+                                node.relation_name + "'");
+      }
+      return it->second;
+    }
+    case QueryKind::kSelect:
+      return InferSchema(*node.left, catalog);
+    case QueryKind::kProject: {
+      LICM_ASSIGN_OR_RETURN(Schema in, InferSchema(*node.left, catalog));
+      std::vector<Column> cols;
+      for (const std::string& c : node.columns) {
+        LICM_ASSIGN_OR_RETURN(size_t idx, in.IndexOf(c));
+        cols.push_back(in.column(idx));
+      }
+      return Schema(std::move(cols));
+    }
+    case QueryKind::kIntersect:
+      return InferSchema(*node.left, catalog);
+    case QueryKind::kProduct: {
+      LICM_ASSIGN_OR_RETURN(Schema l, InferSchema(*node.left, catalog));
+      LICM_ASSIGN_OR_RETURN(Schema r, InferSchema(*node.right, catalog));
+      return ProductSchema(l, r);
+    }
+    case QueryKind::kJoin: {
+      LICM_ASSIGN_OR_RETURN(Schema l, InferSchema(*node.left, catalog));
+      LICM_ASSIGN_OR_RETURN(Schema r, InferSchema(*node.right, catalog));
+      return JoinSchema(l, r, node.join_on);
+    }
+    case QueryKind::kCountPredicate:
+    case QueryKind::kSumPredicate: {
+      LICM_ASSIGN_OR_RETURN(Schema in, InferSchema(*node.left, catalog));
+      LICM_ASSIGN_OR_RETURN(size_t idx, in.IndexOf(node.group_column));
+      return Schema({in.column(idx)});
+    }
+    case QueryKind::kCountStar:
+    case QueryKind::kSum:
+    case QueryKind::kMin:
+    case QueryKind::kMax:
+      return Status::InvalidArgument("aggregate roots have no schema");
+  }
+  return Status::Internal("unknown query kind");
+}
+
+namespace {
+
+// Rebuilds `node` with new children, copying the operator parameters.
+QueryNodePtr WithChildren(const QueryNode& node, QueryNodePtr left,
+                          QueryNodePtr right) {
+  auto n = std::make_shared<QueryNode>(node);
+  n->left = std::move(left);
+  n->right = std::move(right);
+  return n;
+}
+
+// Pushes the conjunction `preds` into `node`, recursing as deep as the
+// operators allow, and returns the rewritten subtree. Any predicates that
+// cannot be pushed wrap the result in a residual Select.
+Result<QueryNodePtr> Push(const QueryNodePtr& node,
+                          std::vector<Predicate> preds,
+                          const Catalog& catalog);
+
+Result<QueryNodePtr> Residual(QueryNodePtr child,
+                              std::vector<Predicate> preds) {
+  if (preds.empty()) return child;
+  return Select(std::move(child), std::move(preds));
+}
+
+Result<QueryNodePtr> Push(const QueryNodePtr& node,
+                          std::vector<Predicate> preds,
+                          const Catalog& catalog) {
+  switch (node->kind) {
+    case QueryKind::kSelect: {
+      // Merge and continue below.
+      std::vector<Predicate> merged = node->predicates;
+      merged.insert(merged.end(), preds.begin(), preds.end());
+      return Push(node->left, std::move(merged), catalog);
+    }
+    case QueryKind::kProject: {
+      // Predicates referencing projected columns move below (projection
+      // keeps column names, so no renaming is needed).
+      std::unordered_set<std::string> kept(node->columns.begin(),
+                                           node->columns.end());
+      std::vector<Predicate> down, stay;
+      for (auto& p : preds) {
+        (kept.contains(p.column) ? down : stay).push_back(std::move(p));
+      }
+      LICM_ASSIGN_OR_RETURN(QueryNodePtr child,
+                            Push(node->left, std::move(down), catalog));
+      return Residual(WithChildren(*node, std::move(child), nullptr),
+                      std::move(stay));
+    }
+    case QueryKind::kIntersect: {
+      // A selection distributes over intersection.
+      LICM_ASSIGN_OR_RETURN(QueryNodePtr l, Push(node->left, preds, catalog));
+      LICM_ASSIGN_OR_RETURN(QueryNodePtr r,
+                            Push(node->right, std::move(preds), catalog));
+      return WithChildren(*node, std::move(l), std::move(r));
+    }
+    case QueryKind::kProduct:
+    case QueryKind::kJoin: {
+      LICM_ASSIGN_OR_RETURN(Schema lschema,
+                            InferSchema(*node->left, catalog));
+      LICM_ASSIGN_OR_RETURN(Schema rschema,
+                            InferSchema(*node->right, catalog));
+      // A predicate goes left when the left child produces the column.
+      // Right-side columns may have been renamed ("r_" prefix) or, for
+      // joins, dropped (right key columns); only untouched names push.
+      std::unordered_set<std::string> rdropped;
+      if (node->kind == QueryKind::kJoin) {
+        for (const auto& [l, r] : node->join_on) rdropped.insert(r);
+      }
+      std::vector<Predicate> to_left, to_right, stay;
+      for (auto& p : preds) {
+        if (lschema.Has(p.column)) {
+          to_left.push_back(std::move(p));
+        } else if (rschema.Has(p.column) && !lschema.Has(p.column) &&
+                   !rdropped.contains(p.column)) {
+          to_right.push_back(std::move(p));
+        } else {
+          stay.push_back(std::move(p));
+        }
+      }
+      LICM_ASSIGN_OR_RETURN(QueryNodePtr l,
+                            Push(node->left, std::move(to_left), catalog));
+      LICM_ASSIGN_OR_RETURN(QueryNodePtr r,
+                            Push(node->right, std::move(to_right), catalog));
+      return Residual(WithChildren(*node, std::move(l), std::move(r)),
+                      std::move(stay));
+    }
+    case QueryKind::kCountPredicate:
+    case QueryKind::kSumPredicate: {
+      // Predicates on the group column remove whole groups, so they
+      // commute with the grouping.
+      std::vector<Predicate> down, stay;
+      for (auto& p : preds) {
+        (p.column == node->group_column ? down : stay)
+            .push_back(std::move(p));
+      }
+      LICM_ASSIGN_OR_RETURN(QueryNodePtr child,
+                            Push(node->left, std::move(down), catalog));
+      return Residual(WithChildren(*node, std::move(child), nullptr),
+                      std::move(stay));
+    }
+    case QueryKind::kScan:
+      return Residual(node, std::move(preds));
+    case QueryKind::kCountStar:
+    case QueryKind::kSum:
+    case QueryKind::kMin:
+    case QueryKind::kMax:
+      if (!preds.empty()) {
+        return Status::InvalidArgument(
+            "selection above an aggregate root is not a relation");
+      }
+      LICM_ASSIGN_OR_RETURN(QueryNodePtr child,
+                            PushDownSelections(node->left, catalog));
+      return WithChildren(*node, std::move(child), nullptr);
+  }
+  return Status::Internal("unknown query kind");
+}
+
+}  // namespace
+
+Result<QueryNodePtr> PushDownSelections(const QueryNodePtr& node,
+                                        const Catalog& catalog) {
+  if (node == nullptr) return Status::InvalidArgument("null query");
+  // Non-Select internal nodes still need their descendants optimized.
+  switch (node->kind) {
+    case QueryKind::kSelect:
+      return Push(node->left, node->predicates, catalog);
+    case QueryKind::kScan:
+      return node;
+    case QueryKind::kCountStar:
+    case QueryKind::kSum:
+    case QueryKind::kMin:
+    case QueryKind::kMax:
+    case QueryKind::kProject:
+    case QueryKind::kCountPredicate:
+    case QueryKind::kSumPredicate: {
+      LICM_ASSIGN_OR_RETURN(QueryNodePtr child,
+                            PushDownSelections(node->left, catalog));
+      return WithChildren(*node, std::move(child), nullptr);
+    }
+    case QueryKind::kIntersect:
+    case QueryKind::kProduct:
+    case QueryKind::kJoin: {
+      LICM_ASSIGN_OR_RETURN(QueryNodePtr l,
+                            PushDownSelections(node->left, catalog));
+      LICM_ASSIGN_OR_RETURN(QueryNodePtr r,
+                            PushDownSelections(node->right, catalog));
+      return WithChildren(*node, std::move(l), std::move(r));
+    }
+  }
+  return Status::Internal("unknown query kind");
+}
+
+}  // namespace licm::rel

@@ -1,0 +1,34 @@
+// Rule-based logical optimizer for query trees.
+//
+// The paper argues that because LICM redefines operator *behaviour* rather
+// than adding operators, "the same space of query plans exists as in the
+// traditional relational case (e.g. selections can be pushed down)". This
+// optimizer demonstrates that: it pushes selections through projections,
+// intersections, joins/products and COUNT/SUM predicates, and merges
+// adjacent selections. Both evaluators accept the rewritten tree, and LICM
+// answers are unchanged (operator determinism, Section IV-B).
+#ifndef LICM_RELATIONAL_OPTIMIZER_H_
+#define LICM_RELATIONAL_OPTIMIZER_H_
+
+#include <unordered_map>
+
+#include "relational/query.h"
+
+namespace licm::rel {
+
+/// Relation name -> schema, needed to resolve predicate columns while
+/// pushing through renaming operators.
+using Catalog = std::unordered_map<std::string, Schema>;
+
+/// Output schema of `node` against `catalog` (mirrors the engine's rules).
+Result<Schema> InferSchema(const QueryNode& node, const Catalog& catalog);
+
+/// Returns an equivalent tree with selections pushed as far down as
+/// possible and adjacent selections merged. Nodes that cannot be pushed
+/// further are left in place; the result always evaluates identically.
+Result<QueryNodePtr> PushDownSelections(const QueryNodePtr& node,
+                                        const Catalog& catalog);
+
+}  // namespace licm::rel
+
+#endif  // LICM_RELATIONAL_OPTIMIZER_H_

@@ -1,0 +1,200 @@
+#include "relational/query.h"
+
+#include <sstream>
+
+namespace licm::rel {
+
+bool CmpApply(CmpOp op, const Value& a, const Value& b) {
+  const int c = Compare(a, b);
+  switch (op) {
+    case CmpOp::kEq: return c == 0;
+    case CmpOp::kNe: return c != 0;
+    case CmpOp::kLt: return c < 0;
+    case CmpOp::kLe: return c <= 0;
+    case CmpOp::kGt: return c > 0;
+    case CmpOp::kGe: return c >= 0;
+  }
+  return false;
+}
+
+const char* CmpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+namespace {
+std::shared_ptr<QueryNode> Make(QueryKind kind) {
+  auto n = std::make_shared<QueryNode>();
+  n->kind = kind;
+  return n;
+}
+}  // namespace
+
+QueryNodePtr Scan(std::string relation_name) {
+  auto n = Make(QueryKind::kScan);
+  n->relation_name = std::move(relation_name);
+  return n;
+}
+
+QueryNodePtr Select(QueryNodePtr child, std::vector<Predicate> predicates) {
+  auto n = Make(QueryKind::kSelect);
+  n->left = std::move(child);
+  n->predicates = std::move(predicates);
+  return n;
+}
+
+QueryNodePtr Project(QueryNodePtr child, std::vector<std::string> columns) {
+  auto n = Make(QueryKind::kProject);
+  n->left = std::move(child);
+  n->columns = std::move(columns);
+  return n;
+}
+
+QueryNodePtr Intersect(QueryNodePtr left, QueryNodePtr right) {
+  auto n = Make(QueryKind::kIntersect);
+  n->left = std::move(left);
+  n->right = std::move(right);
+  return n;
+}
+
+QueryNodePtr Product(QueryNodePtr left, QueryNodePtr right) {
+  auto n = Make(QueryKind::kProduct);
+  n->left = std::move(left);
+  n->right = std::move(right);
+  return n;
+}
+
+QueryNodePtr Join(QueryNodePtr left, QueryNodePtr right,
+                  std::vector<std::pair<std::string, std::string>> on) {
+  auto n = Make(QueryKind::kJoin);
+  n->left = std::move(left);
+  n->right = std::move(right);
+  n->join_on = std::move(on);
+  return n;
+}
+
+QueryNodePtr CountPredicate(QueryNodePtr child, std::string group_column,
+                            CmpOp op, int64_t d) {
+  auto n = Make(QueryKind::kCountPredicate);
+  n->left = std::move(child);
+  n->group_column = std::move(group_column);
+  n->count_op = op;
+  n->count_d = d;
+  return n;
+}
+
+QueryNodePtr SumPredicate(QueryNodePtr child, std::string group_column,
+                          std::string sum_column, CmpOp op, int64_t d) {
+  auto n = Make(QueryKind::kSumPredicate);
+  n->left = std::move(child);
+  n->group_column = std::move(group_column);
+  n->sum_column = std::move(sum_column);
+  n->count_op = op;
+  n->count_d = d;
+  return n;
+}
+
+QueryNodePtr CountStar(QueryNodePtr child) {
+  auto n = Make(QueryKind::kCountStar);
+  n->left = std::move(child);
+  return n;
+}
+
+QueryNodePtr Sum(QueryNodePtr child, std::string column) {
+  auto n = Make(QueryKind::kSum);
+  n->left = std::move(child);
+  n->sum_column = std::move(column);
+  return n;
+}
+
+QueryNodePtr Min(QueryNodePtr child, std::string column) {
+  auto n = Make(QueryKind::kMin);
+  n->left = std::move(child);
+  n->sum_column = std::move(column);
+  return n;
+}
+
+QueryNodePtr Max(QueryNodePtr child, std::string column) {
+  auto n = Make(QueryKind::kMax);
+  n->left = std::move(child);
+  n->sum_column = std::move(column);
+  return n;
+}
+
+bool IsAggregate(const QueryNode& node) {
+  switch (node.kind) {
+    case QueryKind::kCountStar:
+    case QueryKind::kSum:
+    case QueryKind::kMin:
+    case QueryKind::kMax:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string QueryNode::ToString(int indent) const {
+  std::ostringstream os;
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  os << pad;
+  switch (kind) {
+    case QueryKind::kScan:
+      os << "Scan(" << relation_name << ")";
+      break;
+    case QueryKind::kSelect: {
+      os << "Select(";
+      for (size_t i = 0; i < predicates.size(); ++i) {
+        if (i) os << " AND ";
+        os << predicates[i].column << " " << CmpName(predicates[i].op) << " "
+           << licm::rel::ToString(predicates[i].operand);
+      }
+      os << ")";
+      break;
+    }
+    case QueryKind::kProject: {
+      os << "Project(";
+      for (size_t i = 0; i < columns.size(); ++i) {
+        if (i) os << ", ";
+        os << columns[i];
+      }
+      os << ")";
+      break;
+    }
+    case QueryKind::kIntersect: os << "Intersect"; break;
+    case QueryKind::kProduct: os << "Product"; break;
+    case QueryKind::kJoin: {
+      os << "Join(";
+      for (size_t i = 0; i < join_on.size(); ++i) {
+        if (i) os << ", ";
+        os << join_on[i].first << "=" << join_on[i].second;
+      }
+      os << ")";
+      break;
+    }
+    case QueryKind::kCountPredicate:
+      os << "CountPredicate(" << group_column << ": COUNT "
+         << CmpName(count_op) << " " << count_d << ")";
+      break;
+    case QueryKind::kSumPredicate:
+      os << "SumPredicate(" << group_column << ": SUM(" << sum_column
+         << ") " << CmpName(count_op) << " " << count_d << ")";
+      break;
+    case QueryKind::kCountStar: os << "Count(*)"; break;
+    case QueryKind::kSum: os << "Sum(" << sum_column << ")"; break;
+    case QueryKind::kMin: os << "Min(" << sum_column << ")"; break;
+    case QueryKind::kMax: os << "Max(" << sum_column << ")"; break;
+  }
+  os << "\n";
+  if (left) os << left->ToString(indent + 1);
+  if (right) os << right->ToString(indent + 1);
+  return os.str();
+}
+
+}  // namespace licm::rel

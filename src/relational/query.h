@@ -1,0 +1,96 @@
+// Logical query trees shared by the deterministic engine and the LICM
+// evaluator.
+//
+// A query is a tree of conjunctive relational operators (the paper's
+// Section IV): selection, projection, intersection, Cartesian product,
+// equi-join, plus the mid-tree COUNT-predicate operator (Algorithm 4) and
+// top-level COUNT / SUM aggregates (Section IV-C/D). Both evaluators walk
+// the *same* tree, which is what lets the Monte-Carlo baseline and LICM
+// answer literally the same query.
+#ifndef LICM_RELATIONAL_QUERY_H_
+#define LICM_RELATIONAL_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace licm::rel {
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Applies `op` to Compare(a, b).
+bool CmpApply(CmpOp op, const Value& a, const Value& b);
+const char* CmpName(CmpOp op);
+
+/// A single `column op constant` predicate. Selections carry a conjunction
+/// of these. Predicates may only reference normal attributes — never the
+/// special Ext attribute (enforced by the LICM evaluator).
+struct Predicate {
+  std::string column;
+  CmpOp op;
+  Value operand;
+};
+
+enum class QueryKind {
+  kScan,            // named base relation
+  kSelect,          // conjunctive predicates over child
+  kProject,         // set-semantics projection to named columns
+  kIntersect,       // set intersection (schemas must match)
+  kProduct,         // Cartesian product (clashing right columns renamed)
+  kJoin,            // equi-join on pairs of column names
+  kCountPredicate,  // groups of `group_column` with COUNT op d (Algorithm 4)
+  kSumPredicate,    // groups with SUM(sum_column) op d (weighted Alg. 4)
+  kCountStar,       // top-level COUNT(*) aggregate
+  kSum,             // top-level SUM(column) aggregate
+  kMin,             // top-level MIN(column) aggregate
+  kMax,             // top-level MAX(column) aggregate
+};
+
+struct QueryNode;
+using QueryNodePtr = std::shared_ptr<const QueryNode>;
+
+/// Immutable query-tree node; build with the factory functions below.
+struct QueryNode {
+  QueryKind kind;
+  QueryNodePtr left, right;
+
+  std::string relation_name;              // kScan
+  std::vector<Predicate> predicates;      // kSelect
+  std::vector<std::string> columns;       // kProject
+  std::vector<std::pair<std::string, std::string>> join_on;  // kJoin
+  std::string group_column;               // kCountPredicate / kSumPredicate
+  CmpOp count_op = CmpOp::kGe;            // kCountPredicate / kSumPredicate
+  int64_t count_d = 0;                    // kCountPredicate / kSumPredicate
+  std::string sum_column;                 // kSum / kMin / kMax / kSumPredicate
+
+  std::string ToString(int indent = 0) const;
+};
+
+QueryNodePtr Scan(std::string relation_name);
+QueryNodePtr Select(QueryNodePtr child, std::vector<Predicate> predicates);
+QueryNodePtr Project(QueryNodePtr child, std::vector<std::string> columns);
+QueryNodePtr Intersect(QueryNodePtr left, QueryNodePtr right);
+QueryNodePtr Product(QueryNodePtr left, QueryNodePtr right);
+QueryNodePtr Join(QueryNodePtr left, QueryNodePtr right,
+                  std::vector<std::pair<std::string, std::string>> on);
+/// Keeps one row per distinct `group_column` value whose group size
+/// satisfies `COUNT op d`. Output schema: (group_column).
+QueryNodePtr CountPredicate(QueryNodePtr child, std::string group_column,
+                            CmpOp op, int64_t d);
+/// Keeps one row per distinct `group_column` value whose group satisfies
+/// `SUM(sum_column) op d`; sum_column must hold non-negative integers.
+QueryNodePtr SumPredicate(QueryNodePtr child, std::string group_column,
+                          std::string sum_column, CmpOp op, int64_t d);
+QueryNodePtr CountStar(QueryNodePtr child);
+QueryNodePtr Sum(QueryNodePtr child, std::string column);
+QueryNodePtr Min(QueryNodePtr child, std::string column);
+QueryNodePtr Max(QueryNodePtr child, std::string column);
+
+/// True for aggregate roots (kCountStar/kSum/kMin/kMax) producing scalars.
+bool IsAggregate(const QueryNode& node);
+
+}  // namespace licm::rel
+
+#endif  // LICM_RELATIONAL_QUERY_H_

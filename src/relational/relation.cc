@@ -1,0 +1,44 @@
+#include "relational/relation.h"
+
+#include <sstream>
+
+namespace licm::rel {
+
+void Relation::Deduplicate() {
+  std::unordered_set<Tuple, TupleHash> seen;
+  std::vector<Tuple> out;
+  out.reserve(rows_.size());
+  for (Tuple& t : rows_) {
+    if (seen.insert(t).second) out.push_back(std::move(t));
+  }
+  rows_ = std::move(out);
+}
+
+bool Relation::SetEquals(const Relation& other) const {
+  if (!(schema_ == other.schema_)) return false;
+  std::unordered_set<Tuple, TupleHash> a(rows_.begin(), rows_.end());
+  std::unordered_set<Tuple, TupleHash> b(other.rows_.begin(),
+                                         other.rows_.end());
+  return a == b;
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << schema_.ToString() << " [" << rows_.size() << " rows]\n";
+  size_t shown = 0;
+  for (const Tuple& t : rows_) {
+    if (shown++ >= max_rows) {
+      os << "  ...\n";
+      break;
+    }
+    os << "  (";
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i) os << ", ";
+      os << licm::rel::ToString(t[i]);
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace licm::rel

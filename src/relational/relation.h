@@ -1,0 +1,52 @@
+// A deterministic (certain) relation: a schema plus a bag of tuples.
+//
+// This is what each LICM possible world instantiates to, and what the
+// Monte-Carlo baseline queries. Operators live in query.h / engine.cc.
+#ifndef LICM_RELATIONAL_RELATION_H_
+#define LICM_RELATIONAL_RELATION_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace licm::rel {
+
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Appends a tuple after type-checking it against the schema.
+  Status Append(Tuple t) {
+    LICM_RETURN_NOT_OK(schema_.Check(t));
+    rows_.push_back(std::move(t));
+    return Status::OK();
+  }
+
+  /// Appends without checking (hot paths that construct typed tuples).
+  void AppendUnchecked(Tuple t) { rows_.push_back(std::move(t)); }
+
+  /// Removes duplicate tuples (set semantics), preserving first occurrence
+  /// order.
+  void Deduplicate();
+
+  /// True if the two relations contain the same set of tuples (order
+  /// insensitive, duplicates ignored).
+  bool SetEquals(const Relation& other) const;
+
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace licm::rel
+
+#endif  // LICM_RELATIONAL_RELATION_H_

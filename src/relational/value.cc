@@ -1,0 +1,106 @@
+#include "relational/value.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+namespace licm::rel {
+
+std::string ToString(const Value& v) {
+  switch (v.index()) {
+    case 0: return std::to_string(std::get<int64_t>(v));
+    case 1: {
+      std::ostringstream os;
+      os << std::get<double>(v);
+      return os.str();
+    }
+    default: return std::get<std::string>(v);
+  }
+}
+
+const char* TypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt: return "int";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+  }
+  return "?";
+}
+
+int Compare(const Value& a, const Value& b) {
+  const ValueType ta = TypeOf(a), tb = TypeOf(b);
+  if (ta == ValueType::kString || tb == ValueType::kString) {
+    LICM_CHECK(ta == tb);
+    const auto& sa = std::get<std::string>(a);
+    const auto& sb = std::get<std::string>(b);
+    return sa < sb ? -1 : (sa == sb ? 0 : 1);
+  }
+  // Numeric comparison across int/double.
+  const double da =
+      ta == ValueType::kInt ? static_cast<double>(std::get<int64_t>(a))
+                            : std::get<double>(a);
+  const double db =
+      tb == ValueType::kInt ? static_cast<double>(std::get<int64_t>(b))
+                            : std::get<double>(b);
+  return da < db ? -1 : (da == db ? 0 : 1);
+}
+
+size_t ValueHash::operator()(const Value& v) const {
+  switch (v.index()) {
+    case 0: return std::hash<int64_t>()(std::get<int64_t>(v));
+    case 1: return std::hash<double>()(std::get<double>(v));
+    default: return std::hash<std::string>()(std::get<std::string>(v));
+  }
+}
+
+size_t TupleHash::operator()(const Tuple& t) const {
+  size_t h = 0x9e3779b97f4a7c15ULL;
+  ValueHash vh;
+  for (const Value& v : t) {
+    h ^= vh(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "' in " + ToString());
+}
+
+bool Schema::Has(const std::string& name) const {
+  return IndexOf(name).ok();
+}
+
+Status Schema::Check(const Tuple& t) const {
+  if (t.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(t.size()) + " != schema arity " +
+        std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (TypeOf(t[i]) != columns_[i].type) {
+      return Status::InvalidArgument(
+          "column '" + columns_[i].name + "' expects " +
+          TypeName(columns_[i].type) + " got " + TypeName(TypeOf(t[i])));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string s = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) s += ", ";
+    s += columns_[i].name;
+    s += ":";
+    s += TypeName(columns_[i].type);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace licm::rel

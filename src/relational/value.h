@@ -1,0 +1,82 @@
+// Value, Schema and Tuple: the type layer shared by the deterministic
+// relational engine and the LICM possibilistic layer.
+//
+// LICM (Definition 2) requires attributes over finite domains; we support
+// 64-bit integers, doubles and strings, which covers the paper's workloads
+// (transaction ids, item names, locations, prices).
+#ifndef LICM_RELATIONAL_VALUE_H_
+#define LICM_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace licm::rel {
+
+using Value = std::variant<int64_t, double, std::string>;
+
+enum class ValueType { kInt, kDouble, kString };
+
+/// Type tag of a Value's active alternative.
+inline ValueType TypeOf(const Value& v) {
+  switch (v.index()) {
+    case 0: return ValueType::kInt;
+    case 1: return ValueType::kDouble;
+    default: return ValueType::kString;
+  }
+}
+
+std::string ToString(const Value& v);
+const char* TypeName(ValueType t);
+
+/// Three-way comparison; values must have the same type (int/double mix is
+/// compared numerically).
+int Compare(const Value& a, const Value& b);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const;
+};
+
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const;
+};
+
+struct Column {
+  std::string name;
+  ValueType type;
+  bool operator==(const Column&) const = default;
+};
+
+/// Ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  /// Index of `name`, or NotFound.
+  Result<size_t> IndexOf(const std::string& name) const;
+  bool Has(const std::string& name) const;
+
+  size_t size() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  bool operator==(const Schema&) const = default;
+
+  /// Type-checks a tuple against this schema.
+  Status Check(const Tuple& t) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace licm::rel
+
+#endif  // LICM_RELATIONAL_VALUE_H_

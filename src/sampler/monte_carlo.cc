@@ -1,0 +1,53 @@
+#include "sampler/monte_carlo.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "relational/engine.h"
+
+namespace licm::sampler {
+
+Result<MonteCarloResult> MonteCarloBounds(const licm::LicmDatabase& db,
+                                          const WorldStructure& structure,
+                                          const rel::QueryNode& query,
+                                          const MonteCarloOptions& options) {
+  if (options.num_worlds <= 0) {
+    return Status::InvalidArgument("num_worlds must be positive");
+  }
+  LICM_RETURN_NOT_OK(structure.Validate());
+  if (structure.num_vars < db.pool().size()) {
+    return Status::InvalidArgument(
+        "structure covers fewer variables than the database pool");
+  }
+  Rng rng(options.seed);
+  MonteCarloResult out;
+  StopWatch watch;
+  for (int i = 0; i < options.num_worlds; ++i) {
+    std::vector<uint8_t> a = structure.Sample(&rng);
+    rel::Database world = db.Instantiate(a);
+    LICM_ASSIGN_OR_RETURN(double v, rel::EvaluateAggregate(query, world));
+    out.samples.push_back(v);
+  }
+  out.total_ms = watch.ElapsedMs();
+  out.min = *std::min_element(out.samples.begin(), out.samples.end());
+  out.max = *std::max_element(out.samples.begin(), out.samples.end());
+  double sum = 0.0;
+  for (double v : out.samples) sum += v;
+  out.mean = sum / static_cast<double>(out.samples.size());
+  return out;
+}
+
+Result<std::vector<uint8_t>> SampleValidAssignment(
+    const licm::ConstraintSet& constraints, uint32_t num_vars, Rng* rng,
+    int max_tries) {
+  std::vector<uint8_t> a(num_vars);
+  for (int t = 0; t < max_tries; ++t) {
+    for (auto& v : a) v = rng->Bernoulli(0.5) ? 1 : 0;
+    if (constraints.Satisfied(a)) return a;
+  }
+  return Status::OutOfRange(
+      "rejection sampling failed after " + std::to_string(max_tries) +
+      " tries; constraint set too tight for the generic sampler");
+}
+
+}  // namespace licm::sampler

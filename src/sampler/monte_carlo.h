@@ -1,0 +1,47 @@
+// The Monte-Carlo baseline (Section IV-D "Expected Value" / Section V).
+//
+// Samples possible worlds of an LICM database, evaluates the query on each
+// with the deterministic engine, and reports the observed min/max/mean.
+// The paper uses this baseline (20 sampled worlds on SQL Server) to show
+// that sampling explores only a narrow band of the possible answers, while
+// LICM finds the exact extremes.
+#ifndef LICM_SAMPLER_MONTE_CARLO_H_
+#define LICM_SAMPLER_MONTE_CARLO_H_
+
+#include "licm/licm_relation.h"
+#include "relational/query.h"
+#include "sampler/structure.h"
+
+namespace licm::sampler {
+
+struct MonteCarloResult {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  std::vector<double> samples;
+  double total_ms = 0.0;  // wall-clock for all samples (instantiate + query)
+};
+
+struct MonteCarloOptions {
+  int num_worlds = 20;  // the paper's sample size
+  uint64_t seed = 1;
+};
+
+/// Runs the MC baseline for an aggregate query over `db`, drawing worlds
+/// from `structure`.
+Result<MonteCarloResult> MonteCarloBounds(const licm::LicmDatabase& db,
+                                          const WorldStructure& structure,
+                                          const rel::QueryNode& query,
+                                          const MonteCarloOptions& options);
+
+/// Generic constraint-driven sampler: rejection sampling of assignments
+/// against an arbitrary constraint set. Exponentially slow for tightly
+/// constrained systems — provided for small databases and as a test
+/// reference; real workloads use WorldStructure.
+Result<std::vector<uint8_t>> SampleValidAssignment(
+    const licm::ConstraintSet& constraints, uint32_t num_vars, Rng* rng,
+    int max_tries = 100000);
+
+}  // namespace licm::sampler
+
+#endif  // LICM_SAMPLER_MONTE_CARLO_H_

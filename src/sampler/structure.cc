@@ -1,0 +1,114 @@
+#include "sampler/structure.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace licm::sampler {
+
+namespace {
+
+// Uniformly samples a subset of {0..m-1} with size in [z1, z2]: pick the
+// size with probability proportional to C(m, s), then a uniform subset of
+// that size. Binomials are computed in doubles with running normalization,
+// which is exact enough for sampling (m is a group size, not huge).
+std::vector<uint32_t> SampleSubset(uint32_t m, int64_t z1, int64_t z2,
+                                   Rng* rng) {
+  z1 = std::max<int64_t>(z1, 0);
+  z2 = z2 < 0 ? m : std::min<int64_t>(z2, m);
+  LICM_CHECK(z1 <= z2);
+  // weights[s - z1] = C(m, s), scaled.
+  std::vector<double> weights;
+  double c = 1.0;  // C(m, 0)
+  for (int64_t s = 0; s <= z2; ++s) {
+    if (s >= z1) weights.push_back(c);
+    c *= static_cast<double>(m - s) / static_cast<double>(s + 1);
+    // Rescale to avoid overflow for large m; relative weights survive
+    // within the retained window because we rescale everything kept.
+    if (c > 1e250) {
+      for (double& w : weights) w /= 1e250;
+      c /= 1e250;
+    }
+  }
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double pick = rng->UniformDouble() * total;
+  size_t chosen = weights.size() - 1;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (pick < weights[i]) {
+      chosen = i;
+      break;
+    }
+    pick -= weights[i];
+  }
+  const auto size = static_cast<uint32_t>(z1 + static_cast<int64_t>(chosen));
+  std::vector<uint32_t> idx(m);
+  for (uint32_t i = 0; i < m; ++i) idx[i] = i;
+  rng->Shuffle(&idx);
+  idx.resize(size);
+  return idx;
+}
+
+}  // namespace
+
+std::vector<uint8_t> WorldStructure::Sample(Rng* rng) const {
+  std::vector<uint8_t> a(num_vars, 0);
+  std::vector<bool> in_block(num_vars, false);
+
+  for (const CardinalityBlock& b : cardinality_blocks) {
+    for (BVar v : b.vars) in_block[v] = true;
+    for (uint32_t i :
+         SampleSubset(static_cast<uint32_t>(b.vars.size()), b.z1, b.z2,
+                      rng)) {
+      a[b.vars[i]] = 1;
+    }
+  }
+  for (const PermutationBlock& b : permutation_blocks) {
+    for (BVar v : b.vars) in_block[v] = true;
+    std::vector<uint32_t> perm = rng->Permutation(b.k);
+    for (uint32_t i = 0; i < b.k; ++i) {
+      a[b.vars[i * b.k + perm[i]]] = 1;
+    }
+  }
+  // Unconstrained variables: fair coin (uniform over their worlds).
+  for (BVar v = 0; v < num_vars; ++v) {
+    if (!in_block[v]) a[v] = rng->Bernoulli(0.5) ? 1 : 0;
+  }
+  return a;
+}
+
+Status WorldStructure::Validate() const {
+  std::unordered_set<BVar> seen;
+  auto check = [&](const std::vector<BVar>& vars) -> Status {
+    for (BVar v : vars) {
+      if (v >= num_vars) {
+        return Status::InvalidArgument("block references variable " +
+                                       std::to_string(v) + " >= num_vars");
+      }
+      if (!seen.insert(v).second) {
+        return Status::InvalidArgument("variable " + std::to_string(v) +
+                                       " appears in two blocks");
+      }
+    }
+    return Status::OK();
+  };
+  for (const auto& b : cardinality_blocks) {
+    if (b.vars.empty()) {
+      return Status::InvalidArgument("empty cardinality block");
+    }
+    const auto n = static_cast<int64_t>(b.vars.size());
+    const int64_t hi = b.z2 < 0 ? n : b.z2;
+    if (b.z1 > hi || b.z1 > n) {
+      return Status::InvalidArgument("cardinality block bounds invalid");
+    }
+    LICM_RETURN_NOT_OK(check(b.vars));
+  }
+  for (const auto& b : permutation_blocks) {
+    if (b.vars.size() != static_cast<size_t>(b.k) * b.k || b.k == 0) {
+      return Status::InvalidArgument("permutation block must hold k*k vars");
+    }
+    LICM_RETURN_NOT_OK(check(b.vars));
+  }
+  return Status::OK();
+}
+
+}  // namespace licm::sampler

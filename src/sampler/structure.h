@@ -1,0 +1,50 @@
+// Uncertainty structure of a base LICM database, for world sampling.
+//
+// Monte-Carlo baselines sample possible worlds directly from the shape of
+// the uncertainty (which items a generalized node may expand to, which
+// permutation a group hides) rather than from raw linear constraints —
+// exactly what the paper's MC baseline does against SQL Server. Encoders in
+// src/anonymize return this structure alongside the LicmDatabase.
+#ifndef LICM_SAMPLER_STRUCTURE_H_
+#define LICM_SAMPLER_STRUCTURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "licm/constraint.h"
+
+namespace licm::sampler {
+
+/// Z1 <= (number of true vars) <= Z2, all other combinations free. Sampled
+/// uniformly over the valid subsets (sizes weighted binomially).
+struct CardinalityBlock {
+  std::vector<BVar> vars;
+  int64_t z1 = 1;
+  int64_t z2 = -1;  // -1 => no upper bound (all of them may be true)
+};
+
+/// A k x k bijection: vars[i*k + j] = 1 iff element i maps to slot j.
+/// Sampled as a uniformly random permutation.
+struct PermutationBlock {
+  uint32_t k = 0;
+  std::vector<BVar> vars;  // row-major, size k * k
+};
+
+/// Free variables (no constraint): each sampled independently with
+/// probability 1/2, the uniform-over-worlds choice.
+struct WorldStructure {
+  uint32_t num_vars = 0;
+  std::vector<CardinalityBlock> cardinality_blocks;
+  std::vector<PermutationBlock> permutation_blocks;
+
+  /// Draws one valid assignment uniformly-at-random per block.
+  std::vector<uint8_t> Sample(Rng* rng) const;
+
+  /// Structural sanity: blocks reference valid, pairwise-disjoint vars.
+  Status Validate() const;
+};
+
+}  // namespace licm::sampler
+
+#endif  // LICM_SAMPLER_STRUCTURE_H_

@@ -1,0 +1,93 @@
+#include "solver/components.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace licm::solver {
+
+namespace {
+// Union-find with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[a] = b;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+}  // namespace
+
+std::vector<Component> Decompose(const LinearProgram& lp) {
+  const size_t n = lp.num_vars();
+  UnionFind uf(n);
+  for (const Row& r : lp.rows()) {
+    for (size_t i = 1; i < r.terms.size(); ++i)
+      uf.Union(r.terms[0].var, r.terms[i].var);
+  }
+
+  // Map each root to a component index; isolated variables (those in no
+  // row) share one trailing component.
+  std::vector<bool> in_row(n, false);
+  for (const Row& r : lp.rows())
+    for (const Term& t : r.terms) in_row[t.var] = true;
+
+  std::vector<int32_t> root_to_comp(n, -1);
+  std::vector<Component> comps;
+  int32_t isolated_comp = -1;
+  std::vector<int32_t> var_to_local(n, -1);
+
+  for (size_t v = 0; v < n; ++v) {
+    int32_t ci;
+    if (!in_row[v]) {
+      if (isolated_comp < 0) {
+        isolated_comp = static_cast<int32_t>(comps.size());
+        comps.emplace_back();
+      }
+      ci = isolated_comp;
+    } else {
+      const size_t root = uf.Find(v);
+      if (root_to_comp[root] < 0) {
+        root_to_comp[root] = static_cast<int32_t>(comps.size());
+        comps.emplace_back();
+      }
+      ci = root_to_comp[root];
+    }
+    Component& c = comps[static_cast<size_t>(ci)];
+    const auto& def = lp.vars()[v];
+    var_to_local[v] = static_cast<int32_t>(
+        c.program.AddVariable(def.lower, def.upper, def.is_integer, def.name));
+    c.to_parent.push_back(static_cast<VarId>(v));
+    c.program.SetObjectiveCoef(static_cast<VarId>(var_to_local[v]),
+                               lp.objective_coef(static_cast<VarId>(v)));
+  }
+
+  for (const Row& r : lp.rows()) {
+    if (r.terms.empty()) continue;  // handled by presolve; skip defensively
+    const size_t v0 = r.terms[0].var;
+    const size_t ci = static_cast<size_t>(root_to_comp[uf.Find(v0)]);
+    Row nr;
+    nr.op = r.op;
+    nr.rhs = r.rhs;
+    nr.terms.reserve(r.terms.size());
+    for (const Term& t : r.terms)
+      nr.terms.push_back(
+          Term{static_cast<VarId>(var_to_local[t.var]), t.coef});
+    comps[ci].program.AddRow(std::move(nr));
+  }
+  return comps;
+}
+
+}  // namespace licm::solver

@@ -1,0 +1,32 @@
+// Connected-component decomposition of a linear program.
+//
+// Two variables are connected when they share a row. Because the LICM
+// objective is separable (a sum over existence variables), the program
+// splits into independent sub-programs — typically one per transaction or
+// anonymization group — each of which is tiny. This is the structural
+// property the paper credits for CPLEX's efficiency; we exploit it
+// explicitly.
+#ifndef LICM_SOLVER_COMPONENTS_H_
+#define LICM_SOLVER_COMPONENTS_H_
+
+#include <vector>
+
+#include "solver/linear_program.h"
+
+namespace licm::solver {
+
+struct Component {
+  LinearProgram program;
+  /// component var id -> variable id in the source program.
+  std::vector<VarId> to_parent;
+};
+
+/// Splits `lp` into connected components. Every row of `lp` lands in
+/// exactly one component; isolated variables (no rows) are gathered into a
+/// single trailing component with an empty row set so the caller can solve
+/// them by inspection of objective signs.
+std::vector<Component> Decompose(const LinearProgram& lp);
+
+}  // namespace licm::solver
+
+#endif  // LICM_SOLVER_COMPONENTS_H_

@@ -1,0 +1,105 @@
+#include "solver/linear_program.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace licm::solver {
+
+VarId AddedId(size_t n) { return static_cast<VarId>(n); }
+
+VarId LinearProgram::AddVariable(double lower, double upper, bool is_integer,
+                                 std::string name) {
+  LICM_CHECK(lower <= upper);
+  vars_.push_back(VariableDef{lower, upper, is_integer, std::move(name)});
+  objective_.push_back(0.0);
+  return AddedId(vars_.size() - 1);
+}
+
+void LinearProgram::AddRow(Row row) {
+  // Merge duplicate variables within the row so downstream code can assume
+  // each variable appears at most once per row.
+  std::sort(row.terms.begin(), row.terms.end(),
+            [](const Term& a, const Term& b) { return a.var < b.var; });
+  std::vector<Term> merged;
+  merged.reserve(row.terms.size());
+  for (const Term& t : row.terms) {
+    LICM_CHECK(t.var < vars_.size());
+    if (!merged.empty() && merged.back().var == t.var) {
+      merged.back().coef += t.coef;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  std::erase_if(merged, [](const Term& t) { return t.coef == 0.0; });
+  row.terms = std::move(merged);
+  rows_.push_back(std::move(row));
+}
+
+void LinearProgram::SetObjectiveCoef(VarId var, double coef) {
+  LICM_CHECK(var < vars_.size());
+  objective_[var] = coef;
+}
+
+double LinearProgram::EvalObjective(const std::vector<double>& x) const {
+  LICM_CHECK(x.size() >= vars_.size());
+  double obj = objective_constant_;
+  for (size_t v = 0; v < vars_.size(); ++v) obj += objective_[v] * x[v];
+  return obj;
+}
+
+bool LinearProgram::IsFeasible(const std::vector<double>& x,
+                               double tol) const {
+  if (x.size() < vars_.size()) return false;
+  for (size_t v = 0; v < vars_.size(); ++v) {
+    if (x[v] < vars_[v].lower - tol || x[v] > vars_[v].upper + tol)
+      return false;
+    if (vars_[v].is_integer &&
+        std::abs(x[v] - std::round(x[v])) > tol)
+      return false;
+  }
+  for (const Row& r : rows_) {
+    double lhs = 0.0;
+    for (const Term& t : r.terms) lhs += t.coef * x[t.var];
+    switch (r.op) {
+      case RowOp::kLe:
+        if (lhs > r.rhs + tol) return false;
+        break;
+      case RowOp::kGe:
+        if (lhs < r.rhs - tol) return false;
+        break;
+      case RowOp::kEq:
+        if (std::abs(lhs - r.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+Status LinearProgram::Validate() const {
+  for (size_t v = 0; v < vars_.size(); ++v) {
+    if (vars_[v].lower > vars_[v].upper) {
+      return Status::InvalidArgument("variable " + std::to_string(v) +
+                                     " has lower > upper");
+    }
+  }
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    for (const Term& t : rows_[i].terms) {
+      if (t.var >= vars_.size()) {
+        return Status::InvalidArgument("row " + std::to_string(i) +
+                                       " references unknown variable");
+      }
+      if (!std::isfinite(t.coef)) {
+        return Status::InvalidArgument("row " + std::to_string(i) +
+                                       " has non-finite coefficient");
+      }
+    }
+    if (!std::isfinite(rows_[i].rhs)) {
+      return Status::InvalidArgument("row " + std::to_string(i) +
+                                     " has non-finite rhs");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace licm::solver

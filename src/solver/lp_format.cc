@@ -1,0 +1,388 @@
+#include "solver/lp_format.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+
+namespace licm::solver {
+
+namespace {
+std::string VarName(const LinearProgram& lp, VarId v) {
+  const std::string& n = lp.vars()[v].name;
+  return n.empty() ? "x" + std::to_string(v) : n;
+}
+
+std::string Num(double x) {
+  if (x == std::floor(x) && std::abs(x) < 1e15) {
+    return std::to_string(static_cast<long long>(x));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", x);
+  return buf;
+}
+
+void AppendTerms(std::ostringstream* os, const std::vector<Term>& terms,
+                 const LinearProgram& lp) {
+  bool first = true;
+  for (const Term& t : terms) {
+    double c = t.coef;
+    if (first) {
+      if (c < 0) *os << "- ";
+      first = false;
+    } else {
+      *os << (c < 0 ? " - " : " + ");
+    }
+    c = std::abs(c);
+    if (c != 1.0) *os << Num(c) << " ";
+    *os << VarName(lp, t.var);
+  }
+  if (first) *os << "0";  // empty expression
+}
+}  // namespace
+
+std::string ToLpFormat(const LinearProgram& lp, Sense sense) {
+  std::ostringstream os;
+  if (lp.objective_constant() != 0.0) {
+    os << "\\ objective constant: " << Num(lp.objective_constant()) << "\n";
+  }
+  os << (sense == Sense::kMaximize ? "Maximize" : "Minimize") << "\n obj: ";
+  std::vector<Term> obj_terms;
+  for (VarId v = 0; v < lp.num_vars(); ++v) {
+    if (lp.objective_coef(v) != 0.0)
+      obj_terms.push_back(Term{v, lp.objective_coef(v)});
+  }
+  AppendTerms(&os, obj_terms, lp);
+  os << "\nSubject To\n";
+  for (size_t i = 0; i < lp.num_rows(); ++i) {
+    const Row& r = lp.rows()[i];
+    os << " c" << i << ": ";
+    AppendTerms(&os, r.terms, lp);
+    switch (r.op) {
+      case RowOp::kLe: os << " <= "; break;
+      case RowOp::kGe: os << " >= "; break;
+      case RowOp::kEq: os << " = "; break;
+    }
+    os << Num(r.rhs) << "\n";
+  }
+
+  // Bounds for non-binary variables (binaries go to the Binary section).
+  std::ostringstream bounds, binaries, generals;
+  for (VarId v = 0; v < lp.num_vars(); ++v) {
+    const auto& def = lp.vars()[v];
+    const bool is_binary =
+        def.is_integer && def.lower == 0.0 && def.upper == 1.0;
+    if (is_binary) {
+      binaries << " " << VarName(lp, v) << "\n";
+      continue;
+    }
+    if (def.is_integer) generals << " " << VarName(lp, v) << "\n";
+    bounds << " " << Num(def.lower) << " <= " << VarName(lp, v);
+    if (std::isfinite(def.upper)) bounds << " <= " << Num(def.upper);
+    bounds << "\n";
+  }
+  if (!bounds.str().empty()) os << "Bounds\n" << bounds.str();
+  if (!generals.str().empty()) os << "General\n" << generals.str();
+  if (!binaries.str().empty()) os << "Binary\n" << binaries.str();
+  os << "End\n";
+  return os.str();
+}
+
+Status WriteLpFile(const LinearProgram& lp, Sense sense,
+                   const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  f << ToLpFormat(lp, sense);
+  if (!f) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+namespace {
+
+// Tokenizer for LP expressions: operators, numbers, identifiers.
+struct Tokenizer {
+  explicit Tokenizer(const std::string& s) : s_(s) {}
+
+  // Returns the next token, or empty at end. Tokens: "+", "-", "<=", ">=",
+  // "=", ":", numbers, identifiers.
+  std::string Next() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_])))
+      ++i_;
+    if (i_ >= s_.size()) return "";
+    const char c = s_[i_];
+    if (c == '+' || c == '-' || c == ':') {
+      ++i_;
+      return std::string(1, c);
+    }
+    if (c == '<' || c == '>') {
+      size_t j = i_ + 1;
+      if (j < s_.size() && s_[j] == '=') ++j;
+      std::string t = s_.substr(i_, j - i_);
+      i_ = j;
+      return t.size() == 1 ? t + "=" : t;  // treat '<' as '<='
+    }
+    if (c == '=') {
+      ++i_;
+      return "=";
+    }
+    size_t j = i_;
+    while (j < s_.size() && !std::isspace(static_cast<unsigned char>(s_[j])) &&
+           s_[j] != '+' && s_[j] != '-' && s_[j] != '<' && s_[j] != '>' &&
+           s_[j] != '=' && s_[j] != ':') {
+      ++j;
+    }
+    std::string t = s_.substr(i_, j - i_);
+    i_ = j;
+    return t;
+  }
+
+  const std::string& s_;
+  size_t i_ = 0;
+};
+
+bool IsNumber(const std::string& t) {
+  if (t.empty()) return false;
+  char* end = nullptr;
+  std::strtod(t.c_str(), &end);
+  return end == t.c_str() + t.size();
+}
+
+// Parses "expr (op rhs)?" where expr is +-coefficient-variable terms.
+// Returns terms via the name resolver; op/rhs only when present.
+struct ParsedExpr {
+  std::vector<Term> terms;
+  bool has_relation = false;
+  RowOp op = RowOp::kLe;
+  double rhs = 0.0;
+};
+
+Result<ParsedExpr> ParseExpr(
+    const std::string& text,
+    const std::function<VarId(const std::string&)>& var_of) {
+  ParsedExpr out;
+  Tokenizer tok(text);
+  double sign = 1.0;
+  double pending_coef = 1.0;
+  bool have_coef = false;
+  for (std::string t = tok.Next(); !t.empty(); t = tok.Next()) {
+    if (t == "+" || t == "-") {
+      sign = t == "-" ? -sign : sign;
+      continue;
+    }
+    if (t == "<=" || t == ">=" || t == "=") {
+      out.has_relation = true;
+      out.op = t == "<=" ? RowOp::kLe : (t == ">=" ? RowOp::kGe : RowOp::kEq);
+      std::string rhs = tok.Next();
+      double rhs_sign = 1.0;
+      if (rhs == "-") {
+        rhs_sign = -1.0;
+        rhs = tok.Next();
+      } else if (rhs == "+") {
+        rhs = tok.Next();
+      }
+      if (!IsNumber(rhs)) {
+        return Status::InvalidArgument("expected rhs number, got '" + rhs +
+                                       "' in: " + text);
+      }
+      out.rhs = rhs_sign * std::strtod(rhs.c_str(), nullptr);
+      break;
+    }
+    if (IsNumber(t)) {
+      pending_coef = std::strtod(t.c_str(), nullptr);
+      have_coef = true;
+      continue;
+    }
+    // Identifier: emit a term.
+    const double coef = sign * (have_coef ? pending_coef : 1.0);
+    if (coef != 0.0) out.terms.push_back(Term{var_of(t), coef});
+    sign = 1.0;
+    pending_coef = 1.0;
+    have_coef = false;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ParsedLp> ParseLpFormat(const std::string& text) {
+  ParsedLp out;
+  std::unordered_map<std::string, VarId> ids;
+  auto var_of = [&](const std::string& name) -> VarId {
+    auto it = ids.find(name);
+    if (it != ids.end()) return it->second;
+    // Default continuous non-negative; refined by Bounds/General/Binary.
+    const VarId id = out.program.AddVariable(0.0, kInfinity, false, name);
+    ids.emplace(name, id);
+    out.names.push_back(name);
+    return id;
+  };
+
+  enum class Section { kNone, kObjective, kRows, kBounds, kGeneral, kBinary };
+  Section section = Section::kNone;
+  bool objective_seen = false;
+
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Strip comments and whitespace.
+    const size_t comment = line.find('\\');
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    auto trim = [](std::string s) {
+      const auto b = s.find_first_not_of(" \t\r");
+      if (b == std::string::npos) return std::string();
+      const auto e = s.find_last_not_of(" \t\r");
+      return s.substr(b, e - b + 1);
+    };
+    line = trim(line);
+    if (line.empty()) continue;
+
+    // Section keywords (case-insensitive prefixes).
+    std::string lower;
+    for (char c : line) lower.push_back(static_cast<char>(std::tolower(c)));
+    if (lower == "maximize" || lower == "max") {
+      out.sense = Sense::kMaximize;
+      section = Section::kObjective;
+      continue;
+    }
+    if (lower == "minimize" || lower == "min") {
+      out.sense = Sense::kMinimize;
+      section = Section::kObjective;
+      continue;
+    }
+    if (lower == "subject to" || lower == "st" || lower == "s.t.") {
+      section = Section::kRows;
+      continue;
+    }
+    if (lower == "bounds") {
+      section = Section::kBounds;
+      continue;
+    }
+    if (lower == "general" || lower == "generals" || lower == "gen") {
+      section = Section::kGeneral;
+      continue;
+    }
+    if (lower == "binary" || lower == "binaries" || lower == "bin") {
+      section = Section::kBinary;
+      continue;
+    }
+    if (lower == "end") break;
+
+    // Drop a leading "name:" label.
+    std::string body = line;
+    const size_t colon = body.find(':');
+    if (colon != std::string::npos &&
+        (section == Section::kObjective || section == Section::kRows)) {
+      body = trim(body.substr(colon + 1));
+    }
+
+    switch (section) {
+      case Section::kObjective: {
+        LICM_ASSIGN_OR_RETURN(ParsedExpr e, ParseExpr(body, var_of));
+        if (e.has_relation) {
+          return Status::InvalidArgument("objective cannot have a relation");
+        }
+        for (const Term& t : e.terms) {
+          out.program.SetObjectiveCoef(
+              t.var, out.program.objective_coef(t.var) + t.coef);
+        }
+        objective_seen = true;
+        break;
+      }
+      case Section::kRows: {
+        LICM_ASSIGN_OR_RETURN(ParsedExpr e, ParseExpr(body, var_of));
+        if (!e.has_relation) {
+          return Status::InvalidArgument("constraint without relation: " +
+                                         line);
+        }
+        Row row;
+        row.terms = e.terms;
+        row.op = e.op;
+        row.rhs = e.rhs;
+        out.program.AddRow(std::move(row));
+        break;
+      }
+      case Section::kBounds: {
+        // Forms: "lo <= x <= hi", "lo <= x", "x <= hi", "x = v".
+        Tokenizer tok(body);
+        std::vector<std::string> toks;
+        for (std::string t = tok.Next(); !t.empty(); t = tok.Next()) {
+          toks.push_back(t);
+        }
+        // Normalize "- num" into one token.
+        std::vector<std::string> norm;
+        for (size_t i = 0; i < toks.size(); ++i) {
+          if (toks[i] == "-" && i + 1 < toks.size() &&
+              IsNumber(toks[i + 1])) {
+            norm.push_back("-" + toks[i + 1]);
+            ++i;
+          } else {
+            norm.push_back(toks[i]);
+          }
+        }
+        auto num = [](const std::string& s) {
+          return std::strtod(s.c_str(), nullptr);
+        };
+        if (norm.size() == 5 && norm[1] == "<=" && norm[3] == "<=") {
+          const VarId v = var_of(norm[2]);
+          out.program.mutable_vars()[v].lower = num(norm[0]);
+          out.program.mutable_vars()[v].upper = num(norm[4]);
+        } else if (norm.size() == 3 && norm[1] == "<=" &&
+                   IsNumber(norm[0])) {
+          const VarId v = var_of(norm[2]);
+          out.program.mutable_vars()[v].lower = num(norm[0]);
+        } else if (norm.size() == 3 && norm[1] == "<=" &&
+                   IsNumber(norm[2])) {
+          const VarId v = var_of(norm[0]);
+          out.program.mutable_vars()[v].upper = num(norm[2]);
+        } else if (norm.size() == 3 && norm[1] == "=") {
+          const VarId v = var_of(norm[0]);
+          out.program.mutable_vars()[v].lower = num(norm[2]);
+          out.program.mutable_vars()[v].upper = num(norm[2]);
+        } else {
+          return Status::InvalidArgument("unsupported bound line: " + line);
+        }
+        break;
+      }
+      case Section::kGeneral: {
+        Tokenizer tok(body);
+        for (std::string t = tok.Next(); !t.empty(); t = tok.Next()) {
+          out.program.mutable_vars()[var_of(t)].is_integer = true;
+        }
+        break;
+      }
+      case Section::kBinary: {
+        Tokenizer tok(body);
+        for (std::string t = tok.Next(); !t.empty(); t = tok.Next()) {
+          const VarId v = var_of(t);
+          auto& def = out.program.mutable_vars()[v];
+          def.is_integer = true;
+          def.lower = 0.0;
+          def.upper = 1.0;
+        }
+        break;
+      }
+      case Section::kNone:
+        return Status::InvalidArgument("content before Maximize/Minimize: " +
+                                       line);
+    }
+  }
+  if (!objective_seen) {
+    return Status::InvalidArgument("LP file has no objective section");
+  }
+  LICM_RETURN_NOT_OK(out.program.Validate());
+  return out;
+}
+
+Result<ParsedLp> ReadLpFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ParseLpFormat(buf.str());
+}
+
+}  // namespace licm::solver

@@ -1,0 +1,44 @@
+// Writer for the CPLEX LP text format.
+//
+// The paper encodes its BIP instances in the LP file format before handing
+// them to CPLEX; we provide the same escape hatch so models built by LICM
+// can be inspected or solved by external solvers (CPLEX, GLPK, CBC, SCIP).
+#ifndef LICM_SOLVER_LP_FORMAT_H_
+#define LICM_SOLVER_LP_FORMAT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "solver/linear_program.h"
+
+namespace licm::solver {
+
+/// Renders `lp` in CPLEX LP format. Variables without names are called
+/// x<id>. The objective constant is emitted as a comment (the format has
+/// no native slot for it).
+std::string ToLpFormat(const LinearProgram& lp, Sense sense);
+
+/// Writes ToLpFormat(lp, sense) to `path`.
+Status WriteLpFile(const LinearProgram& lp, Sense sense,
+                   const std::string& path);
+
+/// A parsed LP-format model.
+struct ParsedLp {
+  LinearProgram program;
+  Sense sense = Sense::kMaximize;
+  /// Variable names in id order (also stored in program.vars()).
+  std::vector<std::string> names;
+};
+
+/// Parses the subset of the CPLEX LP format that ToLpFormat emits
+/// (Maximize/Minimize, one objective, Subject To rows, Bounds, General,
+/// Binary, End; '\' comments). Round-trips with ToLpFormat and accepts
+/// models written by other tools that stay within this subset.
+Result<ParsedLp> ParseLpFormat(const std::string& text);
+
+/// Reads and parses an LP file from disk.
+Result<ParsedLp> ReadLpFile(const std::string& path);
+
+}  // namespace licm::solver
+
+#endif  // LICM_SOLVER_LP_FORMAT_H_

@@ -1,0 +1,634 @@
+#include "solver/mip_solver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+
+#include "common/stopwatch.h"
+#include "solver/components.h"
+#include "solver/presolve.h"
+#include "solver/propagation.h"
+#include "solver/simplex.h"
+
+namespace licm::solver {
+
+namespace {
+
+// Everything below maximizes; Solve() flips the objective for minimize.
+
+struct ComponentResult {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0.0;   // incumbent value (valid iff has_solution)
+  double best_bound = 0.0;  // proved upper bound
+  bool has_solution = false;
+  std::vector<double> solution;
+};
+
+bool AllIntegral(const LinearProgram& lp) {
+  for (const auto& v : lp.vars())
+    if (!v.is_integer) return false;
+  for (double c : lp.objective())
+    if (std::abs(c - std::round(c)) > 1e-9) return false;
+  return true;
+}
+
+// Max of the objective over the bounding box (ignores rows). Always a valid
+// upper bound; exact when the component has no rows.
+double ActivityBound(const LinearProgram& lp, const Domains& dom) {
+  double b = lp.objective_constant();
+  for (VarId v = 0; v < lp.num_vars(); ++v) {
+    const double c = lp.objective_coef(v);
+    b += c > 0 ? c * dom.upper[v] : c * dom.lower[v];
+  }
+  return b;
+}
+
+// Branch & bound over one connected component.
+class ComponentSearch {
+ public:
+  ComponentSearch(const LinearProgram& lp, const MipOptions& opt,
+                  const StopWatch& clock, MipStats* stats)
+      : lp_(lp), opt_(opt), clock_(clock), stats_(stats),
+        propagator_(lp), integral_(AllIntegral(lp)) {
+    // Index SOS1-style rows (sum of binaries = 1): branching on a whole
+    // row (one child per candidate assignee) fixes a permutation slot at a
+    // time, which propagates far better than 0/1 branching on one binary.
+    sos1_of_var_.assign(lp.num_vars(), -1);
+    for (uint32_t r = 0; r < lp.num_rows(); ++r) {
+      const Row& row = lp.rows()[r];
+      if (row.op != RowOp::kEq || row.rhs != 1.0 || row.terms.size() < 2) {
+        continue;
+      }
+      bool ok = true;
+      for (const Term& t : row.terms) {
+        const auto& def = lp.vars()[t.var];
+        ok &= t.coef == 1.0 && def.is_integer && def.lower >= 0.0 &&
+              def.upper <= 1.0;
+      }
+      if (!ok) continue;
+      for (const Term& t : row.terms) {
+        if (sos1_of_var_[t.var] < 0) {
+          sos1_of_var_[t.var] = static_cast<int32_t>(r);
+        }
+      }
+    }
+  }
+
+  ComponentResult Run() {
+    ComponentResult res;
+
+    // Rowless component: objective decomposes per variable.
+    if (lp_.num_rows() == 0) {
+      res.status = SolveStatus::kOptimal;
+      res.solution.resize(lp_.num_vars());
+      for (VarId v = 0; v < lp_.num_vars(); ++v) {
+        const auto& def = lp_.vars()[v];
+        double x = lp_.objective_coef(v) > 0 ? def.upper : def.lower;
+        if (def.is_integer) x = std::round(x);
+        res.solution[v] = x;
+      }
+      res.objective = res.best_bound = lp_.EvalObjective(res.solution);
+      res.has_solution = true;
+      return res;
+    }
+
+    // Pure LP component (no integer variables): one simplex call.
+    bool any_integer = false;
+    for (const auto& v : lp_.vars()) any_integer |= v.is_integer;
+    if (!any_integer) {
+      LpSolution s = SolveLpRelaxation(lp_, Sense::kMaximize);
+      ++stats_->lp_solves;
+      res.status = s.status;
+      if (s.status == SolveStatus::kOptimal) {
+        res.objective = res.best_bound = s.objective;
+        res.solution = std::move(s.values);
+        res.has_solution = true;
+      }
+      return res;
+    }
+
+    Domains root = Domains::FromProgram(lp_);
+    if (propagator_.Run(&root) == PropagateResult::kFixpoint) {
+      if (opt_.use_probing && !ProbeRoot(&root)) {
+        res.status = SolveStatus::kInfeasible;
+        return res;
+      }
+      // Seed the incumbent with a few propagation-guided greedy dives;
+      // search then starts with a primal bound to prune against.
+      for (int heur = 0; heur < 3; ++heur) GreedyDive(root, heur);
+      DepthFirst(std::move(root));
+    } else {
+      res.status = SolveStatus::kInfeasible;
+      return res;
+    }
+
+    if (infeasible_only_ && !has_incumbent_) {
+      res.status = SolveStatus::kInfeasible;
+      return res;
+    }
+    res.has_solution = has_incumbent_;
+    res.objective = incumbent_value_;
+    res.solution = incumbent_;
+    if (stopped_) {
+      res.status = SolveStatus::kTimeLimit;
+      res.best_bound = std::max(open_bound_, has_incumbent_
+                                                 ? incumbent_value_
+                                                 : -kInfinity);
+    } else {
+      res.status = has_incumbent_ ? SolveStatus::kOptimal
+                                  : SolveStatus::kInfeasible;
+      res.best_bound = incumbent_value_;
+    }
+    return res;
+  }
+
+ private:
+  struct Node {
+    Domains dom;
+    // Variables newly restricted relative to the parent (for incremental
+    // propagation); empty => propagate everything.
+    std::vector<VarId> touched;
+    // Tightest bound inherited from ancestors (their LP/activity bounds
+    // remain valid for this subregion). +inf at the root.
+    double inherited_bound = kInfinity;
+  };
+
+  // Singleton-consistency probing at the root: for every unfixed binary,
+  // tentatively fix each value and propagate; a value that propagates to
+  // infeasibility fixes the variable to the other value. Returns false if
+  // the root itself becomes infeasible. Tightens both search and the
+  // activity bounds substantially on permutation-coupled instances.
+  bool ProbeRoot(Domains* root) {
+    bool changed = true;
+    int rounds = 0;
+    while (changed && rounds++ < 3) {
+      changed = false;
+      for (VarId v = 0; v < lp_.num_vars(); ++v) {
+        if (!lp_.vars()[v].is_integer) continue;
+        if (root->upper[v] - root->lower[v] < 0.5) continue;
+        if (clock_.ElapsedSeconds() > opt_.time_limit_seconds) return true;
+        const std::vector<VarId> touched{v};
+        Domains low = *root;
+        low.upper[v] = low.lower[v];
+        const bool low_ok =
+            propagator_.Run(&low, &touched) == PropagateResult::kFixpoint;
+        Domains high = *root;
+        high.lower[v] = high.upper[v];
+        const bool high_ok =
+            propagator_.Run(&high, &touched) == PropagateResult::kFixpoint;
+        if (!low_ok && !high_ok) return false;
+        if (!low_ok) {
+          *root = std::move(high);
+          changed = true;
+        } else if (!high_ok) {
+          *root = std::move(low);
+          changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  // Probes every unfixed objective variable at its objective-preferred
+  // bound (we maximize, so coef > 0 prefers upper, coef < 0 prefers
+  // lower). A refuted preference fixes the variable the other way in
+  // `dom`, directly lowering the activity bound. Returns false when the
+  // node is infeasible.
+  bool ProbeObjectiveVars(Domains* dom) {
+    for (VarId v = 0; v < lp_.num_vars(); ++v) {
+      const double c = lp_.objective_coef(v);
+      if (c == 0.0 || !lp_.vars()[v].is_integer) continue;
+      if (dom->upper[v] - dom->lower[v] < 0.5) continue;
+      const std::vector<VarId> touched{v};
+      Domains probe = *dom;
+      if (c > 0) {
+        probe.lower[v] = probe.upper[v];
+      } else {
+        probe.upper[v] = probe.lower[v];
+      }
+      if (propagator_.Run(&probe, &touched) == PropagateResult::kFixpoint) {
+        continue;  // preferred value viable; bound keeps its contribution
+      }
+      // Preferred value refuted: force the other one and re-propagate.
+      if (c > 0) {
+        dom->upper[v] = dom->lower[v];
+      } else {
+        dom->lower[v] = dom->upper[v];
+      }
+      if (propagator_.Run(dom, &touched) == PropagateResult::kInfeasible) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Propagation-guided dive: repeatedly fix an unfixed binary to a
+  // heuristic value (repairing to the other value on refutation) until all
+  // integer variables are fixed, then record the incumbent. Different
+  // `heur` values vary the variable order so the dives explore different
+  // corners.
+  void GreedyDive(Domains dom, int heur) {
+    // Dives only apply to pure-integer components (always true for LICM).
+    for (const auto& v : lp_.vars()) {
+      if (!v.is_integer) return;
+    }
+    uint64_t lcg = 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(heur + 1);
+    for (;;) {
+      if (clock_.ElapsedSeconds() > opt_.time_limit_seconds) return;
+      VarId pick = lp_.num_vars();
+      double best_key = -kInfinity;
+      for (VarId v = 0; v < lp_.num_vars(); ++v) {
+        if (dom.upper[v] - dom.lower[v] <= 0.5) continue;
+        double key = 0.0;
+        switch (heur) {
+          case 0: key = -static_cast<double>(v); break;  // lowest id
+          case 1: key = std::abs(lp_.objective_coef(v)); break;
+          default: {
+            lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+            key = static_cast<double>(lcg >> 33);
+            break;
+          }
+        }
+        if (key > best_key) {
+          best_key = key;
+          pick = v;
+        }
+      }
+      if (pick == lp_.num_vars()) {
+        std::vector<double> x(lp_.num_vars());
+        for (VarId v = 0; v < lp_.num_vars(); ++v) x[v] = dom.lower[v];
+        const double val = lp_.EvalObjective(x);
+        if (!has_incumbent_ || val > incumbent_value_) {
+          has_incumbent_ = true;
+          incumbent_value_ = val;
+          incumbent_ = std::move(x);
+        }
+        return;
+      }
+      const double c = lp_.objective_coef(pick);
+      const bool up_first = c > 0 || (c == 0.0 && heur == 1);
+      const std::vector<VarId> touched{pick};
+      Domains trial = dom;
+      if (up_first) trial.lower[pick] = trial.upper[pick];
+      else trial.upper[pick] = trial.lower[pick];
+      if (propagator_.Run(&trial, &touched) == PropagateResult::kFixpoint) {
+        dom = std::move(trial);
+        continue;
+      }
+      if (up_first) dom.upper[pick] = dom.lower[pick];
+      else dom.lower[pick] = dom.upper[pick];
+      if (propagator_.Run(&dom, &touched) == PropagateResult::kInfeasible) {
+        return;  // dead end; abandon this dive
+      }
+    }
+  }
+
+  void DepthFirst(Domains root) {
+    std::vector<Node> stack;
+    stack.push_back(Node{std::move(root), {}});
+    while (!stack.empty()) {
+      if (nodes_ >= opt_.max_nodes_per_component ||
+          clock_.ElapsedSeconds() > opt_.time_limit_seconds) {
+        stopped_ = true;
+        // Remaining nodes contribute to the proved bound.
+        for (const Node& n : stack) {
+          open_bound_ = std::max(
+              open_bound_,
+              std::min(NodeBoundCheap(n.dom), n.inherited_bound));
+        }
+        return;
+      }
+      Node node = std::move(stack.back());
+      stack.pop_back();
+      ++nodes_;
+      ++stats_->nodes;
+
+      const std::vector<VarId>* touched =
+          node.touched.empty() ? nullptr : &node.touched;
+      if (propagator_.Run(&node.dom, touched) ==
+          PropagateResult::kInfeasible) {
+        continue;
+      }
+      infeasible_only_ = false;
+
+      double bound =
+          std::min(ActivityBound(lp_, node.dom), node.inherited_bound);
+      if (integral_) bound = std::floor(bound + opt_.tol);
+      if (has_incumbent_ && bound <= incumbent_value_ + opt_.tol) continue;
+
+      if (opt_.use_objective_probing &&
+          !ProbeObjectiveVars(&node.dom)) {
+        continue;  // probing proved the node infeasible
+      }
+      bound = std::min(ActivityBound(lp_, node.dom), node.inherited_bound);
+      if (integral_) bound = std::floor(bound + opt_.tol);
+      if (has_incumbent_ && bound <= incumbent_value_ + opt_.tol) continue;
+
+      // Find an unfixed integer variable; preferred branch value comes from
+      // the LP relaxation when available. Among candidates, prefer the one
+      // most connected to already-fixed variables: on permutation-coupled
+      // instances this interleaves the two sides of each join so objective
+      // variables get decided (and the bound tightens) early in each dive.
+      VarId branch_var = lp_.num_vars();
+      double best_score = -1.0;
+      for (VarId v = 0; v < lp_.num_vars(); ++v) {
+        if (!lp_.vars()[v].is_integer ||
+            node.dom.upper[v] - node.dom.lower[v] <= 0.5) {
+          continue;
+        }
+        double score = 0.0;
+        for (uint32_t r : propagator_.var_rows()[v]) {
+          const Row& row = lp_.rows()[r];
+          int fixed = 0;
+          for (const Term& t : row.terms) {
+            if (node.dom.upper[t.var] - node.dom.lower[t.var] <= 0.5) {
+              ++fixed;
+            }
+          }
+          score += static_cast<double>(fixed) /
+                   static_cast<double>(row.terms.size());
+        }
+        if (score > best_score + 1e-12) {
+          best_score = score;
+          branch_var = v;
+        }
+      }
+      if (branch_var == lp_.num_vars()) {
+        // All integer variables fixed; propagation fixpoint on fully fixed
+        // integer rows implies feasibility (activities are point values).
+        std::vector<double> x(lp_.num_vars());
+        for (VarId v = 0; v < lp_.num_vars(); ++v) x[v] = node.dom.lower[v];
+        const double val = lp_.EvalObjective(x);
+        if (!has_incumbent_ || val > incumbent_value_) {
+          has_incumbent_ = true;
+          incumbent_value_ = val;
+          incumbent_ = std::move(x);
+        }
+        continue;
+      }
+
+      double frac_target = -1.0;  // LP value of the branch variable
+      if (opt_.use_lp_bound && lp_.num_vars() <= opt_.lp_bound_max_vars) {
+        LpSolution rel = SolveWithDomains(node.dom);
+        ++stats_->lp_solves;
+        if (rel.status == SolveStatus::kInfeasible) continue;
+        if (rel.status == SolveStatus::kOptimal) {
+          double lpb = rel.objective;
+          if (integral_) lpb = std::floor(lpb + opt_.tol);
+          bound = std::min(bound, lpb);
+          if (has_incumbent_ && bound <= incumbent_value_ + opt_.tol)
+            continue;
+          // Integral LP solutions are incumbents for free.
+          VarId most_frac = lp_.num_vars();
+          double best_frac = opt_.tol;
+          for (VarId v = 0; v < lp_.num_vars(); ++v) {
+            if (!lp_.vars()[v].is_integer) continue;
+            const double f =
+                std::abs(rel.values[v] - std::round(rel.values[v]));
+            if (f > best_frac &&
+                node.dom.upper[v] - node.dom.lower[v] > 0.5) {
+              best_frac = f;
+              most_frac = v;
+            }
+          }
+          if (most_frac == lp_.num_vars()) {
+            // Vertex is integral; it may still sit between node bounds for
+            // fixed vars, but bounds were respected by the LP, so feasible.
+            if (!has_incumbent_ || rel.objective > incumbent_value_) {
+              has_incumbent_ = true;
+              incumbent_value_ = rel.objective;
+              incumbent_ = rel.values;
+            }
+            continue;
+          }
+          branch_var = most_frac;
+          frac_target = rel.values[most_frac];
+        }
+        // kTimeLimit / kUnbounded from the relaxation: keep activity bound.
+      }
+
+      // SOS1 branching: if the variable sits in a sum(=1) row with several
+      // candidates, branch "who gets the 1" — one child per candidate.
+      if (sos1_of_var_[branch_var] >= 0) {
+        const Row& row =
+            lp_.rows()[static_cast<uint32_t>(sos1_of_var_[branch_var])];
+        std::vector<VarId> candidates;
+        for (const Term& t : row.terms) {
+          if (node.dom.upper[t.var] - node.dom.lower[t.var] > 0.5) {
+            candidates.push_back(t.var);
+          }
+        }
+        if (candidates.size() >= 2) {
+          // Push in reverse so the first candidate is explored first.
+          for (size_t i = candidates.size(); i-- > 0;) {
+            Node child{node.dom, {candidates[i]}, bound};
+            child.dom.lower[candidates[i]] = 1.0;
+            stack.push_back(std::move(child));
+          }
+          continue;
+        }
+      }
+
+      // Child A explores the preferred value first (pushed last).
+      const double lo = node.dom.lower[branch_var];
+      const double hi = node.dom.upper[branch_var];
+      double split;  // branch: x <= split  |  x >= split + 1
+      if (frac_target >= 0.0) {
+        split = std::floor(frac_target);
+        split = std::clamp(split, lo, hi - 1.0);
+      } else {
+        split = lo;  // binary-style: try lo side vs rest
+      }
+      const double c = lp_.objective_coef(branch_var);
+      const bool prefer_up = frac_target >= 0.0
+                                 ? (frac_target - split > 0.5)
+                                 : (c > 0);
+
+      Node down{node.dom, {branch_var}, bound};
+      down.dom.upper[branch_var] = split;
+      Node up{std::move(node.dom), {branch_var}, bound};
+      up.dom.lower[branch_var] = split + 1.0;
+
+      if (prefer_up) {
+        stack.push_back(std::move(down));
+        stack.push_back(std::move(up));
+      } else {
+        stack.push_back(std::move(up));
+        stack.push_back(std::move(down));
+      }
+    }
+  }
+
+  double NodeBoundCheap(const Domains& dom) const {
+    double b = ActivityBound(lp_, dom);
+    if (integral_) b = std::floor(b + opt_.tol);
+    return b;
+  }
+
+  LpSolution SolveWithDomains(const Domains& dom) const {
+    LinearProgram sub = lp_;  // cheap: component programs are small
+    for (VarId v = 0; v < sub.num_vars(); ++v) {
+      sub.mutable_vars()[v].lower = dom.lower[v];
+      sub.mutable_vars()[v].upper = dom.upper[v];
+    }
+    return SolveLpRelaxation(sub, Sense::kMaximize);
+  }
+
+  const LinearProgram& lp_;
+  const MipOptions& opt_;
+  const StopWatch& clock_;
+  MipStats* stats_;
+  Propagator propagator_;
+  std::vector<int32_t> sos1_of_var_;
+  const bool integral_;
+
+  int64_t nodes_ = 0;
+  bool stopped_ = false;
+  bool infeasible_only_ = true;
+  bool has_incumbent_ = false;
+  double incumbent_value_ = -kInfinity;
+  double open_bound_ = -kInfinity;
+  std::vector<double> incumbent_;
+};
+
+}  // namespace
+
+MipResult MipSolver::Solve(const LinearProgram& input, Sense sense) const {
+  StopWatch clock;
+  MipResult result;
+  LICM_CHECK_OK(input.Validate());
+
+  // Normalize to maximization.
+  const bool minimize = sense == Sense::kMinimize;
+  LinearProgram lp = input;
+  if (minimize) {
+    for (VarId v = 0; v < lp.num_vars(); ++v)
+      lp.SetObjectiveCoef(v, -lp.objective_coef(v));
+    lp.AddObjectiveConstant(-2.0 * lp.objective_constant());
+  }
+
+  PresolveResult pre;
+  const LinearProgram* work = &lp;
+  if (options_.use_presolve) {
+    pre = Presolve(lp);
+    if (pre.infeasible) {
+      result.status = SolveStatus::kInfeasible;
+      result.stats.solve_seconds = clock.ElapsedSeconds();
+      return result;
+    }
+    result.stats.presolve_fixed_vars = pre.stats.vars_fixed;
+    result.stats.presolve_removed_rows =
+        pre.stats.rows_removed + pre.stats.duplicate_rows;
+    work = &pre.reduced;
+  }
+
+  std::vector<Component> comps;
+  if (options_.use_decomposition) {
+    comps = Decompose(*work);
+  } else {
+    Component whole;
+    whole.program = *work;
+    whole.to_parent.resize(work->num_vars());
+    for (VarId v = 0; v < work->num_vars(); ++v) whole.to_parent[v] = v;
+    comps.push_back(std::move(whole));
+  }
+  result.stats.components = comps.size();
+
+  // The objective constant lives on `work` (post-presolve); component
+  // programs carry coefficient-only objectives, so add it once. (Component
+  // constants are subtracted back out below to keep this correct when
+  // decomposition is disabled and the single component *is* `work`.)
+  double objective = work->objective_constant();
+  double best_bound = work->objective_constant();
+
+  bool all_optimal = true;
+  bool any_solution_missing = false;
+  std::vector<double> assembled(work->num_vars(), 0.0);
+
+  // Solve components, optionally across worker threads (components are
+  // fully independent; only the per-thread stats need merging).
+  std::vector<ComponentResult> comp_results(comps.size());
+  const int threads =
+      std::max(1, std::min<int>(options_.num_threads,
+                                static_cast<int>(comps.size())));
+  if (threads == 1) {
+    for (size_t i = 0; i < comps.size(); ++i) {
+      ComponentSearch search(comps[i].program, options_, clock,
+                             &result.stats);
+      comp_results[i] = search.Run();
+    }
+  } else {
+    std::vector<MipStats> thread_stats(static_cast<size_t>(threads));
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        for (;;) {
+          const size_t i = next.fetch_add(1);
+          if (i >= comps.size()) return;
+          ComponentSearch search(comps[i].program, options_, clock,
+                                 &thread_stats[static_cast<size_t>(t)]);
+          comp_results[i] = search.Run();
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    for (const MipStats& s : thread_stats) {
+      result.stats.nodes += s.nodes;
+      result.stats.lp_solves += s.lp_solves;
+    }
+  }
+
+  for (size_t ci = 0; ci < comps.size(); ++ci) {
+    const Component& comp = comps[ci];
+    ComponentResult& cr = comp_results[ci];
+    if (cr.status == SolveStatus::kInfeasible) {
+      result.status = SolveStatus::kInfeasible;
+      result.stats.solve_seconds = clock.ElapsedSeconds();
+      return result;
+    }
+    if (cr.status == SolveStatus::kUnbounded) {
+      result.status = SolveStatus::kUnbounded;
+      result.stats.solve_seconds = clock.ElapsedSeconds();
+      return result;
+    }
+    if (cr.status != SolveStatus::kOptimal) all_optimal = false;
+    // Component programs have zero objective constant; avoid counting the
+    // parent constant repeatedly.
+    objective += cr.has_solution
+                     ? cr.objective - comp.program.objective_constant()
+                     : 0.0;
+    best_bound += cr.best_bound - comp.program.objective_constant();
+    if (cr.has_solution) {
+      for (size_t i = 0; i < comp.to_parent.size(); ++i)
+        assembled[comp.to_parent[i]] = cr.solution[i];
+    } else {
+      any_solution_missing = true;
+    }
+  }
+
+  result.status =
+      all_optimal ? SolveStatus::kOptimal : SolveStatus::kTimeLimit;
+  result.has_solution = !any_solution_missing;
+  if (result.has_solution) {
+    std::vector<double> x = options_.use_presolve
+                                ? pre.Postsolve(assembled)
+                                : assembled;
+    // Report in the caller's sense.
+    result.solution = std::move(x);
+    result.objective = minimize ? -objective : objective;
+  }
+  result.best_bound = minimize ? -best_bound : best_bound;
+  if (result.status == SolveStatus::kOptimal) {
+    result.best_bound = result.objective;
+  }
+  // Normalize negative zeros introduced by the minimize negation.
+  if (result.objective == 0.0) result.objective = 0.0;
+  if (result.best_bound == 0.0) result.best_bound = 0.0;
+  result.stats.solve_seconds = clock.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace licm::solver

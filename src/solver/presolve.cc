@@ -1,0 +1,179 @@
+#include "solver/presolve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "solver/propagation.h"
+
+namespace licm::solver {
+
+namespace {
+constexpr double kTol = 1e-7;
+
+// Order-insensitive hash of a normalized row for duplicate detection.
+size_t HashRow(const Row& r) {
+  size_t h = static_cast<size_t>(r.op) * 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<uint64_t>(r.rhs * 4096.0));
+  for (const Term& t : r.terms) {
+    mix(t.var);
+    mix(static_cast<uint64_t>(t.coef * 4096.0));
+  }
+  return h;
+}
+
+bool SameRow(const Row& a, const Row& b) {
+  if (a.op != b.op || std::abs(a.rhs - b.rhs) > kTol) return false;
+  if (a.terms.size() != b.terms.size()) return false;
+  for (size_t i = 0; i < a.terms.size(); ++i) {
+    if (a.terms[i].var != b.terms[i].var ||
+        std::abs(a.terms[i].coef - b.terms[i].coef) > kTol)
+      return false;
+  }
+  return true;
+}
+}  // namespace
+
+std::vector<double> PresolveResult::Postsolve(
+    const std::vector<double>& reduced_x) const {
+  std::vector<double> x(orig_to_reduced.size(), 0.0);
+  for (size_t v = 0; v < orig_to_reduced.size(); ++v) {
+    if (orig_to_reduced[v] < 0) {
+      x[v] = fixed_value[v];
+    } else {
+      x[v] = reduced_x[static_cast<size_t>(orig_to_reduced[v])];
+    }
+  }
+  return x;
+}
+
+PresolveResult Presolve(const LinearProgram& lp) {
+  PresolveResult out;
+  const size_t n = lp.num_vars();
+  out.orig_to_reduced.assign(n, -1);
+  out.fixed_value.assign(n, 0.0);
+
+  // 1. Propagate bounds globally; this both tightens and fixes variables.
+  Domains dom = Domains::FromProgram(lp);
+  if (Propagate(lp, &dom) == PropagateResult::kInfeasible) {
+    out.infeasible = true;
+    return out;
+  }
+
+  // 2. Decide which variables survive.
+  std::vector<bool> fixed(n, false);
+  for (size_t v = 0; v < n; ++v) {
+    if (dom.upper[v] - dom.lower[v] <= kTol) {
+      fixed[v] = true;
+      out.fixed_value[v] =
+          lp.vars()[v].is_integer ? std::round(dom.lower[v]) : dom.lower[v];
+      ++out.stats.vars_fixed;
+    }
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (!fixed[v]) {
+      const auto& def = lp.vars()[v];
+      out.orig_to_reduced[v] = static_cast<int32_t>(
+          out.reduced.AddVariable(dom.lower[v], dom.upper[v], def.is_integer,
+                                  def.name));
+    }
+  }
+
+  // 3. Rewrite rows: substitute fixed variables, drop satisfied rows,
+  //    deduplicate the rest.
+  std::unordered_multimap<size_t, size_t> seen;  // hash -> reduced row index
+  for (const Row& row : lp.rows()) {
+    Row nr;
+    nr.op = row.op;
+    nr.rhs = row.rhs;
+    for (const Term& t : row.terms) {
+      if (fixed[t.var]) {
+        nr.rhs -= t.coef * out.fixed_value[t.var];
+      } else {
+        nr.terms.push_back(
+            Term{static_cast<VarId>(out.orig_to_reduced[t.var]), t.coef});
+      }
+    }
+    if (nr.terms.empty()) {
+      // Fully substituted: verify and drop. Propagation already proved
+      // feasibility, so a violation here is numerical; be strict anyway.
+      bool ok = true;
+      switch (nr.op) {
+        case RowOp::kLe: ok = 0.0 <= nr.rhs + kTol; break;
+        case RowOp::kGe: ok = 0.0 >= nr.rhs - kTol; break;
+        case RowOp::kEq: ok = std::abs(nr.rhs) <= kTol; break;
+      }
+      if (!ok) {
+        out.infeasible = true;
+        return out;
+      }
+      ++out.stats.rows_removed;
+      continue;
+    }
+    // Redundancy: row satisfied for every point in the (tightened) box.
+    double min_act = 0.0, max_act = 0.0;
+    for (const Term& t : nr.terms) {
+      const double lo = out.reduced.vars()[t.var].lower;
+      const double hi = out.reduced.vars()[t.var].upper;
+      if (t.coef > 0) {
+        min_act += t.coef * lo;
+        max_act += t.coef * hi;
+      } else {
+        min_act += t.coef * hi;
+        max_act += t.coef * lo;
+      }
+    }
+    bool redundant = false;
+    switch (nr.op) {
+      case RowOp::kLe: redundant = max_act <= nr.rhs + kTol; break;
+      case RowOp::kGe: redundant = min_act >= nr.rhs - kTol; break;
+      case RowOp::kEq:
+        redundant = std::abs(max_act - nr.rhs) <= kTol &&
+                    std::abs(min_act - nr.rhs) <= kTol;
+        break;
+    }
+    if (redundant) {
+      ++out.stats.rows_removed;
+      continue;
+    }
+    std::sort(nr.terms.begin(), nr.terms.end(),
+              [](const Term& a, const Term& b) { return a.var < b.var; });
+    const size_t h = HashRow(nr);
+    bool dup = false;
+    auto [it, end] = seen.equal_range(h);
+    for (; it != end; ++it) {
+      if (SameRow(out.reduced.rows()[it->second], nr)) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) {
+      ++out.stats.duplicate_rows;
+      continue;
+    }
+    seen.emplace(h, out.reduced.num_rows());
+    out.reduced.AddRow(std::move(nr));
+  }
+
+  // 4. Objective: move fixed contributions into the constant.
+  double constant = lp.objective_constant();
+  for (size_t v = 0; v < n; ++v) {
+    const double c = lp.objective_coef(static_cast<VarId>(v));
+    if (c == 0.0) continue;
+    if (fixed[v]) {
+      constant += c * out.fixed_value[v];
+    } else {
+      out.reduced.SetObjectiveCoef(
+          static_cast<VarId>(out.orig_to_reduced[v]), c);
+    }
+  }
+  out.reduced.AddObjectiveConstant(constant);
+  return out;
+}
+
+}  // namespace licm::solver

@@ -1,0 +1,43 @@
+// Presolve: shrink a MIP before search.
+//
+// Mirrors the pre-solve stage the paper relies on in CPLEX: fixed-variable
+// substitution, bound propagation, redundant-row and duplicate-row removal.
+// Produces a reduced program plus the bookkeeping needed to map a reduced
+// solution back to the original variable space.
+#ifndef LICM_SOLVER_PRESOLVE_H_
+#define LICM_SOLVER_PRESOLVE_H_
+
+#include <vector>
+
+#include "solver/linear_program.h"
+
+namespace licm::solver {
+
+struct PresolveResult {
+  /// True when presolve proved the program infeasible outright.
+  bool infeasible = false;
+
+  LinearProgram reduced;
+
+  /// orig var -> reduced var, or -1 when the variable was fixed.
+  std::vector<int32_t> orig_to_reduced;
+  /// Fixed value for variables with orig_to_reduced == -1.
+  std::vector<double> fixed_value;
+
+  struct Stats {
+    size_t vars_fixed = 0;
+    size_t rows_removed = 0;
+    size_t duplicate_rows = 0;
+  } stats;
+
+  /// Expands a solution of `reduced` into original variable space.
+  std::vector<double> Postsolve(const std::vector<double>& reduced_x) const;
+};
+
+/// Runs presolve on `lp`. The reduced program's objective constant absorbs
+/// contributions of fixed variables, so optimal objective values agree.
+PresolveResult Presolve(const LinearProgram& lp);
+
+}  // namespace licm::solver
+
+#endif  // LICM_SOLVER_PRESOLVE_H_

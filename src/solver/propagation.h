@@ -1,0 +1,62 @@
+// Activity-based bound propagation for integer linear programs.
+//
+// For every row, the minimum / maximum possible activity under the current
+// variable bounds implies bounds on each participating variable. Iterating
+// to a fixpoint fixes forced variables and detects infeasibility early.
+// This is the workhorse of the branch & bound search: LICM constraint sets
+// are dominated by cardinality rows for which propagation is very strong.
+#ifndef LICM_SOLVER_PROPAGATION_H_
+#define LICM_SOLVER_PROPAGATION_H_
+
+#include <vector>
+
+#include "solver/linear_program.h"
+
+namespace licm::solver {
+
+/// Mutable per-variable bounds used during search. Starts as a copy of the
+/// LP's variable bounds and tightens monotonically.
+struct Domains {
+  std::vector<double> lower;
+  std::vector<double> upper;
+
+  static Domains FromProgram(const LinearProgram& lp);
+
+  bool IsFixed(VarId v, double tol = 1e-9) const {
+    return upper[v] - lower[v] <= tol;
+  }
+};
+
+enum class PropagateResult { kFixpoint, kInfeasible };
+
+/// Reusable propagation engine: caches the variable -> rows adjacency of
+/// one program so branch & bound can propagate millions of nodes without
+/// rebuilding it. The program must outlive the propagator.
+class Propagator {
+ public:
+  explicit Propagator(const LinearProgram& lp);
+
+  /// Tightens `domains` until fixpoint or proven infeasibility. Integer
+  /// variables are rounded to integral bounds. `touched` (optional) limits
+  /// the initial worklist to rows mentioning those variables; pass nullptr
+  /// to start from all rows.
+  PropagateResult Run(Domains* domains,
+                      const std::vector<VarId>* touched = nullptr) const;
+
+  /// Rows mentioning each variable (exposed for branching heuristics).
+  const std::vector<std::vector<uint32_t>>& var_rows() const {
+    return var_rows_;
+  }
+
+ private:
+  const LinearProgram& lp_;
+  std::vector<std::vector<uint32_t>> var_rows_;
+};
+
+/// One-shot convenience wrapper around Propagator.
+PropagateResult Propagate(const LinearProgram& lp, Domains* domains,
+                          const std::vector<VarId>* touched = nullptr);
+
+}  // namespace licm::solver
+
+#endif  // LICM_SOLVER_PROPAGATION_H_

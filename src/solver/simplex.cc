@@ -1,0 +1,308 @@
+#include "solver/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace licm::solver {
+namespace {
+
+// Dense tableau for the two-phase method. Column layout:
+//   [0, n)          shifted structural variables (y = x - lower)
+//   [n, n + s)      slack / surplus variables
+//   [n + s, total)  artificial variables (phase 1 only)
+// One extra column stores the rhs. Row 0..m-1 are constraints; the
+// objective is kept in a separate vector with a scalar for its value.
+class Tableau {
+ public:
+  Tableau(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), a_(rows * (cols + 1), 0.0) {}
+
+  double& At(size_t r, size_t c) { return a_[r * (cols_ + 1) + c]; }
+  double At(size_t r, size_t c) const { return a_[r * (cols_ + 1) + c]; }
+  double& Rhs(size_t r) { return a_[r * (cols_ + 1) + cols_]; }
+  double Rhs(size_t r) const { return a_[r * (cols_ + 1) + cols_]; }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  /// Gauss-Jordan pivot on (pr, pc): scales the pivot row to make the pivot
+  /// 1 and eliminates column pc from every other row and from `obj`.
+  void Pivot(size_t pr, size_t pc, std::vector<double>* obj,
+             double* obj_value) {
+    const double piv = At(pr, pc);
+    const double inv = 1.0 / piv;
+    for (size_t c = 0; c <= cols_; ++c) a_[pr * (cols_ + 1) + c] *= inv;
+    for (size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double f = At(r, pc);
+      if (f == 0.0) continue;
+      for (size_t c = 0; c <= cols_; ++c)
+        a_[r * (cols_ + 1) + c] -= f * a_[pr * (cols_ + 1) + c];
+      At(r, pc) = 0.0;  // clamp rounding
+    }
+    const double f = (*obj)[pc];
+    if (f != 0.0) {
+      // Identity z = obj_value + sum(obj[c] * x_c); substituting the scaled
+      // pivot row x_pc = Rhs(pr) - sum A(pr,c) x_c keeps it valid.
+      for (size_t c = 0; c < cols_; ++c) (*obj)[c] -= f * At(pr, c);
+      *obj_value += f * Rhs(pr);
+      (*obj)[pc] = 0.0;
+    }
+  }
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> a_;
+};
+
+// Runs simplex iterations to maximize. `obj` holds reduced costs (objective
+// coefficients expressed in the current basis, i.e. already eliminated for
+// basic columns). Returns kOptimal, kUnbounded, or kTimeLimit.
+SolveStatus Iterate(Tableau* t, std::vector<double>* obj, double* obj_value,
+                    std::vector<size_t>* basis, size_t usable_cols,
+                    const SimplexOptions& opt) {
+  const size_t m = t->rows();
+  int iters = 0;
+  // After this many Dantzig iterations, switch to Bland's rule, which is
+  // slower but provably cycle-free.
+  const int bland_after = opt.max_iterations / 2;
+  for (;;) {
+    if (++iters > opt.max_iterations) return SolveStatus::kTimeLimit;
+    const bool bland = iters > bland_after;
+
+    // Entering column: positive reduced cost (we maximize).
+    size_t enter = usable_cols;
+    double best = opt.tol;
+    for (size_t c = 0; c < usable_cols; ++c) {
+      const double rc = (*obj)[c];
+      if (rc > best) {
+        enter = c;
+        if (bland) break;  // first eligible
+        best = rc;
+      } else if (bland && rc > opt.tol) {
+        enter = c;
+        break;
+      }
+    }
+    if (enter == usable_cols) return SolveStatus::kOptimal;
+
+    // Ratio test: leaving row minimizes rhs / a over positive a.
+    size_t leave = m;
+    double best_ratio = 0.0;
+    for (size_t r = 0; r < m; ++r) {
+      const double a = t->At(r, enter);
+      if (a > opt.tol) {
+        const double ratio = t->Rhs(r) / a;
+        if (leave == m || ratio < best_ratio - opt.tol ||
+            (bland && std::abs(ratio - best_ratio) <= opt.tol &&
+             (*basis)[r] < (*basis)[leave])) {
+          leave = r;
+          best_ratio = ratio;
+        }
+      }
+    }
+    if (leave == m) return SolveStatus::kUnbounded;
+
+    t->Pivot(leave, enter, obj, obj_value);
+    (*basis)[leave] = enter;
+  }
+}
+
+}  // namespace
+
+LpSolution SolveLpRelaxation(const LinearProgram& lp, Sense sense,
+                             const SimplexOptions& opt) {
+  LpSolution out;
+  const size_t n = lp.num_vars();
+
+  // This implementation requires finite lower bounds (always true for the
+  // binary programs LICM emits). Unexpected inputs get a conservative
+  // "don't know" answer rather than a wrong one.
+  for (const auto& v : lp.vars()) {
+    if (!std::isfinite(v.lower)) {
+      out.status = SolveStatus::kTimeLimit;
+      return out;
+    }
+    if (v.lower > v.upper) {
+      out.status = SolveStatus::kInfeasible;
+      return out;
+    }
+  }
+
+  // Build the row set in shifted space y = x - lower, adding upper-bound
+  // rows for finite upper bounds.
+  struct BuildRow {
+    std::vector<Term> terms;
+    RowOp op;
+    double rhs;
+  };
+  std::vector<BuildRow> rows;
+  rows.reserve(lp.num_rows() + n);
+  for (const Row& r : lp.rows()) {
+    BuildRow br{r.terms, r.op, r.rhs};
+    for (const Term& t : r.terms) br.rhs -= t.coef * lp.vars()[t.var].lower;
+    // An empty row is a pure feasibility test.
+    if (br.terms.empty()) {
+      bool ok_row = true;
+      switch (br.op) {
+        case RowOp::kLe: ok_row = 0.0 <= br.rhs + opt.tol; break;
+        case RowOp::kGe: ok_row = 0.0 >= br.rhs - opt.tol; break;
+        case RowOp::kEq: ok_row = std::abs(br.rhs) <= opt.tol; break;
+      }
+      if (!ok_row) {
+        out.status = SolveStatus::kInfeasible;
+        return out;
+      }
+      continue;
+    }
+    rows.push_back(std::move(br));
+  }
+  for (VarId v = 0; v < n; ++v) {
+    const auto& def = lp.vars()[v];
+    if (std::isfinite(def.upper)) {
+      rows.push_back(
+          BuildRow{{Term{v, 1.0}}, RowOp::kLe, def.upper - def.lower});
+    }
+  }
+
+  const size_t m = rows.size();
+  // Count slacks (one per inequality) and normalize so rhs >= 0.
+  size_t num_slack = 0;
+  for (auto& br : rows) {
+    if (br.rhs < 0.0) {
+      for (auto& t : br.terms) t.coef = -t.coef;
+      br.rhs = -br.rhs;
+      if (br.op == RowOp::kLe) br.op = RowOp::kGe;
+      else if (br.op == RowOp::kGe) br.op = RowOp::kLe;
+    }
+    if (br.op != RowOp::kEq) ++num_slack;
+  }
+  // Artificials: needed for kGe and kEq rows (no natural basic column).
+  size_t num_art = 0;
+  for (const auto& br : rows)
+    if (br.op != RowOp::kLe) ++num_art;
+
+  const size_t total_cols = n + num_slack + num_art;
+  if (m * (total_cols + 1) > opt.max_tableau_cells) {
+    out.status = SolveStatus::kTimeLimit;
+    return out;
+  }
+
+  Tableau t(m, total_cols);
+  std::vector<size_t> basis(m);
+  std::vector<double> phase1_obj(total_cols, 0.0);
+  double phase1_value = 0.0;
+
+  size_t slack_at = n, art_at = n + num_slack;
+  for (size_t r = 0; r < m; ++r) {
+    for (const Term& term : rows[r].terms) t.At(r, term.var) = term.coef;
+    t.Rhs(r) = rows[r].rhs;
+    switch (rows[r].op) {
+      case RowOp::kLe:
+        t.At(r, slack_at) = 1.0;
+        basis[r] = slack_at++;
+        break;
+      case RowOp::kGe:
+        t.At(r, slack_at) = -1.0;
+        ++slack_at;
+        t.At(r, art_at) = 1.0;
+        basis[r] = art_at++;
+        break;
+      case RowOp::kEq:
+        t.At(r, art_at) = 1.0;
+        basis[r] = art_at++;
+        break;
+    }
+  }
+
+  if (num_art > 0) {
+    // Phase 1: maximize -(sum of artificials). Express the objective in
+    // terms of nonbasic columns by adding each artificial's row.
+    for (size_t r = 0; r < m; ++r) {
+      if (basis[r] >= n + num_slack) {
+        for (size_t c = 0; c < total_cols; ++c)
+          phase1_obj[c] += t.At(r, c);
+        phase1_value += t.Rhs(r);
+      }
+    }
+    // z1 = -sum(artificials) = -sum Rhs(r) + sum_c (sum_r A(r,c)) x_c once
+    // the basic artificial columns are substituted out.
+    for (size_t c = n + num_slack; c < total_cols; ++c) phase1_obj[c] = 0.0;
+    phase1_value = -phase1_value;
+    // Allow artificials to re-enter? No: restrict pivoting to real columns.
+    SolveStatus st = Iterate(&t, &phase1_obj, &phase1_value, &basis,
+                             n + num_slack, opt);
+    if (st == SolveStatus::kTimeLimit) {
+      out.status = st;
+      return out;
+    }
+    // phase1_value now holds -(sum of artificials) at optimum.
+    if (phase1_value < -1e-7) {
+      out.status = SolveStatus::kInfeasible;
+      return out;
+    }
+    // Drive any remaining basic artificials out (they must be at 0).
+    for (size_t r = 0; r < m; ++r) {
+      if (basis[r] >= n + num_slack) {
+        size_t pc = total_cols;
+        for (size_t c = 0; c < n + num_slack; ++c) {
+          if (std::abs(t.At(r, c)) > opt.tol) {
+            pc = c;
+            break;
+          }
+        }
+        if (pc < total_cols) {
+          double dummy = 0.0;
+          std::vector<double> no_obj(total_cols, 0.0);
+          t.Pivot(r, pc, &no_obj, &dummy);
+          basis[r] = pc;
+        }
+        // Else the row is all-zero over real columns: redundant, leave it.
+      }
+    }
+  }
+
+  // Phase 2: real objective over shifted variables. Shift constant:
+  // c.x = c.y + c.lower.
+  const double sign = (sense == Sense::kMaximize) ? 1.0 : -1.0;
+  std::vector<double> obj(total_cols, 0.0);
+  double obj_value = lp.objective_constant();
+  for (VarId v = 0; v < n; ++v) {
+    const double c = sign * lp.objective_coef(v);
+    obj[v] = c;
+    obj_value += c * lp.vars()[v].lower;
+  }
+  // Eliminate basic columns from the objective row.
+  for (size_t r = 0; r < m; ++r) {
+    const size_t b = basis[r];
+    if (b < total_cols && obj[b] != 0.0) {
+      const double f = obj[b];
+      for (size_t c = 0; c < total_cols; ++c) obj[c] -= f * t.At(r, c);
+      obj_value += f * t.Rhs(r);
+      obj[b] = 0.0;
+    }
+  }
+  SolveStatus st =
+      Iterate(&t, &obj, &obj_value, &basis, n + num_slack, opt);
+  if (st != SolveStatus::kOptimal) {
+    out.status = st;
+    return out;
+  }
+
+  out.status = SolveStatus::kOptimal;
+  out.values.assign(n, 0.0);
+  for (size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) out.values[basis[r]] = t.Rhs(r);
+  }
+  for (VarId v = 0; v < n; ++v) {
+    out.values[v] += lp.vars()[v].lower;
+    // Clamp tiny numerical drift back into the box.
+    out.values[v] =
+        std::clamp(out.values[v], lp.vars()[v].lower, lp.vars()[v].upper);
+  }
+  out.objective = lp.EvalObjective(out.values);
+  return out;
+}
+
+}  // namespace licm::solver

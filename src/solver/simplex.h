@@ -1,0 +1,36 @@
+// Two-phase primal simplex for the LP relaxation of LICM programs.
+//
+// The method operates on a dense tableau, which is appropriate here because
+// the MIP layer only invokes it on small connected components (LICM
+// constraints each touch few variables, so after decomposition components
+// are small). Variables must have finite lower bounds (LICM variables are
+// binary, so bounds are always [0, 1]); finite upper bounds are enforced
+// with explicit bound rows.
+#ifndef LICM_SOLVER_SIMPLEX_H_
+#define LICM_SOLVER_SIMPLEX_H_
+
+#include "solver/linear_program.h"
+
+namespace licm::solver {
+
+struct SimplexOptions {
+  /// Numerical tolerance for feasibility / optimality tests.
+  double tol = 1e-9;
+  /// Iteration cap; exceeded => solver switches to Bland's rule, and a
+  /// second cap aborts (reported as time limit).
+  int max_iterations = 100000;
+  /// Hard cap on tableau cells to protect against accidentally huge dense
+  /// instances; exceeding it returns kTimeLimit so callers fall back to
+  /// propagation bounds.
+  size_t max_tableau_cells = 64ull * 1024 * 1024;
+};
+
+/// Solves the *continuous relaxation* of `lp` (integrality flags ignored).
+/// Maximizes when sense == kMaximize. On kOptimal, `values` holds one
+/// optimal vertex in original variable space.
+LpSolution SolveLpRelaxation(const LinearProgram& lp, Sense sense,
+                             const SimplexOptions& options = {});
+
+}  // namespace licm::solver
+
+#endif  // LICM_SOLVER_SIMPLEX_H_

@@ -1,0 +1,200 @@
+// Tests for the anonymization substrates: hierarchy, k^m / k-anonymity,
+// suppression, and bipartite safe grouping.
+#include <gtest/gtest.h>
+
+#include "anonymize/generalize.h"
+#include "anonymize/grouping.h"
+#include "anonymize/hierarchy.h"
+#include "anonymize/suppress.h"
+
+namespace licm::anonymize {
+namespace {
+
+data::TransactionDataset SmallDataset(uint32_t txns = 200,
+                                      uint32_t items = 64,
+                                      uint64_t seed = 5) {
+  data::GeneratorConfig c;
+  c.num_transactions = txns;
+  c.num_items = items;
+  c.mean_size = 4.0;
+  c.seed = seed;
+  return data::GenerateTransactions(c);
+}
+
+// ---- Hierarchy ----
+
+TEST(Hierarchy, UniformStructureValid) {
+  for (uint32_t leaves : {1u, 2u, 3u, 7u, 8u, 64u, 100u, 1657u}) {
+    for (uint32_t fanout : {2u, 3u, 5u}) {
+      Hierarchy h = Hierarchy::BuildUniform(leaves, fanout);
+      ASSERT_TRUE(h.Validate().ok())
+          << "leaves=" << leaves << " fanout=" << fanout << ": "
+          << h.Validate().ToString();
+      EXPECT_EQ(h.num_leaves(), leaves);
+      EXPECT_EQ(h.LeafCount(h.root()), leaves);
+      EXPECT_EQ(h.Depth(h.root()), 0u);
+    }
+  }
+}
+
+TEST(Hierarchy, CoversAndRanges) {
+  Hierarchy h = Hierarchy::BuildUniform(8, 2);
+  // 8 leaves, fanout 2: 8 + 4 + 2 + 1 = 15 nodes.
+  EXPECT_EQ(h.num_nodes(), 15u);
+  const NodeId p01 = h.Parent(0);
+  EXPECT_EQ(h.Parent(1), p01);
+  EXPECT_TRUE(h.Covers(p01, 0));
+  EXPECT_TRUE(h.Covers(p01, 1));
+  EXPECT_FALSE(h.Covers(p01, 2));
+  EXPECT_TRUE(h.Covers(h.root(), 7));
+  EXPECT_EQ(h.LeafCount(p01), 2u);
+}
+
+// ---- k^m-anonymity ----
+
+class KmSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(KmSweep, OutputSatisfiesDefinitionAndRecodingValid) {
+  const uint32_t k = GetParam();
+  auto d = SmallDataset();
+  Hierarchy h = Hierarchy::BuildUniform(d.num_items, 4);
+  auto out = KmAnonymize(d, h, {k, 2});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(CheckKmAnonymity(*out, k, 2).ok());
+  EXPECT_TRUE(CheckRecodingValid(d, *out, h).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(K, KmSweep, ::testing::Values(2, 4, 6, 8));
+
+TEST(Km, MoreKMeansMoreGeneralization) {
+  auto d = SmallDataset();
+  Hierarchy h = Hierarchy::BuildUniform(d.num_items, 4);
+  auto k2 = KmAnonymize(d, h, {2, 2});
+  auto k8 = KmAnonymize(d, h, {8, 2});
+  ASSERT_TRUE(k2.ok());
+  ASSERT_TRUE(k8.ok());
+  EXPECT_GE(k8->ComputeStats(h).expansion, k2->ComputeStats(h).expansion);
+}
+
+TEST(Km, M1WeakerThanM2) {
+  auto d = SmallDataset();
+  Hierarchy h = Hierarchy::BuildUniform(d.num_items, 4);
+  auto m1 = KmAnonymize(d, h, {4, 1});
+  auto m2 = KmAnonymize(d, h, {4, 2});
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  EXPECT_TRUE(CheckKmAnonymity(*m1, 4, 1).ok());
+  EXPECT_LE(m1->ComputeStats(h).expansion, m2->ComputeStats(h).expansion);
+}
+
+TEST(Km, RejectsBadConfig) {
+  auto d = SmallDataset(10);
+  Hierarchy h = Hierarchy::BuildUniform(d.num_items, 4);
+  EXPECT_FALSE(KmAnonymize(d, h, {0, 2}).ok());
+  EXPECT_FALSE(KmAnonymize(d, h, {2, 3}).ok());
+  EXPECT_FALSE(KmAnonymize(d, h, {11, 2}).ok());  // k > #transactions
+  Hierarchy tiny = Hierarchy::BuildUniform(2, 2);
+  EXPECT_FALSE(KmAnonymize(d, tiny, {2, 2}).ok());
+}
+
+// ---- k-anonymity ----
+
+class KAnonSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(KAnonSweep, OutputSatisfiesDefinitionAndRecodingValid) {
+  const uint32_t k = GetParam();
+  auto d = SmallDataset();
+  Hierarchy h = Hierarchy::BuildUniform(d.num_items, 4);
+  auto out = KAnonymize(d, h, {k});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(CheckKAnonymity(*out, k).ok())
+      << CheckKAnonymity(*out, k).ToString();
+  EXPECT_TRUE(CheckRecodingValid(d, *out, h).ok())
+      << CheckRecodingValid(d, *out, h).ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(K, KAnonSweep, ::testing::Values(2, 4, 6, 8));
+
+TEST(KAnon, IdenticalTransactionsStayExact) {
+  // If >= k transactions are identical, no generalization is needed.
+  data::TransactionDataset d;
+  d.num_items = 8;
+  d.price.assign(8, 1);
+  for (int i = 0; i < 4; ++i) {
+    d.transactions.push_back({i, 0, {1, 3, 5}});
+  }
+  Hierarchy h = Hierarchy::BuildUniform(8, 2);
+  auto out = KAnonymize(d, h, {4});
+  ASSERT_TRUE(out.ok());
+  for (const auto& t : out->transactions) {
+    EXPECT_EQ(t.nodes, (std::vector<NodeId>{1, 3, 5}));
+  }
+}
+
+// ---- Suppression ----
+
+TEST(Suppress, RemovesRareItemsGlobally) {
+  data::TransactionDataset d;
+  d.num_items = 4;
+  d.price.assign(4, 1);
+  d.transactions.push_back({0, 0, {0, 1}});
+  d.transactions.push_back({1, 0, {0, 2}});
+  d.transactions.push_back({2, 0, {0, 3}});
+  auto out = SuppressRareItems(d, {2});
+  ASSERT_TRUE(out.ok());
+  // Items 1, 2, 3 have support 1 -> suppressed; item 0 kept.
+  EXPECT_EQ(out->suppressed_items,
+            (std::vector<data::ItemId>{1, 2, 3}));
+  EXPECT_TRUE(CheckSuppression(*out, 2).ok());
+  for (const auto& t : out->transactions) {
+    EXPECT_EQ(t.items, (std::vector<data::ItemId>{0}));
+  }
+}
+
+TEST(Suppress, KOneSuppressesNothing) {
+  auto d = SmallDataset(50, 32);
+  auto out = SuppressRareItems(d, {1});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->suppressed_items.empty());
+}
+
+// ---- Bipartite grouping ----
+
+class GroupingSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(GroupingSweep, GroupSizesAndCoverage) {
+  const uint32_t k = GetParam();
+  auto d = SmallDataset(100, 48, 9);
+  auto g = SafeGrouping(d, {k, 2, 3});
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  size_t violations = 0;
+  ASSERT_TRUE(CheckGrouping(d, *g, k, 2, &violations).ok());
+  EXPECT_EQ(violations, g->safety_violations);
+}
+
+INSTANTIATE_TEST_SUITE_P(K, GroupingSweep, ::testing::Values(2, 4, 6, 8));
+
+TEST(Grouping, DisjointDataIsPerfectlySafe) {
+  // Transactions with pairwise disjoint items: greedy must find a grouping
+  // with zero safety violations.
+  data::TransactionDataset d;
+  d.num_items = 16;
+  d.price.assign(16, 1);
+  for (int t = 0; t < 8; ++t) {
+    d.transactions.push_back(
+        {t, 0, {static_cast<data::ItemId>(2 * t),
+                static_cast<data::ItemId>(2 * t + 1)}});
+  }
+  auto g = SafeGrouping(d, {2, 2, 3});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->safety_violations, 0u);
+}
+
+TEST(Grouping, RejectsBadConfig) {
+  auto d = SmallDataset(3, 16);
+  EXPECT_FALSE(SafeGrouping(d, {0, 2, 3}).ok());
+  EXPECT_FALSE(SafeGrouping(d, {4, 2, 3}).ok());  // k > #transactions
+}
+
+}  // namespace
+}  // namespace licm::anonymize

@@ -1,0 +1,88 @@
+// Tests for the common substrate: Status/Result plumbing and the
+// deterministic PRNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace licm {
+namespace {
+
+TEST(Status, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status s = Status::InvalidArgument("bad");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad");
+  EXPECT_EQ(Status::Infeasible("x").code(), StatusCode::kInfeasible);
+  EXPECT_EQ(Status::TimeLimit("x").code(), StatusCode::kTimeLimit);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  LICM_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(Result, PropagatesThroughMacros) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  auto bad = Quarter(6);  // 6/2 = 3 is odd
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Rng, DeterministicAndSeedSensitive) {
+  Rng a(1), b(1), c(2);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.Next(), b.Next());
+  bool differs = false;
+  Rng a2(1);
+  for (int i = 0; i < 16; ++i) differs |= a2.Next() != c.Next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutEscaping) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, PermutationIsBijection) {
+  Rng rng(5);
+  auto p = rng.Permutation(20);
+  std::set<uint32_t> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 20u);
+  EXPECT_EQ(*s.begin(), 0u);
+  EXPECT_EQ(*s.rbegin(), 19u);
+}
+
+TEST(Rng, BernoulliRespectsProbability) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.25);
+  EXPECT_NEAR(hits, 2500, 200);
+}
+
+TEST(StopWatch, MeasuresElapsedTime) {
+  StopWatch w;
+  EXPECT_GE(w.ElapsedMs(), 0.0);
+  w.Restart();
+  EXPECT_LT(w.ElapsedMs(), 1000.0);
+}
+
+}  // namespace
+}  // namespace licm

@@ -1,0 +1,138 @@
+// Tests for the synthetic BMS-POS-like transaction generator.
+#include "data/transactions.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <unordered_set>
+
+#include "data/csv.h"
+
+namespace licm::data {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig c;
+  c.num_transactions = 2000;
+  c.num_items = 300;
+  c.seed = 11;
+  return c;
+}
+
+TEST(Generator, Deterministic) {
+  TransactionDataset a = GenerateTransactions(SmallConfig());
+  TransactionDataset b = GenerateTransactions(SmallConfig());
+  ASSERT_EQ(a.transactions.size(), b.transactions.size());
+  for (size_t i = 0; i < a.transactions.size(); ++i) {
+    EXPECT_EQ(a.transactions[i].items, b.transactions[i].items);
+    EXPECT_EQ(a.transactions[i].location, b.transactions[i].location);
+  }
+  EXPECT_EQ(a.price, b.price);
+}
+
+TEST(Generator, SeedChangesData) {
+  GeneratorConfig c = SmallConfig();
+  TransactionDataset a = GenerateTransactions(c);
+  c.seed = 12;
+  TransactionDataset b = GenerateTransactions(c);
+  bool differs = false;
+  for (size_t i = 0; i < a.transactions.size(); ++i) {
+    differs |= a.transactions[i].items != b.transactions[i].items;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, RespectsConfiguredShape) {
+  GeneratorConfig c = SmallConfig();
+  TransactionDataset d = GenerateTransactions(c);
+  auto s = d.ComputeStats();
+  EXPECT_EQ(s.num_transactions, c.num_transactions);
+  // Mean size within 15% of the target.
+  EXPECT_NEAR(s.avg_size, c.mean_size, c.mean_size * 0.15);
+  EXPECT_LE(s.max_size, c.max_size);
+  for (const auto& t : d.transactions) {
+    EXPECT_GE(t.items.size(), 1u);
+    EXPECT_GE(t.location, 0);
+    EXPECT_LT(t.location, static_cast<int64_t>(c.num_locations));
+    // Items distinct and in range.
+    std::unordered_set<ItemId> set(t.items.begin(), t.items.end());
+    EXPECT_EQ(set.size(), t.items.size());
+    for (ItemId i : t.items) EXPECT_LT(i, c.num_items);
+  }
+  for (int64_t p : d.price) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, static_cast<int64_t>(c.num_prices));
+  }
+}
+
+TEST(Generator, ZipfSkewsItemPopularity) {
+  TransactionDataset d = GenerateTransactions(SmallConfig());
+  std::vector<uint32_t> support(300, 0);
+  for (const auto& t : d.transactions) {
+    for (ItemId i : t.items) ++support[i];
+  }
+  // The most popular decile must dominate the least popular decile.
+  uint64_t head = 0, tail = 0;
+  for (uint32_t i = 0; i < 30; ++i) head += support[i];
+  for (uint32_t i = 270; i < 300; ++i) tail += support[i];
+  EXPECT_GT(head, tail * 3);
+}
+
+TEST(Generator, ToTransItemFlattens) {
+  TransactionDataset d = GenerateTransactions(SmallConfig());
+  rel::Relation r = d.ToTransItem();
+  EXPECT_EQ(r.size(), d.ComputeStats().num_rows);
+  EXPECT_EQ(r.schema().size(), 4u);
+  // Spot-check the first transaction's first item row.
+  const auto& t0 = d.transactions[0];
+  const auto& row = r.rows()[0];
+  EXPECT_EQ(std::get<int64_t>(row[0]), t0.tid);
+  EXPECT_EQ(std::get<int64_t>(row[1]), t0.location);
+  EXPECT_EQ(std::get<int64_t>(row[3]),
+            d.price[static_cast<ItemId>(std::get<int64_t>(row[2]))]);
+}
+
+TEST(Csv, RoundTripsDataset) {
+  GeneratorConfig c = SmallConfig();
+  c.num_transactions = 100;
+  TransactionDataset d = GenerateTransactions(c);
+  const std::string path = ::testing::TempDir() + "/txns.csv";
+  ASSERT_TRUE(SaveCsv(d, path).ok());
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->transactions.size(), d.transactions.size());
+  for (size_t i = 0; i < d.transactions.size(); ++i) {
+    EXPECT_EQ(loaded->transactions[i].tid, d.transactions[i].tid);
+    EXPECT_EQ(loaded->transactions[i].location, d.transactions[i].location);
+    EXPECT_EQ(loaded->transactions[i].items, d.transactions[i].items);
+  }
+  EXPECT_EQ(loaded->price, d.price);
+}
+
+TEST(Csv, RejectsMissingAndMalformedFiles) {
+  EXPECT_FALSE(LoadCsv("/nonexistent/file.csv").ok());
+  const std::string path = ::testing::TempDir() + "/bad.csv";
+  {
+    std::ofstream f(path);
+    f << "wrong,header\n";
+    std::ofstream pf(path + ".prices");
+    pf << "item,price\n";
+  }
+  EXPECT_FALSE(LoadCsv(path).ok());
+  {
+    std::ofstream f(path);
+    f << "tid,loc,item\n1,2,not_a_number\n";
+  }
+  EXPECT_FALSE(LoadCsv(path).ok());
+}
+
+TEST(Zipf, CdfIsUniformWhenSZero) {
+  ZipfSampler z(10, 0.0);
+  Rng rng(3);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[z.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c, 1000, 200);
+}
+
+}  // namespace
+}  // namespace licm::data

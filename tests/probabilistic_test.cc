@@ -1,0 +1,146 @@
+// Tests for the probabilistic-priors extension (paper Section VI):
+// expected aggregate values under independent priors conditioned on the
+// constraint set, exact by enumeration or approximate by rejection
+// sampling.
+#include "licm/probabilistic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "licm/evaluator.h"
+
+namespace licm {
+namespace {
+
+using rel::CmpOp;
+using rel::Value;
+using rel::ValueType;
+
+// Figure 2(c): shampoo certain, 3 alcohol possibilities with >= 1 present.
+LicmDatabase Figure2c(std::vector<BVar>* vars = nullptr) {
+  LicmDatabase db;
+  LicmRelation r(rel::Schema(
+      {{"tid", ValueType::kInt}, {"item", ValueType::kString}}));
+  std::vector<BVar> alcohol;
+  for (const char* item : {"beer", "wine", "liquor"}) {
+    BVar b = db.pool().New();
+    alcohol.push_back(b);
+    r.AppendUnchecked({int64_t{1}, std::string(item)}, Ext::Maybe(b));
+  }
+  r.AppendUnchecked({int64_t{1}, std::string("shampoo")}, Ext::Certain());
+  db.constraints().AddCardinality(alcohol, 1, 3);
+  LICM_CHECK_OK(db.AddRelation("trans_item", std::move(r)));
+  if (vars) *vars = alcohol;
+  return db;
+}
+
+TEST(Probabilistic, ExactUniformPriorsOnFigure2) {
+  LicmDatabase db = Figure2c();
+  auto q = rel::CountStar(rel::Scan("trans_item"));
+  auto ans = ExpectedAggregate(*q, db, Priors::Uniform(db.pool().size()));
+  ASSERT_TRUE(ans.ok()) << ans.status().ToString();
+  EXPECT_TRUE(ans->exact);
+  // 7 equally likely valid assignments; counts: 3 worlds of 2 alcohol?
+  // Sizes: C(3,1)=3 worlds with count 2, C(3,2)=3 with count 3, 1 with 4.
+  // E = (3*2 + 3*3 + 4) / 7 = 19/7.
+  EXPECT_NEAR(ans->expected, 19.0 / 7.0, 1e-12);
+  ASSERT_EQ(ans->distribution.size(), 3u);
+  EXPECT_NEAR(ans->distribution[0].second, 3.0 / 7.0, 1e-12);
+  EXPECT_NEAR(ans->distribution[2].second, 1.0 / 7.0, 1e-12);
+}
+
+TEST(Probabilistic, SkewedPriorsShiftTheMean) {
+  LicmDatabase db = Figure2c();
+  auto q = rel::CountStar(rel::Scan("trans_item"));
+  Priors high;
+  high.p.assign(db.pool().size(), 0.95);
+  Priors low;
+  low.p.assign(db.pool().size(), 0.05);
+  auto h = ExpectedAggregate(*q, db, high);
+  auto l = ExpectedAggregate(*q, db, low);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(l.ok());
+  EXPECT_GT(h->expected, l->expected);
+  // Regardless of priors, the conditional mean stays within the
+  // possibilistic bounds [2, 4].
+  EXPECT_GE(l->expected, 2.0);
+  EXPECT_LE(h->expected, 4.0);
+}
+
+TEST(Probabilistic, SamplingAgreesWithExact) {
+  LicmDatabase db = Figure2c();
+  auto q = rel::CountStar(rel::Scan("trans_item"));
+  Priors priors = Priors::Uniform(db.pool().size());
+  auto exact = ExpectedAggregate(*q, db, priors);
+  ASSERT_TRUE(exact.ok());
+  ProbabilisticOptions opt;
+  opt.exact_var_limit = 0;  // force the sampling path
+  opt.num_samples = 4000;
+  opt.seed = 99;
+  auto mc = ExpectedAggregate(*q, db, priors, opt);
+  ASSERT_TRUE(mc.ok());
+  EXPECT_FALSE(mc->exact);
+  EXPECT_NEAR(mc->expected, exact->expected, 3 * mc->ci_halfwidth + 1e-9);
+  EXPECT_GT(mc->acceptance_rate, 0.5);  // 7 of 8 assignments valid
+}
+
+TEST(Probabilistic, RejectsBadPriors) {
+  LicmDatabase db = Figure2c();
+  auto q = rel::CountStar(rel::Scan("trans_item"));
+  Priors bad;
+  bad.p = {0.5, 1.5, 0.5};
+  EXPECT_FALSE(ExpectedAggregate(*q, db, bad).ok());
+  EXPECT_FALSE(
+      ExpectedAggregate(*rel::Scan("trans_item"), db, Priors{}).ok());
+}
+
+TEST(Probabilistic, InfeasibleConstraintsReported) {
+  LicmDatabase db;
+  LicmRelation r(rel::Schema({{"x", ValueType::kInt}}));
+  BVar b = db.pool().New();
+  r.AppendUnchecked({int64_t{1}}, Ext::Maybe(b));
+  db.constraints().AddFix(b, 0);
+  db.constraints().AddFix(b, 1);
+  LICM_CHECK_OK(db.AddRelation("r", std::move(r)));
+  auto ans = ExpectedAggregate(*rel::CountStar(rel::Scan("r")), db,
+                               Priors::Uniform(1));
+  ASSERT_FALSE(ans.ok());
+  EXPECT_EQ(ans.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(Probabilistic, DeterministicPriorZeroExcludesWorlds) {
+  std::vector<BVar> vars;
+  LicmDatabase db = Figure2c(&vars);
+  auto q = rel::CountStar(rel::Scan("trans_item"));
+  // Beer certainly absent, wine certainly present, liquor fair coin:
+  // count = 3 w.p. 1/2 and 2 w.p. 1/2 -> E = 2.5.
+  Priors pr = Priors::Uniform(db.pool().size());
+  pr.p[vars[0]] = 0.0;
+  pr.p[vars[1]] = 1.0;
+  auto ans = ExpectedAggregate(*q, db, pr);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_NEAR(ans->expected, 2.5, 1e-12);
+  EXPECT_NEAR(ans->variance, 0.25, 1e-12);
+}
+
+TEST(Probabilistic, MinMaxAggregateOverNonEmptyWorlds) {
+  // MAX(price) with mutually exclusive 3 / 9: E = (3 + 9) / 2 = 6 under
+  // uniform priors (two valid equally-weighted worlds).
+  LicmDatabase db;
+  LicmRelation r(rel::Schema(
+      {{"tid", ValueType::kInt}, {"price", ValueType::kInt}}));
+  BVar b0 = db.pool().New(), b1 = db.pool().New();
+  r.AppendUnchecked({int64_t{1}, int64_t{3}}, Ext::Maybe(b0));
+  r.AppendUnchecked({int64_t{2}, int64_t{9}}, Ext::Maybe(b1));
+  db.constraints().AddMutualExclusion(b0, b1);
+  LICM_CHECK_OK(db.AddRelation("r", std::move(r)));
+  auto ans = ExpectedAggregate(*rel::Max(rel::Scan("r"), "price"), db,
+                               Priors::Uniform(2));
+  ASSERT_TRUE(ans.ok());
+  EXPECT_NEAR(ans->expected, 6.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace licm

@@ -1,0 +1,232 @@
+// Unit tests for the deterministic relational substrate: values, schemas,
+// relations, and query-tree evaluation.
+#include "relational/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace licm::rel {
+namespace {
+
+Schema TransItemSchema() {
+  return Schema({{"tid", ValueType::kInt}, {"item", ValueType::kString}});
+}
+
+Relation SampleTransItem() {
+  Relation r(TransItemSchema());
+  LICM_CHECK_OK(r.Append({int64_t{1}, std::string("beer")}));
+  LICM_CHECK_OK(r.Append({int64_t{1}, std::string("wine")}));
+  LICM_CHECK_OK(r.Append({int64_t{1}, std::string("shampoo")}));
+  LICM_CHECK_OK(r.Append({int64_t{2}, std::string("wine")}));
+  LICM_CHECK_OK(r.Append({int64_t{2}, std::string("diapers")}));
+  LICM_CHECK_OK(r.Append({int64_t{3}, std::string("wine")}));
+  return r;
+}
+
+Database SampleDb() {
+  Database db;
+  LICM_CHECK_OK(db.Add("trans_item", SampleTransItem()));
+  return db;
+}
+
+// ---- Value / Schema ----
+
+TEST(Value, CompareMixedNumerics) {
+  EXPECT_EQ(Compare(Value(int64_t{3}), Value(3.0)), 0);
+  EXPECT_LT(Compare(Value(int64_t{2}), Value(2.5)), 0);
+  EXPECT_GT(Compare(Value(3.5), Value(int64_t{3})), 0);
+}
+
+TEST(Value, CompareStrings) {
+  EXPECT_LT(Compare(Value(std::string("a")), Value(std::string("b"))), 0);
+  EXPECT_EQ(Compare(Value(std::string("x")), Value(std::string("x"))), 0);
+}
+
+TEST(Schema, IndexOfAndCheck) {
+  Schema s = TransItemSchema();
+  EXPECT_EQ(s.IndexOf("item").value(), 1u);
+  EXPECT_FALSE(s.IndexOf("nope").ok());
+  EXPECT_TRUE(s.Check({int64_t{1}, std::string("x")}).ok());
+  EXPECT_FALSE(s.Check({std::string("x"), int64_t{1}}).ok());
+  EXPECT_FALSE(s.Check({int64_t{1}}).ok());
+}
+
+TEST(Relation, RejectsBadTuple) {
+  Relation r(TransItemSchema());
+  EXPECT_FALSE(r.Append({int64_t{1}}).ok());
+  EXPECT_FALSE(r.Append({int64_t{1}, int64_t{2}}).ok());
+}
+
+TEST(Relation, DeduplicatePreservesOrder) {
+  Relation r(TransItemSchema());
+  LICM_CHECK_OK(r.Append({int64_t{1}, std::string("a")}));
+  LICM_CHECK_OK(r.Append({int64_t{2}, std::string("b")}));
+  LICM_CHECK_OK(r.Append({int64_t{1}, std::string("a")}));
+  r.Deduplicate();
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(std::get<int64_t>(r.rows()[0][0]), 1);
+  EXPECT_EQ(std::get<int64_t>(r.rows()[1][0]), 2);
+}
+
+// ---- Operators ----
+
+TEST(Engine, ScanUnknownRelationFails) {
+  Database db;
+  auto r = Evaluate(*Scan("missing"), db);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Engine, SelectConjunction) {
+  Database db = SampleDb();
+  auto q = Select(Scan("trans_item"),
+                  {{"tid", CmpOp::kEq, Value(int64_t{1})},
+                   {"item", CmpOp::kEq, Value(std::string("wine"))}});
+  auto r = Evaluate(*q, db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST(Engine, SelectRangePredicates) {
+  Database db = SampleDb();
+  auto q = Select(Scan("trans_item"), {{"tid", CmpOp::kGe, Value(int64_t{2})},
+                                       {"tid", CmpOp::kLt, Value(int64_t{3})}});
+  auto r = Evaluate(*q, db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(Engine, SelectUnknownColumnFails) {
+  Database db = SampleDb();
+  auto q = Select(Scan("trans_item"), {{"ghost", CmpOp::kEq, Value(int64_t{0})}});
+  EXPECT_FALSE(Evaluate(*q, db).ok());
+}
+
+TEST(Engine, ProjectDeduplicates) {
+  Database db = SampleDb();
+  auto r = Evaluate(*Project(Scan("trans_item"), {"tid"}), db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);  // tids 1, 2, 3
+}
+
+TEST(Engine, ProjectReordersColumns) {
+  Database db = SampleDb();
+  auto r = Evaluate(*Project(Scan("trans_item"), {"item", "tid"}), db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->schema().column(0).name, "item");
+  EXPECT_EQ(r->schema().column(1).name, "tid");
+}
+
+TEST(Engine, IntersectRequiresMatchingSchemas) {
+  Database db = SampleDb();
+  auto bad = Intersect(Scan("trans_item"),
+                       Project(Scan("trans_item"), {"tid"}));
+  EXPECT_FALSE(Evaluate(*bad, db).ok());
+}
+
+TEST(Engine, IntersectFindsCommonTuples) {
+  Database db = SampleDb();
+  auto left = Select(Scan("trans_item"),
+                     {{"item", CmpOp::kEq, Value(std::string("wine"))}});
+  auto right = Select(Scan("trans_item"),
+                      {{"tid", CmpOp::kLe, Value(int64_t{2})}});
+  auto r = Evaluate(*Intersect(left, right), db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);  // (1, wine), (2, wine)
+}
+
+TEST(Engine, ProductSchemaRenamesClashes) {
+  Database db = SampleDb();
+  auto r = Evaluate(*Product(Scan("trans_item"), Scan("trans_item")), db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->schema().size(), 4u);
+  EXPECT_TRUE(r->schema().Has("r_tid"));
+  EXPECT_TRUE(r->schema().Has("r_item"));
+  EXPECT_EQ(r->size(), 36u);
+}
+
+TEST(Engine, JoinOnItem) {
+  // Self-join on item: pairs of transactions sharing an item.
+  Database db = SampleDb();
+  auto r = Evaluate(
+      *Join(Scan("trans_item"), Scan("trans_item"), {{"item", "item"}}), db);
+  ASSERT_TRUE(r.ok());
+  // wine appears in tids {1,2,3} -> 9 pairs; others unique -> 1 pair each.
+  EXPECT_EQ(r->size(), 9u + 3u);
+  EXPECT_TRUE(r->schema().Has("r_tid"));
+  EXPECT_FALSE(r->schema().Has("r_item"));
+}
+
+TEST(Engine, JoinWithoutKeysFails) {
+  Database db = SampleDb();
+  EXPECT_FALSE(
+      Evaluate(*Join(Scan("trans_item"), Scan("trans_item"), {}), db).ok());
+}
+
+TEST(Engine, CountPredicateKeepsQualifyingGroups) {
+  Database db = SampleDb();
+  // Transactions with >= 2 items: T1 (3 items), T2 (2 items).
+  auto r =
+      Evaluate(*CountPredicate(Scan("trans_item"), "tid", CmpOp::kGe, 2), db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  // Strictly more than 2 items: only T1.
+  auto r2 =
+      Evaluate(*CountPredicate(Scan("trans_item"), "tid", CmpOp::kGt, 2), db);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->size(), 1u);
+  // Exactly 1 item: T3.
+  auto r3 =
+      Evaluate(*CountPredicate(Scan("trans_item"), "tid", CmpOp::kEq, 1), db);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->size(), 1u);
+}
+
+TEST(Engine, CountStarAggregates) {
+  Database db = SampleDb();
+  auto v = EvaluateAggregate(*CountStar(Scan("trans_item")), db);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(*v, 6.0);
+}
+
+TEST(Engine, AggregateRootRequired) {
+  Database db = SampleDb();
+  EXPECT_FALSE(EvaluateAggregate(*Scan("trans_item"), db).ok());
+  EXPECT_FALSE(Evaluate(*CountStar(Scan("trans_item")), db).ok());
+}
+
+TEST(Engine, SumOverIntColumn) {
+  Database db = SampleDb();
+  auto v = EvaluateAggregate(*Sum(Scan("trans_item"), "tid"), db);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(*v, 1 + 1 + 1 + 2 + 2 + 3);
+}
+
+TEST(Engine, SumOverStringColumnFails) {
+  Database db = SampleDb();
+  EXPECT_FALSE(EvaluateAggregate(*Sum(Scan("trans_item"), "item"), db).ok());
+}
+
+TEST(Engine, NestedQueryTree) {
+  // Count transactions with >= 2 wine-or-later items... build:
+  // CountStar(CountPredicate(Select(item >= "b"), tid >= 1)).
+  Database db = SampleDb();
+  auto q = CountStar(CountPredicate(
+      Select(Scan("trans_item"),
+             {{"item", CmpOp::kGe, Value(std::string("s"))}}),
+      "tid", CmpOp::kGe, 1));
+  auto v = EvaluateAggregate(*q, db);
+  ASSERT_TRUE(v.ok());
+  // Items >= "s": shampoo (T1), wine (T1, T2, T3) -> groups {1, 2, 3}.
+  EXPECT_DOUBLE_EQ(*v, 3.0);
+}
+
+TEST(QueryNode, ToStringRendersTree) {
+  auto q = CountStar(Select(Scan("r"), {{"a", CmpOp::kEq, Value(int64_t{1})}}));
+  const std::string s = q->ToString();
+  EXPECT_NE(s.find("Count(*)"), std::string::npos);
+  EXPECT_NE(s.find("Select(a = 1)"), std::string::npos);
+  EXPECT_NE(s.find("Scan(r)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace licm::rel

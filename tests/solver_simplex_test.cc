@@ -1,0 +1,229 @@
+// Unit tests for the two-phase bounded simplex (LP relaxations).
+#include "solver/simplex.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "solver/linear_program.h"
+
+namespace licm::solver {
+namespace {
+
+TEST(Simplex, UnconstrainedBoxMaximum) {
+  LinearProgram lp;
+  VarId x = lp.AddVariable(0, 5, false);
+  VarId y = lp.AddVariable(1, 3, false);
+  lp.SetObjectiveCoef(x, 2.0);
+  lp.SetObjectiveCoef(y, -1.0);
+  LpSolution s = SolveLpRelaxation(lp, Sense::kMaximize);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2 * 5 - 1 * 1, 1e-7);
+  EXPECT_NEAR(s.values[x], 5.0, 1e-7);
+  EXPECT_NEAR(s.values[y], 1.0, 1e-7);
+}
+
+TEST(Simplex, ClassicTwoVariableLp) {
+  // max 3x + 5y  st  x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+  // Optimum (2, 6) with value 36 (textbook Wyndor Glass problem).
+  LinearProgram lp;
+  VarId x = lp.AddVariable(0, kInfinity, false);
+  VarId y = lp.AddVariable(0, kInfinity, false);
+  lp.SetObjectiveCoef(x, 3);
+  lp.SetObjectiveCoef(y, 5);
+  lp.AddRow(Row{{{x, 1}}, RowOp::kLe, 4});
+  lp.AddRow(Row{{{y, 2}}, RowOp::kLe, 12});
+  lp.AddRow(Row{{{x, 3}, {y, 2}}, RowOp::kLe, 18});
+  LpSolution s = SolveLpRelaxation(lp, Sense::kMaximize);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 36.0, 1e-6);
+  EXPECT_NEAR(s.values[x], 2.0, 1e-6);
+  EXPECT_NEAR(s.values[y], 6.0, 1e-6);
+}
+
+TEST(Simplex, MinimizationWithGeRows) {
+  // min 2x + 3y  st  x + y >= 4, x + 3y >= 6, x,y >= 0. Optimum at (3, 1),
+  // value 9.
+  LinearProgram lp;
+  VarId x = lp.AddVariable(0, kInfinity, false);
+  VarId y = lp.AddVariable(0, kInfinity, false);
+  lp.SetObjectiveCoef(x, 2);
+  lp.SetObjectiveCoef(y, 3);
+  lp.AddRow(Row{{{x, 1}, {y, 1}}, RowOp::kGe, 4});
+  lp.AddRow(Row{{{x, 1}, {y, 3}}, RowOp::kGe, 6});
+  LpSolution s = SolveLpRelaxation(lp, Sense::kMinimize);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 9.0, 1e-6);
+}
+
+TEST(Simplex, EqualityRow) {
+  // max x + y  st  x + y = 3, x <= 2, y <= 2 -> 3.
+  LinearProgram lp;
+  VarId x = lp.AddVariable(0, 2, false);
+  VarId y = lp.AddVariable(0, 2, false);
+  lp.SetObjectiveCoef(x, 1);
+  lp.SetObjectiveCoef(y, 1);
+  lp.AddRow(Row{{{x, 1}, {y, 1}}, RowOp::kEq, 3});
+  LpSolution s = SolveLpRelaxation(lp, Sense::kMaximize);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-6);
+  EXPECT_NEAR(s.values[x] + s.values[y], 3.0, 1e-6);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  LinearProgram lp;
+  VarId x = lp.AddVariable(0, 1, false);
+  lp.AddRow(Row{{{x, 1}}, RowOp::kGe, 2});
+  LpSolution s = SolveLpRelaxation(lp, Sense::kMaximize);
+  EXPECT_EQ(s.status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsConflictingEqualities) {
+  LinearProgram lp;
+  VarId x = lp.AddVariable(0, 10, false);
+  VarId y = lp.AddVariable(0, 10, false);
+  lp.AddRow(Row{{{x, 1}, {y, 1}}, RowOp::kEq, 4});
+  lp.AddRow(Row{{{x, 1}, {y, 1}}, RowOp::kEq, 6});
+  LpSolution s = SolveLpRelaxation(lp, Sense::kMaximize);
+  EXPECT_EQ(s.status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LinearProgram lp;
+  VarId x = lp.AddVariable(0, kInfinity, false);
+  lp.SetObjectiveCoef(x, 1);
+  LpSolution s = SolveLpRelaxation(lp, Sense::kMaximize);
+  EXPECT_EQ(s.status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // x - y <= -1 with x,y in [0, 5]: max x -> x = 4 (y = 5).
+  LinearProgram lp;
+  VarId x = lp.AddVariable(0, 5, false);
+  VarId y = lp.AddVariable(0, 5, false);
+  lp.SetObjectiveCoef(x, 1);
+  lp.AddRow(Row{{{x, 1}, {y, -1}}, RowOp::kLe, -1});
+  LpSolution s = SolveLpRelaxation(lp, Sense::kMaximize);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-6);
+}
+
+TEST(Simplex, NonzeroLowerBounds) {
+  // x in [2, 7], y in [3, 4], x + y <= 8: max x + 2y -> y = 4, x = 4.
+  LinearProgram lp;
+  VarId x = lp.AddVariable(2, 7, false);
+  VarId y = lp.AddVariable(3, 4, false);
+  lp.SetObjectiveCoef(x, 1);
+  lp.SetObjectiveCoef(y, 2);
+  lp.AddRow(Row{{{x, 1}, {y, 1}}, RowOp::kLe, 8});
+  LpSolution s = SolveLpRelaxation(lp, Sense::kMaximize);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 12.0, 1e-6);
+}
+
+TEST(Simplex, ObjectiveConstantIncluded) {
+  LinearProgram lp;
+  VarId x = lp.AddVariable(0, 1, false);
+  lp.SetObjectiveCoef(x, 1);
+  lp.AddObjectiveConstant(10.0);
+  LpSolution s = SolveLpRelaxation(lp, Sense::kMaximize);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 11.0, 1e-6);
+}
+
+// The LP relaxation of a cardinality-constrained LICM block:
+// b1..b5 in [0,1], 1 <= sum b_i <= 2. Max sum = 2, min sum = 1.
+TEST(Simplex, CardinalityRelaxation) {
+  LinearProgram lp;
+  std::vector<Term> terms;
+  for (int i = 0; i < 5; ++i) {
+    VarId b = lp.AddVariable(0, 1, false);
+    lp.SetObjectiveCoef(b, 1);
+    terms.push_back(Term{b, 1.0});
+  }
+  lp.AddRow(Row{terms, RowOp::kGe, 1});
+  lp.AddRow(Row{terms, RowOp::kLe, 2});
+  LpSolution mx = SolveLpRelaxation(lp, Sense::kMaximize);
+  ASSERT_EQ(mx.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(mx.objective, 2.0, 1e-6);
+  LpSolution mn = SolveLpRelaxation(lp, Sense::kMinimize);
+  ASSERT_EQ(mn.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(mn.objective, 1.0, 1e-6);
+}
+
+// Degenerate problem known to cycle without anti-cycling safeguards
+// (Beale's example).
+TEST(Simplex, BealeDegenerateCycling) {
+  LinearProgram lp;
+  VarId x1 = lp.AddVariable(0, kInfinity, false);
+  VarId x2 = lp.AddVariable(0, kInfinity, false);
+  VarId x3 = lp.AddVariable(0, kInfinity, false);
+  VarId x4 = lp.AddVariable(0, kInfinity, false);
+  lp.SetObjectiveCoef(x1, 0.75);
+  lp.SetObjectiveCoef(x2, -150);
+  lp.SetObjectiveCoef(x3, 0.02);
+  lp.SetObjectiveCoef(x4, -6);
+  lp.AddRow(Row{{{x1, 0.25}, {x2, -60}, {x3, -0.04}, {x4, 9}}, RowOp::kLe, 0});
+  lp.AddRow(Row{{{x1, 0.5}, {x2, -90}, {x3, -0.02}, {x4, 3}}, RowOp::kLe, 0});
+  lp.AddRow(Row{{{x3, 1}}, RowOp::kLe, 1});
+  LpSolution s = SolveLpRelaxation(lp, Sense::kMaximize);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 0.05, 1e-6);
+}
+
+// Property sweep: random small LPs over binary boxes; simplex relaxation
+// objective must upper-bound every integer point's objective (maximize) and
+// the returned vertex must satisfy all rows.
+class SimplexRandomLp : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomLp, RelaxationBoundsAllIntegerPoints) {
+  Rng rng(GetParam());
+  const int n = 2 + static_cast<int>(rng.Uniform(5));  // 2..6 vars
+  const int m = 1 + static_cast<int>(rng.Uniform(5));
+  LinearProgram lp;
+  for (int v = 0; v < n; ++v) {
+    VarId id = lp.AddVariable(0, 1, false);
+    lp.SetObjectiveCoef(id, rng.UniformInt(-3, 3));
+  }
+  for (int r = 0; r < m; ++r) {
+    Row row;
+    for (int v = 0; v < n; ++v) {
+      int64_t c = rng.UniformInt(-2, 2);
+      if (c != 0) row.terms.push_back(Term{static_cast<VarId>(v),
+                                           static_cast<double>(c)});
+    }
+    row.op = static_cast<RowOp>(rng.Uniform(3));
+    row.rhs = static_cast<double>(rng.UniformInt(-1, 3));
+    if (row.terms.empty()) continue;
+    lp.AddRow(std::move(row));
+  }
+  LpSolution s = SolveLpRelaxation(lp, Sense::kMaximize);
+  if (s.status == SolveStatus::kOptimal) {
+    EXPECT_TRUE(lp.IsFeasible(s.values, 1e-5));
+  }
+  // Enumerate all 0/1 points.
+  bool any_feasible = false;
+  double best = -1e18;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    std::vector<double> x(n);
+    for (int v = 0; v < n; ++v) x[v] = (mask >> v) & 1;
+    if (lp.IsFeasible(x)) {
+      any_feasible = true;
+      best = std::max(best, lp.EvalObjective(x));
+    }
+  }
+  if (any_feasible) {
+    ASSERT_EQ(s.status, SolveStatus::kOptimal)
+        << "simplex must find the nonempty relaxation feasible";
+    EXPECT_GE(s.objective + 1e-5, best);
+  }
+  if (s.status == SolveStatus::kInfeasible) {
+    EXPECT_FALSE(any_feasible);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomLp, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace licm::solver
