@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_encoding_size.dir/bench_encoding_size.cc.o"
+  "CMakeFiles/bench_encoding_size.dir/bench_encoding_size.cc.o.d"
+  "bench_encoding_size"
+  "bench_encoding_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_encoding_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6.cc" "bench/CMakeFiles/bench_fig6.dir/bench_fig6.cc.o" "gcc" "bench/CMakeFiles/bench_fig6.dir/bench_fig6.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/licm_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/anonymize/CMakeFiles/licm_anonymize.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/licm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampler/CMakeFiles/licm_sampler.dir/DependInfo.cmake"
+  "/root/repo/build/src/licm/CMakeFiles/licm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/licm_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/licm_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/licm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

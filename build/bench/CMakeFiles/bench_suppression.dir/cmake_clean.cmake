@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_suppression.dir/bench_suppression.cc.o"
+  "CMakeFiles/bench_suppression.dir/bench_suppression.cc.o.d"
+  "bench_suppression"
+  "bench_suppression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_suppression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licm_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/licm_bench_harness.dir/harness.cc.o.d"
+  "liblicm_bench_harness.a"
+  "liblicm_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licm_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymize_and_query.dir/anonymize_and_query.cpp.o"
+  "CMakeFiles/anonymize_and_query.dir/anonymize_and_query.cpp.o.d"
+  "anonymize_and_query"
+  "anonymize_and_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymize_and_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/permutation_privacy.dir/permutation_privacy.cpp.o"
+  "CMakeFiles/permutation_privacy.dir/permutation_privacy.cpp.o.d"
+  "permutation_privacy"
+  "permutation_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/permutation_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probabilistic_priors.dir/probabilistic_priors.cpp.o"
+  "CMakeFiles/probabilistic_priors.dir/probabilistic_priors.cpp.o.d"
+  "probabilistic_priors"
+  "probabilistic_priors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probabilistic_priors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

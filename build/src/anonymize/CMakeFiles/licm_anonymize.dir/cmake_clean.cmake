@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licm_anonymize.dir/generalize.cc.o"
+  "CMakeFiles/licm_anonymize.dir/generalize.cc.o.d"
+  "CMakeFiles/licm_anonymize.dir/grouping.cc.o"
+  "CMakeFiles/licm_anonymize.dir/grouping.cc.o.d"
+  "CMakeFiles/licm_anonymize.dir/hierarchy.cc.o"
+  "CMakeFiles/licm_anonymize.dir/hierarchy.cc.o.d"
+  "CMakeFiles/licm_anonymize.dir/licm_encode.cc.o"
+  "CMakeFiles/licm_anonymize.dir/licm_encode.cc.o.d"
+  "CMakeFiles/licm_anonymize.dir/suppress.cc.o"
+  "CMakeFiles/licm_anonymize.dir/suppress.cc.o.d"
+  "liblicm_anonymize.a"
+  "liblicm_anonymize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licm_anonymize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

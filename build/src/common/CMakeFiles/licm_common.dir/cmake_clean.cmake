@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licm_common.dir/rng.cc.o"
+  "CMakeFiles/licm_common.dir/rng.cc.o.d"
+  "liblicm_common.a"
+  "liblicm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licm_data.dir/csv.cc.o"
+  "CMakeFiles/licm_data.dir/csv.cc.o.d"
+  "CMakeFiles/licm_data.dir/transactions.cc.o"
+  "CMakeFiles/licm_data.dir/transactions.cc.o.d"
+  "liblicm_data.a"
+  "liblicm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/licm/aggregate.cc" "src/licm/CMakeFiles/licm_core.dir/aggregate.cc.o" "gcc" "src/licm/CMakeFiles/licm_core.dir/aggregate.cc.o.d"
+  "/root/repo/src/licm/constraint.cc" "src/licm/CMakeFiles/licm_core.dir/constraint.cc.o" "gcc" "src/licm/CMakeFiles/licm_core.dir/constraint.cc.o.d"
+  "/root/repo/src/licm/evaluator.cc" "src/licm/CMakeFiles/licm_core.dir/evaluator.cc.o" "gcc" "src/licm/CMakeFiles/licm_core.dir/evaluator.cc.o.d"
+  "/root/repo/src/licm/licm_relation.cc" "src/licm/CMakeFiles/licm_core.dir/licm_relation.cc.o" "gcc" "src/licm/CMakeFiles/licm_core.dir/licm_relation.cc.o.d"
+  "/root/repo/src/licm/ops.cc" "src/licm/CMakeFiles/licm_core.dir/ops.cc.o" "gcc" "src/licm/CMakeFiles/licm_core.dir/ops.cc.o.d"
+  "/root/repo/src/licm/probabilistic.cc" "src/licm/CMakeFiles/licm_core.dir/probabilistic.cc.o" "gcc" "src/licm/CMakeFiles/licm_core.dir/probabilistic.cc.o.d"
+  "/root/repo/src/licm/prune.cc" "src/licm/CMakeFiles/licm_core.dir/prune.cc.o" "gcc" "src/licm/CMakeFiles/licm_core.dir/prune.cc.o.d"
+  "/root/repo/src/licm/worlds.cc" "src/licm/CMakeFiles/licm_core.dir/worlds.cc.o" "gcc" "src/licm/CMakeFiles/licm_core.dir/worlds.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/licm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/licm_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/licm_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

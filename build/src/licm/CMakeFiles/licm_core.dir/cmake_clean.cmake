@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licm_core.dir/aggregate.cc.o"
+  "CMakeFiles/licm_core.dir/aggregate.cc.o.d"
+  "CMakeFiles/licm_core.dir/constraint.cc.o"
+  "CMakeFiles/licm_core.dir/constraint.cc.o.d"
+  "CMakeFiles/licm_core.dir/evaluator.cc.o"
+  "CMakeFiles/licm_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/licm_core.dir/licm_relation.cc.o"
+  "CMakeFiles/licm_core.dir/licm_relation.cc.o.d"
+  "CMakeFiles/licm_core.dir/ops.cc.o"
+  "CMakeFiles/licm_core.dir/ops.cc.o.d"
+  "CMakeFiles/licm_core.dir/probabilistic.cc.o"
+  "CMakeFiles/licm_core.dir/probabilistic.cc.o.d"
+  "CMakeFiles/licm_core.dir/prune.cc.o"
+  "CMakeFiles/licm_core.dir/prune.cc.o.d"
+  "CMakeFiles/licm_core.dir/worlds.cc.o"
+  "CMakeFiles/licm_core.dir/worlds.cc.o.d"
+  "liblicm_core.a"
+  "liblicm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

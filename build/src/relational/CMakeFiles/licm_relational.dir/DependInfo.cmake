@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/engine.cc" "src/relational/CMakeFiles/licm_relational.dir/engine.cc.o" "gcc" "src/relational/CMakeFiles/licm_relational.dir/engine.cc.o.d"
+  "/root/repo/src/relational/optimizer.cc" "src/relational/CMakeFiles/licm_relational.dir/optimizer.cc.o" "gcc" "src/relational/CMakeFiles/licm_relational.dir/optimizer.cc.o.d"
+  "/root/repo/src/relational/query.cc" "src/relational/CMakeFiles/licm_relational.dir/query.cc.o" "gcc" "src/relational/CMakeFiles/licm_relational.dir/query.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/relational/CMakeFiles/licm_relational.dir/relation.cc.o" "gcc" "src/relational/CMakeFiles/licm_relational.dir/relation.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/relational/CMakeFiles/licm_relational.dir/value.cc.o" "gcc" "src/relational/CMakeFiles/licm_relational.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/licm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licm_relational.dir/engine.cc.o"
+  "CMakeFiles/licm_relational.dir/engine.cc.o.d"
+  "CMakeFiles/licm_relational.dir/optimizer.cc.o"
+  "CMakeFiles/licm_relational.dir/optimizer.cc.o.d"
+  "CMakeFiles/licm_relational.dir/query.cc.o"
+  "CMakeFiles/licm_relational.dir/query.cc.o.d"
+  "CMakeFiles/licm_relational.dir/relation.cc.o"
+  "CMakeFiles/licm_relational.dir/relation.cc.o.d"
+  "CMakeFiles/licm_relational.dir/value.cc.o"
+  "CMakeFiles/licm_relational.dir/value.cc.o.d"
+  "liblicm_relational.a"
+  "liblicm_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licm_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licm_sampler.dir/monte_carlo.cc.o"
+  "CMakeFiles/licm_sampler.dir/monte_carlo.cc.o.d"
+  "CMakeFiles/licm_sampler.dir/structure.cc.o"
+  "CMakeFiles/licm_sampler.dir/structure.cc.o.d"
+  "liblicm_sampler.a"
+  "liblicm_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licm_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

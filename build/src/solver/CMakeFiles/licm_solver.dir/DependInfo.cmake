@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/components.cc" "src/solver/CMakeFiles/licm_solver.dir/components.cc.o" "gcc" "src/solver/CMakeFiles/licm_solver.dir/components.cc.o.d"
+  "/root/repo/src/solver/linear_program.cc" "src/solver/CMakeFiles/licm_solver.dir/linear_program.cc.o" "gcc" "src/solver/CMakeFiles/licm_solver.dir/linear_program.cc.o.d"
+  "/root/repo/src/solver/lp_format.cc" "src/solver/CMakeFiles/licm_solver.dir/lp_format.cc.o" "gcc" "src/solver/CMakeFiles/licm_solver.dir/lp_format.cc.o.d"
+  "/root/repo/src/solver/mip_solver.cc" "src/solver/CMakeFiles/licm_solver.dir/mip_solver.cc.o" "gcc" "src/solver/CMakeFiles/licm_solver.dir/mip_solver.cc.o.d"
+  "/root/repo/src/solver/presolve.cc" "src/solver/CMakeFiles/licm_solver.dir/presolve.cc.o" "gcc" "src/solver/CMakeFiles/licm_solver.dir/presolve.cc.o.d"
+  "/root/repo/src/solver/propagation.cc" "src/solver/CMakeFiles/licm_solver.dir/propagation.cc.o" "gcc" "src/solver/CMakeFiles/licm_solver.dir/propagation.cc.o.d"
+  "/root/repo/src/solver/simplex.cc" "src/solver/CMakeFiles/licm_solver.dir/simplex.cc.o" "gcc" "src/solver/CMakeFiles/licm_solver.dir/simplex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/licm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

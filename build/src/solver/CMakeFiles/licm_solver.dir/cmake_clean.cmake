@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licm_solver.dir/components.cc.o"
+  "CMakeFiles/licm_solver.dir/components.cc.o.d"
+  "CMakeFiles/licm_solver.dir/linear_program.cc.o"
+  "CMakeFiles/licm_solver.dir/linear_program.cc.o.d"
+  "CMakeFiles/licm_solver.dir/lp_format.cc.o"
+  "CMakeFiles/licm_solver.dir/lp_format.cc.o.d"
+  "CMakeFiles/licm_solver.dir/mip_solver.cc.o"
+  "CMakeFiles/licm_solver.dir/mip_solver.cc.o.d"
+  "CMakeFiles/licm_solver.dir/presolve.cc.o"
+  "CMakeFiles/licm_solver.dir/presolve.cc.o.d"
+  "CMakeFiles/licm_solver.dir/propagation.cc.o"
+  "CMakeFiles/licm_solver.dir/propagation.cc.o.d"
+  "CMakeFiles/licm_solver.dir/simplex.cc.o"
+  "CMakeFiles/licm_solver.dir/simplex.cc.o.d"
+  "liblicm_solver.a"
+  "liblicm_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licm_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

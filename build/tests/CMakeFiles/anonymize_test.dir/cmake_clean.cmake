@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymize_test.dir/anonymize_test.cc.o"
+  "CMakeFiles/anonymize_test.dir/anonymize_test.cc.o.d"
+  "anonymize_test"
+  "anonymize_test.pdb"
+  "anonymize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

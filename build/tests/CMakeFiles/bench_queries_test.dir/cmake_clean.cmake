@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queries_test.dir/bench_queries_test.cc.o"
+  "CMakeFiles/bench_queries_test.dir/bench_queries_test.cc.o.d"
+  "bench_queries_test"
+  "bench_queries_test.pdb"
+  "bench_queries_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licm_extensions_test.dir/licm_extensions_test.cc.o"
+  "CMakeFiles/licm_extensions_test.dir/licm_extensions_test.cc.o.d"
+  "licm_extensions_test"
+  "licm_extensions_test.pdb"
+  "licm_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licm_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

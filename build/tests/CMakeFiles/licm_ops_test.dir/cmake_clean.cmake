@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licm_ops_test.dir/licm_ops_test.cc.o"
+  "CMakeFiles/licm_ops_test.dir/licm_ops_test.cc.o.d"
+  "licm_ops_test"
+  "licm_ops_test.pdb"
+  "licm_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licm_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

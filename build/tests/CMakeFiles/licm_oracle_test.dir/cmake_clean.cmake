@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licm_oracle_test.dir/licm_oracle_test.cc.o"
+  "CMakeFiles/licm_oracle_test.dir/licm_oracle_test.cc.o.d"
+  "licm_oracle_test"
+  "licm_oracle_test.pdb"
+  "licm_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licm_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

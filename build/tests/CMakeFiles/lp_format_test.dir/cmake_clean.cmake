@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_format_test.dir/lp_format_test.cc.o"
+  "CMakeFiles/lp_format_test.dir/lp_format_test.cc.o.d"
+  "lp_format_test"
+  "lp_format_test.pdb"
+  "lp_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probabilistic_test.dir/probabilistic_test.cc.o"
+  "CMakeFiles/probabilistic_test.dir/probabilistic_test.cc.o.d"
+  "probabilistic_test"
+  "probabilistic_test.pdb"
+  "probabilistic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probabilistic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

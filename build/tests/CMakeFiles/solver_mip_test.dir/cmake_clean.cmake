@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_mip_test.dir/solver_mip_test.cc.o"
+  "CMakeFiles/solver_mip_test.dir/solver_mip_test.cc.o.d"
+  "solver_mip_test"
+  "solver_mip_test.pdb"
+  "solver_mip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_mip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

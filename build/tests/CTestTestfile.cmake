@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/solver_simplex_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_mip_test[1]_include.cmake")
+include("/root/repo/build/tests/relational_test[1]_include.cmake")
+include("/root/repo/build/tests/licm_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/licm_oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/anonymize_test[1]_include.cmake")
+include("/root/repo/build/tests/encode_test[1]_include.cmake")
+include("/root/repo/build/tests/bench_queries_test[1]_include.cmake")
+include("/root/repo/build/tests/licm_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/probabilistic_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_format_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
