@@ -39,22 +39,24 @@ int main(int argc, char** argv) {
 
   struct Variant {
     const char* name;
-    bool prune, presolve, decompose, lp, probing;
+    bool prune, presolve, decompose, lp, probing, cache;
   };
   const Variant variants[] = {
-      {"all-features", true, true, true, true, true},
-      {"no-prune", false, true, true, true, true},
-      {"no-presolve", true, false, true, true, true},
-      {"no-decompose", true, true, false, true, true},
-      {"no-lp-bound", true, true, true, false, true},
-      {"no-probing", true, true, true, true, false},
+      {"all-features", true, true, true, true, true, true},
+      {"no-prune", false, true, true, true, true, true},
+      {"no-presolve", true, false, true, true, true, true},
+      {"no-decompose", true, true, false, true, true, true},
+      {"no-lp-bound", true, true, true, false, true, true},
+      {"no-probing", true, true, true, true, false, true},
+      {"no-cache", true, true, true, true, true, false},
   };
 
   std::printf("# Solver/pipeline ablation on Query 1, k-anonymity k=%u, "
               "%u txns\n",
               k, txns);
-  std::printf("%-14s %9s %9s %10s %10s %10s %12s\n", "variant", "min",
-              "max", "query_ms", "solve_ms", "nodes", "vars_to_solver");
+  std::printf("%-14s %9s %9s %10s %10s %10s %9s %9s %9s %12s\n", "variant",
+              "min", "max", "query_ms", "solve_ms", "nodes", "hits",
+              "misses", "canon", "vars_to_solver");
   for (const Variant& v : variants) {
     AnswerOptions opts;
     opts.bounds.prune = v.prune;
@@ -63,6 +65,7 @@ int main(int argc, char** argv) {
     opts.bounds.mip.use_lp_bound = v.lp;
     opts.bounds.mip.use_probing = v.probing;
     opts.bounds.mip.use_objective_probing = v.probing;
+    opts.bounds.mip.use_cache = v.cache;
     opts.bounds.mip.time_limit_seconds = 120.0;
     auto ans = licm::AnswerAggregate(*query, enc->db, opts);
     if (!ans.ok()) {
@@ -70,11 +73,15 @@ int main(int argc, char** argv) {
                   ans.status().ToString().c_str());
       continue;
     }
-    std::printf("%-14s %9.1f %9.1f %10.1f %10.1f %10lld %12zu\n", v.name,
-                ans->bounds.min.value, ans->bounds.max.value, ans->query_ms,
-                ans->solve_ms,
-                static_cast<long long>(ans->bounds.min.stats.nodes +
-                                       ans->bounds.max.stats.nodes),
+    const licm::solver::MipStats& st = ans->bounds.stats;
+    std::printf("%-14s %9.1f %9.1f %10.1f %10.1f %10lld %9lld %9lld %9lld "
+                "%12zu\n",
+                v.name, ans->bounds.min.value, ans->bounds.max.value,
+                ans->query_ms, ans->solve_ms,
+                static_cast<long long>(st.nodes),
+                static_cast<long long>(st.cache_hits),
+                static_cast<long long>(st.cache_misses),
+                static_cast<long long>(st.canonical_forms),
                 ans->bounds.prune_stats.vars_after);
     std::fflush(stdout);
   }

@@ -1,5 +1,8 @@
 #include "harness.h"
 
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
 #include <functional>
 
 #include "common/stopwatch.h"
@@ -158,6 +161,8 @@ Result<CellResult> RunCell(Scheme scheme, int qnum, uint32_t k,
   cell.vars_pruned = ans.bounds.prune_stats.vars_after;
   cell.cons_pruned = ans.bounds.prune_stats.constraints_after;
 
+  cell.solve_stats = ans.bounds.stats;
+
   sampler::MonteCarloOptions mco;
   mco.num_worlds = config.mc_worlds;
   mco.seed = config.seed + 1;
@@ -167,6 +172,115 @@ Result<CellResult> RunCell(Scheme scheme, int qnum, uint32_t k,
   cell.m_max = mc.max;
   cell.mc_ms = mc.total_ms;
   return cell;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RenderNumber(double v) {
+  // JSON has no inf/nan; fall back to null so files stay parseable.
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+JsonRecord& JsonRecord::AddString(const std::string& key,
+                                  const std::string& value) {
+  fields_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+  return *this;
+}
+
+JsonRecord& JsonRecord::AddNumber(const std::string& key, double value) {
+  fields_.emplace_back(key, RenderNumber(value));
+  return *this;
+}
+
+JsonRecord& JsonRecord::AddInt(const std::string& key, int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  fields_.emplace_back(key, buf);
+  return *this;
+}
+
+JsonRecord& JsonRecord::AddBool(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+JsonRecord& JsonRecord::AddRunMetrics(double min_value, double max_value,
+                                      bool min_exact, bool max_exact,
+                                      double query_ms, double solve_ms,
+                                      const solver::MipStats& stats) {
+  int64_t lookups = stats.cache_hits + stats.cache_misses;
+  AddNumber("min", min_value);
+  AddNumber("max", max_value);
+  AddBool("min_exact", min_exact);
+  AddBool("max_exact", max_exact);
+  AddNumber("query_ms", query_ms);
+  AddNumber("solve_ms", solve_ms);
+  AddInt("nodes", stats.nodes);
+  AddInt("components", static_cast<int64_t>(stats.components));
+  AddInt("cache_hits", stats.cache_hits);
+  AddInt("cache_misses", stats.cache_misses);
+  AddNumber("cache_hit_rate",
+            lookups > 0 ? static_cast<double>(stats.cache_hits) / lookups
+                        : 0.0);
+  AddInt("canonical_forms", stats.canonical_forms);
+  AddInt("presolve_calls", stats.presolve_calls);
+  AddInt("decompose_calls", stats.decompose_calls);
+  return *this;
+}
+
+std::string JsonRecord::ToJson() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(fields_[i].first) + "\":" + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+Status WriteBenchJson(const std::string& path,
+                      const std::vector<JsonRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  std::fputs("[\n", f);
+  for (size_t i = 0; i < records.size(); ++i) {
+    std::fputs(records[i].ToJson().c_str(), f);
+    std::fputs(i + 1 < records.size() ? ",\n" : "\n", f);
+  }
+  std::fputs("]\n", f);
+  if (std::fclose(f) != 0) {
+    return Status::Internal("error writing " + path);
+  }
+  return Status::OK();
 }
 
 }  // namespace licm::bench

@@ -5,6 +5,8 @@
 #define LICM_BENCH_HARNESS_H_
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "anonymize/licm_encode.h"
 #include "licm/evaluator.h"
@@ -66,6 +68,8 @@ struct CellResult {
   size_t vars_model = 0, cons_model = 0;       // after modeling
   size_t vars_query = 0, cons_query = 0;       // after query processing
   size_t vars_pruned = 0, cons_pruned = 0;     // after pruning
+  /// Solver statistics for the LICM solve (nodes, cache hits/misses, ...).
+  solver::MipStats solve_stats;
 };
 
 struct BenchConfig {
@@ -89,6 +93,33 @@ struct BenchConfig {
 Result<CellResult> RunCell(Scheme scheme, int qnum, uint32_t k,
                            const BenchConfig& config,
                            const QueryParams& params);
+
+/// One flat JSON object, keys in insertion order. Values are rendered at
+/// Add time; no external JSON dependency. Used for the machine-readable
+/// BENCH_*.json files every bench binary writes next to its stdout table.
+class JsonRecord {
+ public:
+  JsonRecord& AddString(const std::string& key, const std::string& value);
+  JsonRecord& AddNumber(const std::string& key, double value);
+  JsonRecord& AddInt(const std::string& key, int64_t value);
+  JsonRecord& AddBool(const std::string& key, bool value);
+
+  /// The standard per-run measurement block: bound values, exactness,
+  /// wall times, node count, and cache hit rate derived from `stats`.
+  JsonRecord& AddRunMetrics(double min_value, double max_value,
+                            bool min_exact, bool max_exact, double query_ms,
+                            double solve_ms, const solver::MipStats& stats);
+
+  /// Renders as {"key":value,...}.
+  std::string ToJson() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Writes `records` to `path` as a JSON array (one object per line).
+Status WriteBenchJson(const std::string& path,
+                      const std::vector<JsonRecord>& records);
 
 }  // namespace licm::bench
 

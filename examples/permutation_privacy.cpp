@@ -74,11 +74,14 @@ int main() {
       "\n'How many male patients do not have cancer?'\n"
       "  at least: %.0f   <- Example 2's question\n  at most:  %.0f\n",
       answer->bounds.min.value, answer->bounds.max.value);
-  std::printf("  (exact: %s/%s; solver explored %lld + %lld nodes)\n",
-              answer->bounds.min.exact ? "yes" : "no",
-              answer->bounds.max.exact ? "yes" : "no",
-              static_cast<long long>(answer->bounds.min.stats.nodes),
-              static_cast<long long>(answer->bounds.max.stats.nodes));
+  std::printf(
+      "  (exact: %s/%s; solver explored %lld nodes, %lld/%lld cache "
+      "hits/misses)\n",
+      answer->bounds.min.exact ? "yes" : "no",
+      answer->bounds.max.exact ? "yes" : "no",
+      static_cast<long long>(answer->bounds.stats.nodes),
+      static_cast<long long>(answer->bounds.stats.cache_hits),
+      static_cast<long long>(answer->bounds.stats.cache_misses));
 
   // Sanity: the bounds respect the arithmetic of the groups — each group
   // contributes (#males - [group has a male with cancer?]) in any world.

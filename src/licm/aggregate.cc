@@ -4,6 +4,8 @@
 #include <cmath>
 #include <map>
 
+#include "solver/solve_cache.h"
+
 namespace licm {
 
 Objective CountObjective(const LicmRelation& relation) {
@@ -99,15 +101,19 @@ Result<AggregateBounds> ComputeBounds(const Objective& objective,
   }
   lp.AddObjectiveConstant(objective.constant);
 
+  // One shared pass: presolve and decomposition run once, and every
+  // component is solved for both senses through one batch (thread pool and
+  // solve cache shared; isomorphic group components deduplicated).
   const solver::MipSolver solver(options.mip);
+  solver::MinMaxMipResult r = solver.SolveMinMax(lp);
+
   AggregateBounds out;
   out.prune_stats = pruned.stats;
+  out.stats = r.stats;
 
-  auto solve_side = [&](solver::Sense sense) -> Result<BoundSide> {
-    BoundSide side;
-    solver::MipResult r = solver.Solve(lp, sense);
-    side.stats = r.stats;
-    switch (r.status) {
+  auto to_side = [&](const solver::MipResult& side_result,
+                     BoundSide* side) -> Status {
+    switch (side_result.status) {
       case solver::SolveStatus::kInfeasible:
         return Status::Infeasible(
             "LICM constraint set admits no possible world");
@@ -115,26 +121,28 @@ Result<AggregateBounds> ComputeBounds(const Objective& objective,
         return Status::Unbounded("aggregate objective unbounded (bug: "
                                  "binary programs are always bounded)");
       case solver::SolveStatus::kOptimal:
-        side.exact = true;
+        side->exact = true;
         break;
       case solver::SolveStatus::kTimeLimit:
-        side.exact = false;
+        side->exact = false;
         break;
     }
-    side.proved = r.best_bound;
-    side.has_world = r.has_solution;
-    side.value = r.has_solution ? r.objective : r.best_bound;
-    if (r.has_solution) {
+    side->proved = side_result.best_bound;
+    side->has_world = side_result.has_solution;
+    side->value = side_result.has_solution ? side_result.objective
+                                           : side_result.best_bound;
+    if (side_result.has_solution) {
       for (BVar v : live_sorted) {
-        side.world.emplace(
-            v, static_cast<uint8_t>(std::lround(r.solution[to_lp.at(v)])));
+        side->world.emplace(
+            v, static_cast<uint8_t>(
+                   std::lround(side_result.solution[to_lp.at(v)])));
       }
     }
-    return side;
+    return Status::OK();
   };
 
-  LICM_ASSIGN_OR_RETURN(out.min, solve_side(solver::Sense::kMinimize));
-  LICM_ASSIGN_OR_RETURN(out.max, solve_side(solver::Sense::kMaximize));
+  LICM_RETURN_NOT_OK(to_side(r.min, &out.min));
+  LICM_RETURN_NOT_OK(to_side(r.max, &out.max));
   return out;
 }
 
@@ -143,44 +151,147 @@ namespace {
 // Feasibility of `constraints` + `extras`: kFixpoint-style tri-state.
 enum class Feas { kYes, kNo, kUnknown };
 
-Feas CheckFeasible(const ConstraintSet& constraints,
-                   const std::vector<LinearConstraint>& extras,
-                   uint32_t num_vars, const BoundsOptions& options) {
-  ConstraintSet all = constraints;
-  std::vector<BVar> seeds;
-  for (const LinearConstraint& c : extras) {
-    for (const auto& t : c.terms) seeds.push_back(t.var);
-    all.Add(c);
-  }
-  PruneResult pruned;
-  if (options.prune) {
-    pruned = Prune(all, seeds, num_vars);
-  } else {
-    pruned.kept = all.constraints();
-    for (BVar v = 0; v < num_vars; ++v) pruned.live.insert(v);
-  }
-  solver::LinearProgram lp;
-  std::unordered_map<BVar, solver::VarId> to_lp;
-  std::vector<BVar> live(pruned.live.begin(), pruned.live.end());
-  std::sort(live.begin(), live.end());
-  for (BVar v : live) to_lp.emplace(v, lp.AddBinary());
-  for (const LinearConstraint& c : pruned.kept) {
-    solver::Row row;
-    for (const auto& t : c.terms) {
-      row.terms.push_back({to_lp.at(t.var), static_cast<double>(t.coef)});
+// Shared machinery for the MIN/MAX case analysis: a sequence of
+// feasibility probes against the same base constraint set, each with a
+// couple of extra rows. The constraint graph is decomposed into connected
+// components once; every probe then solves only the components its extra
+// rows touch (the transitive region Prune() would have kept), instead of
+// re-copying and re-pruning the whole constraint set per distinct value.
+// All probes share one solve cache, so a probe whose touched region is
+// isomorphic to an earlier one (the common case across values under group
+// anonymization) is answered without a search.
+class FeasibilityProber {
+ public:
+  FeasibilityProber(const ConstraintSet& constraints, uint32_t num_vars,
+                    const BoundsOptions& options)
+      : constraints_(constraints), num_vars_(num_vars), options_(options) {
+    mip_ = options.mip;
+    if (mip_.use_cache && mip_.cache == nullptr) mip_.cache = &cache_;
+
+    // Connected components of the constraint graph (vars connected when
+    // they share a constraint), computed once for the probe sequence.
+    parent_.resize(num_vars);
+    for (BVar v = 0; v < num_vars; ++v) parent_[v] = v;
+    const auto& rows = constraints_.constraints();
+    for (const LinearConstraint& c : rows) {
+      for (size_t i = 1; i < c.terms.size(); ++i) {
+        Union(c.terms[0].var, c.terms[i].var);
+      }
     }
-    row.op = ToRowOp(c.op);
-    row.rhs = static_cast<double>(c.rhs);
-    lp.AddRow(std::move(row));
+    for (size_t k = 0; k < rows.size(); ++k) {
+      if (rows[k].terms.empty()) continue;
+      rows_of_root_[Find(rows[k].terms[0].var)].push_back(k);
+    }
   }
-  solver::MipResult r =
-      solver::MipSolver(options.mip).Solve(lp, solver::Sense::kMaximize);
-  switch (r.status) {
-    case solver::SolveStatus::kOptimal: return Feas::kYes;
-    case solver::SolveStatus::kInfeasible: return Feas::kNo;
-    default: return Feas::kUnknown;
+
+  /// Feasibility of the base constraint set alone (every component, no
+  /// pruning) — the global "does any world exist" check. Solved once and
+  /// memoized.
+  Feas CheckBase() {
+    if (!base_checked_) {
+      std::vector<size_t> all(constraints_.constraints().size());
+      for (size_t k = 0; k < all.size(); ++k) all[k] = k;
+      base_result_ = SolveFeasibility(all, {});
+      base_checked_ = true;
+    }
+    return base_result_;
   }
-}
+
+  /// Feasibility of base + `extras`. With pruning enabled this solves only
+  /// the components touched by the extras (exactly the region reachable
+  /// from the extras' variables, matching the paper's pruning semantics);
+  /// otherwise the full system is included.
+  Feas Check(const std::vector<LinearConstraint>& extras) {
+    std::vector<size_t> indices;
+    if (!options_.prune) {
+      indices.resize(constraints_.constraints().size());
+      for (size_t k = 0; k < indices.size(); ++k) indices[k] = k;
+    } else {
+      std::vector<BVar> roots;
+      for (const LinearConstraint& c : extras) {
+        for (const auto& t : c.terms) roots.push_back(Find(t.var));
+      }
+      std::sort(roots.begin(), roots.end());
+      roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+      for (BVar root : roots) {
+        auto it = rows_of_root_.find(root);
+        if (it == rows_of_root_.end()) continue;
+        indices.insert(indices.end(), it->second.begin(), it->second.end());
+      }
+      std::sort(indices.begin(), indices.end());
+    }
+    return SolveFeasibility(indices, extras);
+  }
+
+  const solver::MipStats& stats() const { return stats_; }
+
+ private:
+  BVar Find(BVar x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(BVar a, BVar b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[a] = b;
+  }
+
+  Feas SolveFeasibility(const std::vector<size_t>& indices,
+                        const std::vector<LinearConstraint>& extras) {
+    // Variables of the selected region; vars outside any constraint are
+    // free and cannot affect feasibility.
+    std::vector<BVar> vars;
+    const auto& rows = constraints_.constraints();
+    for (size_t k : indices) {
+      for (const auto& t : rows[k].terms) vars.push_back(t.var);
+    }
+    for (const LinearConstraint& c : extras) {
+      for (const auto& t : c.terms) vars.push_back(t.var);
+    }
+    std::sort(vars.begin(), vars.end());
+    vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+
+    solver::LinearProgram lp;
+    std::unordered_map<BVar, solver::VarId> to_lp;
+    to_lp.reserve(vars.size());
+    for (BVar v : vars) to_lp.emplace(v, lp.AddBinary());
+    auto add_row = [&](const LinearConstraint& c) {
+      solver::Row row;
+      row.terms.reserve(c.terms.size());
+      for (const auto& t : c.terms) {
+        row.terms.push_back({to_lp.at(t.var), static_cast<double>(t.coef)});
+      }
+      row.op = ToRowOp(c.op);
+      row.rhs = static_cast<double>(c.rhs);
+      lp.AddRow(std::move(row));
+    };
+    for (size_t k : indices) add_row(rows[k]);
+    for (const LinearConstraint& c : extras) add_row(c);
+
+    solver::MipResult r =
+        solver::MipSolver(mip_).Solve(lp, solver::Sense::kMaximize);
+    stats_.MergeFrom(r.stats);
+    switch (r.status) {
+      case solver::SolveStatus::kOptimal: return Feas::kYes;
+      case solver::SolveStatus::kInfeasible: return Feas::kNo;
+      default: return Feas::kUnknown;
+    }
+  }
+
+  const ConstraintSet& constraints_;
+  const uint32_t num_vars_;
+  const BoundsOptions& options_;
+  solver::MipOptions mip_;
+  solver::ComponentCache cache_;
+  solver::MipStats stats_;
+  std::vector<BVar> parent_;
+  std::unordered_map<BVar, std::vector<size_t>> rows_of_root_;
+  bool base_checked_ = false;
+  Feas base_result_ = Feas::kUnknown;
+};
 
 double NumericAt(const LicmRelation& r, size_t row, size_t col) {
   const rel::Value& v = r.tuple(row)[col];
@@ -239,6 +350,23 @@ Result<MinMaxBounds> ComputeMinMaxBounds(const LicmRelation& relation,
   std::vector<double> values;
   for (const auto& [v, e] : by_value) values.push_back(v);
 
+  // All probes below share one constraint-graph decomposition and one
+  // solve cache; each solves only the region its extra rows touch. That
+  // pruning is blind to components none of the relation's variables reach,
+  // so an infeasible one would let a pruned probe report a world that
+  // cannot exist (and the extreme/tame scans contradict each other). Check
+  // global feasibility once up front: the component solves land in the
+  // shared cache, so later probes get them back for free.
+  FeasibilityProber prober(constraints, num_vars, options);
+  {
+    Feas base = prober.CheckBase();
+    if (base == Feas::kNo) {
+      return Status::Infeasible(
+          "LICM constraint set admits no possible world");
+    }
+    if (base == Feas::kUnknown) out.exact_lo = out.exact_hi = false;
+  }
+
   // Emptiness: feasible to drop every tuple?
   if (any_certain) {
     out.may_be_empty = false;
@@ -247,7 +375,7 @@ Result<MinMaxBounds> ComputeMinMaxBounds(const LicmRelation& relation,
     for (const auto& [v, e] : by_value) {
       all_vars.insert(all_vars.end(), e.second.begin(), e.second.end());
     }
-    Feas f = CheckFeasible(constraints, {None(all_vars)}, num_vars, options);
+    Feas f = prober.Check({None(all_vars)});
     out.may_be_empty = f != Feas::kNo;
     if (f == Feas::kUnknown) out.exact_lo = out.exact_hi = false;
   }
@@ -271,8 +399,7 @@ Result<MinMaxBounds> ComputeMinMaxBounds(const LicmRelation& relation,
       extreme_found = true;
       break;
     }
-    Feas f = CheckFeasible(constraints, {AtLeastOne(entry.second)}, num_vars,
-                           options);
+    Feas f = prober.Check({AtLeastOne(entry.second)});
     if (f == Feas::kYes) {
       extreme = *it;
       extreme_found = true;
@@ -286,17 +413,12 @@ Result<MinMaxBounds> ComputeMinMaxBounds(const LicmRelation& relation,
     }
   }
   if (!extreme_found) {
-    // No tuple can ever be present: either the whole constraint system is
-    // contradictory, or the relation is empty in every world. The global
-    // feasibility check must see every constraint, so pruning is off.
-    BoundsOptions full = options;
-    full.prune = false;
-    if (CheckFeasible(constraints, {}, num_vars, full) == Feas::kNo) {
-      return Status::Infeasible(
-          "LICM constraint set admits no possible world");
-    }
+    // No tuple can ever be present; the up-front base check already ruled
+    // out a contradictory constraint system, so the relation is simply
+    // empty in every world.
     out.always_empty = true;
     out.may_be_empty = true;
+    out.stats = prober.stats();
     return out;
   }
 
@@ -327,7 +449,7 @@ Result<MinMaxBounds> ComputeMinMaxBounds(const LicmRelation& relation,
       if (not_better.empty()) continue;
       extras.push_back(AtLeastOne(not_better));
     }
-    Feas f = CheckFeasible(constraints, extras, num_vars, options);
+    Feas f = prober.Check(extras);
     if (f == Feas::kYes) {
       tame = v;
       break;
@@ -350,6 +472,7 @@ Result<MinMaxBounds> ComputeMinMaxBounds(const LicmRelation& relation,
     out.hi = tame;
     out.exact_hi = out.exact_hi && tame_exact;
   }
+  out.stats = prober.stats();
   LICM_CHECK(out.lo <= out.hi);
   return out;
 }

@@ -35,6 +35,11 @@ struct BoundsOptions {
   /// Remove variables/constraints unreachable from the objective before
   /// solving (Section V-C).
   bool prune = true;
+  /// Solver configuration. `mip.cache` may point at a shared
+  /// solver::ComponentCache to memoize isomorphic-component solves across
+  /// calls; by default every bound computation uses a private cache that
+  /// still dedupes the (typically thousands of) isomorphic group
+  /// components within the call.
   solver::MipOptions mip;
 };
 
@@ -52,13 +57,17 @@ struct BoundSide {
   /// variables are unconstrained by the objective and can be completed by
   /// any satisfying assignment of the pruned remainder.
   std::unordered_map<BVar, uint8_t> world;
-  solver::MipStats stats;
 };
 
 struct AggregateBounds {
   BoundSide min;
   BoundSide max;
   PruneResult::Stats prune_stats;
+  /// Solver statistics for the whole computation. Both sides are solved in
+  /// one pass (presolve + decomposition run exactly once; see
+  /// solver::MipSolver::SolveMinMax), so the stats are shared rather than
+  /// per side.
+  solver::MipStats stats;
 };
 
 /// Computes [min, max] of `objective` subject to `constraints` over
@@ -84,6 +93,9 @@ struct MinMaxBounds {
   /// are meaningless.
   bool may_be_empty = false;
   bool always_empty = false;
+  /// Merged solver statistics over the whole probe sequence (the probes
+  /// share one constraint-graph decomposition and one solve cache).
+  solver::MipStats stats;
 };
 
 /// Case-based MIN/MAX bounds: a sequence of solver feasibility probes over

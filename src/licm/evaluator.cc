@@ -91,6 +91,7 @@ Result<AggregateAnswer> AnswerAggregate(const rel::QueryNode& query,
     out.bounds.min.exact = out.minmax.exact_lo;
     out.bounds.max.value = out.bounds.max.proved = out.minmax.hi;
     out.bounds.max.exact = out.minmax.exact_hi;
+    out.bounds.stats = out.minmax.stats;
     out.solve_ms = watch.ElapsedMs();
     return out;
   }

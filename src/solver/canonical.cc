@@ -1,0 +1,207 @@
+#include "solver/canonical.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace licm::solver {
+
+namespace {
+
+// splitmix64-style mixer; used to combine signature components.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t Combine(uint64_t h, uint64_t v) { return Mix(h ^ Mix(v)); }
+
+// Bit pattern of a double with -0.0 normalized to +0.0 so equal values hash
+// equally.
+uint64_t DoubleBits(double d) {
+  if (d == 0.0) d = 0.0;
+  return std::bit_cast<uint64_t>(d);
+}
+
+uint64_t HashBytes(const std::string& s) {
+  // FNV-1a, then mixed; collisions only cost hash-bucket sharing — key
+  // comparison is always on the full bytes.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return Mix(h);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void AppendDouble(std::string* out, double d) { AppendU64(out, DoubleBits(d)); }
+
+// Dense re-ranking of arbitrary 64-bit colors, order defined by the color
+// values themselves (so the result is independent of input variable order
+// whenever the colors are).
+void Densify(std::vector<uint64_t>* colors) {
+  std::vector<uint64_t> sorted(*colors);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (uint64_t& c : *colors) {
+    c = static_cast<uint64_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), c) - sorted.begin());
+  }
+}
+
+size_t CountDistinct(const std::vector<uint64_t>& colors) {
+  std::vector<uint64_t> sorted(colors);
+  std::sort(sorted.begin(), sorted.end());
+  return static_cast<size_t>(
+      std::unique(sorted.begin(), sorted.end()) - sorted.begin());
+}
+
+// One refinement sweep: row signatures from variable colors, then variable
+// colors from incident row signatures. One pass over the nonzeros in each
+// direction (plus a per-variable sort of its incident signatures), so a
+// sweep is O(nnz log deg) even on long cardinality rows.
+void RefineOnce(const LinearProgram& lp,
+                std::vector<std::vector<uint64_t>>* buckets,
+                std::vector<uint64_t>* colors) {
+  for (auto& b : *buckets) b.clear();
+  for (const Row& row : lp.rows()) {
+    uint64_t h = Combine(static_cast<uint64_t>(row.op), DoubleBits(row.rhs));
+    std::vector<uint64_t> scratch;
+    scratch.reserve(row.terms.size());
+    for (const Term& t : row.terms) {
+      scratch.push_back(Combine((*colors)[t.var], DoubleBits(t.coef)));
+    }
+    std::sort(scratch.begin(), scratch.end());
+    for (uint64_t s : scratch) h = Combine(h, s);
+    for (const Term& t : row.terms) {
+      (*buckets)[t.var].push_back(Combine(h, DoubleBits(t.coef)));
+    }
+  }
+  for (VarId v = 0; v < colors->size(); ++v) {
+    std::vector<uint64_t>& b = (*buckets)[v];
+    std::sort(b.begin(), b.end());
+    uint64_t h = (*colors)[v];
+    for (uint64_t s : b) h = Combine(h, s);
+    (*colors)[v] = h;
+  }
+  Densify(colors);
+}
+
+void RefineToFixpoint(const LinearProgram& lp,
+                      std::vector<std::vector<uint64_t>>* buckets,
+                      std::vector<uint64_t>* colors) {
+  size_t distinct = CountDistinct(*colors);
+  for (size_t round = 0; round < lp.num_vars(); ++round) {
+    RefineOnce(lp, buckets, colors);
+    const size_t d = CountDistinct(*colors);
+    if (d == distinct || d == lp.num_vars()) return;
+    distinct = d;
+  }
+}
+
+}  // namespace
+
+CanonicalForm Canonicalize(const LinearProgram& lp) {
+  const size_t n = lp.num_vars();
+  CanonicalForm form;
+
+  // Initial colors: everything that distinguishes a variable on its own.
+  std::vector<uint64_t> colors(n);
+  for (VarId v = 0; v < n; ++v) {
+    const auto& def = lp.vars()[v];
+    uint64_t h = DoubleBits(def.lower);
+    h = Combine(h, DoubleBits(def.upper));
+    h = Combine(h, def.is_integer ? 1 : 0);
+    h = Combine(h, DoubleBits(lp.objective_coef(v)));
+    colors[v] = h;
+  }
+  Densify(&colors);
+  std::vector<std::vector<uint64_t>> buckets(n);
+  RefineToFixpoint(lp, &buckets, &colors);
+
+  // Canonical position = final color rank, ties broken by input id. Tied
+  // variables are automorphic on the structures LICM emits, and the byte
+  // serialization below is invariant under automorphic relabelings, so the
+  // tie-break never costs a hit there. (Full individualization-refinement
+  // would cost O(orbits) extra fixpoint passes — more than solving the
+  // typical component — for hit-rate gains only on 1-WL-hard structure
+  // that LICM never produces.)
+  form.canon_to_input.resize(n);
+  for (VarId v = 0; v < n; ++v) form.canon_to_input[v] = v;
+  std::sort(form.canon_to_input.begin(), form.canon_to_input.end(),
+            [&colors](VarId a, VarId b) {
+              return colors[a] != colors[b] ? colors[a] < colors[b] : a < b;
+            });
+  std::vector<VarId> input_to_canon(n);
+  for (size_t pos = 0; pos < n; ++pos) {
+    input_to_canon[form.canon_to_input[pos]] = static_cast<VarId>(pos);
+  }
+
+  // Serialize the relabeled program. Rows are sorted so the form is
+  // independent of row insertion order.
+  std::string& key = form.key;
+  key.reserve(16 + n * 33 + lp.num_rows() * 24);
+  AppendU64(&key, n);
+  AppendU64(&key, lp.num_rows());
+  AppendDouble(&key, lp.objective_constant());
+  for (size_t pos = 0; pos < n; ++pos) {
+    const VarId v = form.canon_to_input[pos];
+    const auto& def = lp.vars()[v];
+    AppendDouble(&key, def.lower);
+    AppendDouble(&key, def.upper);
+    key.push_back(def.is_integer ? 1 : 0);
+    AppendDouble(&key, lp.objective_coef(v));
+  }
+  std::vector<std::string> row_bytes;
+  row_bytes.reserve(lp.num_rows());
+  std::vector<std::pair<VarId, double>> terms;
+  for (const Row& row : lp.rows()) {
+    terms.clear();
+    for (const Term& t : row.terms) {
+      terms.emplace_back(input_to_canon[t.var], t.coef);
+    }
+    std::sort(terms.begin(), terms.end());
+    std::string bytes;
+    bytes.push_back(static_cast<char>(row.op));
+    AppendDouble(&bytes, row.rhs);
+    AppendU64(&bytes, terms.size());
+    for (const auto& [var, coef] : terms) {
+      AppendU64(&bytes, var);
+      AppendDouble(&bytes, coef);
+    }
+    row_bytes.push_back(std::move(bytes));
+  }
+  std::sort(row_bytes.begin(), row_bytes.end());
+  for (const std::string& bytes : row_bytes) key += bytes;
+
+  form.hash = HashBytes(key);
+  return form;
+}
+
+std::vector<double> CanonicalToInput(const CanonicalForm& form,
+                                     const std::vector<double>& canonical_x) {
+  std::vector<double> x(canonical_x.size());
+  for (size_t pos = 0; pos < canonical_x.size(); ++pos) {
+    x[form.canon_to_input[pos]] = canonical_x[pos];
+  }
+  return x;
+}
+
+std::vector<double> InputToCanonical(const CanonicalForm& form,
+                                     const std::vector<double>& input_x) {
+  std::vector<double> x(input_x.size());
+  for (size_t pos = 0; pos < input_x.size(); ++pos) {
+    x[pos] = input_x[form.canon_to_input[pos]];
+  }
+  return x;
+}
+
+}  // namespace licm::solver

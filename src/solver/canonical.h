@@ -1,0 +1,58 @@
+// Canonical form of a linear program up to variable renaming.
+//
+// Two connected components that differ only by a permutation of variable
+// ids (and by row / term order) are the *same* optimization problem; under
+// k-anonymization the BIP splits into thousands of such isomorphic group
+// components. Canonicalize() computes a normal form: a deterministic
+// variable relabeling plus a byte serialization that is identical for
+// isomorphic programs, so one proved solve can answer all of them (see
+// solve_cache.h).
+//
+// The labeling uses color refinement (1-WL over the variable/row incidence
+// structure, seeded with bounds, integrality, and objective coefficients)
+// to a fixpoint; ties that survive are broken by input id. Surviving ties
+// are automorphic on the row structures LICM emits (cardinality rows, SOS1
+// rows, AND/OR links), and serialization is invariant under automorphic
+// relabelings, so isomorphic inputs still land on the same bytes. On
+// 1-WL-hard structure the tie-break can split an isomorphism class, but the
+// only cost is a missed cache hit — equality of serialized forms always
+// implies true isomorphism, so correctness never depends on the labeling.
+#ifndef LICM_SOLVER_CANONICAL_H_
+#define LICM_SOLVER_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "solver/linear_program.h"
+
+namespace licm::solver {
+
+struct CanonicalForm {
+  /// Full byte serialization of the relabeled program (bounds, integrality,
+  /// objective, sorted rows; variable names excluded). Equal keys <=>
+  /// isomorphic programs, with the relabelings below as witness.
+  std::string key;
+  /// 64-bit hash of `key`, precomputed for cheap map lookups.
+  uint64_t hash = 0;
+  /// canonical position -> variable id in the input program.
+  std::vector<VarId> canon_to_input;
+};
+
+/// Computes the canonical form of `lp`. Deterministic; cost is a few
+/// refinement sweeps over the rows, intended for the small per-group
+/// components produced by Decompose().
+CanonicalForm Canonicalize(const LinearProgram& lp);
+
+/// Maps a solution vector in canonical variable order back to the input
+/// program's variable order.
+std::vector<double> CanonicalToInput(const CanonicalForm& form,
+                                     const std::vector<double>& canonical_x);
+
+/// Maps a solution vector in input variable order to canonical order.
+std::vector<double> InputToCanonical(const CanonicalForm& form,
+                                     const std::vector<double>& input_x);
+
+}  // namespace licm::solver
+
+#endif  // LICM_SOLVER_CANONICAL_H_

@@ -6,11 +6,16 @@
 #include <memory>
 #include <thread>
 
+#include <string_view>
+#include <unordered_map>
+
 #include "common/stopwatch.h"
+#include "solver/canonical.h"
 #include "solver/components.h"
 #include "solver/presolve.h"
 #include "solver/propagation.h"
 #include "solver/simplex.h"
+#include "solver/solve_cache.h"
 
 namespace licm::solver {
 
@@ -493,72 +498,135 @@ class ComponentSearch {
   std::vector<double> incumbent_;
 };
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Shared pipeline: presolve + decomposition run once, components are solved
+// as one deduplicated batch (cache-aware), results assemble per sense.
 
-MipResult MipSolver::Solve(const LinearProgram& input, Sense sense) const {
-  StopWatch clock;
-  MipResult result;
-  LICM_CHECK_OK(input.Validate());
-
-  // Normalize to maximization.
-  const bool minimize = sense == Sense::kMinimize;
-  LinearProgram lp = input;
-  if (minimize) {
-    for (VarId v = 0; v < lp.num_vars(); ++v)
-      lp.SetObjectiveCoef(v, -lp.objective_coef(v));
-    lp.AddObjectiveConstant(-2.0 * lp.objective_constant());
-  }
-
+struct PreparedPipeline {
+  bool infeasible = false;
   PresolveResult pre;
-  const LinearProgram* work = &lp;
-  if (options_.use_presolve) {
-    pre = Presolve(lp);
-    if (pre.infeasible) {
-      result.status = SolveStatus::kInfeasible;
-      result.stats.solve_seconds = clock.ElapsedSeconds();
-      return result;
-    }
-    result.stats.presolve_fixed_vars = pre.stats.vars_fixed;
-    result.stats.presolve_removed_rows =
-        pre.stats.rows_removed + pre.stats.duplicate_rows;
-    work = &pre.reduced;
-  }
-
+  /// Post-presolve program; points into `pre` or at the caller's program.
+  const LinearProgram* work = nullptr;
   std::vector<Component> comps;
-  if (options_.use_decomposition) {
-    comps = Decompose(*work);
+};
+
+void Prepare(const LinearProgram& lp, const MipOptions& opt, MipStats* stats,
+             PreparedPipeline* p) {
+  if (opt.use_presolve) {
+    ++stats->presolve_calls;
+    p->pre = Presolve(lp);
+    if (p->pre.infeasible) {
+      p->infeasible = true;
+      return;
+    }
+    stats->presolve_fixed_vars = p->pre.stats.vars_fixed;
+    stats->presolve_removed_rows =
+        p->pre.stats.rows_removed + p->pre.stats.duplicate_rows;
+    p->work = &p->pre.reduced;
+  } else {
+    p->work = &lp;
+  }
+  ++stats->decompose_calls;
+  if (opt.use_decomposition) {
+    p->comps = Decompose(*p->work);
   } else {
     Component whole;
-    whole.program = *work;
-    whole.to_parent.resize(work->num_vars());
-    for (VarId v = 0; v < work->num_vars(); ++v) whole.to_parent[v] = v;
-    comps.push_back(std::move(whole));
+    whole.program = *p->work;
+    whole.to_parent.resize(p->work->num_vars());
+    for (VarId v = 0; v < p->work->num_vars(); ++v) whole.to_parent[v] = v;
+    p->comps.push_back(std::move(whole));
   }
-  result.stats.components = comps.size();
+  stats->components = p->comps.size();
+}
 
-  // The objective constant lives on `work` (post-presolve); component
-  // programs carry coefficient-only objectives, so add it once. (Component
-  // constants are subtracted back out below to keep this correct when
-  // decomposition is disabled and the single component *is* `work`.)
-  double objective = work->objective_constant();
-  double best_bound = work->objective_constant();
+ComponentResult EntryToResult(const ComponentCache::Entry& e,
+                              const CanonicalForm& form) {
+  ComponentResult res;
+  res.status = e.status;
+  res.has_solution = e.has_solution;
+  res.objective = res.best_bound = e.objective;
+  if (e.has_solution) res.solution = CanonicalToInput(form, e.solution);
+  return res;
+}
 
-  bool all_optimal = true;
-  bool any_solution_missing = false;
-  std::vector<double> assembled(work->num_vars(), 0.0);
+// Solves every program (all maximization-oriented) in one batch. With a
+// cache, programs are canonicalized first and grouped by form: one search
+// answers the whole isomorphism class, and proved results are memoized for
+// later batches. Rowless programs skip the cache — solving them by
+// inspection is cheaper than fingerprinting them — as do components above
+// the size cap (see MipOptions::cache_max_component_vars).
+std::vector<ComponentResult> SolveBatch(
+    const std::vector<const LinearProgram*>& programs, const MipOptions& opt,
+    const StopWatch& clock, MipStats* stats) {
+  const size_t n = programs.size();
+  std::vector<ComponentResult> results(n);
 
-  // Solve components, optionally across worker threads (components are
-  // fully independent; only the per-thread stats need merging).
-  std::vector<ComponentResult> comp_results(comps.size());
-  const int threads =
-      std::max(1, std::min<int>(options_.num_threads,
-                                static_cast<int>(comps.size())));
-  if (threads == 1) {
-    for (size_t i = 0; i < comps.size(); ++i) {
-      ComponentSearch search(comps[i].program, options_, clock,
-                             &result.stats);
-      comp_results[i] = search.Run();
+  std::vector<CanonicalForm> forms(n);
+  std::vector<bool> use_cache(n, false);
+  std::vector<std::vector<size_t>> group_members;  // ordered by first member
+  std::vector<int32_t> group_of_rep(n, -1);
+  if (opt.cache) {
+    std::unordered_map<std::string_view, size_t> group_of;
+    for (size_t i = 0; i < n; ++i) {
+      if (programs[i]->num_rows() == 0 ||
+          programs[i]->num_vars() > opt.cache_max_component_vars) {
+        continue;
+      }
+      forms[i] = Canonicalize(*programs[i]);
+      use_cache[i] = true;
+      ++stats->canonical_forms;
+      auto [it, fresh] = group_of.try_emplace(std::string_view(forms[i].key),
+                                              group_members.size());
+      if (fresh) group_members.emplace_back();
+      group_members[it->second].push_back(i);
     }
+  }
+
+  // Task list: every uncacheable program, plus one representative per
+  // isomorphism class.
+  std::vector<size_t> tasks;
+  tasks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!use_cache[i]) tasks.push_back(i);
+  }
+  for (size_t g = 0; g < group_members.size(); ++g) {
+    group_of_rep[group_members[g].front()] = static_cast<int32_t>(g);
+    tasks.push_back(group_members[g].front());
+  }
+  std::vector<uint8_t> rep_hit(group_members.size(), 0);
+
+  auto run_task = [&](size_t i, MipStats* task_stats) {
+    if (use_cache[i]) {
+      ComponentCache::Entry entry;
+      if (opt.cache->Lookup(forms[i], &entry)) {
+        results[i] = EntryToResult(entry, forms[i]);
+        rep_hit[static_cast<size_t>(group_of_rep[i])] = 1;
+        return;
+      }
+      ComponentSearch search(*programs[i], opt, clock, task_stats);
+      results[i] = search.Run();
+      const ComponentResult& res = results[i];
+      if (res.status == SolveStatus::kOptimal ||
+          res.status == SolveStatus::kInfeasible) {
+        ComponentCache::Entry ins;
+        ins.status = res.status;
+        ins.objective = res.objective;
+        ins.has_solution = res.has_solution;
+        if (res.has_solution) {
+          ins.solution = InputToCanonical(forms[i], res.solution);
+        }
+        opt.cache->Insert(forms[i], std::move(ins));
+      }
+      return;
+    }
+    ComponentSearch search(*programs[i], opt, clock, task_stats);
+    results[i] = search.Run();
+  };
+
+  const int threads = std::max(
+      1, std::min<int>(opt.num_threads, static_cast<int>(tasks.size())));
+  if (threads == 1) {
+    for (size_t t : tasks) run_task(t, stats);
   } else {
     std::vector<MipStats> thread_stats(static_cast<size_t>(threads));
     std::atomic<size_t> next{0};
@@ -567,41 +635,89 @@ MipResult MipSolver::Solve(const LinearProgram& input, Sense sense) const {
       pool.emplace_back([&, t] {
         for (;;) {
           const size_t i = next.fetch_add(1);
-          if (i >= comps.size()) return;
-          ComponentSearch search(comps[i].program, options_, clock,
-                                 &thread_stats[static_cast<size_t>(t)]);
-          comp_results[i] = search.Run();
+          if (i >= tasks.size()) return;
+          run_task(tasks[i], &thread_stats[static_cast<size_t>(t)]);
         }
       });
     }
     for (auto& th : pool) th.join();
-    for (const MipStats& s : thread_stats) {
-      result.stats.nodes += s.nodes;
-      result.stats.lp_solves += s.lp_solves;
-    }
+    // Merge in thread-index order: counters are sums, so the totals are
+    // deterministic regardless of how work was interleaved.
+    for (const MipStats& s : thread_stats) stats->MergeFrom(s);
   }
 
-  for (size_t ci = 0; ci < comps.size(); ++ci) {
-    const Component& comp = comps[ci];
-    ComponentResult& cr = comp_results[ci];
+  // Replay each representative's result to the rest of its isomorphism
+  // class, permuting the solution through canonical space. Time-limited
+  // results are shared too (their bounds are permutation-invariant) but
+  // were not inserted into the cache above.
+  for (size_t g = 0; g < group_members.size(); ++g) {
+    const std::vector<size_t>& members = group_members[g];
+    const size_t rep = members.front();
+    if (rep_hit[g]) {
+      stats->cache_hits += static_cast<int64_t>(members.size());
+    } else {
+      ++stats->cache_misses;
+      stats->cache_hits += static_cast<int64_t>(members.size()) - 1;
+    }
+    if (members.size() == 1) continue;
+    const ComponentResult& src = results[rep];
+    std::vector<double> canonical_x;
+    if (src.has_solution) {
+      canonical_x = InputToCanonical(forms[rep], src.solution);
+    }
+    for (size_t mi = 1; mi < members.size(); ++mi) {
+      const size_t m = members[mi];
+      ComponentResult res;
+      res.status = src.status;
+      res.objective = src.objective;
+      res.best_bound = src.best_bound;
+      res.has_solution = src.has_solution;
+      if (src.has_solution) {
+        res.solution = CanonicalToInput(forms[m], canonical_x);
+      }
+      results[m] = std::move(res);
+    }
+  }
+  return results;
+}
+
+// Assembles component results (for maximize-oriented solved programs) into
+// a MipResult. `offset` selects the slice of `solved` belonging to this
+// sense; `solved_work_constant` is the objective constant of the solved
+// whole program; `negate` flips objective/bound back into the caller's
+// orientation (the min side solves negated programs).
+MipResult Assemble(const PreparedPipeline& p, const MipOptions& opt,
+                   const std::vector<const LinearProgram*>& solved_programs,
+                   const std::vector<ComponentResult>& solved, size_t offset,
+                   double solved_work_constant, bool negate) {
+  MipResult result;
+  // Component programs carry coefficient-only objectives, so the whole
+  // program's constant is added once. (Component constants are subtracted
+  // back out to keep this correct when decomposition is disabled and the
+  // single component *is* the whole program.)
+  double objective = solved_work_constant;
+  double best_bound = solved_work_constant;
+  bool all_optimal = true;
+  bool any_solution_missing = false;
+  std::vector<double> assembled(p.work->num_vars(), 0.0);
+
+  for (size_t ci = 0; ci < p.comps.size(); ++ci) {
+    const ComponentResult& cr = solved[offset + ci];
     if (cr.status == SolveStatus::kInfeasible) {
       result.status = SolveStatus::kInfeasible;
-      result.stats.solve_seconds = clock.ElapsedSeconds();
       return result;
     }
     if (cr.status == SolveStatus::kUnbounded) {
       result.status = SolveStatus::kUnbounded;
-      result.stats.solve_seconds = clock.ElapsedSeconds();
       return result;
     }
     if (cr.status != SolveStatus::kOptimal) all_optimal = false;
-    // Component programs have zero objective constant; avoid counting the
-    // parent constant repeatedly.
-    objective += cr.has_solution
-                     ? cr.objective - comp.program.objective_constant()
-                     : 0.0;
-    best_bound += cr.best_bound - comp.program.objective_constant();
+    const double comp_const =
+        solved_programs[offset + ci]->objective_constant();
+    objective += cr.has_solution ? cr.objective - comp_const : 0.0;
+    best_bound += cr.best_bound - comp_const;
     if (cr.has_solution) {
+      const Component& comp = p.comps[ci];
       for (size_t i = 0; i < comp.to_parent.size(); ++i)
         assembled[comp.to_parent[i]] = cr.solution[i];
     } else {
@@ -613,22 +729,131 @@ MipResult MipSolver::Solve(const LinearProgram& input, Sense sense) const {
       all_optimal ? SolveStatus::kOptimal : SolveStatus::kTimeLimit;
   result.has_solution = !any_solution_missing;
   if (result.has_solution) {
-    std::vector<double> x = options_.use_presolve
-                                ? pre.Postsolve(assembled)
-                                : assembled;
-    // Report in the caller's sense.
-    result.solution = std::move(x);
-    result.objective = minimize ? -objective : objective;
+    result.solution = opt.use_presolve ? p.pre.Postsolve(assembled)
+                                       : std::move(assembled);
+    result.objective = negate ? -objective : objective;
   }
-  result.best_bound = minimize ? -best_bound : best_bound;
+  result.best_bound = negate ? -best_bound : best_bound;
   if (result.status == SolveStatus::kOptimal) {
     result.best_bound = result.objective;
   }
-  // Normalize negative zeros introduced by the minimize negation.
+  // Normalize negative zeros introduced by the negation.
   if (result.objective == 0.0) result.objective = 0.0;
   if (result.best_bound == 0.0) result.best_bound = 0.0;
+  return result;
+}
+
+// Copies a negated-objective twin of `lp` (same feasible set; maximizing it
+// solves the min side).
+LinearProgram NegateObjective(const LinearProgram& lp) {
+  LinearProgram neg = lp;
+  for (VarId v = 0; v < neg.num_vars(); ++v)
+    neg.SetObjectiveCoef(v, -neg.objective_coef(v));
+  neg.AddObjectiveConstant(-2.0 * neg.objective_constant());
+  return neg;
+}
+
+}  // namespace
+
+void MipStats::MergeFrom(const MipStats& other) {
+  nodes += other.nodes;
+  lp_solves += other.lp_solves;
+  components += other.components;
+  presolve_fixed_vars += other.presolve_fixed_vars;
+  presolve_removed_rows += other.presolve_removed_rows;
+  presolve_calls += other.presolve_calls;
+  decompose_calls += other.decompose_calls;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  canonical_forms += other.canonical_forms;
+  solve_seconds += other.solve_seconds;
+}
+
+MipResult MipSolver::Solve(const LinearProgram& input, Sense sense) const {
+  StopWatch clock;
+  LICM_CHECK_OK(input.Validate());
+
+  // Normalize to maximization.
+  const bool minimize = sense == Sense::kMinimize;
+  LinearProgram lp = input;
+  if (minimize) lp = NegateObjective(input);
+
+  MipOptions opt = options_;
+  ComponentCache local_cache;
+  if (!opt.use_cache) {
+    opt.cache = nullptr;
+  } else if (opt.cache == nullptr) {
+    opt.cache = &local_cache;
+  }
+
+  MipStats stats;
+  PreparedPipeline p;
+  Prepare(lp, opt, &stats, &p);
+  if (p.infeasible) {
+    MipResult result;
+    result.status = SolveStatus::kInfeasible;
+    result.stats = stats;
+    result.stats.solve_seconds = clock.ElapsedSeconds();
+    return result;
+  }
+
+  std::vector<const LinearProgram*> programs;
+  programs.reserve(p.comps.size());
+  for (const Component& c : p.comps) programs.push_back(&c.program);
+  std::vector<ComponentResult> solved = SolveBatch(programs, opt, clock,
+                                                   &stats);
+  MipResult result = Assemble(p, opt, programs, solved, 0,
+                              p.work->objective_constant(), minimize);
+  result.stats = stats;
   result.stats.solve_seconds = clock.ElapsedSeconds();
   return result;
+}
+
+MinMaxMipResult MipSolver::SolveMinMax(const LinearProgram& input) const {
+  StopWatch clock;
+  MinMaxMipResult out;
+  LICM_CHECK_OK(input.Validate());
+
+  MipOptions opt = options_;
+  ComponentCache local_cache;
+  if (!opt.use_cache) {
+    opt.cache = nullptr;
+  } else if (opt.cache == nullptr) {
+    opt.cache = &local_cache;
+  }
+
+  PreparedPipeline p;
+  Prepare(input, opt, &out.stats, &p);
+  if (p.infeasible) {
+    out.min.status = out.max.status = SolveStatus::kInfeasible;
+    out.stats.solve_seconds = clock.ElapsedSeconds();
+    return out;
+  }
+
+  // One task list covers both senses: components as-is for the max side,
+  // negated-objective twins for the min side. A single batch shares the
+  // thread pool and the cache across senses, and feasibility-only
+  // components (zero objective) even dedupe *between* senses.
+  const size_t nc = p.comps.size();
+  std::vector<LinearProgram> negated;
+  negated.reserve(nc);
+  for (const Component& c : p.comps) {
+    negated.push_back(NegateObjective(c.program));
+  }
+  std::vector<const LinearProgram*> programs(2 * nc);
+  for (size_t i = 0; i < nc; ++i) {
+    programs[i] = &p.comps[i].program;
+    programs[nc + i] = &negated[i];
+  }
+  std::vector<ComponentResult> solved =
+      SolveBatch(programs, opt, clock, &out.stats);
+
+  out.max = Assemble(p, opt, programs, solved, 0,
+                     p.work->objective_constant(), /*negate=*/false);
+  out.min = Assemble(p, opt, programs, solved, nc,
+                     -p.work->objective_constant(), /*negate=*/true);
+  out.stats.solve_seconds = clock.ElapsedSeconds();
+  return out;
 }
 
 }  // namespace licm::solver

@@ -16,11 +16,29 @@
 
 namespace licm::solver {
 
+class ComponentCache;
+
 struct MipOptions {
   double time_limit_seconds = 300.0;
   bool use_presolve = true;
   bool use_decomposition = true;
   bool use_lp_bound = true;
+  /// Consult a canonical-form solve cache per connected component (see
+  /// solve_cache.h): isomorphic components — the common case under
+  /// k-anonymization, where every group of size k emits the same
+  /// sub-program up to variable renaming — are solved once and answered by
+  /// permutation thereafter.
+  bool use_cache = true;
+  /// Cache shared across solver calls. When null and use_cache is set,
+  /// each Solve/SolveMinMax call uses a private per-call cache, which
+  /// still dedupes isomorphic components within the call.
+  ComponentCache* cache = nullptr;
+  /// Components with more variables than this bypass the cache: the cache
+  /// targets the small per-group components k-anonymization emits by the
+  /// thousand, while a query that couples everything into one big blob
+  /// (e.g. through a join) produces a unique component whose fingerprint
+  /// would cost more than it could ever save.
+  size_t cache_max_component_vars = 512;
   /// Singleton-consistency probing at each component root.
   bool use_probing = true;
   /// Per-node probing of objective variables: tentatively fix each unfixed
@@ -49,7 +67,22 @@ struct MipStats {
   size_t components = 0;
   size_t presolve_fixed_vars = 0;
   size_t presolve_removed_rows = 0;
+  /// Pipeline invocations. SolveMinMax runs presolve and decomposition
+  /// exactly once for both senses; callers assert on these to keep it so.
+  int64_t presolve_calls = 0;
+  int64_t decompose_calls = 0;
+  /// Component-instance cache accounting: a hit is a component answered
+  /// without a search (cache memo, or in-batch sharing with an isomorphic
+  /// twin solved in the same call); a miss runs a branch & bound search.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  /// Canonical fingerprints computed (components routed through the cache).
+  int64_t canonical_forms = 0;
   double solve_seconds = 0.0;
+
+  /// Deterministic merge: every counter adds, independent of the order
+  /// worker threads finished in. Used for per-thread and per-phase stats.
+  void MergeFrom(const MipStats& other);
 };
 
 struct MipResult {
@@ -72,12 +105,29 @@ struct MipResult {
   }
 };
 
+/// Both senses of one program, solved off a single presolve +
+/// decomposition pass. `stats` covers the whole pass; the per-side stats
+/// inside min/max are left zero because searches are shared across senses
+/// (a feasibility-only component has the same canonical form in both).
+struct MinMaxMipResult {
+  MipResult min;
+  MipResult max;
+  MipStats stats;
+};
+
 class MipSolver {
  public:
   explicit MipSolver(MipOptions options = {}) : options_(options) {}
 
   /// Solves `lp` to proven optimality (or the configured limits).
   MipResult Solve(const LinearProgram& lp, Sense sense) const;
+
+  /// Solves `lp` for both senses in one pass: presolve and decomposition
+  /// run once, and every component (plus its negated-objective twin for
+  /// the min side) goes through one shared batch of searches — one thread
+  /// pool, one solve cache, isomorphic components deduplicated across
+  /// senses.
+  MinMaxMipResult SolveMinMax(const LinearProgram& lp) const;
 
   const MipOptions& options() const { return options_; }
 

@@ -1,0 +1,468 @@
+// Tests for the canonical component fingerprint (canonical.h), the LRU
+// solve cache (solve_cache.h), and the batched min/max bounds engine:
+// isomorphic programs fingerprint identically, mutants don't, and cached
+// solves are bit-identical to uncached ones.
+#include "solver/solve_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "licm/aggregate.h"
+#include "solver/canonical.h"
+#include "solver/mip_solver.h"
+
+namespace licm {
+namespace {
+
+using solver::CanonicalForm;
+using solver::Canonicalize;
+using solver::ComponentCache;
+using solver::LinearProgram;
+using solver::MipOptions;
+using solver::MipResult;
+using solver::MipSolver;
+using solver::MipStats;
+using solver::Row;
+using solver::RowOp;
+using solver::Sense;
+using solver::SolveStatus;
+using solver::Term;
+using solver::VarId;
+
+// A random small binary program: cardinality-style rows over random
+// subsets, occasional non-unit coefficients, random 0/1 objective.
+LinearProgram RandomProgram(Rng* rng, int max_vars = 8) {
+  LinearProgram lp;
+  const int n = 2 + static_cast<int>(rng->Uniform(max_vars - 1));
+  for (int v = 0; v < n; ++v) lp.AddBinary();
+  for (int v = 0; v < n; ++v) {
+    if (rng->Bernoulli(0.7)) {
+      lp.SetObjectiveCoef(v, rng->Bernoulli(0.3) ? 2.0 : 1.0);
+    }
+  }
+  const int rows = 1 + static_cast<int>(rng->Uniform(4));
+  for (int r = 0; r < rows; ++r) {
+    Row row;
+    for (int v = 0; v < n; ++v) {
+      if (rng->Bernoulli(0.5)) {
+        row.terms.push_back(
+            {static_cast<VarId>(v), rng->Bernoulli(0.2) ? 2.0 : 1.0});
+      }
+    }
+    if (row.terms.empty()) continue;
+    const RowOp ops[] = {RowOp::kLe, RowOp::kGe, RowOp::kEq};
+    row.op = ops[rng->Uniform(3)];
+    row.rhs = static_cast<double>(rng->Uniform(row.terms.size() + 1));
+    lp.AddRow(std::move(row));
+  }
+  return lp;
+}
+
+// Applies a variable permutation (old id -> new id) and shuffles row and
+// term order: an isomorphic copy that shares no incidental ordering.
+LinearProgram PermuteProgram(const LinearProgram& lp,
+                             const std::vector<VarId>& perm, Rng* rng) {
+  LinearProgram out;
+  std::vector<VarId> inverse(perm.size());
+  for (VarId v = 0; v < perm.size(); ++v) inverse[perm[v]] = v;
+  for (VarId pos = 0; pos < perm.size(); ++pos) {
+    const auto& def = lp.vars()[inverse[pos]];
+    out.AddVariable(def.lower, def.upper, def.is_integer);
+    out.SetObjectiveCoef(pos, lp.objective_coef(inverse[pos]));
+  }
+  out.AddObjectiveConstant(lp.objective_constant());
+  std::vector<size_t> row_order(lp.num_rows());
+  for (size_t r = 0; r < row_order.size(); ++r) row_order[r] = r;
+  for (size_t r = row_order.size(); r > 1; --r) {
+    std::swap(row_order[r - 1], row_order[rng->Uniform(r)]);
+  }
+  for (size_t r : row_order) {
+    Row row = lp.rows()[r];
+    for (Term& t : row.terms) t.var = perm[t.var];
+    for (size_t i = row.terms.size(); i > 1; --i) {
+      std::swap(row.terms[i - 1], row.terms[rng->Uniform(i)]);
+    }
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+std::vector<VarId> RandomPermutation(size_t n, Rng* rng) {
+  std::vector<VarId> perm(n);
+  for (VarId v = 0; v < n; ++v) perm[v] = v;
+  for (size_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng->Uniform(i)]);
+  }
+  return perm;
+}
+
+// ---- Canonical form ----
+
+TEST(Canonical, PermutedProgramsShareAKey) {
+  Rng rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    LinearProgram lp = RandomProgram(&rng);
+    LinearProgram iso =
+        PermuteProgram(lp, RandomPermutation(lp.num_vars(), &rng), &rng);
+    CanonicalForm a = Canonicalize(lp);
+    CanonicalForm b = Canonicalize(iso);
+    ASSERT_EQ(a.key, b.key) << "iter " << iter;
+    ASSERT_EQ(a.hash, b.hash);
+  }
+}
+
+TEST(Canonical, RelabelingIsAValidWitness) {
+  // Push the identity assignment of one program through canonical space
+  // into the other: feasibility and objective must be preserved.
+  Rng rng(11);
+  for (int iter = 0; iter < 100; ++iter) {
+    LinearProgram lp = RandomProgram(&rng);
+    LinearProgram iso =
+        PermuteProgram(lp, RandomPermutation(lp.num_vars(), &rng), &rng);
+    CanonicalForm a = Canonicalize(lp);
+    CanonicalForm b = Canonicalize(iso);
+    ASSERT_EQ(a.key, b.key);
+    std::vector<double> x(lp.num_vars());
+    for (double& xi : x) xi = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    std::vector<double> mapped =
+        CanonicalToInput(b, InputToCanonical(a, x));
+    EXPECT_EQ(lp.IsFeasible(x), iso.IsFeasible(mapped)) << "iter " << iter;
+    EXPECT_DOUBLE_EQ(lp.EvalObjective(x), iso.EvalObjective(mapped));
+  }
+}
+
+TEST(Canonical, MutantsGetDistinctKeys) {
+  LinearProgram base;
+  for (int v = 0; v < 4; ++v) base.AddBinary();
+  base.SetObjectiveCoef(0, 1.0);
+  base.SetObjectiveCoef(1, 1.0);
+  base.AddRow(Row{{{0, 1}, {1, 1}, {2, 1}}, RowOp::kLe, 2});
+  base.AddRow(Row{{{2, 1}, {3, 1}}, RowOp::kGe, 1});
+  const std::string key = Canonicalize(base).key;
+
+  {
+    LinearProgram m = base;
+    m.mutable_rows()[0].rhs = 1;  // tighter cardinality
+    EXPECT_NE(Canonicalize(m).key, key);
+  }
+  {
+    LinearProgram m = base;
+    m.mutable_rows()[1].op = RowOp::kEq;
+    EXPECT_NE(Canonicalize(m).key, key);
+  }
+  {
+    LinearProgram m = base;
+    m.mutable_rows()[0].terms[1].coef = 2.0;
+    EXPECT_NE(Canonicalize(m).key, key);
+  }
+  {
+    LinearProgram m = base;
+    m.mutable_vars()[3].upper = 2.0;  // no longer binary
+    EXPECT_NE(Canonicalize(m).key, key);
+  }
+  {
+    LinearProgram m = base;
+    m.SetObjectiveCoef(2, 1.0);  // objective sees one more variable
+    EXPECT_NE(Canonicalize(m).key, key);
+  }
+  {
+    LinearProgram m = base;
+    m.AddObjectiveConstant(1.0);
+    EXPECT_NE(Canonicalize(m).key, key);
+  }
+}
+
+// ---- ComponentCache ----
+
+CanonicalForm FormWithRhs(double rhs) {
+  LinearProgram lp;
+  lp.AddBinary();
+  lp.AddRow(Row{{{0, 1}}, RowOp::kLe, rhs});
+  return Canonicalize(lp);
+}
+
+TEST(ComponentCacheTest, LruEvictionAndCounters) {
+  ComponentCache cache(2);
+  CanonicalForm a = FormWithRhs(1), b = FormWithRhs(2), c = FormWithRhs(3);
+  ComponentCache::Entry e;
+  e.status = SolveStatus::kOptimal;
+  e.objective = 1.0;
+
+  EXPECT_FALSE(cache.Lookup(a, &e));
+  EXPECT_TRUE(cache.Insert(a, e));
+  EXPECT_TRUE(cache.Insert(b, e));
+  EXPECT_FALSE(cache.Insert(b, e));  // already present
+  EXPECT_TRUE(cache.Lookup(a, &e));  // a becomes most-recently-used
+  EXPECT_TRUE(cache.Insert(c, e));   // evicts b, the LRU entry
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Lookup(b, &e));
+  EXPECT_TRUE(cache.Lookup(a, &e));
+  EXPECT_TRUE(cache.Lookup(c, &e));
+
+  solver::ComponentCacheStats s = cache.Snapshot();
+  EXPECT_EQ(s.hits, 3);
+  EXPECT_EQ(s.misses, 2);
+  EXPECT_EQ(s.inserts, 3);
+  EXPECT_EQ(s.evictions, 1);
+
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ComponentCacheTest, EntriesRoundTrip) {
+  ComponentCache cache;
+  CanonicalForm f = FormWithRhs(1);
+  ComponentCache::Entry in;
+  in.status = SolveStatus::kOptimal;
+  in.objective = 2.5;
+  in.has_solution = true;
+  in.solution = {1.0, 0.0, 1.0};
+  ASSERT_TRUE(cache.Insert(f, in));
+  ComponentCache::Entry out;
+  ASSERT_TRUE(cache.Lookup(f, &out));
+  EXPECT_EQ(out.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(out.objective, 2.5);
+  EXPECT_EQ(out.solution, in.solution);
+}
+
+TEST(ComponentCacheTest, ConcurrentInsertLookupSmoke) {
+  ComponentCache cache(64);
+  std::vector<CanonicalForm> forms;
+  for (int i = 0; i < 100; ++i) forms.push_back(FormWithRhs(i));
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([&cache, &forms, t] {
+      ComponentCache::Entry e;
+      e.status = SolveStatus::kOptimal;
+      for (int round = 0; round < 50; ++round) {
+        for (size_t i = t; i < forms.size(); i += 2) {
+          if (!cache.Lookup(forms[i], &e)) {
+            e.objective = static_cast<double>(i);
+            cache.Insert(forms[i], e);
+          } else {
+            EXPECT_DOUBLE_EQ(e.objective, static_cast<double>(i));
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_LE(cache.size(), 64u);
+}
+
+// ---- MipStats ----
+
+TEST(MipStatsTest, MergeFromSumsEveryCounter) {
+  MipStats a, b;
+  a.nodes = 1; a.lp_solves = 2; a.components = 3;
+  a.presolve_fixed_vars = 4; a.presolve_removed_rows = 5;
+  a.presolve_calls = 6; a.decompose_calls = 7;
+  a.cache_hits = 8; a.cache_misses = 9; a.canonical_forms = 10;
+  a.solve_seconds = 0.5;
+  b.nodes = 10; b.lp_solves = 20; b.components = 30;
+  b.presolve_fixed_vars = 40; b.presolve_removed_rows = 50;
+  b.presolve_calls = 60; b.decompose_calls = 70;
+  b.cache_hits = 80; b.cache_misses = 90; b.canonical_forms = 100;
+  b.solve_seconds = 1.5;
+  a.MergeFrom(b);
+  EXPECT_EQ(a.nodes, 11);
+  EXPECT_EQ(a.lp_solves, 22);
+  EXPECT_EQ(a.components, 33u);
+  EXPECT_EQ(a.presolve_fixed_vars, 44u);
+  EXPECT_EQ(a.presolve_removed_rows, 55u);
+  EXPECT_EQ(a.presolve_calls, 66);
+  EXPECT_EQ(a.decompose_calls, 77);
+  EXPECT_EQ(a.cache_hits, 88);
+  EXPECT_EQ(a.cache_misses, 99);
+  EXPECT_EQ(a.canonical_forms, 110);
+  EXPECT_DOUBLE_EQ(a.solve_seconds, 2.0);
+}
+
+// ---- Batched SolveMinMax ----
+
+void ExpectSameResult(const MipResult& got, const MipResult& want) {
+  ASSERT_EQ(got.status, want.status);
+  EXPECT_EQ(got.has_solution, want.has_solution);
+  if (want.has_solution) {
+    EXPECT_DOUBLE_EQ(got.objective, want.objective);
+    EXPECT_DOUBLE_EQ(got.best_bound, want.best_bound);
+  }
+}
+
+TEST(SolveMinMax, MatchesSeparateSolves) {
+  Rng rng(23);
+  for (int iter = 0; iter < 150; ++iter) {
+    LinearProgram lp = RandomProgram(&rng, 10);
+    for (bool use_cache : {false, true}) {
+      MipOptions opt;
+      opt.use_cache = use_cache;
+      MipSolver solver(opt);
+      solver::MinMaxMipResult both = solver.SolveMinMax(lp);
+      MipResult max = solver.Solve(lp, Sense::kMaximize);
+      MipResult min = solver.Solve(lp, Sense::kMinimize);
+      ExpectSameResult(both.max, max);
+      ExpectSameResult(both.min, min);
+      if (both.max.has_solution) {
+        EXPECT_TRUE(lp.IsFeasible(both.max.solution));
+        EXPECT_DOUBLE_EQ(lp.EvalObjective(both.max.solution),
+                         both.max.objective);
+      }
+      if (both.min.has_solution) {
+        EXPECT_TRUE(lp.IsFeasible(both.min.solution));
+        EXPECT_DOUBLE_EQ(lp.EvalObjective(both.min.solution),
+                         both.min.objective);
+      }
+      EXPECT_EQ(both.stats.presolve_calls, 1);
+      // Decomposition is skipped when presolve already proves infeasible.
+      EXPECT_LE(both.stats.decompose_calls, 1);
+      if (both.max.status != SolveStatus::kInfeasible) {
+        EXPECT_EQ(both.stats.decompose_calls, 1);
+      }
+    }
+  }
+}
+
+// ---- Aggregate layer ----
+
+// A constraint set of `groups` structurally identical blocks over disjoint
+// variables: the shape the cache exists for.
+ConstraintSet IsomorphicGroups(int groups, int group_size, int64_t z1,
+                               int64_t z2) {
+  ConstraintSet cs;
+  for (int g = 0; g < groups; ++g) {
+    std::vector<BVar> vars(group_size);
+    for (int i = 0; i < group_size; ++i) {
+      vars[i] = static_cast<BVar>(g * group_size + i);
+    }
+    cs.AddCardinality(vars, z1, z2);
+  }
+  return cs;
+}
+
+TEST(AggregateCache, IsomorphicGroupsHitTheCache) {
+  const int kGroups = 40, kSize = 5;
+  ConstraintSet cs = IsomorphicGroups(kGroups, kSize, 1, 3);
+  Objective obj;
+  for (BVar v = 0; v < kGroups * kSize; ++v) obj.coefs[v] = 1.0;
+
+  BoundsOptions options;
+  auto bounds = ComputeBounds(obj, cs, kGroups * kSize, options);
+  ASSERT_TRUE(bounds.ok()) << bounds.status().ToString();
+  EXPECT_DOUBLE_EQ(bounds->min.value, 1.0 * kGroups);
+  EXPECT_DOUBLE_EQ(bounds->max.value, 3.0 * kGroups);
+  // One presolve + one decomposition for BOTH senses, and all but one
+  // component per sense answered by the cache.
+  EXPECT_EQ(bounds->stats.presolve_calls, 1);
+  EXPECT_EQ(bounds->stats.decompose_calls, 1);
+  EXPECT_GE(bounds->stats.cache_hits, 2 * (kGroups - 1));
+  EXPECT_LE(bounds->stats.cache_misses, 2);
+}
+
+TEST(AggregateCache, SharedCacheCarriesAcrossCalls) {
+  ConstraintSet cs = IsomorphicGroups(10, 4, 1, 2);
+  Objective obj;
+  for (BVar v = 0; v < 40; ++v) obj.coefs[v] = 1.0;
+
+  ComponentCache shared;
+  BoundsOptions options;
+  options.mip.cache = &shared;
+  auto first = ComputeBounds(obj, cs, 40, options);
+  ASSERT_TRUE(first.ok());
+  auto second = ComputeBounds(obj, cs, 40, options);
+  ASSERT_TRUE(second.ok());
+  // The second call finds every component already memoized.
+  EXPECT_EQ(second->stats.cache_misses, 0);
+  EXPECT_DOUBLE_EQ(second->min.value, first->min.value);
+  EXPECT_DOUBLE_EQ(second->max.value, first->max.value);
+}
+
+// Random oracle-sized instances: the cache must be answer-invisible.
+ConstraintSet RandomConstraints(Rng* rng, uint32_t num_vars) {
+  ConstraintSet cs;
+  const int n = static_cast<int>(rng->Uniform(5));
+  for (int c = 0; c < n; ++c) {
+    std::vector<BVar> subset;
+    for (BVar v = 0; v < num_vars; ++v) {
+      if (rng->Bernoulli(0.4)) subset.push_back(v);
+    }
+    if (subset.size() < 2) continue;
+    switch (rng->Uniform(4)) {
+      case 0: {
+        int64_t z1 = rng->UniformInt(0, 1);
+        cs.AddCardinality(subset, z1,
+                          rng->UniformInt(z1, subset.size()));
+        break;
+      }
+      case 1: cs.AddImplication(subset[0], subset[1]); break;
+      case 2: cs.AddMutualExclusion(subset[0], subset[1]); break;
+      case 3: cs.AddOr(subset[0], {subset[1]}); break;
+    }
+  }
+  return cs;
+}
+
+TEST(AggregateCache, CachedBoundsEqualUncachedExactly) {
+  Rng rng(31);
+  for (int iter = 0; iter < 120; ++iter) {
+    const uint32_t num_vars = 4 + static_cast<uint32_t>(rng.Uniform(8));
+    ConstraintSet cs = RandomConstraints(&rng, num_vars);
+    Objective obj;
+    obj.constant = static_cast<double>(rng.Uniform(3));
+    for (BVar v = 0; v < num_vars; ++v) {
+      if (rng.Bernoulli(0.7)) obj.coefs[v] = 1.0;
+    }
+
+    BoundsOptions cached, uncached;
+    uncached.mip.use_cache = false;
+    auto with = ComputeBounds(obj, cs, num_vars, cached);
+    auto without = ComputeBounds(obj, cs, num_vars, uncached);
+    ASSERT_EQ(with.ok(), without.ok()) << "iter " << iter;
+    if (!with.ok()) continue;
+    EXPECT_EQ(with->min.value, without->min.value) << "iter " << iter;
+    EXPECT_EQ(with->max.value, without->max.value) << "iter " << iter;
+    EXPECT_EQ(with->min.exact, without->min.exact);
+    EXPECT_EQ(with->max.exact, without->max.exact);
+    EXPECT_EQ(with->min.proved, without->min.proved);
+    EXPECT_EQ(with->max.proved, without->max.proved);
+  }
+}
+
+TEST(AggregateCache, MinMaxProbesMatchUncached) {
+  Rng rng(41);
+  for (int iter = 0; iter < 60; ++iter) {
+    const uint32_t num_vars = 3 + static_cast<uint32_t>(rng.Uniform(5));
+    ConstraintSet cs = RandomConstraints(&rng, num_vars);
+    LicmRelation r(rel::Schema({{"val", rel::ValueType::kInt}}));
+    for (BVar v = 0; v < num_vars; ++v) {
+      rel::Tuple t{static_cast<int64_t>(rng.Uniform(4))};
+      if (rng.Bernoulli(0.2)) {
+        r.AppendUnchecked(std::move(t), Ext::Certain());
+      } else {
+        r.AppendUnchecked(std::move(t), Ext::Maybe(v));
+      }
+    }
+    for (bool is_max : {false, true}) {
+      BoundsOptions cached, uncached;
+      uncached.mip.use_cache = false;
+      auto with = ComputeMinMaxBounds(r, "val", cs, num_vars, is_max, cached);
+      auto without =
+          ComputeMinMaxBounds(r, "val", cs, num_vars, is_max, uncached);
+      ASSERT_EQ(with.ok(), without.ok()) << "iter " << iter;
+      if (!with.ok()) continue;
+      EXPECT_EQ(with->lo, without->lo) << "iter " << iter;
+      EXPECT_EQ(with->hi, without->hi) << "iter " << iter;
+      EXPECT_EQ(with->exact_lo, without->exact_lo);
+      EXPECT_EQ(with->exact_hi, without->exact_hi);
+      EXPECT_EQ(with->may_be_empty, without->may_be_empty);
+      EXPECT_EQ(with->always_empty, without->always_empty);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace licm
