@@ -1,0 +1,227 @@
+// Scaling benchmark for the work-stealing parallel branch & bound: runs
+// the paper's Query 1/2/3 at 1, 2, 4 and 8 solver threads, asserts every
+// thread count proves bit-identical bounds to the sequential run (the
+// determinism contract in DESIGN.md), and reports per-thread-count wall
+// times and speedups. Writes BENCH_parallel_scaling.json.
+//
+// Schemes: "bipartite" (default) — the permutation encoding couples each
+// group into one blob component the solve cache cannot dedupe, so the
+// only parallelism available is *intra*-component subtree splitting, the
+// regime this benchmark exists to measure; "kanon" — thousands of small
+// isomorphic components, where cross-component task parallelism (and the
+// cache) dominate and splitting stays dormant.
+//
+// The workload is sized so every solve completes to proven optimality
+// (huge time/node budget): bounds of *proved* solves are thread-count
+// invariant, which is what makes the equality gate below exact rather
+// than approximate. The >=2x speedup gate only arms on machines with at
+// least 4 hardware threads running the default configuration.
+//
+// Usage: bench_parallel_scaling [scheme] [num_transactions] [k] [items]
+//                               [queries] [out.json]
+// `queries` is a digit string, e.g. "13" runs Query 1 and Query 3.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "harness.h"
+
+namespace {
+
+struct RunOutcome {
+  double min = 0, max = 0;
+  bool min_exact = false, max_exact = false;
+  double total_ms = 0;  // full AnswerAggregate wall time
+  double query_ms = 0, solve_ms = 0;
+  licm::solver::MipStats stats;
+};
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace licm::bench;
+  using licm::AnswerOptions;
+
+  bool bipartite = true;
+  uint32_t txns = 0, k = 0, items = 0;
+  std::string queries;
+  std::string out_path = "BENCH_parallel_scaling.json";
+  const bool default_config = argc <= 1;
+  if (argc > 1) bipartite = std::strcmp(argv[1], "kanon") != 0;
+  if (argc > 2) txns = std::atoi(argv[2]);
+  if (argc > 3) k = std::atoi(argv[3]);
+  if (argc > 4) items = std::atoi(argv[4]);
+  if (argc > 5) queries = argv[5];
+  if (argc > 6) out_path = argv[6];
+  // Defaults calibrated so every solve completes to proven optimality in
+  // seconds while Query 3 — one join-coupled blob per group — still runs
+  // deep enough to exercise subtree splitting. Query 2 (two cardinality
+  // thresholds intersected) is out of reach of *exact* solves at this
+  // scale; sweep it explicitly at a smaller instance, e.g.
+  // `bench_parallel_scaling bipartite 24 4 60 2`.
+  if (txns == 0) txns = bipartite ? 60 : 2000;
+  if (k == 0) k = bipartite ? 10 : 25;
+  if (items == 0) items = bipartite ? 60 : 400;
+  if (queries.empty()) queries = bipartite ? "13" : "123";
+
+  licm::data::GeneratorConfig gen;
+  gen.num_transactions = txns;
+  gen.num_items = items;
+  auto dataset = licm::data::GenerateTransactions(gen);
+  licm::Result<licm::anonymize::EncodedDb> enc =
+      licm::Status::Internal("unset");
+  if (bipartite) {
+    auto groups = licm::anonymize::SafeGrouping(dataset, {k, 2, gen.seed});
+    if (!groups.ok()) {
+      std::printf("grouping failed: %s\n",
+                  groups.status().ToString().c_str());
+      return 1;
+    }
+    enc = licm::anonymize::EncodeBipartite(*groups, dataset);
+  } else {
+    auto hierarchy =
+        licm::anonymize::Hierarchy::BuildUniform(dataset.num_items, 16);
+    auto anon = licm::anonymize::KAnonymize(dataset, hierarchy, {k});
+    if (!anon.ok()) {
+      std::printf("anonymize failed: %s\n",
+                  anon.status().ToString().c_str());
+      return 1;
+    }
+    enc = licm::anonymize::EncodeGeneralized(*anon, hierarchy, dataset);
+  }
+  if (!enc.ok()) {
+    std::printf("encode failed: %s\n", enc.status().ToString().c_str());
+    return 1;
+  }
+
+  auto run = [&](int qnum, int threads) -> licm::Result<RunOutcome> {
+    QueryParams params;
+    // Popularity threshold scaled with the transaction count, as in
+    // RunCell, so Query 3 stays non-trivial at bipartite scale.
+    if (bipartite && txns < 6000) {
+      params.q3_x = std::max<int64_t>(2, params.q3_x * txns / 6000);
+    }
+    auto query = bipartite ? BuildBipartiteQuery(qnum, params)
+                           : BuildFlatQuery(qnum, params);
+    AnswerOptions opts;
+    // Effectively unlimited budget: every solve must run to proven
+    // optimality, because only *proved* bounds are guaranteed identical
+    // across thread counts (capped runs stop at run-order-dependent
+    // frontiers; see DESIGN.md).
+    opts.bounds.mip.time_limit_seconds = 1e9;
+    opts.bounds.mip.num_threads = threads;
+    // Split eagerly so even medium searches exercise the subtree-donation
+    // path; production keeps the higher default to spare trivial solves
+    // the snapshot cost.
+    opts.bounds.mip.split_node_threshold = 1'000;
+    licm::StopWatch watch;
+    LICM_ASSIGN_OR_RETURN(auto ans,
+                          licm::AnswerAggregate(*query, enc->db, opts));
+    RunOutcome out;
+    out.total_ms = watch.ElapsedMs();
+    out.min = ans.bounds.min.value;
+    out.max = ans.bounds.max.value;
+    out.min_exact = ans.bounds.min.exact;
+    out.max_exact = ans.bounds.max.exact;
+    out.query_ms = ans.query_ms;
+    out.solve_ms = ans.solve_ms;
+    out.stats = ans.bounds.stats;
+    return out;
+  };
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("# Parallel-scaling benchmark: %s, k=%u, %u txns, %u hw "
+              "threads\n",
+              bipartite ? "bipartite" : "k-anonymity", k, txns, hw);
+  std::printf("%-7s %-8s %9s %9s %10s %10s %8s %8s\n", "query", "threads",
+              "min", "max", "total_ms", "solve_ms", "splits", "speedup");
+
+  std::vector<JsonRecord> records;
+  bool bounds_ok = true;
+  bool all_exact = true;
+  double q3_best_speedup = 0.0;
+  for (char qc : queries) {
+    if (qc < '1' || qc > '3') continue;
+    const int qnum = qc - '0';
+    RunOutcome base;  // the 1-thread reference
+    for (int threads : kThreadCounts) {
+      auto r = run(qnum, threads);
+      if (!r.ok()) {
+        std::printf("query %d ERROR: %s\n", qnum,
+                    r.status().ToString().c_str());
+        return 1;
+      }
+      if (threads == 1) base = *r;
+      all_exact = all_exact && r->min_exact && r->max_exact;
+      // Proved bounds must be bit-identical to the sequential run.
+      if (r->min != base.min || r->max != base.max ||
+          r->min_exact != base.min_exact || r->max_exact != base.max_exact) {
+        std::printf("query %d BOUND MISMATCH at %d threads: [%g, %g] "
+                    "(%d/%d) vs sequential [%g, %g] (%d/%d)\n",
+                    qnum, threads, r->min, r->max, r->min_exact,
+                    r->max_exact, base.min, base.max, base.min_exact,
+                    base.max_exact);
+        bounds_ok = false;
+      }
+      const double speedup =
+          r->solve_ms > 0 ? base.solve_ms / r->solve_ms : 0.0;
+      if (qnum == 3 && threads >= 4 && speedup > q3_best_speedup) {
+        q3_best_speedup = speedup;
+      }
+      std::printf("%-7d %-8d %9.1f %9.1f %10.1f %10.1f %8lld %7.2fx\n",
+                  qnum, threads, r->min, r->max, r->total_ms, r->solve_ms,
+                  static_cast<long long>(r->stats.subtree_splits), speedup);
+      JsonRecord rec;
+      rec.AddString("bench", "parallel_scaling")
+          .AddString("scheme", bipartite ? "bipartite" : "kanon")
+          .AddInt("query", qnum)
+          .AddInt("requested_threads", threads)
+          .AddInt("hardware_threads", static_cast<int64_t>(hw))
+          .AddInt("num_transactions", txns)
+          .AddInt("k", k)
+          .AddNumber("total_ms", r->total_ms)
+          .AddNumber("speedup", speedup)
+          .AddInt("subtree_tasks", r->stats.subtree_tasks)
+          .AddRunMetrics(r->min, r->max, r->min_exact, r->max_exact,
+                         r->query_ms, r->solve_ms, r->stats);
+      records.push_back(std::move(rec));
+    }
+    std::fflush(stdout);
+  }
+
+  auto write = WriteBenchJson(out_path, records);
+  if (!write.ok()) {
+    std::printf("json write failed: %s\n", write.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nbest Query-3 solve speedup at >=4 threads: %.2fx; "
+              "results -> %s\n",
+              q3_best_speedup, out_path.c_str());
+  if (!bounds_ok) {
+    std::printf("FAIL: thread count changed the answer\n");
+    return 1;
+  }
+  if (!all_exact) {
+    std::printf("FAIL: a solve hit its budget; the workload must complete "
+                "to proven optimality for the equality gate to be exact\n");
+    return 1;
+  }
+  // On a machine with real parallelism, the hard permutation Query 3 is
+  // expected to cut its solve time at least in half. Single- and
+  // dual-core machines (CI smoke runs) still exercise the equality gate
+  // above; they just cannot demonstrate the speedup.
+  if (default_config && hw >= 4 && queries.find('3') != std::string::npos &&
+      q3_best_speedup < 2.0) {
+    std::printf("FAIL: expected >=2x Query-3 solve speedup at >=4 threads "
+                "(got %.2fx)\n",
+                q3_best_speedup);
+    return 1;
+  }
+  return 0;
+}

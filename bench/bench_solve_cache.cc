@@ -101,6 +101,10 @@ int main(int argc, char** argv) {
     // instead, so both runs compute identical results.
     opts.bounds.mip.time_limit_seconds = 1e9;
     opts.bounds.mip.max_nodes_per_component = 200'000;
+    // Node-capped *parallel* searches stop at run-order-dependent bounds
+    // (see DESIGN.md); force sequential search so the cache on/off
+    // equality gate below stays sound on multicore machines.
+    opts.bounds.mip.num_threads = 1;
     licm::StopWatch watch;
     LICM_ASSIGN_OR_RETURN(auto ans,
                           licm::AnswerAggregate(*query, enc->db, opts));

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 
 #include "common/stopwatch.h"
@@ -13,6 +14,15 @@ namespace licm::bench {
 using rel::CmpOp;
 using rel::QueryNodePtr;
 using rel::Value;
+
+int ThreadsFromEnv(int fallback) {
+  const char* env = std::getenv("LICM_THREADS");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v <= 0) return fallback;
+  return static_cast<int>(v);
+}
 
 const char* SchemeName(Scheme s) {
   switch (s) {
@@ -146,6 +156,7 @@ Result<CellResult> RunCell(Scheme scheme, int qnum, uint32_t k,
   opts.bounds.mip.time_limit_seconds = scheme == Scheme::kBipartite
                                            ? config.bipartite_time_limit
                                            : config.solver_time_limit;
+  opts.bounds.mip.num_threads = ThreadsFromEnv();
   LICM_ASSIGN_OR_RETURN(AggregateAnswer ans,
                         AnswerAggregate(*query, enc.db, opts));
   cell.l_min = ans.bounds.min.value;
@@ -252,6 +263,8 @@ JsonRecord& JsonRecord::AddRunMetrics(double min_value, double max_value,
   AddInt("canonical_forms", stats.canonical_forms);
   AddInt("presolve_calls", stats.presolve_calls);
   AddInt("decompose_calls", stats.decompose_calls);
+  AddInt("threads", stats.num_threads);
+  AddInt("subtree_splits", stats.subtree_splits);
   return *this;
 }
 

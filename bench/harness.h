@@ -89,6 +89,12 @@ struct BenchConfig {
   uint32_t hierarchy_fanout = 2;
 };
 
+/// Solver thread count for bench runs: the LICM_THREADS environment
+/// variable when set to a positive integer, else `fallback` (0 =
+/// auto-detect, see MipOptions::num_threads). Lets one binary sweep
+/// thread counts without rebuilds: `LICM_THREADS=1 ./bench_fig5 ...`.
+int ThreadsFromEnv(int fallback = 0);
+
 /// Runs one (scheme, query, k) cell end to end.
 Result<CellResult> RunCell(Scheme scheme, int qnum, uint32_t k,
                            const BenchConfig& config,

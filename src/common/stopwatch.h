@@ -1,8 +1,10 @@
 // Wall-clock stopwatch used by the benchmark harnesses to report the
-// paper's L-model / L-query / L-solve phase timings.
+// paper's L-model / L-query / L-solve phase timings, and the shared
+// Deadline all solver workers check against.
 #ifndef LICM_COMMON_STOPWATCH_H_
 #define LICM_COMMON_STOPWATCH_H_
 
+#include <atomic>
 #include <chrono>
 
 namespace licm {
@@ -24,6 +26,50 @@ class StopWatch {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Absolute wall-clock cut-off shared by every worker of a solve (and, via
+/// MipOptions::deadline, by a whole sequence of solver calls such as the
+/// MIN/MAX feasibility probes). Expiry is sticky: once any thread observes
+/// it — or Cancel() is called — every later check answers true, so all
+/// workers stop at one consistent point instead of each re-reading its own
+/// stopwatch against a relative limit.
+class Deadline {
+ public:
+  /// Expires `seconds` from now. Limits of a billion seconds or more (the
+  /// benches' "effectively unlimited") never expire.
+  static Deadline After(double seconds) {
+    if (!(seconds < 1e9)) return Never();
+    return Deadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(seconds)));
+  }
+  static Deadline Never() { return Deadline(Clock::time_point::max()); }
+
+  Deadline(const Deadline& other)
+      : at_(other.at_), cancelled_(other.cancelled_.load()) {}
+  Deadline& operator=(const Deadline& other) {
+    at_ = other.at_;
+    cancelled_.store(other.cancelled_.load());
+    return *this;
+  }
+
+  bool Expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (Clock::now() < at_) return false;
+    cancelled_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Cooperative cancellation: makes Expired() true for every holder.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  explicit Deadline(Clock::time_point at) : at_(at) {}
+
+  Clock::time_point at_;
+  mutable std::atomic<bool> cancelled_{false};
 };
 
 }  // namespace licm

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <optional>
 
+#include "solver/scheduler.h"
 #include "solver/solve_cache.h"
 
 namespace licm {
@@ -167,6 +169,19 @@ class FeasibilityProber {
       : constraints_(constraints), num_vars_(num_vars), options_(options) {
     mip_ = options.mip;
     if (mip_.use_cache && mip_.cache == nullptr) mip_.cache = &cache_;
+    // Share one thread pool and one wall-clock budget across the whole
+    // probe sequence: the time limit bounds the MIN/MAX case analysis as
+    // a unit (sticky expiry stops every later probe immediately), and
+    // worker threads are spawned once instead of per probe.
+    if (mip_.deadline == nullptr) {
+      deadline_ = Deadline::After(mip_.time_limit_seconds);
+      mip_.deadline = &deadline_;
+    }
+    if (mip_.scheduler == nullptr &&
+        solver::Scheduler::ResolveThreads(mip_.num_threads) > 1) {
+      scheduler_.emplace(mip_.num_threads);
+      mip_.scheduler = &*scheduler_;
+    }
 
     // Connected components of the constraint graph (vars connected when
     // they share a constraint), computed once for the probe sequence.
@@ -286,6 +301,8 @@ class FeasibilityProber {
   const BoundsOptions& options_;
   solver::MipOptions mip_;
   solver::ComponentCache cache_;
+  Deadline deadline_ = Deadline::Never();
+  std::optional<solver::Scheduler> scheduler_;
   solver::MipStats stats_;
   std::vector<BVar> parent_;
   std::unordered_map<BVar, std::vector<size_t>> rows_of_root_;

@@ -4,7 +4,8 @@
 #include <atomic>
 #include <cmath>
 #include <memory>
-#include <thread>
+#include <mutex>
+#include <optional>
 
 #include <string_view>
 #include <unordered_map>
@@ -14,6 +15,7 @@
 #include "solver/components.h"
 #include "solver/presolve.h"
 #include "solver/propagation.h"
+#include "solver/scheduler.h"
 #include "solver/simplex.h"
 #include "solver/solve_cache.h"
 
@@ -50,13 +52,21 @@ double ActivityBound(const LinearProgram& lp, const Domains& dom) {
   return b;
 }
 
-// Branch & bound over one connected component.
+// Branch & bound over one connected component. When `scheduler` is
+// non-null the search may go parallel: once a depth-first strand has run
+// `split_node_threshold` nodes and an executor is idle, it donates the
+// oldest half of its open stack (the subtrees nearest the root) to the
+// pool as fresh strands, all sharing one atomic incumbent for pruning,
+// one node budget, and one stop flag. Every frontier node is either
+// expanded or folded into `open_bound_`, so `best_bound` stays a proved
+// bound even when the node cap or the deadline cuts the search short.
 class ComponentSearch {
  public:
   ComponentSearch(const LinearProgram& lp, const MipOptions& opt,
-                  const StopWatch& clock, MipStats* stats)
-      : lp_(lp), opt_(opt), clock_(clock), stats_(stats),
-        propagator_(lp), integral_(AllIntegral(lp)) {
+                  const Deadline& deadline, Scheduler* scheduler,
+                  MipStats* stats)
+      : lp_(lp), opt_(opt), deadline_(deadline), scheduler_(scheduler),
+        stats_(stats), propagator_(lp), integral_(AllIntegral(lp)) {
     // Index SOS1-style rows (sum of binaries = 1): branching on a whole
     // row (one child per candidate assignee) fixes a permutation slot at a
     // time, which propagates far better than 0/1 branching on one binary.
@@ -121,30 +131,49 @@ class ComponentSearch {
         return res;
       }
       // Seed the incumbent with a few propagation-guided greedy dives;
-      // search then starts with a primal bound to prune against.
+      // search then starts with a primal bound to prune against. This
+      // phase is single-threaded: parallel strands only exist below.
       for (int heur = 0; heur < 3; ++heur) GreedyDive(root, heur);
-      DepthFirst(std::move(root));
+      {
+        std::optional<Scheduler::Group> group;
+        if (scheduler_ != nullptr && scheduler_->num_threads() > 1) {
+          group.emplace(scheduler_);
+          group_ = &*group;
+        }
+        MipStats local;
+        std::vector<Node> stack;
+        stack.push_back(Node{std::move(root), {}});
+        Dfs(std::move(stack), &local);
+        if (group) group->Wait();  // donated strands merge their stats
+        group_ = nullptr;
+        MergeLocalStats(local);
+      }
     } else {
       res.status = SolveStatus::kInfeasible;
       return res;
     }
 
-    if (infeasible_only_ && !has_incumbent_) {
+    // The group has been waited on: all strands are done and their
+    // effects ordered before these reads. Infeasibility is only proved by
+    // an *uninterrupted* search: a stopped run that found nothing is a
+    // time limit, not a proof.
+    if (!stopped_.load() && infeasible_only_.load() &&
+        !has_incumbent_.load()) {
       res.status = SolveStatus::kInfeasible;
       return res;
     }
-    res.has_solution = has_incumbent_;
-    res.objective = incumbent_value_;
+    res.has_solution = has_incumbent_.load();
+    res.objective = incumbent_value_.load();
     res.solution = incumbent_;
-    if (stopped_) {
+    if (stopped_.load()) {
       res.status = SolveStatus::kTimeLimit;
-      res.best_bound = std::max(open_bound_, has_incumbent_
-                                                 ? incumbent_value_
+      res.best_bound = std::max(open_bound_, res.has_solution
+                                                 ? res.objective
                                                  : -kInfinity);
     } else {
-      res.status = has_incumbent_ ? SolveStatus::kOptimal
-                                  : SolveStatus::kInfeasible;
-      res.best_bound = incumbent_value_;
+      res.status = res.has_solution ? SolveStatus::kOptimal
+                                    : SolveStatus::kInfeasible;
+      res.best_bound = incumbent_value_.load();
     }
     return res;
   }
@@ -173,7 +202,7 @@ class ComponentSearch {
       for (VarId v = 0; v < lp_.num_vars(); ++v) {
         if (!lp_.vars()[v].is_integer) continue;
         if (root->upper[v] - root->lower[v] < 0.5) continue;
-        if (clock_.ElapsedSeconds() > opt_.time_limit_seconds) return true;
+        if (deadline_.Expired()) return true;
         const std::vector<VarId> touched{v};
         Domains low = *root;
         low.upper[v] = low.lower[v];
@@ -241,7 +270,7 @@ class ComponentSearch {
     }
     uint64_t lcg = 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(heur + 1);
     for (;;) {
-      if (clock_.ElapsedSeconds() > opt_.time_limit_seconds) return;
+      if (deadline_.Expired()) return;
       VarId pick = lp_.num_vars();
       double best_key = -kInfinity;
       for (VarId v = 0; v < lp_.num_vars(); ++v) {
@@ -265,11 +294,7 @@ class ComponentSearch {
         std::vector<double> x(lp_.num_vars());
         for (VarId v = 0; v < lp_.num_vars(); ++v) x[v] = dom.lower[v];
         const double val = lp_.EvalObjective(x);
-        if (!has_incumbent_ || val > incumbent_value_) {
-          has_incumbent_ = true;
-          incumbent_value_ = val;
-          incumbent_ = std::move(x);
-        }
+        OfferIncumbent(val, std::move(x));
         return;
       }
       const double c = lp_.objective_coef(pick);
@@ -290,25 +315,34 @@ class ComponentSearch {
     }
   }
 
-  void DepthFirst(Domains root) {
-    std::vector<Node> stack;
-    stack.push_back(Node{std::move(root), {}});
+  // One depth-first strand. Sequential runs have exactly one strand and
+  // visit nodes in the same order as the pre-parallel solver; parallel
+  // runs spawn more strands via SplitStack. `stats` is strand-local and
+  // merged under stats_mu_ when the strand ends.
+  void Dfs(std::vector<Node> stack, MipStats* stats) {
+    int64_t since_split = 0;
     while (!stack.empty()) {
-      if (nodes_ >= opt_.max_nodes_per_component ||
-          clock_.ElapsedSeconds() > opt_.time_limit_seconds) {
-        stopped_ = true;
+      if (stopped_.load(std::memory_order_relaxed) ||
+          nodes_.load(std::memory_order_relaxed) >=
+              opt_.max_nodes_per_component ||
+          deadline_.Expired()) {
+        stopped_.store(true, std::memory_order_relaxed);
         // Remaining nodes contribute to the proved bound.
-        for (const Node& n : stack) {
-          open_bound_ = std::max(
-              open_bound_,
-              std::min(NodeBoundCheap(n.dom), n.inherited_bound));
-        }
+        AccountOpen(stack);
         return;
+      }
+      // Donate the oldest open subtrees once this strand has done enough
+      // work to suggest the component is hard and someone is idle.
+      if (group_ != nullptr && stack.size() >= 2 &&
+          ++since_split >= opt_.split_node_threshold &&
+          scheduler_->HasIdleWorker()) {
+        since_split = 0;
+        SplitStack(&stack, stats);
       }
       Node node = std::move(stack.back());
       stack.pop_back();
-      ++nodes_;
-      ++stats_->nodes;
+      nodes_.fetch_add(1, std::memory_order_relaxed);
+      ++stats->nodes;
 
       const std::vector<VarId>* touched =
           node.touched.empty() ? nullptr : &node.touched;
@@ -316,12 +350,12 @@ class ComponentSearch {
           PropagateResult::kInfeasible) {
         continue;
       }
-      infeasible_only_ = false;
+      infeasible_only_.store(false, std::memory_order_relaxed);
 
       double bound =
           std::min(ActivityBound(lp_, node.dom), node.inherited_bound);
       if (integral_) bound = std::floor(bound + opt_.tol);
-      if (has_incumbent_ && bound <= incumbent_value_ + opt_.tol) continue;
+      if (Cut(bound)) continue;
 
       if (opt_.use_objective_probing &&
           !ProbeObjectiveVars(&node.dom)) {
@@ -329,7 +363,7 @@ class ComponentSearch {
       }
       bound = std::min(ActivityBound(lp_, node.dom), node.inherited_bound);
       if (integral_) bound = std::floor(bound + opt_.tol);
-      if (has_incumbent_ && bound <= incumbent_value_ + opt_.tol) continue;
+      if (Cut(bound)) continue;
 
       // Find an unfixed integer variable; preferred branch value comes from
       // the LP relaxation when available. Among candidates, prefer the one
@@ -366,25 +400,20 @@ class ComponentSearch {
         std::vector<double> x(lp_.num_vars());
         for (VarId v = 0; v < lp_.num_vars(); ++v) x[v] = node.dom.lower[v];
         const double val = lp_.EvalObjective(x);
-        if (!has_incumbent_ || val > incumbent_value_) {
-          has_incumbent_ = true;
-          incumbent_value_ = val;
-          incumbent_ = std::move(x);
-        }
+        OfferIncumbent(val, std::move(x));
         continue;
       }
 
       double frac_target = -1.0;  // LP value of the branch variable
       if (opt_.use_lp_bound && lp_.num_vars() <= opt_.lp_bound_max_vars) {
         LpSolution rel = SolveWithDomains(node.dom);
-        ++stats_->lp_solves;
+        ++stats->lp_solves;
         if (rel.status == SolveStatus::kInfeasible) continue;
         if (rel.status == SolveStatus::kOptimal) {
           double lpb = rel.objective;
           if (integral_) lpb = std::floor(lpb + opt_.tol);
           bound = std::min(bound, lpb);
-          if (has_incumbent_ && bound <= incumbent_value_ + opt_.tol)
-            continue;
+          if (Cut(bound)) continue;
           // Integral LP solutions are incumbents for free.
           VarId most_frac = lp_.num_vars();
           double best_frac = opt_.tol;
@@ -401,11 +430,7 @@ class ComponentSearch {
           if (most_frac == lp_.num_vars()) {
             // Vertex is integral; it may still sit between node bounds for
             // fixed vars, but bounds were respected by the LP, so feasible.
-            if (!has_incumbent_ || rel.objective > incumbent_value_) {
-              has_incumbent_ = true;
-              incumbent_value_ = rel.objective;
-              incumbent_ = rel.values;
-            }
+            OfferIncumbent(rel.objective, rel.values);
             continue;
           }
           branch_var = most_frac;
@@ -466,6 +491,66 @@ class ComponentSearch {
     }
   }
 
+  // Donates the oldest half of the open stack (the subtrees nearest the
+  // root) to the pool as fresh strands of this same search.
+  void SplitStack(std::vector<Node>* stack, MipStats* stats) {
+    const size_t donate = stack->size() / 2;
+    for (size_t i = 0; i < donate; ++i) {
+      // shared_ptr because std::function requires a copyable callable.
+      auto n = std::make_shared<Node>(std::move((*stack)[i]));
+      ++stats->subtree_tasks;
+      group_->Submit([this, n] {
+        MipStats local;
+        std::vector<Node> sub;
+        sub.push_back(std::move(*n));
+        Dfs(std::move(sub), &local);
+        MergeLocalStats(local);
+      });
+    }
+    stack->erase(stack->begin(),
+                 stack->begin() + static_cast<ptrdiff_t>(donate));
+    ++stats->subtree_splits;
+  }
+
+  // Folds unexplored frontier nodes into the proved bound of a stopped
+  // search.
+  void AccountOpen(const std::vector<Node>& stack) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Node& n : stack) {
+      open_bound_ = std::max(
+          open_bound_, std::min(NodeBoundCheap(n.dom), n.inherited_bound));
+    }
+  }
+
+  void OfferIncumbent(double value, std::vector<double> x) {
+    // Racy fast path: the incumbent value only ever increases, so a stale
+    // read can at worst let a tied-or-worse candidate reach the lock.
+    if (has_incumbent_.load(std::memory_order_relaxed) &&
+        value <= incumbent_value_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!has_incumbent_.load(std::memory_order_relaxed) ||
+        value > incumbent_value_.load(std::memory_order_relaxed)) {
+      incumbent_ = std::move(x);
+      incumbent_value_.store(value, std::memory_order_relaxed);
+      has_incumbent_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  // True when `bound` cannot beat the shared incumbent. A stale incumbent
+  // read only delays a cut (extra nodes), never removes a solution.
+  bool Cut(double bound) const {
+    return has_incumbent_.load(std::memory_order_relaxed) &&
+           bound <= incumbent_value_.load(std::memory_order_relaxed) +
+                        opt_.tol;
+  }
+
+  void MergeLocalStats(const MipStats& local) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_->MergeFrom(local);
+  }
+
   double NodeBoundCheap(const Domains& dom) const {
     double b = ActivityBound(lp_, dom);
     if (integral_) b = std::floor(b + opt_.tol);
@@ -483,17 +568,24 @@ class ComponentSearch {
 
   const LinearProgram& lp_;
   const MipOptions& opt_;
-  const StopWatch& clock_;
-  MipStats* stats_;
-  Propagator propagator_;
+  const Deadline& deadline_;
+  Scheduler* const scheduler_;  // null => splitting disabled
+  MipStats* stats_;             // merged into under stats_mu_
+  Propagator propagator_;       // Run() is const and stateless: shared
   std::vector<int32_t> sos1_of_var_;
   const bool integral_;
 
-  int64_t nodes_ = 0;
-  bool stopped_ = false;
-  bool infeasible_only_ = true;
-  bool has_incumbent_ = false;
-  double incumbent_value_ = -kInfinity;
+  // State shared by all strands of this component's search. The atomics
+  // are monotone signals (relaxed ordering suffices: a stale read costs
+  // extra nodes, never correctness); the vectors live under mu_.
+  Scheduler::Group* group_ = nullptr;
+  std::atomic<int64_t> nodes_{0};
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> infeasible_only_{true};
+  std::atomic<bool> has_incumbent_{false};
+  std::atomic<double> incumbent_value_{-kInfinity};
+  std::mutex mu_;        // incumbent_ vector + open_bound_
+  std::mutex stats_mu_;  // strand-local MipStats merges into *stats_
   double open_bound_ = -kInfinity;
   std::vector<double> incumbent_;
 };
@@ -555,9 +647,14 @@ ComponentResult EntryToResult(const ComponentCache::Entry& e,
 // later batches. Rowless programs skip the cache — solving them by
 // inspection is cheaper than fingerprinting them — as do components above
 // the size cap (see MipOptions::cache_max_component_vars).
+//
+// With a multi-thread scheduler, component tasks go through one shared
+// pool, and each ComponentSearch may additionally donate subtrees into
+// that same pool — so a batch that is one giant component (the Query-3
+// join regime) still saturates the machine.
 std::vector<ComponentResult> SolveBatch(
     const std::vector<const LinearProgram*>& programs, const MipOptions& opt,
-    const StopWatch& clock, MipStats* stats) {
+    const Deadline& deadline, Scheduler* scheduler, MipStats* stats) {
   const size_t n = programs.size();
   std::vector<ComponentResult> results(n);
 
@@ -603,7 +700,8 @@ std::vector<ComponentResult> SolveBatch(
         rep_hit[static_cast<size_t>(group_of_rep[i])] = 1;
         return;
       }
-      ComponentSearch search(*programs[i], opt, clock, task_stats);
+      ComponentSearch search(*programs[i], opt, deadline, scheduler,
+                             task_stats);
       results[i] = search.Run();
       const ComponentResult& res = results[i];
       if (res.status == SolveStatus::kOptimal ||
@@ -619,31 +717,28 @@ std::vector<ComponentResult> SolveBatch(
       }
       return;
     }
-    ComponentSearch search(*programs[i], opt, clock, task_stats);
+    ComponentSearch search(*programs[i], opt, deadline, scheduler, task_stats);
     results[i] = search.Run();
   };
 
-  const int threads = std::max(
-      1, std::min<int>(opt.num_threads, static_cast<int>(tasks.size())));
+  const int threads = scheduler == nullptr ? 1 : scheduler->num_threads();
   if (threads == 1) {
     for (size_t t : tasks) run_task(t, stats);
   } else {
-    std::vector<MipStats> thread_stats(static_cast<size_t>(threads));
-    std::atomic<size_t> next{0};
-    std::vector<std::thread> pool;
-    for (int t = 0; t < threads; ++t) {
-      pool.emplace_back([&, t] {
-        for (;;) {
-          const size_t i = next.fetch_add(1);
-          if (i >= tasks.size()) return;
-          run_task(tasks[i], &thread_stats[static_cast<size_t>(t)]);
-        }
-      });
+    // One scheduler task per component search; each search may donate
+    // subtrees back into the same pool. A single-task batch still goes
+    // through the group so the lone component can split internally.
+    std::vector<MipStats> task_stats(tasks.size());
+    {
+      Scheduler::Group group(scheduler);
+      for (size_t idx = 0; idx < tasks.size(); ++idx) {
+        group.Submit([&, idx] { run_task(tasks[idx], &task_stats[idx]); });
+      }
+      group.Wait();
     }
-    for (auto& th : pool) th.join();
-    // Merge in thread-index order: counters are sums, so the totals are
+    // Merge in task-index order: counters are sums, so the totals are
     // deterministic regardless of how work was interleaved.
-    for (const MipStats& s : thread_stats) stats->MergeFrom(s);
+    for (const MipStats& s : task_stats) stats->MergeFrom(s);
   }
 
   // Replay each representative's result to the rest of its isomorphism
@@ -766,6 +861,9 @@ void MipStats::MergeFrom(const MipStats& other) {
   cache_hits += other.cache_hits;
   cache_misses += other.cache_misses;
   canonical_forms += other.canonical_forms;
+  subtree_splits += other.subtree_splits;
+  subtree_tasks += other.subtree_tasks;
+  num_threads = std::max(num_threads, other.num_threads);
   solve_seconds += other.solve_seconds;
 }
 
@@ -786,7 +884,18 @@ MipResult MipSolver::Solve(const LinearProgram& input, Sense sense) const {
     opt.cache = &local_cache;
   }
 
+  const Deadline local_deadline = Deadline::After(opt.time_limit_seconds);
+  const Deadline& deadline =
+      opt.deadline != nullptr ? *opt.deadline : local_deadline;
+  std::optional<Scheduler> local_sched;
+  Scheduler* sched = opt.scheduler;
+  if (sched == nullptr && Scheduler::ResolveThreads(opt.num_threads) > 1) {
+    local_sched.emplace(opt.num_threads);
+    sched = &*local_sched;
+  }
+
   MipStats stats;
+  stats.num_threads = sched != nullptr ? sched->num_threads() : 1;
   PreparedPipeline p;
   Prepare(lp, opt, &stats, &p);
   if (p.infeasible) {
@@ -800,8 +909,8 @@ MipResult MipSolver::Solve(const LinearProgram& input, Sense sense) const {
   std::vector<const LinearProgram*> programs;
   programs.reserve(p.comps.size());
   for (const Component& c : p.comps) programs.push_back(&c.program);
-  std::vector<ComponentResult> solved = SolveBatch(programs, opt, clock,
-                                                   &stats);
+  std::vector<ComponentResult> solved =
+      SolveBatch(programs, opt, deadline, sched, &stats);
   MipResult result = Assemble(p, opt, programs, solved, 0,
                               p.work->objective_constant(), minimize);
   result.stats = stats;
@@ -822,7 +931,18 @@ MinMaxMipResult MipSolver::SolveMinMax(const LinearProgram& input) const {
     opt.cache = &local_cache;
   }
 
+  const Deadline local_deadline = Deadline::After(opt.time_limit_seconds);
+  const Deadline& deadline =
+      opt.deadline != nullptr ? *opt.deadline : local_deadline;
+  std::optional<Scheduler> local_sched;
+  Scheduler* sched = opt.scheduler;
+  if (sched == nullptr && Scheduler::ResolveThreads(opt.num_threads) > 1) {
+    local_sched.emplace(opt.num_threads);
+    sched = &*local_sched;
+  }
+
   PreparedPipeline p;
+  out.stats.num_threads = sched != nullptr ? sched->num_threads() : 1;
   Prepare(input, opt, &out.stats, &p);
   if (p.infeasible) {
     out.min.status = out.max.status = SolveStatus::kInfeasible;
@@ -846,7 +966,7 @@ MinMaxMipResult MipSolver::SolveMinMax(const LinearProgram& input) const {
     programs[nc + i] = &negated[i];
   }
   std::vector<ComponentResult> solved =
-      SolveBatch(programs, opt, clock, &out.stats);
+      SolveBatch(programs, opt, deadline, sched, &out.stats);
 
   out.max = Assemble(p, opt, programs, solved, 0,
                      p.work->objective_constant(), /*negate=*/false);

@@ -12,11 +12,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "solver/linear_program.h"
 
 namespace licm::solver {
 
 class ComponentCache;
+class Scheduler;
 
 struct MipOptions {
   double time_limit_seconds = 300.0;
@@ -54,10 +56,28 @@ struct MipOptions {
   /// (dense tableau cost grows quadratically); propagation and probing
   /// bounds remain.
   size_t lp_bound_max_vars = 150;
-  /// Worker threads for independent connected components (the paper's
-  /// concluding remark that "parallelism ... may be required to scale").
-  /// 1 = sequential.
-  int num_threads = 1;
+  /// Worker threads shared by independent connected components and by
+  /// intra-component subtree search (the paper's concluding remark that
+  /// "parallelism ... may be required to scale"). 0 (the default)
+  /// auto-detects from std::thread::hardware_concurrency(), capped at
+  /// Scheduler::kMaxAutoThreads; 1 forces fully sequential solves.
+  int num_threads = 0;
+  /// Nodes a component search runs before it offers its oldest open
+  /// subtrees to idle workers (see scheduler.h). Only consulted when the
+  /// resolved thread count exceeds 1; small values exercise the split
+  /// path in tests, larger ones keep trivial searches split-free.
+  int64_t split_node_threshold = 10'000;
+  /// Shared scheduler. When null, Solve/SolveMinMax size a private pool
+  /// by `num_threads`; the MIN/MAX feasibility prober shares one pool
+  /// across its whole probe sequence (like `cache`). The scheduler's own
+  /// thread count governs when set.
+  Scheduler* scheduler = nullptr;
+  /// Shared absolute deadline. When set it overrides
+  /// `time_limit_seconds`, letting a caller budget one wall-clock limit
+  /// across many solver calls; all workers of a solve check this single
+  /// deadline, so a timed-out parallel solve stops at one consistent
+  /// point (sticky expiry, see common/stopwatch.h).
+  const Deadline* deadline = nullptr;
   double tol = 1e-6;
 };
 
@@ -78,6 +98,14 @@ struct MipStats {
   int64_t cache_misses = 0;
   /// Canonical fingerprints computed (components routed through the cache).
   int64_t canonical_forms = 0;
+  /// Intra-component parallelism: split events (a search donating open
+  /// subtrees to the pool) and subtree tasks donated. Zero on sequential
+  /// runs. Node counts of parallel runs are *not* run-order-independent
+  /// (pruning depends on when workers share incumbents); bounds are.
+  int64_t subtree_splits = 0;
+  int64_t subtree_tasks = 0;
+  /// Resolved executor count of the solve (MergeFrom keeps the max).
+  int num_threads = 0;
   double solve_seconds = 0.0;
 
   /// Deterministic merge: every counter adds, independent of the order

@@ -1,0 +1,139 @@
+#include "solver/scheduler.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace licm::solver {
+
+namespace {
+
+// Identifies the deque a submission from the current thread should land
+// on. Keyed by scheduler so nested schedulers (a worker of one pool
+// driving a solver that owns another) never cross-index deques.
+struct ThreadSlot {
+  const Scheduler* scheduler = nullptr;
+  size_t slot = 0;
+};
+thread_local ThreadSlot tls_slot;
+
+}  // namespace
+
+int Scheduler::ResolveThreads(int requested) {
+  if (requested > 0) return std::min(requested, kMaxThreads);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int detected = hw == 0 ? 1 : static_cast<int>(hw);
+  return std::min(detected, kMaxAutoThreads);
+}
+
+Scheduler::Scheduler(int num_threads)
+    : num_threads_(ResolveThreads(num_threads)) {
+  deques_.resize(static_cast<size_t>(num_threads_));
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LICM_CHECK(queued_ == 0);  // all groups must be waited on first
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+size_t Scheduler::CurrentSlot() const {
+  return tls_slot.scheduler == this ? tls_slot.slot : 0;
+}
+
+bool Scheduler::HasIdleWorker() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (workers_.size() < static_cast<size_t>(num_threads_ - 1)) return true;
+  return idle_ > queued_;
+}
+
+void Scheduler::MaybeSpawnLocked() {
+  if (queued_ > idle_ &&
+      workers_.size() < static_cast<size_t>(num_threads_ - 1)) {
+    const size_t slot = workers_.size() + 1;
+    workers_.emplace_back(&Scheduler::WorkerLoop, this, slot);
+  }
+}
+
+bool Scheduler::PopTaskLocked(size_t slot, Task* out) {
+  // Own deque first, newest task (LIFO: depth-first, cache warm) ...
+  if (!deques_[slot].empty()) {
+    *out = std::move(deques_[slot].back());
+    deques_[slot].pop_back();
+    return true;
+  }
+  // ... then the injector, then steal the *oldest* task of a victim.
+  for (size_t d = 0; d < deques_.size(); ++d) {
+    if (d == slot || deques_[d].empty()) continue;
+    *out = std::move(deques_[d].front());
+    deques_[d].pop_front();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::RunTask(Task task) {
+  task.fn();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--task.group->pending_ == 0) cv_.notify_all();
+}
+
+void Scheduler::WorkerLoop(size_t slot) {
+  tls_slot = {this, slot};
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    Task task;
+    if (PopTaskLocked(slot, &task)) {
+      --queued_;
+      lock.unlock();
+      RunTask(std::move(task));
+      lock.lock();
+      continue;
+    }
+    if (stop_) return;
+    ++idle_;
+    cv_.wait(lock, [&] { return queued_ > 0 || stop_; });
+    --idle_;
+  }
+}
+
+void Scheduler::Group::Submit(std::function<void()> fn) {
+  Scheduler* s = scheduler_;
+  {
+    std::lock_guard<std::mutex> lock(s->mu_);
+    ++pending_;
+    s->deques_[s->CurrentSlot()].push_back(Task{std::move(fn), this});
+    ++s->queued_;
+    s->MaybeSpawnLocked();
+  }
+  s->cv_.notify_one();
+}
+
+void Scheduler::Group::Wait() {
+  Scheduler* s = scheduler_;
+  std::unique_lock<std::mutex> lock(s->mu_);
+  const size_t slot = s->CurrentSlot();
+  for (;;) {
+    if (pending_ == 0) return;
+    Task task;
+    if (s->PopTaskLocked(slot, &task)) {
+      --s->queued_;
+      lock.unlock();
+      s->RunTask(std::move(task));
+      lock.lock();
+      continue;
+    }
+    // The remaining tasks of this group are running on other executors;
+    // sleep until one completes or new work shows up to help with.
+    ++s->idle_;
+    s->cv_.wait(lock, [&] { return pending_ == 0 || s->queued_ > 0; });
+    --s->idle_;
+  }
+}
+
+}  // namespace licm::solver

@@ -1,0 +1,106 @@
+// Work-stealing task scheduler shared by cross-component and
+// intra-component (subtree) parallel branch & bound.
+//
+// Execution model: the scheduler owns up to `num_threads - 1` lazily
+// spawned worker threads; the caller becomes the final executor whenever
+// it blocks in Group::Wait, so a scheduler built for N threads runs at
+// most N tasks concurrently, and `num_threads == 1` degenerates to fully
+// inline sequential execution (no thread is ever spawned and
+// HasIdleWorker() is always false, which disables subtree splitting in
+// the search).
+//
+// Scheduling order is work-stealing: a task submitted from inside a
+// worker lands on that worker's own deque and is resumed LIFO (depth
+// first, cache warm), while an idle executor steals the *oldest* task of
+// a victim deque — for a branch & bound donation that is the node nearest
+// the root, i.e. the largest stolen subtree. All deques hang off one
+// scheduler mutex: tasks here are thousands of search nodes each, so lock
+// traffic is negligible and the single lock keeps the scheduler trivially
+// ThreadSanitizer-clean.
+#ifndef LICM_SOLVER_SCHEDULER_H_
+#define LICM_SOLVER_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace licm::solver {
+
+class Scheduler {
+ public:
+  /// `num_threads <= 0` auto-detects (hardware_concurrency, capped at
+  /// kMaxAutoThreads). Workers are spawned lazily on first demand, so an
+  /// unused scheduler costs one allocation, not N threads.
+  explicit Scheduler(int num_threads = 0);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Total executor slots (workers + the waiting caller).
+  int num_threads() const { return num_threads_; }
+
+  /// True when an executor slot is idle or not yet spawned, i.e. a task
+  /// submitted now would start immediately. Searches consult this before
+  /// donating subtrees; a stale answer only delays or wastes one split.
+  bool HasIdleWorker() const;
+
+  /// Resolves a thread-count request: positive counts pass through
+  /// (capped at kMaxThreads), <= 0 auto-detects from
+  /// std::thread::hardware_concurrency() (capped at kMaxAutoThreads).
+  static int ResolveThreads(int requested);
+  static constexpr int kMaxThreads = 64;
+  static constexpr int kMaxAutoThreads = 16;
+
+  /// A completion-tracked set of tasks. Submit may be called from any
+  /// thread, including from inside a task of the same group (subtree
+  /// donation). Wait executes pending tasks — of *any* group — until this
+  /// group's count reaches zero, so a worker waiting on its donations
+  /// keeps the pool saturated instead of blocking a slot. Tasks must not
+  /// throw (the solver reports failure through Status/result values).
+  class Group {
+   public:
+    explicit Group(Scheduler* scheduler) : scheduler_(scheduler) {}
+    ~Group() { Wait(); }
+    Group(const Group&) = delete;
+    Group& operator=(const Group&) = delete;
+
+    void Submit(std::function<void()> fn);
+    void Wait();
+
+   private:
+    friend class Scheduler;
+    Scheduler* const scheduler_;
+    int64_t pending_ = 0;  // guarded by scheduler_->mu_
+  };
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    Group* group;
+  };
+
+  void WorkerLoop(size_t slot);
+  bool PopTaskLocked(size_t slot, Task* out);
+  void MaybeSpawnLocked();
+  void RunTask(Task task);
+  size_t CurrentSlot() const;
+
+  const int num_threads_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// deques_[0] is the shared injector (submissions from non-worker
+  /// threads); deque s + 1 belongs to worker s.
+  std::vector<std::deque<Task>> deques_;
+  std::vector<std::thread> workers_;  // spawned lazily, guarded by mu_
+  int idle_ = 0;                      // executors blocked waiting for work
+  int64_t queued_ = 0;                // tasks sitting in some deque
+  bool stop_ = false;
+};
+
+}  // namespace licm::solver
+
+#endif  // LICM_SOLVER_SCHEDULER_H_

@@ -1,0 +1,150 @@
+// Tests for the work-stealing task scheduler shared by cross-component
+// and intra-component parallel branch & bound.
+#include "solver/scheduler.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace licm::solver {
+namespace {
+
+TEST(Scheduler, ResolveThreadsPassesPositiveCountsThrough) {
+  EXPECT_EQ(Scheduler::ResolveThreads(1), 1);
+  EXPECT_EQ(Scheduler::ResolveThreads(4), 4);
+  EXPECT_EQ(Scheduler::ResolveThreads(Scheduler::kMaxThreads),
+            Scheduler::kMaxThreads);
+  EXPECT_EQ(Scheduler::ResolveThreads(Scheduler::kMaxThreads + 50),
+            Scheduler::kMaxThreads);
+}
+
+TEST(Scheduler, ResolveThreadsAutoDetectsWithinCaps) {
+  for (int req : {0, -1, -100}) {
+    const int n = Scheduler::ResolveThreads(req);
+    EXPECT_GE(n, 1) << req;
+    EXPECT_LE(n, Scheduler::kMaxAutoThreads) << req;
+  }
+}
+
+TEST(Scheduler, RunsEveryTask) {
+  Scheduler sched(4);
+  EXPECT_EQ(sched.num_threads(), 4);
+  std::atomic<int> count{0};
+  {
+    Scheduler::Group group(&sched);
+    for (int i = 0; i < 200; ++i) {
+      group.Submit([&count] { count.fetch_add(1); });
+    }
+    group.Wait();
+    EXPECT_EQ(count.load(), 200);
+  }
+}
+
+TEST(Scheduler, SingleThreadRunsInlineAndNeverReportsIdleWorkers) {
+  Scheduler sched(1);
+  EXPECT_EQ(sched.num_threads(), 1);
+  // No worker exists and the caller is busy submitting, so splitting must
+  // stay disabled throughout.
+  EXPECT_FALSE(sched.HasIdleWorker());
+  std::atomic<int> count{0};
+  Scheduler::Group group(&sched);
+  for (int i = 0; i < 50; ++i) {
+    group.Submit([&] {
+      count.fetch_add(1);
+      EXPECT_FALSE(sched.HasIdleWorker());
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(Scheduler, MultiThreadReportsIdleCapacityUpFront) {
+  // Workers are lazy: before any submission the pool has unspawned
+  // capacity, which counts as idle (a task submitted now starts at once).
+  Scheduler sched(4);
+  EXPECT_TRUE(sched.HasIdleWorker());
+}
+
+TEST(Scheduler, TasksMaySubmitMoreTasksIntoTheirOwnGroup) {
+  // Subtree donation submits from inside a running task; Wait must not
+  // return until the recursively spawned work is done too.
+  Scheduler sched(4);
+  std::atomic<int> count{0};
+  {
+    Scheduler::Group group(&sched);
+    for (int i = 0; i < 8; ++i) {
+      group.Submit([&] {
+        count.fetch_add(1);
+        for (int j = 0; j < 4; ++j) {
+          group.Submit([&] {
+            count.fetch_add(1);
+            group.Submit([&] { count.fetch_add(1); });
+          });
+        }
+      });
+    }
+    group.Wait();
+    EXPECT_EQ(count.load(), 8 + 8 * 4 + 8 * 4);
+  }
+}
+
+TEST(Scheduler, SequentialGroupsReuseOnePool) {
+  Scheduler sched(3);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> count{0};
+    Scheduler::Group group(&sched);
+    for (int i = 0; i < 20; ++i) {
+      group.Submit([&count] { count.fetch_add(1); });
+    }
+    group.Wait();
+    EXPECT_EQ(count.load(), 20) << "round " << round;
+  }
+}
+
+TEST(Scheduler, ConcurrentGroupsShareThePool) {
+  // Two groups interleaved in the same pool: each Wait tracks only its
+  // own tasks, and a waiter helps with the other group's work instead of
+  // blocking a slot.
+  Scheduler sched(2);
+  std::atomic<int> a{0}, b{0};
+  Scheduler::Group ga(&sched);
+  Scheduler::Group gb(&sched);
+  for (int i = 0; i < 30; ++i) {
+    ga.Submit([&a] { a.fetch_add(1); });
+    gb.Submit([&b] { b.fetch_add(1); });
+  }
+  ga.Wait();
+  EXPECT_EQ(a.load(), 30);
+  gb.Wait();
+  EXPECT_EQ(b.load(), 30);
+}
+
+TEST(Scheduler, StressManySmallTasks) {
+  Scheduler sched(8);
+  std::atomic<int64_t> sum{0};
+  {
+    Scheduler::Group group(&sched);
+    for (int i = 1; i <= 2000; ++i) {
+      group.Submit([&sum, i] { sum.fetch_add(i); });
+    }
+    group.Wait();
+  }
+  EXPECT_EQ(sum.load(), 2000LL * 2001 / 2);
+}
+
+TEST(Scheduler, DestructorJoinsAfterGroupsDrain) {
+  // A scheduler destroyed right after its last Wait must shut down
+  // cleanly (no task may be left queued).
+  for (int round = 0; round < 5; ++round) {
+    Scheduler sched(4);
+    std::atomic<int> count{0};
+    Scheduler::Group group(&sched);
+    for (int i = 0; i < 40; ++i) group.Submit([&] { count.fetch_add(1); });
+    group.Wait();
+    EXPECT_EQ(count.load(), 40);
+  }
+}
+
+}  // namespace
+}  // namespace licm::solver
