@@ -16,6 +16,7 @@
 
 int main(int argc, char** argv) {
   using namespace licm::bench;
+  BenchTraceInit();
   BenchConfig config;
   if (argc > 1) config.num_transactions = std::atoi(argv[1]);
   if (argc > 2) config.bipartite_transactions = std::atoi(argv[2]);
@@ -57,5 +58,10 @@ int main(int argc, char** argv) {
   std::printf("\n# '~' marks a bound the solver could not prove optimal "
               "within the time limit (still a valid possible-world "
               "answer).\n");
+  auto finish = BenchTraceFinish();
+  if (!finish.ok()) {
+    std::printf("trace export failed: %s\n", finish.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

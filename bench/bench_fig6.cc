@@ -16,6 +16,7 @@
 
 int main(int argc, char** argv) {
   using namespace licm::bench;
+  BenchTraceInit();
   BenchConfig config;
   if (argc > 1) config.num_transactions = std::atoi(argv[1]);
   if (argc > 2) config.bipartite_transactions = std::atoi(argv[2]);
@@ -44,6 +45,11 @@ int main(int argc, char** argv) {
                   cell->model_ms + cell->query_ms + cell->solve_ms);
       std::fflush(stdout);
     }
+  }
+  auto finish = BenchTraceFinish();
+  if (!finish.ok()) {
+    std::printf("trace export failed: %s\n", finish.ToString().c_str());
+    return 1;
   }
   return 0;
 }

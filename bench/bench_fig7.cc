@@ -15,6 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace licm::bench;
+  BenchTraceInit();
   BenchConfig config;
   if (argc > 1) config.num_transactions = std::atoi(argv[1]);
   uint32_t k = 6;
@@ -37,6 +38,11 @@ int main(int argc, char** argv) {
     std::printf("Q%-3d %-12s %14zu %14zu %14zu\n", q, "#constraints",
                 cell->cons_model, cell->cons_query, cell->cons_pruned);
     std::fflush(stdout);
+  }
+  auto finish = BenchTraceFinish();
+  if (!finish.ok()) {
+    std::printf("trace export failed: %s\n", finish.ToString().c_str());
+    return 1;
   }
   return 0;
 }

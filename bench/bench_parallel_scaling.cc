@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "common/telemetry.h"
 #include "harness.h"
 
 namespace {
@@ -38,6 +39,7 @@ struct RunOutcome {
   double total_ms = 0;  // full AnswerAggregate wall time
   double query_ms = 0, solve_ms = 0;
   licm::solver::MipStats stats;
+  licm::bench::PhaseBreakdown phases;
 };
 
 constexpr int kThreadCounts[] = {1, 2, 4, 8};
@@ -48,6 +50,7 @@ int main(int argc, char** argv) {
   using namespace licm::bench;
   using licm::AnswerOptions;
 
+  BenchTraceInit();
   bool bipartite = true;
   uint32_t txns = 0, k = 0, items = 0;
   std::string queries;
@@ -121,10 +124,12 @@ int main(int argc, char** argv) {
     // the snapshot cost.
     opts.bounds.mip.split_node_threshold = 1'000;
     licm::StopWatch watch;
+    const int64_t mark = licm::telemetry::NowNs();
     LICM_ASSIGN_OR_RETURN(auto ans,
                           licm::AnswerAggregate(*query, enc->db, opts));
     RunOutcome out;
     out.total_ms = watch.ElapsedMs();
+    out.phases = PhasesSince(mark);
     out.min = ans.bounds.min.value;
     out.max = ans.bounds.max.value;
     out.min_exact = ans.bounds.min.exact;
@@ -189,12 +194,18 @@ int main(int argc, char** argv) {
           .AddNumber("speedup", speedup)
           .AddInt("subtree_tasks", r->stats.subtree_tasks)
           .AddRunMetrics(r->min, r->max, r->min_exact, r->max_exact,
-                         r->query_ms, r->solve_ms, r->stats);
+                         r->query_ms, r->solve_ms, r->stats)
+          .AddPhaseBreakdown(r->phases);
       records.push_back(std::move(rec));
     }
     std::fflush(stdout);
   }
 
+  auto finish = BenchTraceFinish();
+  if (!finish.ok()) {
+    std::printf("trace export failed: %s\n", finish.ToString().c_str());
+    return 1;
+  }
   auto write = WriteBenchJson(out_path, records);
   if (!write.ok()) {
     std::printf("json write failed: %s\n", write.ToString().c_str());

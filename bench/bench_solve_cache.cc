@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "common/telemetry.h"
 #include "harness.h"
 
 namespace {
@@ -29,6 +30,7 @@ struct RunOutcome {
   double total_ms = 0;  // full AnswerAggregate wall time
   double query_ms = 0, solve_ms = 0;
   licm::solver::MipStats stats;
+  licm::bench::PhaseBreakdown phases;
 };
 
 }  // namespace
@@ -37,6 +39,7 @@ int main(int argc, char** argv) {
   using namespace licm::bench;
   using licm::AnswerOptions;
 
+  BenchTraceInit();
   bool bipartite = false;
   uint32_t txns = 0, k = 25, items = 400, fanout = 16;
   std::string queries = "123";
@@ -83,6 +86,9 @@ int main(int argc, char** argv) {
     std::printf("encode failed: %s\n", enc.status().ToString().c_str());
     return 1;
   }
+  // Encoding runs once up front; fold its breakdown into every row so the
+  // per-query rows still carry the full pipeline picture.
+  const PhaseBreakdown encode_phases = PhasesSince(0);
 
   auto run = [&](int qnum, bool use_cache) -> licm::Result<RunOutcome> {
     QueryParams params;
@@ -106,10 +112,12 @@ int main(int argc, char** argv) {
     // equality gate below stays sound on multicore machines.
     opts.bounds.mip.num_threads = 1;
     licm::StopWatch watch;
+    const int64_t mark = licm::telemetry::NowNs();
     LICM_ASSIGN_OR_RETURN(auto ans,
                           licm::AnswerAggregate(*query, enc->db, opts));
     RunOutcome out;
     out.total_ms = watch.ElapsedMs();
+    out.phases = PhasesSince(mark);
     out.min = ans.bounds.min.value;
     out.max = ans.bounds.max.value;
     out.min_exact = ans.bounds.min.exact;
@@ -185,12 +193,20 @@ int main(int argc, char** argv) {
           .AddNumber("total_ms", r->total_ms)
           .AddRunMetrics(r->min, r->max, r->min_exact, r->max_exact,
                          r->query_ms, r->solve_ms, r->stats);
+      PhaseBreakdown ph = r->phases;
+      ph.encode_ms = encode_phases.encode_ms;
+      rec.AddPhaseBreakdown(ph);
       if (r == &*on) rec.AddNumber("speedup", speedup);
       records.push_back(std::move(rec));
     }
     std::fflush(stdout);
   }
 
+  auto finish = BenchTraceFinish();
+  if (!finish.ok()) {
+    std::printf("trace export failed: %s\n", finish.ToString().c_str());
+    return 1;
+  }
   auto write = WriteBenchJson(out_path, records);
   if (!write.ok()) {
     std::printf("json write failed: %s\n", write.ToString().c_str());

@@ -13,6 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace licm::bench;
+  BenchTraceInit();
   BenchConfig config;
   if (argc > 1) config.num_transactions = std::atoi(argv[1]);
   // Suppression at BMS-like density removes few items; shrink the domain
@@ -37,6 +38,11 @@ int main(int argc, char** argv) {
                   cell->l_max_exact ? " " : "~", cell->m_min, cell->m_max);
       std::fflush(stdout);
     }
+  }
+  auto finish = BenchTraceFinish();
+  if (!finish.ok()) {
+    std::printf("trace export failed: %s\n", finish.ToString().c_str());
+    return 1;
   }
   return 0;
 }

@@ -4,10 +4,23 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
+#include <thread>
 
 #include "common/stopwatch.h"
+#include "common/telemetry.h"
+#include "common/trace_export.h"
 #include "relational/engine.h"
+
+// Provenance stamped into every BENCH_*.json row; bench/CMakeLists.txt
+// injects the real values, these fallbacks keep other build setups alive.
+#ifndef LICM_GIT_SHA
+#define LICM_GIT_SHA "unknown"
+#endif
+#ifndef LICM_BUILD_TYPE
+#define LICM_BUILD_TYPE "unknown"
+#endif
 
 namespace licm::bench {
 
@@ -22,6 +35,36 @@ int ThreadsFromEnv(int fallback) {
   const long v = std::strtol(env, &end, 10);
   if (end == env || *end != '\0' || v <= 0) return fallback;
   return static_cast<int>(v);
+}
+
+PhaseBreakdown PhasesSince(int64_t since_ns) {
+  PhaseBreakdown out;
+  for (const telemetry::PhaseSummary& p :
+       telemetry::SummarizeSpans(since_ns)) {
+    if (p.name == "encode") out.encode_ms += p.total_ms;
+    else if (p.name == "prune") out.prune_ms += p.total_ms;
+    else if (p.name == "presolve") out.presolve_ms += p.total_ms;
+    else if (p.name == "decompose") out.decompose_ms += p.total_ms;
+    else if (p.name == "search") out.search_ms += p.total_ms;
+    else if (p.name == "canonicalize") out.cache_ms += p.total_ms;
+  }
+  return out;
+}
+
+void BenchTraceInit() { telemetry::StartTracing(); }
+
+Status BenchTraceFinish() {
+  telemetry::StopTracing();
+  const char* path = std::getenv("LICM_TRACE");
+  if (path == nullptr || *path == '\0') return Status::OK();
+  LICM_RETURN_NOT_OK(telemetry::WriteChromeTrace(path));
+  LICM_RETURN_NOT_OK(
+      telemetry::WritePhaseSummary(std::string(path) + ".phases.json"));
+  const int64_t dropped = telemetry::DroppedEvents();
+  std::fprintf(stderr,
+               "trace: wrote %s (+ .phases.json); %lld events dropped\n",
+               path, static_cast<long long>(dropped));
+  return Status::OK();
 }
 
 const char* SchemeName(Scheme s) {
@@ -104,6 +147,7 @@ QueryNodePtr BuildBipartiteQuery(int qnum, const QueryParams& p) {
 Result<CellResult> RunCell(Scheme scheme, int qnum, uint32_t k,
                            const BenchConfig& config,
                            const QueryParams& params) {
+  const int64_t trace_mark = telemetry::NowNs();
   data::GeneratorConfig gen;
   gen.num_transactions = scheme == Scheme::kBipartite
                              ? config.bipartite_transactions
@@ -182,6 +226,7 @@ Result<CellResult> RunCell(Scheme scheme, int qnum, uint32_t k,
   cell.m_min = mc.min;
   cell.m_max = mc.max;
   cell.mc_ms = mc.total_ms;
+  cell.phases = PhasesSince(trace_mark);
   return cell;
 }
 
@@ -265,6 +310,18 @@ JsonRecord& JsonRecord::AddRunMetrics(double min_value, double max_value,
   AddInt("decompose_calls", stats.decompose_calls);
   AddInt("threads", stats.num_threads);
   AddInt("subtree_splits", stats.subtree_splits);
+  AddNumber("solve_wall_s", stats.solve_seconds);
+  AddNumber("cpu_s", stats.cpu_seconds);
+  return *this;
+}
+
+JsonRecord& JsonRecord::AddPhaseBreakdown(const PhaseBreakdown& phases) {
+  AddNumber("encode_ms", phases.encode_ms);
+  AddNumber("prune_ms", phases.prune_ms);
+  AddNumber("presolve_ms", phases.presolve_ms);
+  AddNumber("decompose_ms", phases.decompose_ms);
+  AddNumber("search_ms", phases.search_ms);
+  AddNumber("cache_ms", phases.cache_ms);
   return *this;
 }
 
@@ -284,9 +341,24 @@ Status WriteBenchJson(const std::string& path,
   if (f == nullptr) {
     return Status::Internal("cannot open " + path + " for writing");
   }
+  // Provenance prefix spliced into every row: one touch point covers all
+  // bench binaries, and per-row stamping keeps rows self-describing when
+  // files are concatenated across runs.
+  char provenance[160];
+  std::snprintf(provenance, sizeof(provenance),
+                "{\"git_sha\":\"%s\",\"build_type\":\"%s\","
+                "\"hardware_concurrency\":%u,",
+                LICM_GIT_SHA, LICM_BUILD_TYPE,
+                std::thread::hardware_concurrency());
   std::fputs("[\n", f);
   for (size_t i = 0; i < records.size(); ++i) {
-    std::fputs(records[i].ToJson().c_str(), f);
+    const std::string row = records[i].ToJson();
+    if (row.size() > 2) {  // non-empty record: replace its leading '{'
+      std::fputs(provenance, f);
+      std::fputs(row.c_str() + 1, f);
+    } else {
+      std::fputs(row.c_str(), f);
+    }
     std::fputs(i + 1 < records.size() ? ",\n" : "\n", f);
   }
   std::fputs("]\n", f);

@@ -53,6 +53,19 @@ rel::QueryNodePtr BuildBipartiteQuery(int qnum, const QueryParams& p);
 enum class Scheme { kKm, kKAnon, kBipartite, kSuppression };
 const char* SchemeName(Scheme s);
 
+/// Per-phase wall-time breakdown of one bench cell, derived from the
+/// telemetry spans recorded while the cell ran (common/telemetry.h).
+/// Parallel phases (search) sum over concurrent strands, so their total
+/// can exceed the cell's wall time on multi-thread runs.
+struct PhaseBreakdown {
+  double encode_ms = 0;     // anonymized data -> LICM database
+  double prune_ms = 0;      // constraint-graph pruning
+  double presolve_ms = 0;   // solver presolve passes
+  double decompose_ms = 0;  // connected-component decomposition
+  double search_ms = 0;     // branch & bound component searches
+  double cache_ms = 0;      // canonical-form fingerprinting for the cache
+};
+
 /// One measured cell of Figure 5/6: LICM bounds + MC bounds + timings.
 struct CellResult {
   double l_min = 0, l_max = 0;
@@ -70,6 +83,8 @@ struct CellResult {
   size_t vars_pruned = 0, cons_pruned = 0;     // after pruning
   /// Solver statistics for the LICM solve (nodes, cache hits/misses, ...).
   solver::MipStats solve_stats;
+  /// Span-derived wall-time breakdown of the cell (see PhaseBreakdown).
+  PhaseBreakdown phases;
 };
 
 struct BenchConfig {
@@ -95,6 +110,20 @@ struct BenchConfig {
 /// thread counts without rebuilds: `LICM_THREADS=1 ./bench_fig5 ...`.
 int ThreadsFromEnv(int fallback = 0);
 
+/// Aggregates the spans recorded since `since_ns` (a telemetry::NowNs()
+/// mark) into a PhaseBreakdown.
+PhaseBreakdown PhasesSince(int64_t since_ns);
+
+/// Starts the process-wide trace session every bench binary records into.
+/// Collection is always on (its cost is noise at bench event volumes);
+/// the LICM_TRACE=<path> environment variable controls whether
+/// BenchTraceFinish() exports the trace.
+void BenchTraceInit();
+
+/// Stops tracing and, when LICM_TRACE=<path> is set, writes the Chrome
+/// trace-event JSON to <path> and a per-phase summary to <path>.phases.json.
+Status BenchTraceFinish();
+
 /// Runs one (scheme, query, k) cell end to end.
 Result<CellResult> RunCell(Scheme scheme, int qnum, uint32_t k,
                            const BenchConfig& config,
@@ -111,10 +140,15 @@ class JsonRecord {
   JsonRecord& AddBool(const std::string& key, bool value);
 
   /// The standard per-run measurement block: bound values, exactness,
-  /// wall times, node count, and cache hit rate derived from `stats`.
+  /// wall times (including the wall/CPU solve split), node count, and
+  /// cache hit rate derived from `stats`.
   JsonRecord& AddRunMetrics(double min_value, double max_value,
                             bool min_exact, bool max_exact, double query_ms,
                             double solve_ms, const solver::MipStats& stats);
+
+  /// The per-phase wall-time block: encode/prune/presolve/decompose/
+  /// search/cache milliseconds from the telemetry spans.
+  JsonRecord& AddPhaseBreakdown(const PhaseBreakdown& phases);
 
   /// Renders as {"key":value,...}.
   std::string ToJson() const;
@@ -124,6 +158,9 @@ class JsonRecord {
 };
 
 /// Writes `records` to `path` as a JSON array (one object per line).
+/// Every record is prefixed with provenance fields — git_sha, build_type,
+/// hardware_concurrency — so BENCH_*.json trajectories stay comparable
+/// across commits and machines.
 Status WriteBenchJson(const std::string& path,
                       const std::vector<JsonRecord>& records);
 

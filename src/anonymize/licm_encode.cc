@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/telemetry.h"
 #include "data/transactions.h"
 
 namespace licm::anonymize {
@@ -44,6 +45,7 @@ bool HasItem(const data::Transaction* t, data::ItemId item) {
 Result<EncodedDb> EncodeGeneralized(
     const GeneralizedDataset& anon, const Hierarchy& hierarchy,
     const data::TransactionDataset& original) {
+  LICM_TRACE_SPAN("anonymize", "encode");
   EncodedDb out;
   auto by_tid = ByTid(original);
   LicmRelation r(data::TransItemSchema());
@@ -90,6 +92,7 @@ Result<EncodedDb> EncodeGeneralized(
 
 Result<EncodedDb> EncodeBipartite(const BipartiteGroups& groups,
                                   const data::TransactionDataset& original) {
+  LICM_TRACE_SPAN("anonymize", "encode");
   EncodedDb out;
 
   // The published graph: lnode = transaction index, rnode = item id (both
@@ -185,6 +188,7 @@ Result<EncodedDb> EncodeBipartite(const BipartiteGroups& groups,
 
 Result<EncodedDb> EncodeSuppressed(const SuppressedDataset& anon,
                                    const data::TransactionDataset& original) {
+  LICM_TRACE_SPAN("anonymize", "encode");
   EncodedDb out;
   auto by_tid = ByTid(original);
   LicmRelation r(data::TransItemSchema());

@@ -7,6 +7,8 @@
 #include <atomic>
 #include <chrono>
 
+#include "common/telemetry.h"
+
 namespace licm {
 
 class StopWatch {
@@ -57,7 +59,11 @@ class Deadline {
   bool Expired() const {
     if (cancelled_.load(std::memory_order_relaxed)) return true;
     if (Clock::now() < at_) return false;
-    cancelled_.store(true, std::memory_order_relaxed);
+    // The exchange singles out the one observer that flips the flag, so
+    // a traced run records exactly one expiry marker per deadline.
+    if (!cancelled_.exchange(true, std::memory_order_relaxed)) {
+      telemetry::Instant("deadline", "deadline_expired");
+    }
     return true;
   }
 

@@ -1,0 +1,170 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace licm::telemetry {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+// Buffer geometry: chunks are allocated lazily as a thread records, so an
+// idle thread costs one small registration and a busy one grows in ~1 MiB
+// steps. A thread that exhausts every chunk drops further events (counted)
+// instead of reallocating, which keeps the writer wait-free.
+constexpr size_t kChunkSize = 8192;
+constexpr size_t kMaxChunks = 512;
+
+struct Chunk {
+  Event events[kChunkSize];
+};
+
+// One per recording thread, owned by the global registry (buffers outlive
+// their threads so the exporter can read events of finished workers).
+//
+// Writer protocol (owner thread only): write the event slot, then
+// release-store the new count. Reader protocol (exporter, any thread):
+// acquire-load the count, then read slots below it. Chunk pointers are
+// release-published the same way. `session` tags the buffer's events;
+// a writer observing a newer global session resets its own buffer before
+// recording, which is how StartTracing() "clears" without touching other
+// threads' memory.
+struct ThreadBuffer {
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint32_t> session{0};
+  std::atomic<int64_t> dropped{0};
+  std::atomic<Chunk*> chunks[kMaxChunks] = {};
+  uint64_t local_count = 0;  // owner-thread cache of `count`
+  uint32_t tid = 0;
+
+  ~ThreadBuffer() {
+    for (auto& c : chunks) delete c.load(std::memory_order_relaxed);
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;  // never shrinks
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leak: threads may outlive
+  return *registry;                            // static destruction order
+}
+
+std::atomic<uint32_t> g_session{0};
+std::atomic<int64_t> g_session_start_ns{0};
+
+thread_local ThreadBuffer* tls_buffer = nullptr;
+
+int64_t AnchorNow() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point anchor = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              anchor)
+      .count();
+}
+
+ThreadBuffer* RegisterThreadBuffer() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->tid = static_cast<uint32_t>(reg.buffers.size());
+  tls_buffer = buffer.get();
+  reg.buffers.push_back(std::move(buffer));
+  return tls_buffer;
+}
+
+}  // namespace
+
+namespace detail {
+
+int64_t NowNs() { return AnchorNow(); }
+
+void Record(const Event& e) {
+  if (!Enabled()) return;  // re-check: tracing may have stopped mid-span
+  ThreadBuffer* b = tls_buffer;
+  if (b == nullptr) b = RegisterThreadBuffer();
+  const uint32_t session = g_session.load(std::memory_order_relaxed);
+  if (b->session.load(std::memory_order_relaxed) != session) {
+    // First record of a new session: retire this buffer's old events.
+    b->local_count = 0;
+    b->count.store(0, std::memory_order_relaxed);
+    b->session.store(session, std::memory_order_release);
+  }
+  const uint64_t n = b->local_count;
+  if (n >= kChunkSize * kMaxChunks) {
+    b->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const size_t chunk_index = n / kChunkSize;
+  Chunk* chunk = b->chunks[chunk_index].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Chunk();
+    b->chunks[chunk_index].store(chunk, std::memory_order_release);
+  }
+  Event& slot = chunk->events[n % kChunkSize];
+  slot = e;
+  slot.tid = b->tid;
+  b->local_count = n + 1;
+  b->count.store(n + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+int64_t NowNs() { return detail::NowNs(); }
+
+void StartTracing() {
+  AnchorNow();  // pin the process anchor before the first event
+  g_session.fetch_add(1, std::memory_order_relaxed);
+  g_session_start_ns.store(detail::NowNs(), std::memory_order_relaxed);
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void StopTracing() {
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+int64_t SessionStartNs() {
+  return g_session_start_ns.load(std::memory_order_relaxed);
+}
+
+std::vector<Event> Snapshot() {
+  std::vector<Event> out;
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const uint32_t session = g_session.load(std::memory_order_relaxed);
+  for (const auto& b : reg.buffers) {
+    if (b->session.load(std::memory_order_acquire) != session) continue;
+    const uint64_t n = b->count.load(std::memory_order_acquire);
+    for (uint64_t i = 0; i < n; ++i) {
+      const Chunk* chunk =
+          b->chunks[i / kChunkSize].load(std::memory_order_acquire);
+      out.push_back(chunk->events[i % kChunkSize]);
+    }
+  }
+  // Enclosing spans first: earlier start, and at equal start the longer
+  // span is the parent.
+  std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+    return a.dur_ns > b.dur_ns;
+  });
+  return out;
+}
+
+int64_t DroppedEvents() {
+  int64_t total = 0;
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& b : reg.buffers) {
+    total += b->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace licm::telemetry

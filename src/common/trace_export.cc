@@ -1,0 +1,482 @@
+#include "common/trace_export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+namespace licm::telemetry {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RenderDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Microseconds with nanosecond precision, the unit Chrome/Perfetto expect.
+std::string RenderMicros(int64_t ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000 < 0 ? -(ns % 1000)
+                                                     : ns % 1000));
+  return buf;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  return ok ? Status::OK() : Status::IOError("error writing " + path);
+}
+
+}  // namespace
+
+std::string ChromeTraceJson() {
+  const std::vector<Event> events = Snapshot();
+  const int64_t t0 = SessionStartNs();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"";
+    out += JsonEscape(e.name == nullptr ? "?" : e.name);
+    out += "\",\"cat\":\"";
+    out += JsonEscape(e.category == nullptr ? "?" : e.category);
+    out += "\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ts\":";
+    out += RenderMicros(e.ts_ns - t0);
+    if (e.phase == 'X') {
+      out += ",\"dur\":";
+      out += RenderMicros(e.dur_ns);
+    }
+    // Instants: "s":"t" scopes the marker to its thread track.
+    if (e.phase == 'i') out += ",\"s\":\"t\"";
+    bool any_arg = false;
+    for (const Arg& a : e.args) {
+      if (a.key == nullptr || !std::isfinite(a.value)) continue;
+      out += any_arg ? "," : ",\"args\":{";
+      any_arg = true;
+      out += "\"";
+      out += JsonEscape(a.key);
+      out += "\":";
+      out += RenderDouble(a.value);
+    }
+    if (any_arg) out += "}";
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  return WriteFile(path, ChromeTraceJson());
+}
+
+std::vector<PhaseSummary> SummarizeSpans(int64_t since_ns) {
+  std::map<std::string, PhaseSummary> by_name;
+  for (const Event& e : Snapshot()) {
+    if (e.phase != 'X' || e.ts_ns < since_ns) continue;
+    PhaseSummary& s = by_name[e.name];
+    if (s.count == 0) {
+      s.name = e.name;
+      s.category = e.category == nullptr ? "" : e.category;
+    }
+    ++s.count;
+    s.total_ms += static_cast<double>(e.dur_ns) / 1e6;
+  }
+  std::vector<PhaseSummary> out;
+  out.reserve(by_name.size());
+  for (auto& [name, s] : by_name) out.push_back(std::move(s));
+  std::sort(out.begin(), out.end(),
+            [](const PhaseSummary& a, const PhaseSummary& b) {
+              return a.total_ms > b.total_ms;
+            });
+  return out;
+}
+
+std::string PhaseSummaryJson(int64_t since_ns) {
+  std::string out = "[\n";
+  const std::vector<PhaseSummary> phases = SummarizeSpans(since_ns);
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseSummary& p = phases[i];
+    out += "{\"name\":\"" + JsonEscape(p.name) + "\",\"category\":\"" +
+           JsonEscape(p.category) +
+           "\",\"count\":" + std::to_string(p.count) +
+           ",\"total_ms\":" + RenderDouble(p.total_ms) + "}";
+    out += i + 1 < phases.size() ? ",\n" : "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+Status WritePhaseSummary(const std::string& path, int64_t since_ns) {
+  return WriteFile(path, PhaseSummaryJson(since_ns));
+}
+
+// ---------------------------------------------------------------------------
+// Validation: a dependency-free JSON parser (just enough of RFC 8259 for
+// trace files) plus the structural checks tests and CI gate on.
+
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  Status Parse(JsonValue* out) {
+    LICM_RETURN_NOT_OK(ParseValue(out, 0));
+    SkipWs();
+    if (p_ != end_) return Error("trailing content after JSON value");
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(offset_) + ": " + msg);
+  }
+
+  void SkipWs() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      Advance();
+    }
+  }
+
+  void Advance() {
+    ++p_;
+    ++offset_;
+  }
+
+  bool Consume(char c) {
+    if (p_ != end_ && *p_ == c) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWs();
+    if (p_ == end_) return Error("unexpected end of input");
+    switch (*p_) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->str);
+      case 't':
+      case 'f': return ParseKeyword(out);
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return ParseLiteral("null");
+      default: return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(const char* lit) {
+    for (const char* c = lit; *c != '\0'; ++c) {
+      if (!Consume(*c)) return Error(std::string("expected '") + lit + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseKeyword(JsonValue* out) {
+    out->type = JsonValue::Type::kBool;
+    out->boolean = *p_ == 't';
+    return ParseLiteral(out->boolean ? "true" : "false");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const char* start = p_;
+    if (p_ != end_ && *p_ == '-') Advance();
+    auto digits = [&] {
+      bool any = false;
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
+        Advance();
+        any = true;
+      }
+      return any;
+    };
+    if (!digits()) return Error("invalid number");
+    if (p_ != end_ && *p_ == '.') {
+      Advance();
+      if (!digits()) return Error("digits required after '.'");
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      Advance();
+      if (p_ != end_ && (*p_ == '+' || *p_ == '-')) Advance();
+      if (!digits()) return Error("digits required in exponent");
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(std::string(start, p_).c_str(), nullptr);
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      Advance();
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (p_ == end_) return Error("dangling escape");
+      char esc = *p_;
+      Advance();
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (p_ == end_ ||
+                !std::isxdigit(static_cast<unsigned char>(*p_))) {
+              return Error("invalid \\u escape");
+            }
+            const char h = *p_;
+            Advance();
+            code = code * 16 +
+                   (std::isdigit(static_cast<unsigned char>(h))
+                        ? static_cast<unsigned>(h - '0')
+                        : static_cast<unsigned>(std::tolower(h) - 'a') + 10);
+          }
+          // Validation only needs well-formedness, not UTF-8 re-encoding.
+          *out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: return Error("invalid escape character");
+      }
+    }
+    if (!Consume('"')) return Error("unterminated string");
+    return Status::OK();
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kArray;
+    Consume('[');
+    SkipWs();
+    if (Consume(']')) return Status::OK();
+    for (;;) {
+      out->array.emplace_back();
+      LICM_RETURN_NOT_OK(ParseValue(&out->array.back(), depth + 1));
+      SkipWs();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kObject;
+    Consume('{');
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    for (;;) {
+      SkipWs();
+      std::string key;
+      LICM_RETURN_NOT_OK(ParseString(&key));
+      SkipWs();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      out->object.emplace_back(std::move(key), JsonValue());
+      LICM_RETURN_NOT_OK(ParseValue(&out->object.back().second, depth + 1));
+      SkipWs();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+  size_t offset_ = 0;
+};
+
+Status RequireField(const JsonValue& event, size_t index,
+                    const std::string& key, JsonValue::Type type,
+                    const JsonValue** out) {
+  const JsonValue* v = event.Find(key);
+  if (v == nullptr || v->type != type) {
+    return Status::InvalidArgument("traceEvents[" + std::to_string(index) +
+                                   "] missing or mistyped field '" + key +
+                                   "'");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateChromeTrace(const std::string& json) {
+  JsonValue root;
+  LICM_RETURN_NOT_OK(JsonParser(json).Parse(&root));
+  if (root.type != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("trace root is not a JSON object");
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    return Status::InvalidArgument("missing traceEvents array");
+  }
+
+  // (ts, end) of every complete span, per tid, for the nesting check.
+  std::map<double, std::vector<std::pair<double, double>>> spans_by_tid;
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    if (e.type != JsonValue::Type::kObject) {
+      return Status::InvalidArgument("traceEvents[" + std::to_string(i) +
+                                     "] is not an object");
+    }
+    const JsonValue* field = nullptr;
+    LICM_RETURN_NOT_OK(
+        RequireField(e, i, "name", JsonValue::Type::kString, &field));
+    LICM_RETURN_NOT_OK(
+        RequireField(e, i, "ph", JsonValue::Type::kString, &field));
+    const std::string ph = field->str;
+    if (ph.size() != 1) {
+      return Status::InvalidArgument("traceEvents[" + std::to_string(i) +
+                                     "] has multi-character ph");
+    }
+    // Metadata events ('M') carry pid/args only; all others need the
+    // full timing block.
+    if (ph == "M") continue;
+    LICM_RETURN_NOT_OK(
+        RequireField(e, i, "cat", JsonValue::Type::kString, &field));
+    LICM_RETURN_NOT_OK(
+        RequireField(e, i, "ts", JsonValue::Type::kNumber, &field));
+    const double ts = field->number;
+    LICM_RETURN_NOT_OK(
+        RequireField(e, i, "pid", JsonValue::Type::kNumber, &field));
+    LICM_RETURN_NOT_OK(
+        RequireField(e, i, "tid", JsonValue::Type::kNumber, &field));
+    const double tid = field->number;
+    if (ph == "X") {
+      LICM_RETURN_NOT_OK(
+          RequireField(e, i, "dur", JsonValue::Type::kNumber, &field));
+      if (field->number < 0) {
+        return Status::InvalidArgument("traceEvents[" + std::to_string(i) +
+                                       "] has negative dur");
+      }
+      spans_by_tid[tid].emplace_back(ts, ts + field->number);
+    }
+  }
+
+  // Spans of one thread come from nested RAII scopes: after sorting by
+  // (start, longest first), a span must close before the enclosing span
+  // still on the stack does. Tolerance covers the microsecond rounding of
+  // the export.
+  constexpr double kEps = 2e-3;
+  for (auto& [tid, spans] : spans_by_tid) {
+    std::sort(spans.begin(), spans.end(),
+              [](const std::pair<double, double>& a,
+                 const std::pair<double, double>& b) {
+                if (a.first != b.first) return a.first < b.first;
+                return a.second > b.second;
+              });
+    std::vector<std::pair<double, double>> stack;
+    for (const auto& span : spans) {
+      while (!stack.empty() && stack.back().second <= span.first + kEps) {
+        stack.pop_back();
+      }
+      if (!stack.empty() && span.second > stack.back().second + kEps) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "tid %g: span [%g, %g] overlaps but does not nest in "
+                      "[%g, %g]",
+                      tid, span.first, span.second, stack.back().first,
+                      stack.back().second);
+        return Status::InvalidArgument(buf);
+      }
+      stack.push_back(span);
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateChromeTraceFile(const std::string& path, size_t* num_events) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::string content;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  LICM_RETURN_NOT_OK(ValidateChromeTrace(content));
+  if (num_events != nullptr) {
+    // Re-parse cheaply: count top-level event objects via the validator's
+    // parser to stay faithful to what was checked.
+    JsonValue root;
+    LICM_RETURN_NOT_OK(JsonParser(content).Parse(&root));
+    const JsonValue* events = root.Find("traceEvents");
+    *num_events = events == nullptr ? 0 : events->array.size();
+  }
+  return Status::OK();
+}
+
+}  // namespace licm::telemetry

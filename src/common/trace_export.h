@@ -1,0 +1,58 @@
+// Exporters for the telemetry event stream (telemetry.h): Chrome
+// trace-event JSON loadable in chrome://tracing / Perfetto ("Open trace
+// file"), a machine-readable per-phase wall-time summary, and a validator
+// used by tests and the `trace_check` CLI to gate exported traces.
+#ifndef LICM_COMMON_TRACE_EXPORT_H_
+#define LICM_COMMON_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/telemetry.h"
+
+namespace licm::telemetry {
+
+/// Renders the current session's events as Chrome trace-event JSON:
+/// {"traceEvents":[...],"displayTimeUnit":"ms"}. Timestamps are
+/// microseconds relative to the session start; non-finite arg values are
+/// dropped (JSON has no representation for them).
+std::string ChromeTraceJson();
+
+/// Writes ChromeTraceJson() to `path`.
+Status WriteChromeTrace(const std::string& path);
+
+/// Wall-time aggregation of 'X' spans sharing a name.
+struct PhaseSummary {
+  std::string name;
+  std::string category;
+  int64_t count = 0;
+  /// Summed span durations. Spans of concurrent strands overlap, so for
+  /// parallel phases this is closer to CPU time than to elapsed time.
+  double total_ms = 0.0;
+};
+
+/// Per-phase totals over spans with ts_ns >= since_ns (0 = whole
+/// session), ordered by descending total.
+std::vector<PhaseSummary> SummarizeSpans(int64_t since_ns = 0);
+
+/// SummarizeSpans() as a JSON array of {name, category, count, total_ms}.
+std::string PhaseSummaryJson(int64_t since_ns = 0);
+
+/// Writes PhaseSummaryJson() to `path`.
+Status WritePhaseSummary(const std::string& path, int64_t since_ns = 0);
+
+/// Validates Chrome-trace JSON text: well-formed JSON, a traceEvents
+/// array whose members carry name/cat/ph/ts/pid/tid (plus dur >= 0 for
+/// 'X'), and monotone span nesting per thread (two spans of one thread
+/// either nest or are disjoint). Returns OK or an explanatory error.
+Status ValidateChromeTrace(const std::string& json);
+
+/// Reads `path` and validates its contents. On success `*num_events` (if
+/// non-null) receives the traceEvents count.
+Status ValidateChromeTraceFile(const std::string& path,
+                               size_t* num_events = nullptr);
+
+}  // namespace licm::telemetry
+
+#endif  // LICM_COMMON_TRACE_EXPORT_H_

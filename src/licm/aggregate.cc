@@ -5,6 +5,7 @@
 #include <map>
 #include <optional>
 
+#include "common/telemetry.h"
 #include "solver/scheduler.h"
 #include "solver/solve_cache.h"
 
@@ -63,6 +64,7 @@ Result<AggregateBounds> ComputeBounds(const Objective& objective,
                                       const ConstraintSet& constraints,
                                       uint32_t num_vars,
                                       const BoundsOptions& options) {
+  telemetry::ScopedSpan bip_span("licm", "build_bip");
   // Determine the variable/constraint subsystem to hand to the solver.
   std::vector<BVar> seeds;
   seeds.reserve(objective.coefs.size());
@@ -102,6 +104,10 @@ Result<AggregateBounds> ComputeBounds(const Objective& objective,
     lp.SetObjectiveCoef(to_lp.at(v), coef);
   }
   lp.AddObjectiveConstant(objective.constant);
+
+  bip_span.AddArg("vars", static_cast<double>(lp.num_vars()));
+  bip_span.AddArg("rows", static_cast<double>(lp.num_rows()));
+  bip_span.End();
 
   // One shared pass: presolve and decomposition run once, and every
   // component is solved for both senses through one batch (thread pool and
@@ -256,6 +262,9 @@ class FeasibilityProber {
 
   Feas SolveFeasibility(const std::vector<size_t>& indices,
                         const std::vector<LinearConstraint>& extras) {
+    telemetry::ScopedSpan span("licm", "feasibility_probe");
+    span.AddArg("probe", static_cast<double>(++probe_count_));
+    span.AddArg("extra_rows", static_cast<double>(extras.size()));
     // Variables of the selected region; vars outside any constraint are
     // free and cannot affect feasibility.
     std::vector<BVar> vars;
@@ -288,7 +297,12 @@ class FeasibilityProber {
 
     solver::MipResult r =
         solver::MipSolver(mip_).Solve(lp, solver::Sense::kMaximize);
+    // Probes run one after another, so their walls are disjoint intervals
+    // that must add up — MergeFrom alone would keep only the longest
+    // probe (its max semantics target concurrent strands).
+    const double wall_total = stats_.solve_seconds + r.stats.solve_seconds;
     stats_.MergeFrom(r.stats);
+    stats_.solve_seconds = wall_total;
     switch (r.status) {
       case solver::SolveStatus::kOptimal: return Feas::kYes;
       case solver::SolveStatus::kInfeasible: return Feas::kNo;
@@ -306,6 +320,7 @@ class FeasibilityProber {
   solver::MipStats stats_;
   std::vector<BVar> parent_;
   std::unordered_map<BVar, std::vector<size_t>> rows_of_root_;
+  int64_t probe_count_ = 0;
   bool base_checked_ = false;
   Feas base_result_ = Feas::kUnknown;
 };

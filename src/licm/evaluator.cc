@@ -1,6 +1,7 @@
 #include "licm/evaluator.h"
 
 #include "common/stopwatch.h"
+#include "common/telemetry.h"
 #include "licm/ops.h"
 
 namespace licm {
@@ -69,10 +70,13 @@ Result<AggregateAnswer> AnswerAggregate(const rel::QueryNode& query,
   AggregateAnswer out;
   StopWatch watch;
 
+  telemetry::ScopedSpan eval_span("licm", "query_eval");
   LICM_ASSIGN_OR_RETURN(LicmRelation result, EvaluateLicm(*query.left, &db));
   // Aggregates count each distinct tuple once per world.
   OpContext ctx{&db.pool(), &db.constraints()};
   LICM_ASSIGN_OR_RETURN(result, MergeDuplicates(result, ctx));
+  eval_span.End();
+  telemetry::ScopedSpan solve_span("licm", "solve");
 
   if (query.kind == rel::QueryKind::kMin ||
       query.kind == rel::QueryKind::kMax) {

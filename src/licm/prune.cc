@@ -2,10 +2,13 @@
 
 #include <deque>
 
+#include "common/telemetry.h"
+
 namespace licm {
 
 PruneResult Prune(const ConstraintSet& constraints,
                   const std::vector<BVar>& seeds, uint32_t num_vars) {
+  LICM_TRACE_SPAN("licm", "prune");
   PruneResult out;
   const auto& cs = constraints.constraints();
   out.stats.vars_before = num_vars;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/telemetry.h"
+
 namespace licm::solver {
 
 namespace {
@@ -31,6 +33,7 @@ class UnionFind {
 }  // namespace
 
 std::vector<Component> Decompose(const LinearProgram& lp) {
+  LICM_TRACE_SPAN("solver", "decompose");
   const size_t n = lp.num_vars();
   UnionFind uf(n);
   for (const Row& r : lp.rows()) {

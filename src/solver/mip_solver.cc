@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -11,6 +12,7 @@
 #include <unordered_map>
 
 #include "common/stopwatch.h"
+#include "common/telemetry.h"
 #include "solver/canonical.h"
 #include "solver/components.h"
 #include "solver/presolve.h"
@@ -64,9 +66,10 @@ class ComponentSearch {
  public:
   ComponentSearch(const LinearProgram& lp, const MipOptions& opt,
                   const Deadline& deadline, Scheduler* scheduler,
-                  MipStats* stats)
+                  MipStats* stats, int64_t trace_id = 0)
       : lp_(lp), opt_(opt), deadline_(deadline), scheduler_(scheduler),
-        stats_(stats), propagator_(lp), integral_(AllIntegral(lp)) {
+        stats_(stats), trace_id_(trace_id), propagator_(lp),
+        integral_(AllIntegral(lp)) {
     // Index SOS1-style rows (sum of binaries = 1): branching on a whole
     // row (one child per candidate assignee) fixes a permutation slot at a
     // time, which propagates far better than 0/1 branching on one binary.
@@ -93,6 +96,10 @@ class ComponentSearch {
 
   ComponentResult Run() {
     ComponentResult res;
+    // CPU accounting of the single-threaded prologue (root propagation,
+    // probing, dives) and of the search-free paths. Charged to stats_
+    // directly — no parallel strands exist yet.
+    StopWatch prep_clock;
 
     // Rowless component: objective decomposes per variable.
     if (lp_.num_rows() == 0) {
@@ -106,6 +113,7 @@ class ComponentSearch {
       }
       res.objective = res.best_bound = lp_.EvalObjective(res.solution);
       res.has_solution = true;
+      stats_->cpu_seconds += prep_clock.ElapsedSeconds();
       return res;
     }
 
@@ -121,6 +129,7 @@ class ComponentSearch {
         res.solution = std::move(s.values);
         res.has_solution = true;
       }
+      stats_->cpu_seconds += prep_clock.ElapsedSeconds();
       return res;
     }
 
@@ -128,12 +137,14 @@ class ComponentSearch {
     if (propagator_.Run(&root) == PropagateResult::kFixpoint) {
       if (opt_.use_probing && !ProbeRoot(&root)) {
         res.status = SolveStatus::kInfeasible;
+        stats_->cpu_seconds += prep_clock.ElapsedSeconds();
         return res;
       }
       // Seed the incumbent with a few propagation-guided greedy dives;
       // search then starts with a primal bound to prune against. This
       // phase is single-threaded: parallel strands only exist below.
       for (int heur = 0; heur < 3; ++heur) GreedyDive(root, heur);
+      stats_->cpu_seconds += prep_clock.ElapsedSeconds();
       {
         std::optional<Scheduler::Group> group;
         if (scheduler_ != nullptr && scheduler_->num_threads() > 1) {
@@ -150,6 +161,7 @@ class ComponentSearch {
       }
     } else {
       res.status = SolveStatus::kInfeasible;
+      stats_->cpu_seconds += prep_clock.ElapsedSeconds();
       return res;
     }
 
@@ -318,9 +330,18 @@ class ComponentSearch {
   // One depth-first strand. Sequential runs have exactly one strand and
   // visit nodes in the same order as the pre-parallel solver; parallel
   // runs spawn more strands via SplitStack. `stats` is strand-local and
-  // merged under stats_mu_ when the strand ends.
+  // merged under stats_mu_ when the strand ends. The wrapper charges the
+  // strand's elapsed time to cpu_seconds: strands run concurrently, so
+  // their sum approximates CPU time, not wall time.
   void Dfs(std::vector<Node> stack, MipStats* stats) {
+    StopWatch strand_clock;
+    DfsLoop(std::move(stack), stats);
+    stats->cpu_seconds += strand_clock.ElapsedSeconds();
+  }
+
+  void DfsLoop(std::vector<Node> stack, MipStats* stats) {
     int64_t since_split = 0;
+    int64_t since_progress = 0;
     while (!stack.empty()) {
       if (stopped_.load(std::memory_order_relaxed) ||
           nodes_.load(std::memory_order_relaxed) >=
@@ -355,6 +376,11 @@ class ComponentSearch {
       double bound =
           std::min(ActivityBound(lp_, node.dom), node.inherited_bound);
       if (integral_) bound = std::floor(bound + opt_.tol);
+      if (telemetry::Enabled() &&
+          ++since_progress >= opt_.trace_progress_nodes) {
+        since_progress = 0;
+        EmitProgress(bound);
+      }
       if (Cut(bound)) continue;
 
       if (opt_.use_objective_probing &&
@@ -495,11 +521,15 @@ class ComponentSearch {
   // root) to the pool as fresh strands of this same search.
   void SplitStack(std::vector<Node>* stack, MipStats* stats) {
     const size_t donate = stack->size() / 2;
+    telemetry::Instant("scheduler", "donate",
+                       {{"component", static_cast<double>(trace_id_)},
+                        {"tasks", static_cast<double>(donate)}});
     for (size_t i = 0; i < donate; ++i) {
       // shared_ptr because std::function requires a copyable callable.
       auto n = std::make_shared<Node>(std::move((*stack)[i]));
       ++stats->subtree_tasks;
       group_->Submit([this, n] {
+        LICM_TRACE_SPAN("bnb", "subtree");
         MipStats local;
         std::vector<Node> sub;
         sub.push_back(std::move(*n));
@@ -510,6 +540,24 @@ class ComponentSearch {
     stack->erase(stack->begin(),
                  stack->begin() + static_cast<ptrdiff_t>(donate));
     ++stats->subtree_splits;
+  }
+
+  // Periodic gap-vs-time sample from one strand — the per-component
+  // progress log. `bound` is the strand's current node bound: a valid
+  // upper bound on what its subtree can still deliver.
+  void EmitProgress(double bound) const {
+    constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+    const bool has_inc = has_incumbent_.load(std::memory_order_relaxed);
+    const double inc =
+        has_inc ? incumbent_value_.load(std::memory_order_relaxed) : kNan;
+    telemetry::Instant(
+        "bnb", "progress",
+        {{"component", static_cast<double>(trace_id_)},
+         {"nodes",
+          static_cast<double>(nodes_.load(std::memory_order_relaxed))},
+         {"incumbent", inc},
+         {"best_bound", bound},
+         {"gap", has_inc ? std::max(0.0, bound - inc) : kNan}});
   }
 
   // Folds unexplored frontier nodes into the proved bound of a stopped
@@ -571,6 +619,7 @@ class ComponentSearch {
   const Deadline& deadline_;
   Scheduler* const scheduler_;  // null => splitting disabled
   MipStats* stats_;             // merged into under stats_mu_
+  const int64_t trace_id_;      // component id in telemetry events
   Propagator propagator_;       // Run() is const and stateless: shared
   std::vector<int32_t> sos1_of_var_;
   const bool integral_;
@@ -663,6 +712,7 @@ std::vector<ComponentResult> SolveBatch(
   std::vector<std::vector<size_t>> group_members;  // ordered by first member
   std::vector<int32_t> group_of_rep(n, -1);
   if (opt.cache) {
+    LICM_TRACE_SPAN("solver", "canonicalize");
     std::unordered_map<std::string_view, size_t> group_of;
     for (size_t i = 0; i < n; ++i) {
       if (programs[i]->num_rows() == 0 ||
@@ -696,12 +746,18 @@ std::vector<ComponentResult> SolveBatch(
     if (use_cache[i]) {
       ComponentCache::Entry entry;
       if (opt.cache->Lookup(forms[i], &entry)) {
+        telemetry::Instant("cache", "cache_hit",
+                           {{"component", static_cast<double>(i)}});
         results[i] = EntryToResult(entry, forms[i]);
         rep_hit[static_cast<size_t>(group_of_rep[i])] = 1;
         return;
       }
+      telemetry::Instant("cache", "cache_miss",
+                         {{"component", static_cast<double>(i)}});
+      telemetry::ScopedSpan span("solver", "search");
+      span.AddArg("component", static_cast<double>(i));
       ComponentSearch search(*programs[i], opt, deadline, scheduler,
-                             task_stats);
+                             task_stats, static_cast<int64_t>(i));
       results[i] = search.Run();
       const ComponentResult& res = results[i];
       if (res.status == SolveStatus::kOptimal ||
@@ -717,7 +773,10 @@ std::vector<ComponentResult> SolveBatch(
       }
       return;
     }
-    ComponentSearch search(*programs[i], opt, deadline, scheduler, task_stats);
+    telemetry::ScopedSpan span("solver", "search");
+    span.AddArg("component", static_cast<double>(i));
+    ComponentSearch search(*programs[i], opt, deadline, scheduler, task_stats,
+                           static_cast<int64_t>(i));
     results[i] = search.Run();
   };
 
@@ -864,11 +923,17 @@ void MipStats::MergeFrom(const MipStats& other) {
   subtree_splits += other.subtree_splits;
   subtree_tasks += other.subtree_tasks;
   num_threads = std::max(num_threads, other.num_threads);
-  solve_seconds += other.solve_seconds;
+  // Wall time keeps the outermost (concurrent strands overlap in time);
+  // CPU time sums across strands. Sequential aggregation over *disjoint*
+  // intervals (e.g. the feasibility prober's probe sequence) must sum
+  // walls explicitly around this merge.
+  solve_seconds = std::max(solve_seconds, other.solve_seconds);
+  cpu_seconds += other.cpu_seconds;
 }
 
 MipResult MipSolver::Solve(const LinearProgram& input, Sense sense) const {
   StopWatch clock;
+  LICM_TRACE_SPAN("solver", "mip_solve");
   LICM_CHECK_OK(input.Validate());
 
   // Normalize to maximization.
@@ -920,6 +985,7 @@ MipResult MipSolver::Solve(const LinearProgram& input, Sense sense) const {
 
 MinMaxMipResult MipSolver::SolveMinMax(const LinearProgram& input) const {
   StopWatch clock;
+  LICM_TRACE_SPAN("solver", "mip_solve_minmax");
   MinMaxMipResult out;
   LICM_CHECK_OK(input.Validate());
 

@@ -78,6 +78,11 @@ struct MipOptions {
   /// deadline, so a timed-out parallel solve stops at one consistent
   /// point (sticky expiry, see common/stopwatch.h).
   const Deadline* deadline = nullptr;
+  /// Nodes between "progress" telemetry events of one search strand
+  /// (incumbent, best bound, gap, node count — the gap-vs-time curve per
+  /// component). Only consulted while a trace session is recording
+  /// (common/telemetry.h); small values are test/demo territory.
+  int64_t trace_progress_nodes = 4096;
   double tol = 1e-6;
 };
 
@@ -106,10 +111,19 @@ struct MipStats {
   int64_t subtree_tasks = 0;
   /// Resolved executor count of the solve (MergeFrom keeps the max).
   int num_threads = 0;
+  /// Wall-clock seconds of the outermost solve. MergeFrom keeps the max
+  /// (concurrent strands overlap in time); sequential aggregation — e.g.
+  /// the MIN/MAX feasibility prober's probe sequence — must sum walls
+  /// explicitly around the merge.
   double solve_seconds = 0.0;
+  /// CPU seconds summed across search strands (MergeFrom adds). Equals
+  /// solve_seconds on sequential runs; on parallel runs the ratio
+  /// cpu_seconds / solve_seconds measures effective parallelism.
+  double cpu_seconds = 0.0;
 
   /// Deterministic merge: every counter adds, independent of the order
-  /// worker threads finished in. Used for per-thread and per-phase stats.
+  /// worker threads finished in (num_threads and solve_seconds keep the
+  /// max). Used for per-thread and per-phase stats.
   void MergeFrom(const MipStats& other);
 };
 

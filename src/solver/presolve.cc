@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/telemetry.h"
 #include "solver/propagation.h"
 
 namespace licm::solver {
@@ -53,6 +54,7 @@ std::vector<double> PresolveResult::Postsolve(
 }
 
 PresolveResult Presolve(const LinearProgram& lp) {
+  LICM_TRACE_SPAN("solver", "presolve");
   PresolveResult out;
   const size_t n = lp.num_vars();
   out.orig_to_reduced.assign(n, -1);

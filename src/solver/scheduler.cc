@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/status.h"
+#include "common/telemetry.h"
 
 namespace licm::solver {
 
@@ -56,6 +57,8 @@ void Scheduler::MaybeSpawnLocked() {
   if (queued_ > idle_ &&
       workers_.size() < static_cast<size_t>(num_threads_ - 1)) {
     const size_t slot = workers_.size() + 1;
+    telemetry::Instant("scheduler", "worker_spawn",
+                       {{"slot", static_cast<double>(slot)}});
     workers_.emplace_back(&Scheduler::WorkerLoop, this, slot);
   }
 }
@@ -70,6 +73,13 @@ bool Scheduler::PopTaskLocked(size_t slot, Task* out) {
   // ... then the injector, then steal the *oldest* task of a victim.
   for (size_t d = 0; d < deques_.size(); ++d) {
     if (d == slot || deques_[d].empty()) continue;
+    // Taking from the injector (deque 0) is plain dispatch; taking from
+    // another worker's deque is a steal worth tracing.
+    if (d != 0) {
+      telemetry::Instant("scheduler", "steal",
+                         {{"victim", static_cast<double>(d)},
+                          {"thief", static_cast<double>(slot)}});
+    }
     *out = std::move(deques_[d].front());
     deques_[d].pop_front();
     return true;

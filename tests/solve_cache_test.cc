@@ -257,18 +257,22 @@ TEST(ComponentCacheTest, ConcurrentInsertLookupSmoke) {
 
 // ---- MipStats ----
 
-TEST(MipStatsTest, MergeFromSumsEveryCounter) {
+TEST(MipStatsTest, MergeFromSumsCountersAndSplitsWallFromCpu) {
   MipStats a, b;
   a.nodes = 1; a.lp_solves = 2; a.components = 3;
   a.presolve_fixed_vars = 4; a.presolve_removed_rows = 5;
   a.presolve_calls = 6; a.decompose_calls = 7;
   a.cache_hits = 8; a.cache_misses = 9; a.canonical_forms = 10;
+  a.num_threads = 2;
   a.solve_seconds = 0.5;
+  a.cpu_seconds = 0.25;
   b.nodes = 10; b.lp_solves = 20; b.components = 30;
   b.presolve_fixed_vars = 40; b.presolve_removed_rows = 50;
   b.presolve_calls = 60; b.decompose_calls = 70;
   b.cache_hits = 80; b.cache_misses = 90; b.canonical_forms = 100;
+  b.num_threads = 4;
   b.solve_seconds = 1.5;
+  b.cpu_seconds = 1.25;
   a.MergeFrom(b);
   EXPECT_EQ(a.nodes, 11);
   EXPECT_EQ(a.lp_solves, 22);
@@ -280,7 +284,32 @@ TEST(MipStatsTest, MergeFromSumsEveryCounter) {
   EXPECT_EQ(a.cache_hits, 88);
   EXPECT_EQ(a.cache_misses, 99);
   EXPECT_EQ(a.canonical_forms, 110);
-  EXPECT_DOUBLE_EQ(a.solve_seconds, 2.0);
+  // Concurrent strands overlap in time: the wall clock keeps the
+  // outermost (max) value while CPU time adds across strands.
+  EXPECT_EQ(a.num_threads, 4);
+  EXPECT_DOUBLE_EQ(a.solve_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(a.cpu_seconds, 1.5);
+}
+
+TEST(MipStatsTest, MergeFromIsOrderIndependent) {
+  MipStats parts[3];
+  parts[0].nodes = 5; parts[0].solve_seconds = 0.75;
+  parts[0].cpu_seconds = 0.7; parts[0].num_threads = 1;
+  parts[1].nodes = 7; parts[1].solve_seconds = 2.0;
+  parts[1].cpu_seconds = 1.9; parts[1].num_threads = 8;
+  parts[2].nodes = 11; parts[2].solve_seconds = 1.25;
+  parts[2].cpu_seconds = 1.2; parts[2].num_threads = 4;
+  MipStats forward, backward;
+  for (int i = 0; i < 3; ++i) forward.MergeFrom(parts[i]);
+  for (int i = 2; i >= 0; --i) backward.MergeFrom(parts[i]);
+  EXPECT_EQ(forward.nodes, backward.nodes);
+  EXPECT_EQ(forward.num_threads, backward.num_threads);
+  EXPECT_DOUBLE_EQ(forward.solve_seconds, backward.solve_seconds);
+  EXPECT_DOUBLE_EQ(forward.cpu_seconds, backward.cpu_seconds);
+  EXPECT_EQ(forward.nodes, 23);
+  EXPECT_EQ(forward.num_threads, 8);
+  EXPECT_DOUBLE_EQ(forward.solve_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(forward.cpu_seconds, 3.8);
 }
 
 // ---- Batched SolveMinMax ----

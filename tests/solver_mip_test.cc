@@ -319,6 +319,38 @@ TEST(Mip, ParallelComponentsMatchSequential) {
   EXPECT_EQ(par.stats.components, seq.stats.components);
 }
 
+// ---- MipResult::Gap ----
+
+TEST(MipResultGap, NoSolutionIsInfinite) {
+  MipResult r;
+  r.status = SolveStatus::kTimeLimit;
+  r.has_solution = false;
+  r.best_bound = 17.0;  // a proved bound without an incumbent
+  EXPECT_EQ(r.Gap(), kInfinity);
+}
+
+TEST(MipResultGap, OptimalIsZero) {
+  LinearProgram lp;
+  VarId a = lp.AddBinary();
+  VarId b = lp.AddBinary();
+  lp.SetObjectiveCoef(a, 3.0);
+  lp.SetObjectiveCoef(b, 2.0);
+  lp.AddRow(Row{{{a, 1}, {b, 1}}, RowOp::kLe, 1});
+  MipResult r = MipSolver().Solve(lp, Sense::kMaximize);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(r.Gap(), 0.0);
+}
+
+TEST(MipResultGap, AbsoluteInBothSenses) {
+  MipResult r;
+  r.has_solution = true;
+  r.objective = 10.0;
+  r.best_bound = 12.5;  // maximizing: bound above incumbent
+  EXPECT_DOUBLE_EQ(r.Gap(), 2.5);
+  r.best_bound = 7.5;  // minimizing: bound below incumbent
+  EXPECT_DOUBLE_EQ(r.Gap(), 2.5);
+}
+
 // ---- Property sweep: brute force vs solver on random binary programs ----
 
 class MipRandom : public ::testing::TestWithParam<int> {};

@@ -1,0 +1,229 @@
+// Tests for the telemetry subsystem (common/telemetry.h) and the Chrome
+// trace exporter/validator (common/trace_export.h): zero recording while
+// disabled, session restarts clearing old events, span nesting in the
+// exported JSON, and an end-to-end parallel solver trace carrying worker
+// spans, steal/donate events, and per-component progress instants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "common/telemetry.h"
+#include "common/trace_export.h"
+#include "solver/mip_solver.h"
+
+namespace licm::telemetry {
+namespace {
+
+// Same hard single-component instance as parallel_search_test: a dense
+// n-by-n assignment problem whose search tree is deep enough to donate
+// subtrees.
+solver::LinearProgram PermutationInstance(int n, uint64_t seed) {
+  Rng rng(seed);
+  solver::LinearProgram lp;
+  std::vector<std::vector<solver::VarId>> b(n, std::vector<solver::VarId>(n));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      b[i][j] = lp.AddBinary();
+      lp.SetObjectiveCoef(b[i][j], static_cast<double>(rng.Uniform(50)));
+    }
+  for (int i = 0; i < n; ++i) {
+    solver::Row r1, r2;
+    for (int j = 0; j < n; ++j) {
+      r1.terms.push_back(solver::Term{b[i][j], 1});
+      r2.terms.push_back(solver::Term{b[j][i], 1});
+    }
+    r1.op = r2.op = solver::RowOp::kEq;
+    r1.rhs = r2.rhs = 1;
+    lp.AddRow(std::move(r1));
+    lp.AddRow(std::move(r2));
+  }
+  return lp;
+}
+
+TEST(Telemetry, DisabledRecordsNothing) {
+  StopTracing();
+  ASSERT_FALSE(Enabled());
+  const size_t before = Snapshot().size();
+  Instant("test", "ignored");
+  Counter("test", "ignored_counter", 1.0);
+  {
+    LICM_TRACE_SPAN("test", "ignored_span");
+  }
+  EXPECT_EQ(Snapshot().size(), before);
+}
+
+TEST(Telemetry, RestartClearsPreviousSession) {
+  StartTracing();
+  Instant("test", "old_a");
+  Instant("test", "old_b");
+  EXPECT_EQ(Snapshot().size(), 2u);
+  StartTracing();  // restart: the two events above are gone
+  Instant("test", "fresh");
+  std::vector<Event> events = Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "fresh");
+  StopTracing();
+  // Events stay readable after StopTracing until the next session.
+  EXPECT_EQ(Snapshot().size(), 1u);
+}
+
+TEST(Telemetry, SnapshotOrdersEnclosingSpansFirst) {
+  StartTracing();
+  {
+    ScopedSpan outer("test", "outer");
+    outer.AddArg("depth", 0);
+    {
+      ScopedSpan inner("test", "inner");
+      inner.AddArg("depth", 1);
+    }
+  }
+  StopTracing();
+  std::vector<Event> events = Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_GE(events[1].ts_ns, events[0].ts_ns);
+  EXPECT_LE(events[1].ts_ns + events[1].dur_ns,
+            events[0].ts_ns + events[0].dur_ns);
+}
+
+TEST(Telemetry, ExportValidatesAndDropsNonFiniteArgs) {
+  StartTracing();
+  {
+    ScopedSpan span("test", "span_with_args");
+    span.AddArg("finite", 2.5);
+    span.AddArg("infinite", std::numeric_limits<double>::infinity());
+    span.AddArg("nan", std::nan(""));
+  }
+  Instant("test", "instant_event", {{"x", 1.0}});
+  Counter("test", "counter_track", 7.0);
+  StopTracing();
+  std::string json = ChromeTraceJson();
+  EXPECT_TRUE(ValidateChromeTrace(json).ok()) << json;
+  EXPECT_NE(json.find("span_with_args"), std::string::npos);
+  EXPECT_NE(json.find("\"finite\""), std::string::npos);
+  // JSON has no representation for non-finite numbers; those args vanish.
+  EXPECT_EQ(json.find("\"infinite\""), std::string::npos);
+  EXPECT_EQ(json.find("\"nan\""), std::string::npos);
+}
+
+TEST(Telemetry, SummarizeSpansAggregatesByName) {
+  StartTracing();
+  { LICM_TRACE_SPAN("test", "phase_a"); }
+  { LICM_TRACE_SPAN("test", "phase_a"); }
+  const int64_t mark = NowNs();
+  { LICM_TRACE_SPAN("test", "phase_b"); }
+  StopTracing();
+  bool saw_a = false, saw_b = false;
+  for (const PhaseSummary& p : SummarizeSpans()) {
+    if (p.name == "phase_a") {
+      saw_a = true;
+      EXPECT_EQ(p.count, 2);
+      EXPECT_EQ(p.category, "test");
+    }
+    if (p.name == "phase_b") saw_b = true;
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+  // The since-mark view must exclude the earlier phase_a spans.
+  for (const PhaseSummary& p : SummarizeSpans(mark)) {
+    EXPECT_NE(p.name, "phase_a");
+  }
+}
+
+TEST(Telemetry, WriteChromeTraceRoundTripsThroughFileValidator) {
+  StartTracing();
+  { LICM_TRACE_SPAN("test", "file_span"); }
+  StopTracing();
+  const std::string path = ::testing::TempDir() + "licm_trace_test.json";
+  ASSERT_TRUE(WriteChromeTrace(path).ok());
+  size_t num_events = 0;
+  EXPECT_TRUE(ValidateChromeTraceFile(path, &num_events).ok());
+  EXPECT_GE(num_events, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceValidator, RejectsMalformedInput) {
+  EXPECT_FALSE(ValidateChromeTrace("not json").ok());
+  EXPECT_FALSE(ValidateChromeTrace("{\"displayTimeUnit\":\"ms\"}").ok());
+  // An event missing its required ph field.
+  EXPECT_FALSE(ValidateChromeTrace(
+                   R"({"traceEvents":[{"name":"a","cat":"c","ts":0,)"
+                   R"("pid":1,"tid":1}]})")
+                   .ok());
+}
+
+TEST(TraceValidator, RejectsPartiallyOverlappingSpansOnOneThread) {
+  // Two spans of one thread overlapping without nesting: [0,10) vs [5,15).
+  const char* bad =
+      R"({"traceEvents":[)"
+      R"({"name":"a","cat":"c","ph":"X","ts":0,"dur":10,"pid":1,"tid":1},)"
+      R"({"name":"b","cat":"c","ph":"X","ts":5,"dur":10,"pid":1,"tid":1}]})";
+  EXPECT_FALSE(ValidateChromeTrace(bad).ok());
+  // The same two spans on different threads are fine.
+  const char* good =
+      R"({"traceEvents":[)"
+      R"({"name":"a","cat":"c","ph":"X","ts":0,"dur":10,"pid":1,"tid":1},)"
+      R"({"name":"b","cat":"c","ph":"X","ts":5,"dur":10,"pid":1,"tid":2}]})";
+  EXPECT_TRUE(ValidateChromeTrace(good).ok());
+}
+
+// End-to-end: a traced parallel solve of the hard permutation instance
+// must leave behind worker-thread spans, at least one steal-or-donate
+// scheduler event, and per-component gap progress instants — the trace
+// shape DESIGN.md's Telemetry section documents.
+TEST(Telemetry, ParallelSolveTraceCarriesWorkerAndProgressEvents) {
+  solver::LinearProgram lp = PermutationInstance(9, 7);
+  solver::MipOptions opt;
+  opt.num_threads = 4;
+  opt.split_node_threshold = 16;
+  opt.use_lp_bound = false;
+  opt.trace_progress_nodes = 64;
+  StartTracing();
+  solver::MipResult result =
+      solver::MipSolver(opt).Solve(lp, solver::Sense::kMaximize);
+  StopTracing();
+  ASSERT_EQ(result.status, solver::SolveStatus::kOptimal);
+  ASSERT_GT(result.stats.subtree_splits, 0);
+  EXPECT_GT(result.stats.cpu_seconds, 0.0);
+
+  std::vector<Event> events = Snapshot();
+  int64_t steal_or_donate = 0, progress = 0, spawns = 0;
+  std::set<uint32_t> span_tids;
+  for (const Event& e : events) {
+    const std::string name = e.name;
+    if (name == "steal" || name == "donate") ++steal_or_donate;
+    if (name == "worker_spawn") ++spawns;
+    if (e.phase == 'X') span_tids.insert(e.tid);
+    if (name == "progress") {
+      ++progress;
+      // Progress instants carry the component id, node count, and bound.
+      std::set<std::string> keys;
+      for (const Arg& a : e.args) {
+        if (a.key != nullptr) keys.insert(a.key);
+      }
+      EXPECT_TRUE(keys.count("component"));
+      EXPECT_TRUE(keys.count("nodes"));
+      EXPECT_TRUE(keys.count("best_bound"));
+    }
+  }
+  // subtree_splits > 0 guarantees donations were traced.
+  EXPECT_GT(steal_or_donate, 0);
+  EXPECT_GT(spawns, 0);
+  // 64-node progress cadence on a search deep enough to split.
+  EXPECT_GT(progress, 0);
+  // Donated subtrees ran (and traced spans) on at least one worker thread
+  // in addition to the calling thread.
+  EXPECT_GE(span_tids.size(), 2u);
+
+  // The whole parallel trace must still be valid, properly nested JSON.
+  EXPECT_TRUE(ValidateChromeTrace(ChromeTraceJson()).ok());
+  EXPECT_EQ(DroppedEvents(), 0);
+}
+
+}  // namespace
+}  // namespace licm::telemetry

@@ -1,0 +1,31 @@
+// Validates a Chrome trace-event JSON file produced by the telemetry
+// exporter (common/trace_export.h): well-formed JSON, required per-event
+// fields, and monotone span nesting per thread. Used by CI to gate the
+// traced smoke bench; also handy on any trace before loading it into
+// chrome://tracing.
+//
+// Usage: trace_check <trace.json> [trace2.json ...]
+// Exit 0 when every file validates, 1 otherwise.
+#include <cstdio>
+
+#include "common/trace_export.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace.json> [trace2.json ...]\n",
+                 argv[0]);
+    return 1;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    size_t num_events = 0;
+    auto status = licm::telemetry::ValidateChromeTraceFile(argv[i], &num_events);
+    if (status.ok()) {
+      std::printf("%s: OK (%zu events)\n", argv[i], num_events);
+    } else {
+      std::printf("%s: FAIL: %s\n", argv[i], status.ToString().c_str());
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
