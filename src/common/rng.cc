@@ -2,8 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 namespace licm {
+
+uint64_t FuzzSeedFromEnv(uint64_t fallback) {
+  const char* env = std::getenv("LICM_FUZZ_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const uint64_t parsed = std::strtoull(env, &end, 0);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
 
 ZipfSampler::ZipfSampler(uint32_t n, double s) {
   LICM_CHECK(n > 0);

@@ -91,6 +91,14 @@ class Rng {
   uint64_t s_[4];
 };
 
+/// Base seed for randomized tests and fuzzers: the LICM_FUZZ_SEED
+/// environment variable when set to an unsigned integer (decimal or 0x
+/// hex), else `fallback`. Tests print the seed they used in every failure
+/// message, so a failing randomized run is replayed with
+///   LICM_FUZZ_SEED=<seed> ./the_test
+/// without recompiling.
+uint64_t FuzzSeedFromEnv(uint64_t fallback);
+
 /// Zipf(s) sampler over ranks {0, ..., n-1} using precomputed CDF.
 /// Rank 0 is the most frequent. Used by the synthetic BMS-POS-like
 /// generator: real retail item frequencies are heavy-tailed.

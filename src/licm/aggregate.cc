@@ -58,6 +58,59 @@ solver::RowOp ToRowOp(ConstraintOp op) {
   return solver::RowOp::kEq;
 }
 
+// Feasibility of the constraints pruning dropped. The dropped rows share no
+// variable with the live set (any shared variable would have made them
+// live), so their satisfiability is independent of the kept LP — and
+// pruning's soundness caveat (prune.h) is exactly that this remainder
+// admits a world. One zero-objective solve settles it.
+//
+// Returns Infeasible when no world satisfies the remainder, OK otherwise;
+// `*exact` is cleared when the probe hit a limit and the answer is unknown.
+Status CheckPrunedRemainder(const ConstraintSet& constraints,
+                            const PruneResult& pruned,
+                            const solver::MipOptions& mip, bool* exact) {
+  std::vector<const LinearConstraint*> dropped;
+  for (const LinearConstraint& c : constraints.constraints()) {
+    bool live = false;
+    for (const auto& t : c.terms) live |= pruned.live.count(t.var) > 0;
+    if (live) continue;
+    if (c.terms.empty()) {  // constant row: evaluate 0 op rhs directly
+      const bool ok = c.op == ConstraintOp::kLe   ? 0 <= c.rhs
+                      : c.op == ConstraintOp::kGe ? 0 >= c.rhs
+                                                  : c.rhs == 0;
+      if (!ok) {
+        return Status::Infeasible(
+            "LICM constraint set admits no possible world");
+      }
+      continue;
+    }
+    dropped.push_back(&c);
+  }
+  if (dropped.empty()) return Status::OK();
+
+  solver::LinearProgram lp;
+  std::unordered_map<BVar, solver::VarId> to_lp;
+  for (const LinearConstraint* c : dropped) {
+    solver::Row row;
+    row.terms.reserve(c->terms.size());
+    for (const auto& t : c->terms) {
+      auto [it, fresh] = to_lp.emplace(t.var, 0);
+      if (fresh) it->second = lp.AddBinary();
+      row.terms.push_back({it->second, static_cast<double>(t.coef)});
+    }
+    row.op = ToRowOp(c->op);
+    row.rhs = static_cast<double>(c->rhs);
+    lp.AddRow(std::move(row));
+  }
+  const solver::MipResult r =
+      solver::MipSolver(mip).Solve(lp, solver::Sense::kMaximize);
+  if (r.status == solver::SolveStatus::kInfeasible) {
+    return Status::Infeasible("LICM constraint set admits no possible world");
+  }
+  if (r.status != solver::SolveStatus::kOptimal) *exact = false;
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<AggregateBounds> ComputeBounds(const Objective& objective,
@@ -71,8 +124,13 @@ Result<AggregateBounds> ComputeBounds(const Objective& objective,
   for (const auto& [v, c] : objective.coefs) seeds.push_back(v);
 
   PruneResult pruned;
+  bool remainder_exact = true;
   if (options.prune) {
     pruned = Prune(constraints, seeds, num_vars);
+    if (pruned.kept.size() < constraints.size()) {
+      LICM_RETURN_NOT_OK(CheckPrunedRemainder(constraints, pruned,
+                                              options.mip, &remainder_exact));
+    }
   } else {
     // Identity "prune": everything stays live.
     pruned.kept = constraints.constraints();
@@ -151,6 +209,12 @@ Result<AggregateBounds> ComputeBounds(const Objective& objective,
 
   LICM_RETURN_NOT_OK(to_side(r.min, &out.min));
   LICM_RETURN_NOT_OK(to_side(r.max, &out.max));
+  if (!remainder_exact) {
+    // The dropped remainder's feasibility is unresolved, so the bounds are
+    // valid for a superset of the worlds and cannot be claimed exact.
+    out.min.exact = false;
+    out.max.exact = false;
+  }
   return out;
 }
 

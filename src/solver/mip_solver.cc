@@ -456,7 +456,15 @@ class ComponentSearch {
           if (most_frac == lp_.num_vars()) {
             // Vertex is integral; it may still sit between node bounds for
             // fixed vars, but bounds were respected by the LP, so feasible.
-            OfferIncumbent(rel.objective, rel.values);
+            // Snap the within-tolerance values to exact integers and
+            // re-evaluate, so the incumbent never carries simplex epsilons
+            // (bounds must be bit-identical to enumerating worlds).
+            std::vector<double> x = rel.values;
+            for (VarId v = 0; v < lp_.num_vars(); ++v) {
+              if (lp_.vars()[v].is_integer) x[v] = std::round(x[v]);
+            }
+            const double val = lp_.EvalObjective(x);
+            OfferIncumbent(val, std::move(x));
             continue;
           }
           branch_var = most_frac;

@@ -1,0 +1,472 @@
+#include "testing/invariants.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "licm/aggregate.h"
+#include "licm/evaluator.h"
+#include "licm/ops.h"
+#include "sampler/monte_carlo.h"
+#include "solver/lp_format.h"
+#include "solver/mip_solver.h"
+
+namespace licm::testing {
+namespace {
+
+using Summary = CaseContext::AnswerSummary;
+
+// Default options for every fuzz solve: fully sequential so the baseline
+// is deterministic; the threads invariant owns the parallel comparison.
+AnswerOptions BaselineOptions() {
+  AnswerOptions opt;
+  opt.bounds.mip.num_threads = 1;
+  return opt;
+}
+
+// Runs AnswerAggregate and flattens the outcome. Structural invalidity
+// (InvalidArgument / NotFound, e.g. from a reducer-mangled query)
+// propagates as a Status; solver-reported infeasibility and limits come
+// back as data for the invariants to judge.
+Result<Summary> Answer(const FuzzCase& c, const AnswerOptions& opt) {
+  auto ans = AnswerAggregate(*c.query, c.db, opt);
+  Summary s;
+  if (!ans.ok()) {
+    const StatusCode code = ans.status().code();
+    if (code == StatusCode::kInvalidArgument || code == StatusCode::kNotFound) {
+      return ans.status();
+    }
+    s.ok = false;
+    s.code = code;
+    return s;
+  }
+  s.ok = true;
+  s.min = ans->bounds.min.value;
+  s.max = ans->bounds.max.value;
+  s.min_exact = ans->bounds.min.exact;
+  s.max_exact = ans->bounds.max.exact;
+  s.min_proved = ans->bounds.min.proved;
+  s.max_proved = ans->bounds.max.proved;
+  return s;
+}
+
+InvariantReport Pass(const char* name) { return {name, Verdict::kPass, ""}; }
+InvariantReport Skip(const char* name, std::string why) {
+  return {name, Verdict::kSkip, std::move(why)};
+}
+InvariantReport Fail(const char* name, std::string detail) {
+  return {name, Verdict::kFail, std::move(detail)};
+}
+
+std::string Num(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+// Compares a re-solve against the baseline; used by every feature-toggle
+// invariant ("bounds are bit-identical across X on/off").
+InvariantReport CompareWithBaseline(const char* name, const CaseContext& ctx,
+                                    const AnswerOptions& opt,
+                                    const char* what) {
+  auto other = Answer(*ctx.c, opt);
+  if (!other.ok()) {
+    return Fail(name, std::string(what) + " run errored: " +
+                          other.status().ToString());
+  }
+  if (!(*other == ctx.baseline)) {
+    return Fail(name, std::string("bounds differ with ") + what +
+                          ": baseline=" + ctx.baseline.ToString() +
+                          " vs " + other->ToString());
+  }
+  return Pass(name);
+}
+
+InvariantReport CheckOracle(const CaseContext& ctx) {
+  const char* name = "oracle";
+  if (!ctx.oracle.feasible) {
+    if (ctx.baseline.ok || ctx.baseline.code != StatusCode::kInfeasible) {
+      return Fail(name,
+                  "oracle found no valid world but the solver answered " +
+                      ctx.baseline.ToString());
+    }
+    return Pass(name);
+  }
+  if (!ctx.baseline.ok) {
+    return Fail(name, "oracle found " +
+                          std::to_string(ctx.oracle.num_assignments) +
+                          " valid assignments but the solver reported " +
+                          std::string(Status::CodeName(ctx.baseline.code)));
+  }
+  if (!ctx.baseline.min_exact || !ctx.baseline.max_exact) {
+    return Fail(name, "bounds inexact on an oracle-sized instance: " +
+                          ctx.baseline.ToString());
+  }
+  if (ctx.baseline.min != ctx.oracle.min ||
+      ctx.baseline.max != ctx.oracle.max) {
+    return Fail(name, "bounds [" + Num(ctx.baseline.min) + ", " +
+                          Num(ctx.baseline.max) + "] != enumerated [" +
+                          Num(ctx.oracle.min) + ", " + Num(ctx.oracle.max) +
+                          "]");
+  }
+  return Pass(name);
+}
+
+InvariantReport CheckOrder(const CaseContext& ctx) {
+  const char* name = "order";
+  if (!ctx.baseline.ok) return Skip(name, "no baseline bounds");
+  const Summary& b = ctx.baseline;
+  if (b.min > b.max) {
+    return Fail(name, "MIN " + Num(b.min) + " > MAX " + Num(b.max));
+  }
+  if (b.min_proved > b.min || b.max_proved < b.max) {
+    return Fail(name, "proved bounds do not envelope values: " + b.ToString());
+  }
+  if (ctx.oracle.feasible &&
+      (b.min_proved > ctx.oracle.min || b.max_proved < ctx.oracle.max)) {
+    return Fail(name, "proved [" + Num(b.min_proved) + ", " +
+                          Num(b.max_proved) + "] excludes oracle range [" +
+                          Num(ctx.oracle.min) + ", " + Num(ctx.oracle.max) +
+                          "]");
+  }
+  return Pass(name);
+}
+
+InvariantReport CheckPrune(const CaseContext& ctx) {
+  AnswerOptions opt = BaselineOptions();
+  opt.bounds.prune = false;
+  return CompareWithBaseline("prune", ctx, opt, "pruning off");
+}
+
+InvariantReport CheckPresolve(const CaseContext& ctx) {
+  AnswerOptions opt = BaselineOptions();
+  opt.bounds.mip.use_presolve = false;
+  return CompareWithBaseline("presolve", ctx, opt, "presolve off");
+}
+
+InvariantReport CheckCache(const CaseContext& ctx) {
+  AnswerOptions opt = BaselineOptions();
+  opt.bounds.mip.use_cache = false;
+  return CompareWithBaseline("cache", ctx, opt, "solve cache off");
+}
+
+InvariantReport CheckDecompose(const CaseContext& ctx) {
+  AnswerOptions opt = BaselineOptions();
+  opt.bounds.mip.use_decomposition = false;
+  return CompareWithBaseline("decompose", ctx, opt, "decomposition off");
+}
+
+InvariantReport CheckThreads(const CaseContext& ctx) {
+  AnswerOptions opt = BaselineOptions();
+  opt.bounds.mip.num_threads = 4;
+  // Force the subtree-donation path even on tiny searches so the parallel
+  // code actually runs (and TSan sees it).
+  opt.bounds.mip.split_node_threshold = 1;
+  return CompareWithBaseline("threads", ctx, opt, "4 threads");
+}
+
+InvariantReport CheckMinMaxBatch(const CaseContext& ctx) {
+  const char* name = "minmax";
+  auto lp = BuildCaseLp(*ctx.c);
+  if (!lp.ok()) return Fail(name, "BuildCaseLp: " + lp.status().ToString());
+  solver::MipOptions mip;
+  mip.num_threads = 1;
+  const solver::MipSolver s({mip});
+  const solver::MinMaxMipResult both = s.SolveMinMax(*lp);
+  const solver::MipResult lo = s.Solve(*lp, solver::Sense::kMinimize);
+  const solver::MipResult hi = s.Solve(*lp, solver::Sense::kMaximize);
+  auto same = [&](const solver::MipResult& a, const solver::MipResult& b,
+                  const char* side) -> std::string {
+    if (a.status != b.status) {
+      return std::string(side) + " status differs";
+    }
+    if (a.has_solution != b.has_solution) {
+      return std::string(side) + " has_solution differs";
+    }
+    if (a.has_solution && a.objective != b.objective) {
+      return std::string(side) + " objective " + Num(a.objective) +
+             " != " + Num(b.objective);
+    }
+    if (a.status == solver::SolveStatus::kOptimal &&
+        a.best_bound != b.best_bound) {
+      return std::string(side) + " best_bound " + Num(a.best_bound) +
+             " != " + Num(b.best_bound);
+    }
+    return "";
+  };
+  std::string d = same(both.min, lo, "min");
+  if (d.empty()) d = same(both.max, hi, "max");
+  if (!d.empty()) {
+    return Fail(name, "SolveMinMax vs single-sense solves: " + d);
+  }
+  return Pass(name);
+}
+
+InvariantReport CheckSampler(const CaseContext& ctx) {
+  const char* name = "sampler";
+  if (!ctx.oracle.feasible) return Skip(name, "infeasible instance");
+  if (!ctx.baseline.ok || !ctx.baseline.min_exact || !ctx.baseline.max_exact) {
+    return Skip(name, "no exact LICM bounds to contain samples");
+  }
+  Rng rng(ctx.c->seed ^ 0x5a5a5a5a5a5a5a5aULL);
+  rel::Database world;
+  for (int k = 0; k < 8; ++k) {
+    auto a = sampler::SampleValidAssignment(ctx.c->db.constraints(),
+                                            ctx.c->num_base_vars, &rng);
+    if (!a.ok()) {
+      // Rejection sampling can starve on tightly constrained systems; the
+      // oracle said feasible, so this is a budget issue, not a bug.
+      return Skip(name, "rejection sampling found no world");
+    }
+    world = ctx.c->db.Instantiate(*a);
+    auto v = rel::EvaluateAggregate(*ctx.c->query, world);
+    if (!v.ok()) return Fail(name, "world evaluation: " + v.status().ToString());
+    if (*v < ctx.baseline.min || *v > ctx.baseline.max) {
+      return Fail(name, "sampled world answer " + Num(*v) +
+                            " outside exact LICM bounds [" +
+                            Num(ctx.baseline.min) + ", " +
+                            Num(ctx.baseline.max) + "]");
+    }
+  }
+  return Pass(name);
+}
+
+InvariantReport CheckLpRoundTrip(const CaseContext& ctx) {
+  const char* name = "lp_roundtrip";
+  auto lp = BuildCaseLp(*ctx.c);
+  if (!lp.ok()) return Fail(name, "BuildCaseLp: " + lp.status().ToString());
+  for (solver::Sense sense :
+       {solver::Sense::kMinimize, solver::Sense::kMaximize}) {
+    const char* sname = sense == solver::Sense::kMinimize ? "min" : "max";
+    const std::string text1 = solver::ToLpFormat(*lp, sense);
+    auto parsed = solver::ParseLpFormat(text1);
+    if (!parsed.ok()) {
+      return Fail(name, std::string(sname) + ": parse of own export failed: " +
+                            parsed.status().ToString());
+    }
+    if (parsed->sense != sense) {
+      return Fail(name, std::string(sname) + ": sense not preserved");
+    }
+    // Idempotence: one parse/export cycle is a fixpoint. (text1 itself may
+    // differ from text2 only by the objective-constant comment, which the
+    // format cannot represent as data.)
+    const std::string text2 = solver::ToLpFormat(parsed->program, sense);
+    auto parsed2 = solver::ParseLpFormat(text2);
+    if (!parsed2.ok()) {
+      return Fail(name, std::string(sname) + ": re-parse failed: " +
+                            parsed2.status().ToString());
+    }
+    const std::string text3 = solver::ToLpFormat(parsed2->program, sense);
+    if (text2 != text3) {
+      return Fail(name, std::string(sname) +
+                            ": export-parse-export not idempotent");
+    }
+    // The parser numbers variables by first appearance, so text1 and text2
+    // may differ by a relabeling; the structure must survive unchanged.
+    if (parsed->program.num_vars() != lp->num_vars() ||
+        parsed->program.num_rows() != lp->num_rows()) {
+      return Fail(name, std::string(sname) + ": round-trip changed " +
+                            "variable or row count");
+    }
+    // Solving the re-parsed program gives identical bounds (modulo the
+    // objective constant the format drops).
+    solver::MipOptions mip;
+    mip.num_threads = 1;
+    const solver::MipSolver s({mip});
+    const solver::MipResult orig = s.Solve(*lp, sense);
+    const solver::MipResult rt = s.Solve(parsed->program, sense);
+    if (orig.status != rt.status) {
+      return Fail(name, std::string(sname) + ": status differs after "
+                                             "round-trip");
+    }
+    if (orig.has_solution &&
+        rt.objective + lp->objective_constant() != orig.objective) {
+      return Fail(name, std::string(sname) + ": objective " +
+                            Num(orig.objective) + " != round-tripped " +
+                            Num(rt.objective + lp->objective_constant()));
+    }
+  }
+  return Pass(name);
+}
+
+InvariantReport CheckTimeout(const CaseContext& ctx) {
+  const char* name = "timeout";
+  // An already-expired deadline: the solve must stop immediately, yet
+  // still return a *valid* (possibly loose) answer — kTimeLimit or
+  // kOptimal, never a wrong kInfeasible.
+  const Deadline expired = Deadline::After(0.0);
+  AnswerOptions opt = BaselineOptions();
+  opt.bounds.mip.deadline = &expired;
+  auto capped = Answer(*ctx.c, opt);
+  if (!capped.ok()) {
+    return Fail(name, "deadline-capped run errored: " +
+                          capped.status().ToString());
+  }
+  if (ctx.oracle.feasible) {
+    if (!capped->ok) {
+      return Fail(name, "deadline-capped solve reported " +
+                            std::string(Status::CodeName(capped->code)) +
+                            " on a feasible instance");
+    }
+    if (capped->min_proved > ctx.oracle.min ||
+        capped->max_proved < ctx.oracle.max) {
+      return Fail(name, "capped proved bounds [" + Num(capped->min_proved) +
+                            ", " + Num(capped->max_proved) +
+                            "] exclude oracle range [" +
+                            Num(ctx.oracle.min) + ", " +
+                            Num(ctx.oracle.max) + "]");
+    }
+  } else if (capped->ok && (capped->min_exact || capped->max_exact)) {
+    return Fail(name, "exact bounds claimed on an infeasible instance");
+  }
+
+  // Solver-level Gap consistency under the same deadline.
+  auto lp = BuildCaseLp(*ctx.c);
+  if (!lp.ok()) return Fail(name, "BuildCaseLp: " + lp.status().ToString());
+  solver::MipOptions mip;
+  mip.num_threads = 1;
+  mip.deadline = &expired;
+  for (solver::Sense sense :
+       {solver::Sense::kMinimize, solver::Sense::kMaximize}) {
+    const solver::MipResult r = solver::MipSolver(mip).Solve(*lp, sense);
+    if (r.status == solver::SolveStatus::kUnbounded) {
+      return Fail(name, "binary program reported unbounded");
+    }
+    if (ctx.oracle.feasible &&
+        r.status == solver::SolveStatus::kInfeasible) {
+      return Fail(name, "capped solver call reported kInfeasible on a "
+                        "feasible instance");
+    }
+    if (r.has_solution) {
+      if (!lp->IsFeasible(r.solution)) {
+        return Fail(name, "capped incumbent is not feasible");
+      }
+      const double claimed = lp->EvalObjective(r.solution);
+      if (std::abs(claimed - r.objective) > 1e-6) {
+        return Fail(name, "objective " + Num(r.objective) +
+                              " != incumbent's value " + Num(claimed));
+      }
+      const bool maximize = sense == solver::Sense::kMaximize;
+      if (maximize ? r.best_bound < r.objective - 1e-9
+                   : r.best_bound > r.objective + 1e-9) {
+        return Fail(name, "best_bound on the wrong side of the incumbent");
+      }
+      if (r.status == solver::SolveStatus::kOptimal && r.Gap() > 1e-6) {
+        return Fail(name, "kOptimal with gap " + Num(r.Gap()));
+      }
+    } else if (r.Gap() != solver::kInfinity) {
+      return Fail(name, "no incumbent but finite gap " + Num(r.Gap()));
+    }
+  }
+  return Pass(name);
+}
+
+}  // namespace
+
+const char* VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kPass: return "pass";
+    case Verdict::kSkip: return "skip";
+    case Verdict::kFail: return "FAIL";
+  }
+  return "?";
+}
+
+std::string CaseContext::AnswerSummary::ToString() const {
+  if (!ok) return std::string("<") + Status::CodeName(code) + ">";
+  std::ostringstream os;
+  os << "[" << min << (min_exact ? "" : "~") << ", " << max
+     << (max_exact ? "" : "~") << "] proved [" << min_proved << ", "
+     << max_proved << "]";
+  return os.str();
+}
+
+Result<CaseContext> MakeContext(const FuzzCase& c) {
+  CaseContext ctx;
+  ctx.c = &c;
+  LICM_ASSIGN_OR_RETURN(ctx.oracle, OracleAggregate(c));
+  LICM_ASSIGN_OR_RETURN(ctx.baseline, Answer(c, BaselineOptions()));
+  return ctx;
+}
+
+const std::vector<Invariant>& AllInvariants() {
+  static const std::vector<Invariant> kAll = {
+      {"oracle", "bounds equal exhaustive possible-world enumeration",
+       CheckOracle},
+      {"order", "MIN <= MAX and proved bounds envelope values and oracle",
+       CheckOrder},
+      {"prune", "bit-identical bounds with pruning off", CheckPrune},
+      {"presolve", "bit-identical bounds with presolve off", CheckPresolve},
+      {"cache", "bit-identical bounds with the solve cache off", CheckCache},
+      {"decompose", "bit-identical bounds with decomposition off",
+       CheckDecompose},
+      {"threads", "bit-identical bounds with 1 vs 4 worker threads",
+       CheckThreads},
+      {"minmax", "SolveMinMax equals two single-sense solves",
+       CheckMinMaxBatch},
+      {"sampler", "Monte-Carlo world answers land inside exact bounds",
+       CheckSampler},
+      {"lp_roundtrip", "LP export/parse round-trip preserves the program",
+       CheckLpRoundTrip},
+      {"timeout", "deadline-capped solves stay valid and Gap-consistent",
+       CheckTimeout},
+  };
+  return kAll;
+}
+
+Result<std::vector<InvariantReport>> CheckCase(const FuzzCase& c,
+                                               const std::string& filter) {
+  LICM_ASSIGN_OR_RETURN(CaseContext ctx, MakeContext(c));
+  std::vector<InvariantReport> out;
+  for (const Invariant& inv : AllInvariants()) {
+    if (!filter.empty() &&
+        std::string(inv.name).find(filter) == std::string::npos) {
+      continue;
+    }
+    out.push_back(inv.check(ctx));
+  }
+  return out;
+}
+
+Result<solver::LinearProgram> BuildCaseLp(const FuzzCase& c) {
+  if (c.query == nullptr || !rel::IsAggregate(*c.query)) {
+    return Status::InvalidArgument("fuzz case query is not an aggregate");
+  }
+  LicmDatabase db = c.db;
+  LICM_ASSIGN_OR_RETURN(LicmRelation result, EvaluateLicm(*c.query->left, &db));
+  OpContext ctx{&db.pool(), &db.constraints()};
+  LICM_ASSIGN_OR_RETURN(result, MergeDuplicates(result, ctx));
+  Objective obj;
+  if (c.query->kind == rel::QueryKind::kCountStar) {
+    obj = CountObjective(result);
+  } else if (c.query->kind == rel::QueryKind::kSum) {
+    LICM_ASSIGN_OR_RETURN(obj, SumObjective(result, c.query->sum_column));
+  } else {
+    return Status::InvalidArgument("BuildCaseLp: MIN/MAX roots have no "
+                                   "single-program form");
+  }
+  // Identity prune: every pool variable and every constraint stays, the
+  // same program ComputeBounds builds with options.prune == false.
+  solver::LinearProgram lp;
+  for (uint32_t v = 0; v < db.pool().size(); ++v) lp.AddBinary();
+  for (const LinearConstraint& lc : db.constraints().constraints()) {
+    solver::Row row;
+    row.terms.reserve(lc.terms.size());
+    for (const auto& t : lc.terms) {
+      row.terms.push_back({t.var, static_cast<double>(t.coef)});
+    }
+    switch (lc.op) {
+      case ConstraintOp::kLe: row.op = solver::RowOp::kLe; break;
+      case ConstraintOp::kGe: row.op = solver::RowOp::kGe; break;
+      case ConstraintOp::kEq: row.op = solver::RowOp::kEq; break;
+    }
+    row.rhs = static_cast<double>(lc.rhs);
+    lp.AddRow(std::move(row));
+  }
+  for (const auto& [v, coef] : obj.coefs) lp.SetObjectiveCoef(v, coef);
+  lp.AddObjectiveConstant(obj.constant);
+  return lp;
+}
+
+}  // namespace licm::testing

@@ -1,0 +1,28 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+
+#include "licm/worlds.h"
+#include "relational/engine.h"
+
+namespace licm::testing {
+
+Result<OracleResult> OracleAggregate(const FuzzCase& c) {
+  LICM_ASSIGN_OR_RETURN(
+      auto assignments,
+      EnumerateValidAssignments(c.db.constraints(), c.num_base_vars));
+  OracleResult out;
+  out.num_assignments = assignments.size();
+  out.feasible = !assignments.empty();
+  out.min = 1e300;
+  out.max = -1e300;
+  for (const auto& a : assignments) {
+    rel::Database world = c.db.Instantiate(a);
+    LICM_ASSIGN_OR_RETURN(double v, rel::EvaluateAggregate(*c.query, world));
+    out.min = std::min(out.min, v);
+    out.max = std::max(out.max, v);
+  }
+  return out;
+}
+
+}  // namespace licm::testing

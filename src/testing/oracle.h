@@ -1,0 +1,37 @@
+// Possible-world oracle for fuzz cases (DESIGN.md §9).
+//
+// Theorem 1 makes brute-force world enumeration a complete ground truth:
+// every finite world-set is LICM-encodable, so for any instance small
+// enough to enumerate, the exact aggregate range is simply the min/max of
+// the deterministic engine's answer over all valid assignments. This
+// generalizes the sketch in src/licm/worlds.cc into the reference the
+// whole differential harness checks against.
+#ifndef LICM_TESTING_ORACLE_H_
+#define LICM_TESTING_ORACLE_H_
+
+#include "testing/generator.h"
+
+namespace licm::testing {
+
+/// Exact aggregate range of a fuzz case, by exhaustive enumeration.
+struct OracleResult {
+  /// False when the constraint set admits no valid assignment (no world).
+  bool feasible = false;
+  /// Valid assignments of the base variables (worlds before tuple-level
+  /// deduplication; what the solver's feasible region contains).
+  size_t num_assignments = 0;
+  /// Exact extrema of the query answer over all worlds (valid iff
+  /// feasible).
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Enumerates every valid assignment of `c.num_base_vars` variables,
+/// instantiates the database in each world, and evaluates the query with
+/// the deterministic engine. Errors only on oversized instances
+/// (num_base_vars > 24) or structurally invalid queries.
+Result<OracleResult> OracleAggregate(const FuzzCase& c);
+
+}  // namespace licm::testing
+
+#endif  // LICM_TESTING_ORACLE_H_

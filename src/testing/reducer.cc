@@ -1,0 +1,225 @@
+#include "testing/reducer.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "testing/invariants.h"
+
+namespace licm::testing {
+namespace {
+
+using rel::QueryNodePtr;
+
+const LicmRelation& Rel(const FuzzCase& c) {
+  auto r = c.db.GetRelation(kFuzzRelation);
+  LICM_CHECK(r.ok());
+  return **r;
+}
+
+// Rebuilds a case from parts; the pool is recreated at `num_vars`.
+FuzzCase Rebuild(const FuzzCase& base, LicmRelation relation,
+                 std::vector<LinearConstraint> constraints,
+                 uint32_t num_vars, QueryNodePtr query) {
+  FuzzCase out;
+  out.seed = base.seed;
+  out.num_base_vars = num_vars;
+  for (uint32_t v = 0; v < num_vars; ++v) out.db.pool().New();
+  for (LinearConstraint& lc : constraints) {
+    out.db.constraints().Add(std::move(lc));
+  }
+  LICM_CHECK_OK(out.db.AddRelation(kFuzzRelation, std::move(relation)));
+  out.query = std::move(query);
+  return out;
+}
+
+FuzzCase DropTuple(const FuzzCase& c, size_t index) {
+  const LicmRelation& r = Rel(c);
+  LicmRelation out(r.schema());
+  for (size_t i = 0; i < r.size(); ++i) {
+    if (i != index) out.AppendUnchecked(r.tuple(i), r.ext(i));
+  }
+  return Rebuild(c, std::move(out), c.db.constraints().constraints(),
+                 c.num_base_vars, c.query);
+}
+
+FuzzCase DropConstraint(const FuzzCase& c, size_t index) {
+  std::vector<LinearConstraint> kept;
+  const auto& all = c.db.constraints().constraints();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (i != index) kept.push_back(all[i]);
+  }
+  LicmRelation r = Rel(c);
+  return Rebuild(c, std::move(r), std::move(kept), c.num_base_vars, c.query);
+}
+
+// Shrinks constraint `index` by removing its `term`-th term — the
+// within-constraint analogue of DropConstraint, so a failure needing only
+// part of a wide cardinality row ends up with just that part.
+FuzzCase DropConstraintTerm(const FuzzCase& c, size_t index, size_t term) {
+  std::vector<LinearConstraint> all = c.db.constraints().constraints();
+  all[index].terms.erase(all[index].terms.begin() +
+                         static_cast<ptrdiff_t>(term));
+  LicmRelation r = Rel(c);
+  return Rebuild(c, std::move(r), std::move(all), c.num_base_vars, c.query);
+}
+
+// Renumbers the variables actually referenced (by Ext attributes or
+// constraint terms) densely from 0 and shrinks the pool accordingly — a
+// semantics-preserving bijection that keeps the oracle's 2^vars
+// enumeration proportional to what the shrunk instance really uses.
+FuzzCase CompactVariables(const FuzzCase& c) {
+  std::unordered_map<BVar, BVar> remap;
+  auto map = [&](BVar v) {
+    auto [it, fresh] = remap.emplace(v, static_cast<BVar>(remap.size()));
+    (void)fresh;
+    return it->second;
+  };
+  const LicmRelation& r = Rel(c);
+  LicmRelation out(r.schema());
+  for (size_t i = 0; i < r.size(); ++i) {
+    out.AppendUnchecked(r.tuple(i), r.ext(i).certain()
+                                        ? Ext::Certain()
+                                        : Ext::Maybe(map(r.ext(i).var())));
+  }
+  std::vector<LinearConstraint> constraints;
+  for (const LinearConstraint& lc : c.db.constraints().constraints()) {
+    LinearConstraint nc;
+    nc.op = lc.op;
+    nc.rhs = lc.rhs;
+    for (const auto& t : lc.terms) nc.terms.push_back({map(t.var), t.coef});
+    constraints.push_back(std::move(nc));
+  }
+  return Rebuild(c, std::move(out), std::move(constraints),
+                 static_cast<uint32_t>(remap.size()), c.query);
+}
+
+// Clones the query tree with `target` replaced by `replacement`.
+QueryNodePtr Replace(const QueryNodePtr& node, const rel::QueryNode* target,
+                     const QueryNodePtr& replacement) {
+  if (node == nullptr) return nullptr;
+  if (node.get() == target) return replacement;
+  QueryNodePtr left = Replace(node->left, target, replacement);
+  QueryNodePtr right = Replace(node->right, target, replacement);
+  if (left == node->left && right == node->right) return node;
+  auto copy = std::make_shared<rel::QueryNode>(*node);
+  copy->left = std::move(left);
+  copy->right = std::move(right);
+  return copy;
+}
+
+// Candidate hoists: every non-root node replaced by one of its children.
+// The root (the aggregate) is kept; hoisting can produce schema-invalid
+// trees, which the predicate rejects via CheckCase's Status error.
+std::vector<QueryNodePtr> HoistCandidates(const QueryNodePtr& root) {
+  std::vector<const rel::QueryNode*> nodes;
+  std::function<void(const rel::QueryNode*)> walk =
+      [&](const rel::QueryNode* n) {
+        if (n == nullptr) return;
+        nodes.push_back(n);
+        walk(n->left.get());
+        walk(n->right.get());
+      };
+  walk(root->left.get());
+  std::vector<QueryNodePtr> out;
+  for (const rel::QueryNode* n : nodes) {
+    for (const QueryNodePtr& child : {n->left, n->right}) {
+      if (child != nullptr) out.push_back(Replace(root, n, child));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool InvariantStillFails(const FuzzCase& c, const std::string& name) {
+  auto reports = CheckCase(c, name);
+  if (!reports.ok()) return false;
+  for (const InvariantReport& r : *reports) {
+    if (r.name == name && r.verdict == Verdict::kFail) return true;
+  }
+  return false;
+}
+
+ReduceResult ReduceCase(const FuzzCase& c,
+                        const FailurePredicate& still_fails) {
+  ReduceResult out;
+  out.tuples_before = Rel(c).size();
+  out.constraints_before = c.db.constraints().size();
+  out.vars_before = c.num_base_vars;
+  out.reduced = c;
+  if (!still_fails(c)) {
+    out.tuples_after = out.tuples_before;
+    out.constraints_after = out.constraints_before;
+    out.vars_after = out.vars_before;
+    return out;
+  }
+
+  FuzzCase cur = c;
+  bool changed = true;
+  // Greedy single-deletion to a fixpoint. Instances are tiny (tens of
+  // tuples/constraints), so O(n) probes per round beat the bookkeeping of
+  // chunked ddmin.
+  while (changed && out.rounds < 64) {
+    ++out.rounds;
+    changed = false;
+    for (size_t i = cur.db.constraints().size(); i-- > 0;) {
+      FuzzCase cand = DropConstraint(cur, i);
+      if (still_fails(cand)) {
+        cur = std::move(cand);
+        changed = true;
+      }
+    }
+    for (size_t i = cur.db.constraints().size(); i-- > 0;) {
+      for (size_t t = cur.db.constraints().constraints()[i].terms.size();
+           t-- > 0;) {
+        FuzzCase cand = DropConstraintTerm(cur, i, t);
+        if (still_fails(cand)) {
+          cur = std::move(cand);
+          changed = true;
+        }
+      }
+    }
+    for (size_t i = Rel(cur).size(); i-- > 0;) {
+      FuzzCase cand = DropTuple(cur, i);
+      if (still_fails(cand)) {
+        cur = std::move(cand);
+        changed = true;
+      }
+    }
+    bool hoisted = true;
+    while (hoisted) {
+      hoisted = false;
+      for (const QueryNodePtr& q : HoistCandidates(cur.query)) {
+        FuzzCase cand = cur;
+        cand.query = q;
+        if (still_fails(cand)) {
+          cur = std::move(cand);
+          changed = hoisted = true;
+          break;  // tree changed; recompute candidates
+        }
+      }
+    }
+    FuzzCase compacted = CompactVariables(cur);
+    if (compacted.num_base_vars < cur.num_base_vars &&
+        still_fails(compacted)) {
+      cur = std::move(compacted);
+      changed = true;
+    }
+  }
+
+  out.tuples_after = Rel(cur).size();
+  out.constraints_after = cur.db.constraints().size();
+  out.vars_after = cur.num_base_vars;
+  out.reduced = std::move(cur);
+  return out;
+}
+
+ReduceResult ReduceForInvariant(const FuzzCase& c, const std::string& name) {
+  return ReduceCase(
+      c, [&name](const FuzzCase& cand) {
+        return InvariantStillFails(cand, name);
+      });
+}
+
+}  // namespace licm::testing

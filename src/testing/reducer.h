@@ -1,0 +1,48 @@
+// Delta-debugging reducer for failing fuzz cases (DESIGN.md §9).
+//
+// Given a case and a predicate "does the failure still reproduce", the
+// reducer greedily drops tuples and constraints, hoists query subtrees
+// over their parents, and compacts the variable space, iterating to a
+// fixpoint. Every candidate is validated by re-running the predicate, so
+// any semantics-changing step that loses the failure is simply rejected.
+// The result is the small, self-contained instance a human can debug —
+// written out via repro.h next to its `.lp` export.
+#ifndef LICM_TESTING_REDUCER_H_
+#define LICM_TESTING_REDUCER_H_
+
+#include <functional>
+#include <string>
+
+#include "testing/generator.h"
+
+namespace licm::testing {
+
+/// Returns true when the (possibly reduced) case still exhibits the
+/// failure being chased. Predicates must treat structurally invalid cases
+/// (Status errors from CheckCase) as "does not reproduce".
+using FailurePredicate = std::function<bool(const FuzzCase&)>;
+
+struct ReduceResult {
+  FuzzCase reduced;
+  /// Fixpoint rounds executed.
+  int rounds = 0;
+  size_t tuples_before = 0, tuples_after = 0;
+  size_t constraints_before = 0, constraints_after = 0;
+  uint32_t vars_before = 0, vars_after = 0;
+};
+
+/// Shrinks `c` under `still_fails`. Requires still_fails(c) (callers
+/// should only reduce cases they have already seen fail); if it does not
+/// hold, the input is returned unchanged.
+ReduceResult ReduceCase(const FuzzCase& c, const FailurePredicate& still_fails);
+
+/// Convenience wrapper: reduces against "invariant `name` still reports
+/// kFail on this case" (exact name match against the registry).
+ReduceResult ReduceForInvariant(const FuzzCase& c, const std::string& name);
+
+/// The predicate ReduceForInvariant uses, exposed for the fuzz CLI.
+bool InvariantStillFails(const FuzzCase& c, const std::string& name);
+
+}  // namespace licm::testing
+
+#endif  // LICM_TESTING_REDUCER_H_

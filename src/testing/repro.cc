@@ -1,0 +1,532 @@
+#include "testing/repro.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace licm::testing {
+namespace {
+
+using rel::CmpOp;
+using rel::QueryKind;
+using rel::QueryNodePtr;
+using rel::Value;
+using rel::ValueType;
+
+constexpr const char* kMagic = "licm_fuzz_repro v1";
+
+// ---------------------------------------------------------------------------
+// Lexical layer shared by the header lines and the query s-expression.
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+struct Token {
+  enum Kind { kLParen, kRParen, kAtom, kString } kind;
+  std::string text;
+};
+
+Result<std::vector<Token>> Tokenize(const std::string& s) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (c == '(') {
+      out.push_back({Token::kLParen, "("});
+      ++i;
+    } else if (c == ')') {
+      out.push_back({Token::kRParen, ")"});
+      ++i;
+    } else if (c == '"') {
+      std::string text;
+      ++i;
+      for (; i < s.size() && s[i] != '"'; ++i) {
+        if (s[i] == '\\' && i + 1 < s.size()) ++i;
+        text.push_back(s[i]);
+      }
+      if (i >= s.size()) {
+        return Status::InvalidArgument("repro: unterminated string");
+      }
+      ++i;  // closing quote
+      out.push_back({Token::kString, std::move(text)});
+    } else {
+      std::string text;
+      for (; i < s.size() && !std::isspace(static_cast<unsigned char>(s[i])) &&
+             s[i] != '(' && s[i] != ')' && s[i] != '"';
+           ++i) {
+        text.push_back(s[i]);
+      }
+      out.push_back({Token::kAtom, std::move(text)});
+    }
+  }
+  return out;
+}
+
+std::string ValueToken(const Value& v) {
+  switch (rel::TypeOf(v)) {
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(v));
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", std::get<double>(v));
+      std::string s = buf;
+      // Keep doubles lexically distinct from ints.
+      if (s.find_first_of(".eEni") == std::string::npos) s += ".0";
+      return s;
+    }
+    case ValueType::kString:
+      return Quote(std::get<std::string>(v));
+  }
+  return "";
+}
+
+Result<Value> ParseValue(const Token& t) {
+  if (t.kind == Token::kString) return Value(t.text);
+  if (t.kind != Token::kAtom) {
+    return Status::InvalidArgument("repro: expected a value, got '" + t.text +
+                                   "'");
+  }
+  if (t.text.find_first_of(".eEni") != std::string::npos) {
+    return Value(std::stod(t.text));
+  }
+  return Value(static_cast<int64_t>(std::stoll(t.text)));
+}
+
+const char* CmpToken(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "eq";
+    case CmpOp::kNe: return "ne";
+    case CmpOp::kLt: return "lt";
+    case CmpOp::kLe: return "le";
+    case CmpOp::kGt: return "gt";
+    case CmpOp::kGe: return "ge";
+  }
+  return "?";
+}
+
+Result<CmpOp> ParseCmp(const std::string& s) {
+  if (s == "eq") return CmpOp::kEq;
+  if (s == "ne") return CmpOp::kNe;
+  if (s == "lt") return CmpOp::kLt;
+  if (s == "le") return CmpOp::kLe;
+  if (s == "gt") return CmpOp::kGt;
+  if (s == "ge") return CmpOp::kGe;
+  return Status::InvalidArgument("repro: unknown comparison '" + s + "'");
+}
+
+// ---------------------------------------------------------------------------
+// Query s-expressions.
+
+void SerializeQueryTo(const rel::QueryNode& q, std::ostringstream* os) {
+  auto child = [&](const QueryNodePtr& n) {
+    *os << " ";
+    SerializeQueryTo(*n, os);
+  };
+  *os << "(";
+  switch (q.kind) {
+    case QueryKind::kScan:
+      *os << "scan " << Quote(q.relation_name);
+      break;
+    case QueryKind::kSelect:
+      *os << "select";
+      child(q.left);
+      for (const rel::Predicate& p : q.predicates) {
+        *os << " (pred " << CmpToken(p.op) << " " << p.column << " "
+            << ValueToken(p.operand) << ")";
+      }
+      break;
+    case QueryKind::kProject:
+      *os << "project";
+      child(q.left);
+      for (const std::string& c : q.columns) *os << " " << c;
+      break;
+    case QueryKind::kIntersect:
+      *os << "intersect";
+      child(q.left);
+      child(q.right);
+      break;
+    case QueryKind::kProduct:
+      *os << "product";
+      child(q.left);
+      child(q.right);
+      break;
+    case QueryKind::kJoin:
+      *os << "join";
+      child(q.left);
+      child(q.right);
+      for (const auto& [l, r] : q.join_on) {
+        *os << " (on " << l << " " << r << ")";
+      }
+      break;
+    case QueryKind::kCountPredicate:
+      *os << "count_pred";
+      child(q.left);
+      *os << " " << q.group_column << " " << CmpToken(q.count_op) << " "
+          << q.count_d;
+      break;
+    case QueryKind::kSumPredicate:
+      *os << "sum_pred";
+      child(q.left);
+      *os << " " << q.group_column << " " << q.sum_column << " "
+          << CmpToken(q.count_op) << " " << q.count_d;
+      break;
+    case QueryKind::kCountStar:
+      *os << "count_star";
+      child(q.left);
+      break;
+    case QueryKind::kSum:
+      *os << "sum";
+      child(q.left);
+      *os << " " << q.sum_column;
+      break;
+    case QueryKind::kMin:
+      *os << "min";
+      child(q.left);
+      *os << " " << q.sum_column;
+      break;
+    case QueryKind::kMax:
+      *os << "max";
+      child(q.left);
+      *os << " " << q.sum_column;
+      break;
+  }
+  *os << ")";
+}
+
+// Recursive-descent parser over the token stream.
+class QueryParser {
+ public:
+  explicit QueryParser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<QueryNodePtr> Parse() {
+    LICM_ASSIGN_OR_RETURN(QueryNodePtr q, Expr());
+    if (pos_ != tokens_.size()) {
+      return Status::InvalidArgument("repro: trailing tokens after query");
+    }
+    return q;
+  }
+
+ private:
+  Status Expect(Token::Kind kind, const char* what) {
+    if (pos_ >= tokens_.size() || tokens_[pos_].kind != kind) {
+      return Status::InvalidArgument(std::string("repro: expected ") + what);
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<std::string> Atom(const char* what) {
+    if (pos_ >= tokens_.size() || tokens_[pos_].kind != Token::kAtom) {
+      return Status::InvalidArgument(std::string("repro: expected ") + what);
+    }
+    return tokens_[pos_++].text;
+  }
+
+  Result<int64_t> Int(const char* what) {
+    LICM_ASSIGN_OR_RETURN(std::string a, Atom(what));
+    return static_cast<int64_t>(std::stoll(a));
+  }
+
+  bool AtRParen() const {
+    return pos_ < tokens_.size() && tokens_[pos_].kind == Token::kRParen;
+  }
+
+  Result<QueryNodePtr> Expr() {
+    LICM_RETURN_NOT_OK(Expect(Token::kLParen, "'('"));
+    LICM_ASSIGN_OR_RETURN(std::string head, Atom("operator name"));
+    QueryNodePtr out;
+    if (head == "scan") {
+      if (pos_ >= tokens_.size() || tokens_[pos_].kind != Token::kString) {
+        return Status::InvalidArgument("repro: scan needs a quoted name");
+      }
+      out = rel::Scan(tokens_[pos_++].text);
+    } else if (head == "select") {
+      LICM_ASSIGN_OR_RETURN(QueryNodePtr c, Expr());
+      std::vector<rel::Predicate> preds;
+      while (!AtRParen()) {
+        LICM_RETURN_NOT_OK(Expect(Token::kLParen, "'(pred'"));
+        LICM_ASSIGN_OR_RETURN(std::string kw, Atom("pred"));
+        if (kw != "pred") {
+          return Status::InvalidArgument("repro: expected (pred ...)");
+        }
+        LICM_ASSIGN_OR_RETURN(std::string opname, Atom("cmp op"));
+        LICM_ASSIGN_OR_RETURN(CmpOp op, ParseCmp(opname));
+        LICM_ASSIGN_OR_RETURN(std::string col, Atom("column"));
+        if (pos_ >= tokens_.size()) {
+          return Status::InvalidArgument("repro: pred needs a value");
+        }
+        LICM_ASSIGN_OR_RETURN(Value v, ParseValue(tokens_[pos_]));
+        ++pos_;
+        preds.push_back({std::move(col), op, std::move(v)});
+        LICM_RETURN_NOT_OK(Expect(Token::kRParen, "')' after pred"));
+      }
+      out = rel::Select(std::move(c), std::move(preds));
+    } else if (head == "project") {
+      LICM_ASSIGN_OR_RETURN(QueryNodePtr c, Expr());
+      std::vector<std::string> cols;
+      while (!AtRParen()) {
+        LICM_ASSIGN_OR_RETURN(std::string col, Atom("column"));
+        cols.push_back(std::move(col));
+      }
+      out = rel::Project(std::move(c), std::move(cols));
+    } else if (head == "intersect" || head == "product") {
+      LICM_ASSIGN_OR_RETURN(QueryNodePtr l, Expr());
+      LICM_ASSIGN_OR_RETURN(QueryNodePtr r, Expr());
+      out = head == "intersect" ? rel::Intersect(std::move(l), std::move(r))
+                                : rel::Product(std::move(l), std::move(r));
+    } else if (head == "join") {
+      LICM_ASSIGN_OR_RETURN(QueryNodePtr l, Expr());
+      LICM_ASSIGN_OR_RETURN(QueryNodePtr r, Expr());
+      std::vector<std::pair<std::string, std::string>> on;
+      while (!AtRParen()) {
+        LICM_RETURN_NOT_OK(Expect(Token::kLParen, "'(on'"));
+        LICM_ASSIGN_OR_RETURN(std::string kw, Atom("on"));
+        if (kw != "on") return Status::InvalidArgument("repro: expected (on ...)");
+        LICM_ASSIGN_OR_RETURN(std::string lc, Atom("left column"));
+        LICM_ASSIGN_OR_RETURN(std::string rc, Atom("right column"));
+        on.emplace_back(std::move(lc), std::move(rc));
+        LICM_RETURN_NOT_OK(Expect(Token::kRParen, "')' after on"));
+      }
+      out = rel::Join(std::move(l), std::move(r), std::move(on));
+    } else if (head == "count_pred") {
+      LICM_ASSIGN_OR_RETURN(QueryNodePtr c, Expr());
+      LICM_ASSIGN_OR_RETURN(std::string group, Atom("group column"));
+      LICM_ASSIGN_OR_RETURN(std::string opname, Atom("cmp op"));
+      LICM_ASSIGN_OR_RETURN(CmpOp op, ParseCmp(opname));
+      LICM_ASSIGN_OR_RETURN(int64_t d, Int("threshold"));
+      out = rel::CountPredicate(std::move(c), std::move(group), op, d);
+    } else if (head == "sum_pred") {
+      LICM_ASSIGN_OR_RETURN(QueryNodePtr c, Expr());
+      LICM_ASSIGN_OR_RETURN(std::string group, Atom("group column"));
+      LICM_ASSIGN_OR_RETURN(std::string sumcol, Atom("sum column"));
+      LICM_ASSIGN_OR_RETURN(std::string opname, Atom("cmp op"));
+      LICM_ASSIGN_OR_RETURN(CmpOp op, ParseCmp(opname));
+      LICM_ASSIGN_OR_RETURN(int64_t d, Int("threshold"));
+      out = rel::SumPredicate(std::move(c), std::move(group),
+                              std::move(sumcol), op, d);
+    } else if (head == "count_star") {
+      LICM_ASSIGN_OR_RETURN(QueryNodePtr c, Expr());
+      out = rel::CountStar(std::move(c));
+    } else if (head == "sum" || head == "min" || head == "max") {
+      LICM_ASSIGN_OR_RETURN(QueryNodePtr c, Expr());
+      LICM_ASSIGN_OR_RETURN(std::string col, Atom("column"));
+      out = head == "sum"   ? rel::Sum(std::move(c), std::move(col))
+            : head == "min" ? rel::Min(std::move(c), std::move(col))
+                            : rel::Max(std::move(c), std::move(col));
+    } else {
+      return Status::InvalidArgument("repro: unknown operator '" + head + "'");
+    }
+    LICM_RETURN_NOT_OK(Expect(Token::kRParen, "')'"));
+    return out;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+const char* TypeToken(ValueType t) {
+  switch (t) {
+    case ValueType::kInt: return "int";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+  }
+  return "?";
+}
+
+Result<ValueType> ParseType(const std::string& s) {
+  if (s == "int") return ValueType::kInt;
+  if (s == "double") return ValueType::kDouble;
+  if (s == "string") return ValueType::kString;
+  return Status::InvalidArgument("repro: unknown column type '" + s + "'");
+}
+
+}  // namespace
+
+std::string SerializeQuery(const rel::QueryNode& q) {
+  std::ostringstream os;
+  SerializeQueryTo(q, &os);
+  return os.str();
+}
+
+Result<rel::QueryNodePtr> ParseQuery(const std::string& text) {
+  LICM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  return QueryParser(std::move(tokens)).Parse();
+}
+
+std::string SerializeCase(const FuzzCase& c) {
+  std::ostringstream os;
+  os << kMagic << "\n";
+  os << "seed " << c.seed << "\n";
+  os << "num_vars " << c.num_base_vars << "\n";
+  auto rel_ptr = c.db.GetRelation(kFuzzRelation);
+  LICM_CHECK(rel_ptr.ok());
+  const LicmRelation& r = **rel_ptr;
+  os << "schema";
+  for (const rel::Column& col : r.schema().columns()) {
+    os << " " << col.name << ":" << TypeToken(col.type);
+  }
+  os << "\n";
+  for (size_t i = 0; i < r.size(); ++i) {
+    os << "tuple";
+    for (const Value& v : r.tuple(i)) os << " " << ValueToken(v);
+    os << " " << (r.ext(i).certain()
+                      ? std::string("certain")
+                      : "b" + std::to_string(r.ext(i).var()));
+    os << "\n";
+  }
+  for (const LinearConstraint& lc : c.db.constraints().constraints()) {
+    os << "constraint " << ConstraintOpName(lc.op) << " " << lc.rhs;
+    for (const auto& t : lc.terms) os << " " << t.coef << " b" << t.var;
+    os << "\n";
+  }
+  os << "query " << SerializeQuery(*c.query) << "\n";
+  os << "end\n";
+  return os.str();
+}
+
+Result<FuzzCase> ParseCase(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  auto next_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+  if (!next_line() || line != kMagic) {
+    return Status::InvalidArgument("repro: missing header '" +
+                                   std::string(kMagic) + "'");
+  }
+  FuzzCase c;
+  rel::Schema schema;
+  LicmRelation relation;
+  bool have_schema = false, have_query = false, saw_end = false;
+  auto parse_ext = [&](const std::string& tok) -> Result<Ext> {
+    if (tok == "certain") return Ext::Certain();
+    if (tok.size() < 2 || tok[0] != 'b') {
+      return Status::InvalidArgument("repro: bad ext '" + tok + "'");
+    }
+    const uint64_t v = std::stoull(tok.substr(1));
+    if (v >= c.num_base_vars) {
+      return Status::InvalidArgument("repro: variable b" + std::to_string(v) +
+                                     " out of range");
+    }
+    return Ext::Maybe(static_cast<BVar>(v));
+  };
+  while (next_line()) {
+    LICM_ASSIGN_OR_RETURN(std::vector<Token> toks, Tokenize(line));
+    if (toks.empty()) continue;
+    const std::string& key = toks[0].text;
+    if (key == "seed" && toks.size() == 2) {
+      c.seed = std::stoull(toks[1].text);
+    } else if (key == "num_vars" && toks.size() == 2) {
+      c.num_base_vars = static_cast<uint32_t>(std::stoul(toks[1].text));
+    } else if (key == "schema") {
+      std::vector<rel::Column> cols;
+      for (size_t i = 1; i < toks.size(); ++i) {
+        const std::string& spec = toks[i].text;
+        const size_t colon = spec.find(':');
+        if (colon == std::string::npos) {
+          return Status::InvalidArgument("repro: schema entry '" + spec +
+                                         "' is not name:type");
+        }
+        LICM_ASSIGN_OR_RETURN(ValueType t, ParseType(spec.substr(colon + 1)));
+        cols.push_back({spec.substr(0, colon), t});
+      }
+      schema = rel::Schema(std::move(cols));
+      relation = LicmRelation(schema);
+      have_schema = true;
+    } else if (key == "tuple") {
+      if (!have_schema) {
+        return Status::InvalidArgument("repro: tuple before schema");
+      }
+      if (toks.size() != schema.size() + 2) {
+        return Status::InvalidArgument("repro: tuple arity mismatch: " + line);
+      }
+      rel::Tuple t;
+      for (size_t i = 0; i < schema.size(); ++i) {
+        LICM_ASSIGN_OR_RETURN(Value v, ParseValue(toks[1 + i]));
+        t.push_back(std::move(v));
+      }
+      LICM_ASSIGN_OR_RETURN(Ext ext, parse_ext(toks.back().text));
+      LICM_RETURN_NOT_OK(relation.Append(std::move(t), ext));
+    } else if (key == "constraint") {
+      if (toks.size() < 3 || (toks.size() - 3) % 2 != 0) {
+        return Status::InvalidArgument("repro: bad constraint line: " + line);
+      }
+      LinearConstraint lc;
+      if (toks[1].text == "<=") lc.op = ConstraintOp::kLe;
+      else if (toks[1].text == ">=") lc.op = ConstraintOp::kGe;
+      else if (toks[1].text == "=") lc.op = ConstraintOp::kEq;
+      else {
+        return Status::InvalidArgument("repro: bad constraint op '" +
+                                       toks[1].text + "'");
+      }
+      lc.rhs = std::stoll(toks[2].text);
+      for (size_t i = 3; i + 1 < toks.size(); i += 2) {
+        const std::string& vtok = toks[i + 1].text;
+        if (vtok.size() < 2 || vtok[0] != 'b') {
+          return Status::InvalidArgument("repro: bad term variable '" + vtok +
+                                         "'");
+        }
+        const uint64_t v = std::stoull(vtok.substr(1));
+        if (v >= c.num_base_vars) {
+          return Status::InvalidArgument("repro: variable b" +
+                                         std::to_string(v) + " out of range");
+        }
+        lc.terms.push_back(
+            {static_cast<BVar>(v), std::stoll(toks[i].text)});
+      }
+      c.db.constraints().Add(std::move(lc));
+    } else if (key == "query") {
+      const size_t at = line.find("query");
+      LICM_ASSIGN_OR_RETURN(c.query, ParseQuery(line.substr(at + 5)));
+      have_query = true;
+    } else if (key == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return Status::InvalidArgument("repro: unknown line: " + line);
+    }
+  }
+  if (!have_schema || !have_query || !saw_end) {
+    return Status::InvalidArgument("repro: incomplete file");
+  }
+  if (!rel::IsAggregate(*c.query)) {
+    return Status::InvalidArgument("repro: query root is not an aggregate");
+  }
+  for (uint32_t v = 0; v < c.num_base_vars; ++v) c.db.pool().New();
+  LICM_RETURN_NOT_OK(c.db.AddRelation(kFuzzRelation, std::move(relation)));
+  return c;
+}
+
+Status WriteReproFile(const FuzzCase& c, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << SerializeCase(c);
+  out.close();
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<FuzzCase> ReadReproFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCase(buf.str());
+}
+
+}  // namespace licm::testing

@@ -1,0 +1,36 @@
+// Self-contained repro files for fuzz failures (DESIGN.md §9).
+//
+// A repro file captures one FuzzCase completely — seed, variable count,
+// relation schema + tuples + Ext attributes, constraint set, and the query
+// tree as an s-expression — in a line-oriented text format that
+// `licm_fuzz --repro <file>` replays without regenerating. The reducer
+// writes these (next to the `.lp` export of the same case) for every
+// shrunk failure.
+#ifndef LICM_TESTING_REPRO_H_
+#define LICM_TESTING_REPRO_H_
+
+#include <string>
+
+#include "testing/generator.h"
+
+namespace licm::testing {
+
+/// Renders `c` in the repro text format. Serialization is canonical:
+/// parsing and re-serializing yields the identical string.
+std::string SerializeCase(const FuzzCase& c);
+
+/// Parses a repro file body. Validates variable ids, schema/tuple
+/// consistency, and that the query root is an aggregate.
+Result<FuzzCase> ParseCase(const std::string& text);
+
+Status WriteReproFile(const FuzzCase& c, const std::string& path);
+Result<FuzzCase> ReadReproFile(const std::string& path);
+
+/// Query tree as a one-line s-expression, e.g.
+///   (count_star (select (scan t) (pred ge item "brie")))
+std::string SerializeQuery(const rel::QueryNode& q);
+Result<rel::QueryNodePtr> ParseQuery(const std::string& text);
+
+}  // namespace licm::testing
+
+#endif  // LICM_TESTING_REPRO_H_

@@ -1,0 +1,155 @@
+// Short-budget differential fuzzing smoke (DESIGN.md §9).
+//
+// Runs the generator -> invariant pipeline over a few hundred seeded cases
+// so every PR exercises the possible-world oracle, the metamorphic
+// toggles, and the timeout semantics end to end. Case count scales with
+// the LICM_FUZZ_CASES environment variable (sanitizer CI lowers it) and
+// the base seed with LICM_FUZZ_SEED, so any CI failure replays locally
+// from the seed printed in the assertion message.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "licm/evaluator.h"
+#include "testing/generator.h"
+#include "testing/invariants.h"
+#include "testing/oracle.h"
+#include "testing/reducer.h"
+#include "testing/repro.h"
+
+namespace licm::testing {
+namespace {
+
+int64_t CasesFromEnv(int64_t fallback) {
+  const char* env = std::getenv("LICM_FUZZ_CASES");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const int64_t parsed = std::strtoll(env, &end, 0);
+  return (end != nullptr && *end == '\0' && parsed > 0) ? parsed : fallback;
+}
+
+// On failure: reduce, write the repro next to the test binary, and return
+// a message with everything needed to chase it.
+std::string FailureArtifacts(const FuzzCase& c, const InvariantReport& r) {
+  ReduceResult red = ReduceForInvariant(c, r.name);
+  const std::string path = "fuzz_repro_" + std::to_string(c.seed) + ".txt";
+  const Status st = WriteReproFile(red.reduced, path);
+  return "seed=" + std::to_string(c.seed) + " invariant=" + r.name + ": " +
+         r.detail + "\nreplay: LICM_FUZZ_SEED=" + std::to_string(c.seed) +
+         " licm_fuzz --cases 1 --invariant " + r.name +
+         "\nrepro: " + (st.ok() ? path : "<write failed>");
+}
+
+TEST(FuzzSmoke, AllInvariantsOverSeededCases) {
+  const uint64_t base = FuzzSeedFromEnv(0xf022);
+  const int64_t cases = CasesFromEnv(200);
+  for (int64_t i = 0; i < cases; ++i) {
+    const FuzzCase c = GenerateCase(base + static_cast<uint64_t>(i));
+    auto reports = CheckCase(c);
+    ASSERT_TRUE(reports.ok())
+        << "seed=" << c.seed << ": " << reports.status().ToString();
+    for (const InvariantReport& r : *reports) {
+      EXPECT_NE(r.verdict, Verdict::kFail) << FailureArtifacts(c, r);
+    }
+  }
+}
+
+// Timeout semantics as a standalone property (satellite of the timeout
+// invariant): an already-expired deadline must yield kTimeLimit with
+// valid loose bounds — or a fast genuine answer — never a wrong
+// kInfeasible, on every feasible fuzz instance.
+TEST(FuzzSmoke, ExpiredDeadlineNeverFeignsInfeasibility) {
+  const uint64_t base = FuzzSeedFromEnv(0xdead0);
+  const int64_t cases = CasesFromEnv(200) / 4;
+  for (int64_t i = 0; i < cases; ++i) {
+    const FuzzCase c = GenerateCase(base + static_cast<uint64_t>(i));
+    const auto oracle = OracleAggregate(c);
+    ASSERT_TRUE(oracle.ok()) << "seed=" << c.seed;
+    if (!oracle->feasible) continue;
+
+    const Deadline expired = Deadline::After(0.0);
+    AnswerOptions opt;
+    opt.bounds.mip.num_threads = 1;
+    opt.bounds.mip.deadline = &expired;
+    auto ans = AnswerAggregate(*c.query, c.db, opt);
+    ASSERT_TRUE(ans.ok()) << "seed=" << c.seed
+                          << ": feasible instance reported "
+                          << ans.status().ToString();
+    // Whatever the solver managed before the deadline, the proved bounds
+    // must still envelope the true range.
+    EXPECT_LE(ans->bounds.min.proved, oracle->min) << "seed=" << c.seed;
+    EXPECT_GE(ans->bounds.max.proved, oracle->max) << "seed=" << c.seed;
+  }
+}
+
+// Repro format: serialize -> parse -> serialize is the identity, and the
+// parsed case is behaviorally identical to the original (same reports
+// from every invariant).
+TEST(FuzzSmoke, ReproRoundTrip) {
+  const uint64_t base = FuzzSeedFromEnv(0x4e40);
+  const int64_t cases = CasesFromEnv(200) / 8;
+  for (int64_t i = 0; i < cases; ++i) {
+    const FuzzCase c = GenerateCase(base + static_cast<uint64_t>(i));
+    const std::string text1 = SerializeCase(c);
+    auto parsed = ParseCase(text1);
+    ASSERT_TRUE(parsed.ok()) << "seed=" << c.seed << ": "
+                             << parsed.status().ToString() << "\n"
+                             << text1;
+    EXPECT_EQ(text1, SerializeCase(*parsed)) << "seed=" << c.seed;
+
+    auto r1 = CheckCase(c);
+    auto r2 = CheckCase(*parsed);
+    ASSERT_TRUE(r1.ok() && r2.ok()) << "seed=" << c.seed;
+    ASSERT_EQ(r1->size(), r2->size());
+    for (size_t k = 0; k < r1->size(); ++k) {
+      EXPECT_EQ((*r1)[k].verdict, (*r2)[k].verdict)
+          << "seed=" << c.seed << " invariant=" << (*r1)[k].name << ": "
+          << (*r1)[k].detail << " vs " << (*r2)[k].detail;
+    }
+  }
+}
+
+// Reducer sanity on a synthetic predicate: "the relation still has a
+// maybe tuple and the constraint set is non-empty" must shrink to one
+// tuple and one constraint regardless of the starting size.
+TEST(FuzzSmoke, ReducerShrinksSyntheticFailure) {
+  const uint64_t base = FuzzSeedFromEnv(0x4ed0);
+  int reduced_any = 0;
+  for (uint64_t i = 0; i < 20; ++i) {
+    const FuzzCase c = GenerateCase(base + i);
+    const auto pred = [](const FuzzCase& cand) {
+      auto r = cand.db.GetRelation(kFuzzRelation);
+      if (!r.ok()) return false;
+      bool maybe = false;
+      for (size_t k = 0; k < (*r)->size(); ++k) {
+        maybe |= !(*r)->ext(k).certain();
+      }
+      return maybe && cand.db.constraints().size() > 0;
+    };
+    if (!pred(c)) continue;
+    const ReduceResult res = ReduceCase(c, pred);
+    EXPECT_TRUE(pred(res.reduced)) << "seed=" << c.seed;
+    EXPECT_EQ(res.tuples_after, 1u) << "seed=" << c.seed;
+    EXPECT_EQ(res.constraints_after, 1u) << "seed=" << c.seed;
+    EXPECT_LE(res.vars_after, 2u) << "seed=" << c.seed;
+    ++reduced_any;
+  }
+  EXPECT_GT(reduced_any, 0) << "no generated case had a maybe tuple and a "
+                               "constraint; generator defaults changed?";
+}
+
+// The reducer leaves a case alone when the predicate does not hold on the
+// input (callers only reduce observed failures).
+TEST(FuzzSmoke, ReducerRequiresReproducingInput) {
+  const FuzzCase c = GenerateCase(FuzzSeedFromEnv(7));
+  const ReduceResult res =
+      ReduceCase(c, [](const FuzzCase&) { return false; });
+  EXPECT_EQ(res.tuples_after, res.tuples_before);
+  EXPECT_EQ(res.constraints_after, res.constraints_before);
+  EXPECT_EQ(res.rounds, 0);
+}
+
+}  // namespace
+}  // namespace licm::testing

@@ -146,7 +146,12 @@ QueryNodePtr MakeRandomQuery(Rng* rng) {
 class OracleTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(OracleTest, BoundsMatchExhaustiveEnumeration) {
-  Rng rng(0xabc000 + GetParam());
+  // LICM_FUZZ_SEED shifts the whole sweep, and every failure names its
+  // seed so one case replays in isolation.
+  const uint64_t seed = FuzzSeedFromEnv(0xabc000) + GetParam();
+  SCOPED_TRACE("replay: LICM_FUZZ_SEED=" + std::to_string(seed - GetParam()) +
+               " (case seed " + std::to_string(seed) + ")");
+  Rng rng(seed);
   RandomDb rd = MakeRandomDb(&rng);
   QueryNodePtr query = MakeRandomQuery(&rng);
 
@@ -184,7 +189,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, OracleTest, ::testing::Range(0, 150));
 class OracleNoPruneTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(OracleNoPruneTest, PrunedAndUnprunedAgree) {
-  Rng rng(0xdef000 + GetParam());
+  const uint64_t seed = FuzzSeedFromEnv(0xdef000) + GetParam();
+  SCOPED_TRACE("replay: LICM_FUZZ_SEED=" + std::to_string(seed - GetParam()) +
+               " (case seed " + std::to_string(seed) + ")");
+  Rng rng(seed);
   RandomDb rd = MakeRandomDb(&rng);
   QueryNodePtr query = MakeRandomQuery(&rng);
 

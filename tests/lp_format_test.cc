@@ -61,7 +61,9 @@ TEST(LpParse, RejectsMalformedInput) {
 class LpRoundTrip : public ::testing::TestWithParam<int> {};
 
 TEST_P(LpRoundTrip, WriteParseSolveAgrees) {
-  Rng rng(0x11f000 + GetParam());
+  const uint64_t seed = FuzzSeedFromEnv(0x11f000) + GetParam();
+  SCOPED_TRACE("replay: LICM_FUZZ_SEED=" + std::to_string(seed - GetParam()));
+  Rng rng(seed);
   LinearProgram lp;
   const int n = 3 + static_cast<int>(rng.Uniform(6));
   for (int v = 0; v < n; ++v) {
@@ -85,11 +87,19 @@ TEST_P(LpRoundTrip, WriteParseSolveAgrees) {
   }
   const Sense sense = rng.Bernoulli(0.5) ? Sense::kMaximize : Sense::kMinimize;
 
-  auto parsed = ParseLpFormat(ToLpFormat(lp, sense));
+  const std::string text1 = ToLpFormat(lp, sense);
+  auto parsed = ParseLpFormat(text1);
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed->sense, sense);
   EXPECT_EQ(parsed->program.num_vars(), lp.num_vars());
   EXPECT_EQ(parsed->program.num_rows(), lp.num_rows());
+
+  // One export->parse cycle is a fixpoint of the format: re-exporting the
+  // parsed program reproduces the text byte for byte.
+  const std::string text2 = ToLpFormat(parsed->program, parsed->sense);
+  auto parsed2 = ParseLpFormat(text2);
+  ASSERT_TRUE(parsed2.ok()) << parsed2.status().ToString();
+  EXPECT_EQ(text2, ToLpFormat(parsed2->program, parsed2->sense));
 
   MipSolver solver;
   MipResult a = solver.Solve(lp, sense);
