@@ -11,16 +11,8 @@
 #include "common/stopwatch.h"
 #include "common/telemetry.h"
 #include "common/trace_export.h"
+#include "common/version.h"
 #include "relational/engine.h"
-
-// Provenance stamped into every BENCH_*.json row; bench/CMakeLists.txt
-// injects the real values, these fallbacks keep other build setups alive.
-#ifndef LICM_GIT_SHA
-#define LICM_GIT_SHA "unknown"
-#endif
-#ifndef LICM_BUILD_TYPE
-#define LICM_BUILD_TYPE "unknown"
-#endif
 
 namespace licm::bench {
 
@@ -348,7 +340,7 @@ Status WriteBenchJson(const std::string& path,
   std::snprintf(provenance, sizeof(provenance),
                 "{\"git_sha\":\"%s\",\"build_type\":\"%s\","
                 "\"hardware_concurrency\":%u,",
-                LICM_GIT_SHA, LICM_BUILD_TYPE,
+                BuildGitSha(), BuildTypeName(),
                 std::thread::hardware_concurrency());
   std::fputs("[\n", f);
   for (size_t i = 0; i < records.size(); ++i) {

@@ -26,6 +26,7 @@ enum class StatusCode {
   kUnbounded,     // optimization objective is unbounded
   kTimeLimit,     // solver stopped at its deadline with a bound gap
   kIOError,
+  kOverloaded,    // service admission control rejected the request
 };
 
 /// Outcome of an operation that can fail without a payload.
@@ -66,6 +67,9 @@ class Status {
   static Status IOError(std::string m) {
     return Status(StatusCode::kIOError, std::move(m));
   }
+  static Status Overloaded(std::string m) {
+    return Status(StatusCode::kOverloaded, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -89,6 +93,7 @@ class Status {
       case StatusCode::kUnbounded: return "Unbounded";
       case StatusCode::kTimeLimit: return "TimeLimit";
       case StatusCode::kIOError: return "IOError";
+      case StatusCode::kOverloaded: return "Overloaded";
     }
     return "Unknown";
   }

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <limits>
 
 #include "common/telemetry.h"
 
@@ -69,6 +70,19 @@ class Deadline {
 
   /// Cooperative cancellation: makes Expired() true for every holder.
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Wall-clock seconds until expiry, clamped to zero once the deadline
+  /// has passed or was cancelled; +infinity for Never(). Callers size
+  /// follow-up budgets (e.g. a degraded sampling pass after a timed-out
+  /// exact solve) off this value, so it must never go negative.
+  double RemainingSeconds() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return 0.0;
+    if (at_ == Clock::time_point::max()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const double s = std::chrono::duration<double>(at_ - Clock::now()).count();
+    return s > 0.0 ? s : 0.0;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

@@ -1,0 +1,23 @@
+#include "common/version.h"
+
+// Injected by src/common/CMakeLists.txt; the fallbacks keep non-CMake
+// build setups (and git-less source exports) alive.
+#ifndef LICM_GIT_SHA
+#define LICM_GIT_SHA "unknown"
+#endif
+#ifndef LICM_BUILD_TYPE
+#define LICM_BUILD_TYPE "unknown"
+#endif
+
+namespace licm {
+
+const char* BuildGitSha() { return LICM_GIT_SHA; }
+
+const char* BuildTypeName() { return LICM_BUILD_TYPE; }
+
+std::string VersionString(const char* tool) {
+  return std::string(tool) + " " + BuildGitSha() + " (" + BuildTypeName() +
+         ")";
+}
+
+}  // namespace licm

@@ -1,0 +1,24 @@
+// Build provenance: the git revision and CMake build type baked into the
+// binaries at configure time. One definition point (src/common/CMakeLists
+// injects the macros into version.cc) serves every consumer — BENCH_*.json
+// rows, `--version` flags on the CLI tools, and the service's ping
+// response — so artifacts from any layer can be tied back to one build.
+#ifndef LICM_COMMON_VERSION_H_
+#define LICM_COMMON_VERSION_H_
+
+#include <string>
+
+namespace licm {
+
+/// Short git revision of the build ("unknown" outside a git checkout).
+const char* BuildGitSha();
+
+/// CMake build type ("RelWithDebInfo", "Debug", ...).
+const char* BuildTypeName();
+
+/// One-line version banner for a CLI tool: "<tool> <git_sha> (<build_type>)".
+std::string VersionString(const char* tool);
+
+}  // namespace licm
+
+#endif  // LICM_COMMON_VERSION_H_

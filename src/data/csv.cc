@@ -30,15 +30,43 @@ Status SaveCsv(const TransactionDataset& dataset, const std::string& path) {
 
 namespace {
 
+// Normalizes one raw line: strips a trailing '\r' (CRLF files round-trip
+// through Windows tooling) and reports whether anything but whitespace
+// remains. Whitespace-only rows are skipped like empty ones.
+bool NormalizeLine(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  return line->find_first_not_of(" \t") != std::string::npos;
+}
+
+bool IsSpaceOnly(const std::string& s) {
+  return s.find_first_not_of(" \t") == std::string::npos;
+}
+
 Result<std::vector<int64_t>> SplitInts(const std::string& line, size_t n) {
+  // A trailing comma would silently read as a missing final column; make
+  // the malformation explicit instead.
+  if (!line.empty() && line.back() == ',') {
+    return Status::InvalidArgument("trailing comma in CSV row: '" + line +
+                                   "'");
+  }
   std::vector<int64_t> out;
   std::stringstream ss(line);
   std::string cell;
   while (std::getline(ss, cell, ',')) {
+    if (IsSpaceOnly(cell)) {
+      return Status::InvalidArgument("empty CSV cell in row: '" + line + "'");
+    }
     char* end = nullptr;
     const long long v = std::strtoll(cell.c_str(), &end, 10);
     if (end == cell.c_str()) {
       return Status::InvalidArgument("non-numeric CSV cell: '" + cell + "'");
+    }
+    // strtoll stops at the first non-digit; accepting "12abc" as 12 would
+    // be a silent misparse, so require the whole cell (modulo padding).
+    while (*end == ' ' || *end == '\t') ++end;
+    if (*end != '\0') {
+      return Status::InvalidArgument("trailing garbage in CSV cell: '" +
+                                     cell + "'");
     }
     out.push_back(v);
   }
@@ -57,13 +85,17 @@ Result<TransactionDataset> LoadCsv(const std::string& path) {
   std::ifstream f(path);
   if (!f) return Status::IOError("cannot open " + path);
   std::string line;
-  if (!std::getline(f, line) || line != "tid,loc,item") {
+  if (!std::getline(f, line)) {
+    return Status::InvalidArgument("bad header in " + path);
+  }
+  NormalizeLine(&line);
+  if (line != "tid,loc,item") {
     return Status::InvalidArgument("bad header in " + path);
   }
   std::map<int64_t, Transaction> txns;
   ItemId max_item = 0;
   while (std::getline(f, line)) {
-    if (line.empty()) continue;
+    if (!NormalizeLine(&line)) continue;
     LICM_ASSIGN_OR_RETURN(auto cells, SplitInts(line, 3));
     if (cells[2] < 0) {
       return Status::InvalidArgument("negative item id in " + path);
@@ -78,12 +110,16 @@ Result<TransactionDataset> LoadCsv(const std::string& path) {
   TransactionDataset out;
   std::ifstream pf(path + ".prices");
   if (!pf) return Status::IOError("cannot open " + path + ".prices");
-  if (!std::getline(pf, line) || line != "item,price") {
+  if (!std::getline(pf, line)) {
+    return Status::InvalidArgument("bad header in " + path + ".prices");
+  }
+  NormalizeLine(&line);
+  if (line != "item,price") {
     return Status::InvalidArgument("bad header in " + path + ".prices");
   }
   std::map<ItemId, int64_t> prices;
   while (std::getline(pf, line)) {
-    if (line.empty()) continue;
+    if (!NormalizeLine(&line)) continue;
     LICM_ASSIGN_OR_RETURN(auto cells, SplitInts(line, 2));
     prices[static_cast<ItemId>(cells[0])] = cells[1];
     max_item = std::max(max_item, static_cast<ItemId>(cells[0]));

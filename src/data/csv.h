@@ -18,7 +18,10 @@ Status SaveCsv(const TransactionDataset& dataset, const std::string& path);
 
 /// Loads a dataset previously written by SaveCsv (or hand-authored in the
 /// same shape). Transactions are reconstructed in tid order; item ids must
-/// be dense in [0, max_item].
+/// be dense in [0, max_item]. CRLF line endings are tolerated and
+/// empty / whitespace-only rows are skipped; structurally malformed rows
+/// (trailing commas, empty cells, non-numeric or trailing-garbage cells)
+/// return a typed kInvalidArgument error instead of misparsing silently.
 Result<TransactionDataset> LoadCsv(const std::string& path);
 
 }  // namespace licm::data

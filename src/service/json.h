@@ -1,0 +1,58 @@
+// Minimal dependency-free JSON for the service wire protocol.
+//
+// The service speaks one JSON object per line (DESIGN.md §10); this
+// module is the parsing half — a strict recursive-descent parser into a
+// small value tree with typed accessors — plus the string-escaping helper
+// the response writers share. It is deliberately not a general JSON
+// library: numbers are doubles, object keys keep insertion order, and
+// depth is capped so a hostile request cannot recurse the server stack.
+#ifndef LICM_SERVICE_JSON_H_
+#define LICM_SERVICE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace licm::service {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  /// Insertion-ordered; duplicate keys keep the last occurrence on Find.
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  bool IsObject() const { return kind == Kind::kObject; }
+
+  /// Member lookup on an object (nullptr when absent or not an object).
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Typed member accessors with defaults for absent keys; a present key
+  /// of the wrong type returns an error so client bugs surface as typed
+  /// protocol errors instead of silently defaulted fields.
+  Result<double> GetNumber(const std::string& key, double def) const;
+  Result<int64_t> GetInt(const std::string& key, int64_t def) const;
+  Result<std::string> GetString(const std::string& key,
+                                const std::string& def) const;
+  Result<bool> GetBool(const std::string& key, bool def) const;
+};
+
+/// Parses exactly one JSON value (plus surrounding whitespace); trailing
+/// content is an error. Strings handle the standard escapes including
+/// \uXXXX basic-plane code points (encoded back as UTF-8).
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace licm::service
+
+#endif  // LICM_SERVICE_JSON_H_

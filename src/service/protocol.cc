@@ -1,0 +1,171 @@
+#include "service/protocol.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "common/version.h"
+#include "service/json.h"
+
+namespace licm::service {
+namespace {
+
+// Field-by-field builder for the one-line response objects. Same
+// rendering rules as the bench harness's JsonRecord (17 significant
+// digits, inf/nan -> null) so BENCH_service.json post-processors can
+// parse service responses too.
+class LineWriter {
+ public:
+  LineWriter& Int(const char* key, int64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    return Raw(key, buf);
+  }
+  LineWriter& Num(const char* key, double v) {
+    if (!std::isfinite(v)) return Raw(key, "null");
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return Raw(key, buf);
+  }
+  LineWriter& Bool(const char* key, bool v) {
+    return Raw(key, v ? "true" : "false");
+  }
+  LineWriter& Str(const char* key, const std::string& v) {
+    return Raw(key, "\"" + JsonEscape(v) + "\"");
+  }
+
+  std::string Done() { return out_ + "}"; }
+
+ private:
+  LineWriter& Raw(const char* key, const std::string& rendered) {
+    out_ += first_ ? "{\"" : ",\"";
+    first_ = false;
+    out_ += key;
+    out_ += "\":";
+    out_ += rendered;
+    return *this;
+  }
+  std::string out_;
+  bool first_ = true;
+};
+
+LineWriter Begin(int64_t id, bool ok) {
+  LineWriter w;
+  w.Int("id", id).Bool("ok", ok);
+  return w;
+}
+
+}  // namespace
+
+Result<WireRequest> ParseRequestLine(const std::string& line) {
+  LICM_ASSIGN_OR_RETURN(JsonValue root, ParseJson(line));
+  if (!root.IsObject()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  WireRequest req;
+  LICM_ASSIGN_OR_RETURN(req.id, root.GetInt("id", -1));
+  LICM_ASSIGN_OR_RETURN(req.op, root.GetString("op", ""));
+  if (req.op.empty()) {
+    return Status::InvalidArgument("request is missing the 'op' field");
+  }
+  LICM_ASSIGN_OR_RETURN(req.instance, root.GetString("instance", ""));
+  LICM_ASSIGN_OR_RETURN(int64_t qnum, root.GetInt("qnum", 1));
+  req.qnum = static_cast<int>(qnum);
+  LICM_ASSIGN_OR_RETURN(req.deadline_ms, root.GetNumber("deadline_ms", -1.0));
+  LICM_ASSIGN_OR_RETURN(int64_t worlds, root.GetInt("mc_worlds", 0));
+  if (worlds < 0) {
+    return Status::InvalidArgument("mc_worlds must be non-negative");
+  }
+  req.mc_worlds = static_cast<int>(worlds);
+  LICM_ASSIGN_OR_RETURN(int64_t seed, root.GetInt("seed", 0));
+  req.seed = static_cast<uint64_t>(seed);
+  return req;
+}
+
+std::string RenderError(int64_t id, const Status& status) {
+  return Begin(id, false)
+      .Str("status", Status::CodeName(status.code()))
+      .Str("error", status.message())
+      .Done();
+}
+
+std::string RenderQueryResponse(int64_t id, const QueryResponse& r) {
+  LineWriter w = Begin(id, true);
+  w.Bool("degraded", r.degraded)
+      .Num("min", r.min)
+      .Num("max", r.max)
+      .Bool("min_exact", r.min_exact)
+      .Bool("max_exact", r.max_exact)
+      .Num("proved_min", r.proved_min)
+      .Num("proved_max", r.proved_max);
+  if (r.has_samples) {
+    w.Num("sample_min", r.sample_min)
+        .Num("sample_max", r.sample_max)
+        .Int("sample_worlds", r.sample_worlds);
+  }
+  w.Num("queue_ms", r.queue_ms)
+      .Num("solve_ms", r.solve_ms)
+      .Num("sample_ms", r.sample_ms)
+      .Num("total_ms", r.total_ms)
+      .Int("nodes", r.stats.nodes)
+      .Int("cache_hits", r.stats.cache_hits)
+      .Int("cache_misses", r.stats.cache_misses);
+  return w.Done();
+}
+
+std::string RenderStats(int64_t id, const ServiceStats& s) {
+  const int64_t lookups = s.cache.hits + s.cache.misses;
+  return Begin(id, true)
+      .Int("admitted", s.admitted)
+      .Int("rejected_overload", s.rejected_overload)
+      .Int("failed", s.failed)
+      .Int("completed", s.completed)
+      .Int("degraded", s.degraded)
+      .Int("queue_depth", static_cast<int64_t>(s.queue_depth))
+      .Int("inflight", s.inflight)
+      .Int("instances", static_cast<int64_t>(s.instances))
+      .Int("nodes", s.solve.nodes)
+      .Int("lp_solves", s.solve.lp_solves)
+      .Int("components", static_cast<int64_t>(s.solve.components))
+      .Int("subtree_splits", s.solve.subtree_splits)
+      .Int("cache_hits", s.cache.hits)
+      .Int("cache_misses", s.cache.misses)
+      .Int("cache_evictions", s.cache.evictions)
+      .Num("cache_hit_rate",
+           lookups > 0 ? static_cast<double>(s.cache.hits) /
+                             static_cast<double>(lookups)
+                       : 0.0)
+      .Num("cpu_s", s.solve.cpu_seconds)
+      .Done();
+}
+
+std::string RenderPong(int64_t id) {
+  return Begin(id, true)
+      .Str("pong", "licm")
+      .Str("git_sha", BuildGitSha())
+      .Str("build_type", BuildTypeName())
+      .Done();
+}
+
+std::string RenderInstances(int64_t id,
+                            const std::vector<std::string>& names) {
+  std::string arr = "[";
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) arr += ",";
+    arr += "\"" + JsonEscape(names[i]) + "\"";
+  }
+  arr += "]";
+  LineWriter w = Begin(id, true);
+  // LineWriter has no array type; splice the rendered array through the
+  // raw string path of Str-like formatting.
+  std::string line = w.Done();
+  line.pop_back();  // drop '}'
+  line += ",\"instances\":" + arr + "}";
+  return line;
+}
+
+std::string RenderShutdownAck(int64_t id) {
+  return Begin(id, true).Bool("shutting_down", true).Done();
+}
+
+}  // namespace licm::service

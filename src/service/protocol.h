@@ -1,0 +1,60 @@
+// Line-oriented JSON wire protocol of the query service (DESIGN.md §10).
+//
+// One request object per line in, one response object per line out, over
+// either a TCP connection or the stdin/stdout batch mode — the framing is
+// identical. Grammar (all fields but `op` optional):
+//
+//   request  := { "op": "query" | "ping" | "stats" | "instances"
+//                        | "shutdown",
+//                 "id": number,            // echoed verbatim in the reply
+//                 "instance": string,      // query: registered instance
+//                 "qnum": 1 | 2 | 3,       // query: paper query number
+//                 "deadline_ms": number,   // query: wall budget, 0 =>
+//                                          //   degrade immediately
+//                 "mc_worlds": number,     // query: degraded sample size
+//                 "seed": number }         // query: degraded sample seed
+//   response := { "id": ..., "ok": bool, ... }  // see the renderers
+//
+// Every malformed line yields exactly one {"ok":false,...} response with
+// the typed status name — the connection survives, so a client bug never
+// wedges the stream.
+#ifndef LICM_SERVICE_PROTOCOL_H_
+#define LICM_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/query_service.h"
+
+namespace licm::service {
+
+struct WireRequest {
+  /// Client-chosen correlation id, echoed in the response; -1 = absent.
+  int64_t id = -1;
+  std::string op;
+  std::string instance;
+  int qnum = 1;
+  /// Negative = service default; 0 = already expired (degrade path).
+  double deadline_ms = -1.0;
+  int mc_worlds = 0;
+  uint64_t seed = 0;
+};
+
+/// Parses one request line. Unknown fields are ignored (forward
+/// compatibility); wrongly typed known fields are errors.
+Result<WireRequest> ParseRequestLine(const std::string& line);
+
+/// Response renderers. Each returns one JSON object without the trailing
+/// newline; the transport appends it.
+std::string RenderError(int64_t id, const Status& status);
+std::string RenderQueryResponse(int64_t id, const QueryResponse& response);
+std::string RenderStats(int64_t id, const ServiceStats& stats);
+std::string RenderPong(int64_t id);
+std::string RenderInstances(int64_t id,
+                            const std::vector<std::string>& names);
+std::string RenderShutdownAck(int64_t id);
+
+}  // namespace licm::service
+
+#endif  // LICM_SERVICE_PROTOCOL_H_

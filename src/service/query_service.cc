@@ -1,0 +1,283 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/telemetry.h"
+#include "relational/engine.h"
+#include "sampler/monte_carlo.h"
+
+namespace licm::service {
+
+QueryService::QueryService(ServiceConfig config)
+    : config_([&] {
+        ServiceConfig c = config;
+        if (c.num_workers < 1) c.num_workers = 1;
+        if (c.degraded_worlds < 1) c.degraded_worlds = 1;
+        return c;
+      }()),
+      scheduler_(config_.solver_threads),
+      cache_(config_.cache_capacity) {
+  workers_.reserve(static_cast<size_t>(config_.num_workers));
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    // Fail queued-but-unstarted requests instead of leaving their callers
+    // blocked forever. (Well-behaved owners don't destroy the service
+    // with callers still inside Execute; this is the safety net.)
+    for (auto& p : queue_) {
+      p->outcome = Status::Internal("service stopped");
+      p->done = true;
+      p->done_cv.notify_all();
+    }
+    queue_.clear();
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+Status QueryService::AddInstance(
+    std::string name, LicmDatabase db,
+    std::optional<sampler::WorldStructure> structure) {
+  if (structure.has_value()) {
+    LICM_RETURN_NOT_OK(structure->Validate());
+    if (structure->num_vars < db.pool().size()) {
+      return Status::InvalidArgument(
+          "structure covers fewer variables than the database pool");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = instances_.try_emplace(
+      std::move(name), Instance{std::move(db), std::move(structure)});
+  if (!inserted) {
+    return Status::AlreadyExists("instance '" + it->first +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> QueryService::InstanceNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(instances_.size());
+  for (const auto& [name, inst] : instances_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void QueryService::SetSolveHookForTest(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  solve_hook_ = std::move(hook);
+}
+
+Result<QueryResponse> QueryService::Execute(const QueryRequest& request) {
+  if (request.query == nullptr || !rel::IsAggregate(*request.query)) {
+    return Status::InvalidArgument(
+        "request query must have an aggregate root");
+  }
+  const double budget = request.deadline_s < 0.0 ? config_.default_deadline_s
+                                                 : request.deadline_s;
+  auto pending = std::make_shared<Pending>();
+  pending->request = &request;
+  // The budget starts at admission: queue wait spends it, so an admitted
+  // request can never occupy a worker longer than its deadline plus the
+  // degraded sampling pass.
+  pending->deadline = Deadline::After(budget);
+  pending->enqueue_ns = telemetry::NowNs();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_) return Status::Internal("service stopped");
+  if (instances_.find(request.instance) == instances_.end()) {
+    return Status::NotFound("unknown instance '" + request.instance + "'");
+  }
+  if (queue_.size() >= config_.max_queue) {
+    ++rejected_overload_;
+    telemetry::Instant("service", "overloaded",
+                       {{"queue_depth", static_cast<double>(queue_.size())}});
+    return Status::Overloaded(
+        "queue full (" + std::to_string(queue_.size()) + " waiting, " +
+        std::to_string(inflight_) + " in flight)");
+  }
+  ++admitted_;
+  queue_.push_back(pending);
+  telemetry::Instant("service", "enqueue",
+                     {{"queue_depth", static_cast<double>(queue_.size())}});
+  work_cv_.notify_one();
+  pending->done_cv.wait(lock, [&] { return pending->done; });
+  return std::move(*pending->outcome);
+}
+
+void QueryService::WorkerLoop() {
+  while (true) {
+    std::shared_ptr<Pending> pending;
+    std::function<void()> hook;
+    double queue_ms = 0.0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_
+      pending = queue_.front();
+      queue_.pop_front();
+      ++inflight_;
+      hook = solve_hook_;
+      queue_ms = static_cast<double>(telemetry::NowNs() -
+                                     pending->enqueue_ns) /
+                 1e6;
+    }
+    telemetry::Instant("service", "admit", {{"queue_ms", queue_ms}});
+    if (hook) hook();
+
+    Result<QueryResponse> outcome =
+        Process(*pending->request, pending->deadline, queue_ms);
+
+    telemetry::ScopedSpan respond_span("service", "respond");
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+    if (outcome.ok()) {
+      ++completed_;
+      if (outcome->degraded) ++degraded_;
+      solve_stats_.MergeFrom(outcome->stats);
+    } else {
+      ++failed_;
+    }
+    pending->outcome = std::move(outcome);
+    pending->done = true;
+    pending->done_cv.notify_all();
+  }
+}
+
+Result<QueryResponse> QueryService::Process(const QueryRequest& request,
+                                            const Deadline& deadline,
+                                            double queue_ms) {
+  const Instance* instance = nullptr;
+  {
+    // Registered instances are immutable and unordered_map element
+    // references survive rehashes, so the pointer stays valid after the
+    // lock is dropped even if other instances are added concurrently.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = instances_.find(request.instance);
+    if (it == instances_.end()) {
+      return Status::NotFound("unknown instance '" + request.instance + "'");
+    }
+    instance = &it->second;
+  }
+
+  QueryResponse response;
+  response.queue_ms = queue_ms;
+  StopWatch total_watch;
+
+  AnswerOptions options;
+  options.bounds.mip.deadline = &deadline;
+  options.bounds.mip.cache = &cache_;
+  options.bounds.mip.scheduler = &scheduler_;
+
+  telemetry::ScopedSpan solve_span("service", "solve");
+  StopWatch solve_watch;
+  // AnswerAggregate takes the database by value: each request evaluates
+  // against its own copy, so concurrent requests never share the mutable
+  // variable pool / constraint set the operators append to.
+  auto answer = AnswerAggregate(*request.query, instance->db, options);
+  response.solve_ms = solve_watch.ElapsedMs();
+  solve_span.End();
+  if (!answer.ok()) return answer.status();
+
+  response.min = answer->bounds.min.value;
+  response.max = answer->bounds.max.value;
+  response.min_exact = answer->bounds.min.exact;
+  response.max_exact = answer->bounds.max.exact;
+  response.proved_min = answer->bounds.min.proved;
+  response.proved_max = answer->bounds.max.proved;
+  response.stats = answer->bounds.stats;
+
+  if (!response.min_exact || !response.max_exact) {
+    response.degraded = true;
+    Degrade(request, *instance, &response);
+  }
+  response.total_ms = queue_ms + total_watch.ElapsedMs();
+  return response;
+}
+
+void QueryService::Degrade(const QueryRequest& request,
+                           const Instance& instance,
+                           QueryResponse* response) {
+  telemetry::ScopedSpan span("service", "degrade");
+  const int worlds =
+      request.mc_worlds > 0 ? request.mc_worlds : config_.degraded_worlds;
+  const uint64_t seed =
+      request.mc_seed != 0 ? request.mc_seed : config_.degraded_seed;
+  StopWatch watch;
+
+  double sample_min = 0.0, sample_max = 0.0;
+  bool have_samples = false;
+  int sampled = 0;
+  if (instance.structure.has_value()) {
+    sampler::MonteCarloOptions mco;
+    mco.num_worlds = worlds;
+    mco.seed = seed;
+    auto mc = sampler::MonteCarloBounds(instance.db, *instance.structure,
+                                        *request.query, mco);
+    if (mc.ok()) {
+      sample_min = mc->min;
+      sample_max = mc->max;
+      have_samples = true;
+      sampled = static_cast<int>(mc->samples.size());
+    }
+  } else {
+    // No sampling structure (e.g. an instance registered straight from
+    // constraints): generic rejection sampling. Failure to find worlds
+    // just means the response interval stays the proved one.
+    Rng rng(seed);
+    for (int i = 0; i < worlds; ++i) {
+      auto assignment = sampler::SampleValidAssignment(
+          instance.db.constraints(),
+          static_cast<uint32_t>(instance.db.pool().size()), &rng);
+      if (!assignment.ok()) break;
+      rel::Database world = instance.db.Instantiate(*assignment);
+      auto value = rel::EvaluateAggregate(*request.query, world);
+      if (!value.ok()) break;  // e.g. MIN over a world with an empty answer
+      if (!have_samples || *value < sample_min) sample_min = *value;
+      if (!have_samples || *value > sample_max) sample_max = *value;
+      have_samples = true;
+      ++sampled;
+    }
+  }
+  response->sample_ms = watch.ElapsedMs();
+
+  // Serve the containment hull: the proved outer interval (which always
+  // contains the exact bounds, even when the search stopped at the root)
+  // widened by anything a sampled world achieved outside it.
+  response->min = response->proved_min;
+  response->max = response->proved_max;
+  if (have_samples) {
+    response->has_samples = true;
+    response->sample_min = sample_min;
+    response->sample_max = sample_max;
+    response->sample_worlds = sampled;
+    response->min = std::min(response->min, sample_min);
+    response->max = std::max(response->max, sample_max);
+  }
+}
+
+ServiceStats QueryService::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats s;
+  s.admitted = admitted_;
+  s.rejected_overload = rejected_overload_;
+  s.failed = failed_;
+  s.completed = completed_;
+  s.degraded = degraded_;
+  s.queue_depth = queue_.size();
+  s.inflight = inflight_;
+  s.instances = instances_.size();
+  s.solve = solve_stats_;
+  s.cache = cache_.Snapshot();
+  return s;
+}
+
+}  // namespace licm::service

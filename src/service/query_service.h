@@ -1,0 +1,215 @@
+// Long-running in-process query service (DESIGN.md §10).
+//
+// QueryService owns loaded LICM instances (database + optional sampling
+// structure) and answers aggregate queries against them from a fixed pool
+// of request workers behind a bounded admission queue:
+//
+//   Execute() ──admit──▶ [bounded FIFO queue] ──▶ worker: exact solve
+//        │                     │                     │ deadline hit?
+//        │ queue full          │ stop                ▼
+//        ▼                     ▼                  degrade: sampler interval
+//   kOverloaded            kInternal              (proved ∪ sampled hull)
+//
+// Every request carries a wall-clock Deadline budget that starts at
+// admission and is threaded into the solver (SolveMinMax / the MIN-MAX
+// feasibility prober share it across their whole probe sequence). When
+// the exact BIP solve hits the deadline, the service degrades gracefully:
+// it returns the proved outer interval widened by a Monte-Carlo sample of
+// possible worlds, tagged `degraded=true`, instead of failing the
+// request. All requests share one solver Scheduler and one
+// ComponentCache, so isomorphic components recur across requests for
+// free and parallel solver capacity is pooled rather than per-request.
+//
+// Determinism contract under concurrency: a non-degraded response is
+// bit-identical to an offline ComputeBounds run on the same instance and
+// query — exact bounds are proved optima, which do not depend on worker
+// interleaving, cache state, or thread count (the fuzz suite's `service`
+// invariant enforces this). Degraded responses are deterministic given
+// the request's sampling seed but their proved interval may vary with
+// how far the search got before the deadline; the containment guarantee
+// (interval ⊇ exact bounds) holds regardless.
+#ifndef LICM_SERVICE_QUERY_SERVICE_H_
+#define LICM_SERVICE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "licm/evaluator.h"
+#include "licm/licm_relation.h"
+#include "relational/query.h"
+#include "sampler/structure.h"
+#include "solver/mip_solver.h"
+#include "solver/scheduler.h"
+#include "solver/solve_cache.h"
+
+namespace licm::service {
+
+struct ServiceConfig {
+  /// Request executor threads. Each runs one request at a time; total
+  /// in-flight work is bounded by this count.
+  int num_workers = 4;
+  /// Requests allowed to wait beyond the in-flight ones; an arrival that
+  /// finds the queue at this depth is rejected with kOverloaded.
+  size_t max_queue = 64;
+  /// Per-request wall-clock budget when the request does not set one.
+  double default_deadline_s = 5.0;
+  /// Worlds the degraded path samples (the paper's MC baseline size).
+  int degraded_worlds = 20;
+  uint64_t degraded_seed = 1;
+  /// Worker threads of the shared solver scheduler (0 auto-detects); all
+  /// requests pool this capacity.
+  int solver_threads = 0;
+  /// Capacity of the shared isomorphic-component solve cache.
+  size_t cache_capacity = solver::ComponentCache::kDefaultCapacity;
+};
+
+struct QueryRequest {
+  std::string instance;
+  /// Aggregate query tree (kCountStar / kSum / kMin / kMax root).
+  rel::QueryNodePtr query;
+  /// Wall-clock budget in seconds, measured from admission (so queue wait
+  /// spends budget). Negative = use the config default; 0 = already
+  /// expired, i.e. degrade immediately.
+  double deadline_s = -1.0;
+  /// Degraded-path sampling overrides (0 = config defaults).
+  int mc_worlds = 0;
+  uint64_t mc_seed = 0;
+};
+
+struct QueryResponse {
+  /// True when the exact solve hit its deadline and the response interval
+  /// is the degraded (proved ∪ sampled) hull rather than exact bounds.
+  bool degraded = false;
+  /// The served answer interval. Non-degraded: the exact bounds.
+  /// Degraded: a containment interval — guaranteed to contain the exact
+  /// bounds (proved outer bounds widened by any sampled worlds).
+  double min = 0.0;
+  double max = 0.0;
+  bool min_exact = false;
+  bool max_exact = false;
+  /// Proved outer bounds from the (possibly deadline-capped) solve.
+  double proved_min = 0.0;
+  double proved_max = 0.0;
+  /// Observed answer range over sampled worlds (degraded path only; inner
+  /// achievable band, each endpoint witnessed by a concrete world).
+  bool has_samples = false;
+  double sample_min = 0.0;
+  double sample_max = 0.0;
+  int sample_worlds = 0;
+  /// Request lifecycle wall times.
+  double queue_ms = 0.0;
+  double solve_ms = 0.0;
+  double sample_ms = 0.0;
+  double total_ms = 0.0;
+  /// Solver statistics of this request's solve.
+  solver::MipStats stats;
+};
+
+/// Aggregate service counters, snapshotted under the service lock.
+struct ServiceStats {
+  int64_t admitted = 0;
+  int64_t rejected_overload = 0;
+  /// Requests that completed with an error status (infeasible instance,
+  /// unknown instance/column, ...). Overload rejections are not failures.
+  int64_t failed = 0;
+  int64_t completed = 0;
+  int64_t degraded = 0;
+  size_t queue_depth = 0;
+  int inflight = 0;
+  size_t instances = 0;
+  /// Merged solver stats over all completed requests.
+  solver::MipStats solve;
+  solver::ComponentCacheStats cache;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(ServiceConfig config = {});
+  /// Drains the queue (pending requests fail with an error status) and
+  /// joins the workers. Callers must not be blocked in Execute().
+  ~QueryService();
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Registers a named instance. `structure` drives the degraded path's
+  /// world sampling; without one the service falls back to generic
+  /// rejection sampling against the constraint set (and to the proved
+  /// interval alone when that fails).
+  Status AddInstance(std::string name, LicmDatabase db,
+                     std::optional<sampler::WorldStructure> structure =
+                         std::nullopt);
+
+  std::vector<std::string> InstanceNames() const;
+
+  /// Admits, queues, and executes one request, blocking the caller until
+  /// its response is ready. Safe to call from any number of threads —
+  /// that is the intended use: one caller per client connection, with the
+  /// bounded queue (not the caller count) limiting actual work.
+  /// Errors: kOverloaded (admission), kNotFound (unknown instance),
+  /// kInfeasible (instance admits no world and the solve proved it),
+  /// kInvalidArgument (malformed query).
+  Result<QueryResponse> Execute(const QueryRequest& request);
+
+  ServiceStats Stats() const;
+
+  const ServiceConfig& config() const { return config_; }
+
+  /// Test hook: runs at the start of every worker solve while set. Lets
+  /// tests hold workers busy deterministically to exercise admission
+  /// control; never set in production paths.
+  void SetSolveHookForTest(std::function<void()> hook);
+
+ private:
+  struct Instance {
+    LicmDatabase db;
+    std::optional<sampler::WorldStructure> structure;
+  };
+
+  struct Pending {
+    const QueryRequest* request = nullptr;
+    Deadline deadline = Deadline::Never();
+    int64_t enqueue_ns = 0;
+    // Filled by the worker, signalled through `done`.
+    std::optional<Result<QueryResponse>> outcome;
+    bool done = false;
+    std::condition_variable done_cv;
+  };
+
+  void WorkerLoop();
+  Result<QueryResponse> Process(const QueryRequest& request,
+                                const Deadline& deadline, double queue_ms);
+  void Degrade(const QueryRequest& request, const Instance& instance,
+               QueryResponse* response);
+
+  const ServiceConfig config_;
+  solver::Scheduler scheduler_;
+  solver::ComponentCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::unordered_map<std::string, Instance> instances_;
+  std::deque<std::shared_ptr<Pending>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+  int inflight_ = 0;
+  int64_t admitted_ = 0;
+  int64_t rejected_overload_ = 0;
+  int64_t failed_ = 0;
+  int64_t completed_ = 0;
+  int64_t degraded_ = 0;
+  solver::MipStats solve_stats_;
+  std::function<void()> solve_hook_;
+};
+
+}  // namespace licm::service
+
+#endif  // LICM_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,89 @@
+// Transports for the line-oriented protocol (service/protocol.h): a
+// dependency-free POSIX TCP server (thread per connection) and a
+// stdin/stdout batch mode. Both feed identical lines through one
+// RequestRouter, so every protocol behaviour is testable without a
+// socket.
+#ifndef LICM_SERVICE_SERVER_H_
+#define LICM_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.h"
+#include "service/query_service.h"
+
+namespace licm::service {
+
+/// Maps one request line to one response line against a QueryService.
+/// The router does not know how queries are built from a qnum — the
+/// transport layer injects that (the paper's query catalogue lives above
+/// the service library).
+class RequestRouter {
+ public:
+  using QueryFactory =
+      std::function<Result<rel::QueryNodePtr>(const WireRequest&)>;
+
+  RequestRouter(QueryService* service, QueryFactory factory)
+      : service_(service), factory_(std::move(factory)) {}
+
+  /// Handles one request line and returns the response line (no trailing
+  /// newline). Never throws and never returns an empty string: malformed
+  /// input yields a rendered error. Sets *shutdown on a shutdown request
+  /// (after rendering its ack).
+  std::string Handle(const std::string& line, bool* shutdown);
+
+ private:
+  QueryService* service_;
+  QueryFactory factory_;
+};
+
+/// Reads request lines from `in` until EOF or a shutdown request,
+/// writing one response line each. Returns the number of requests
+/// handled.
+int64_t RunBatch(RequestRouter* router, std::istream& in, std::ostream& out);
+
+/// Thread-per-connection TCP server. Lifecycle:
+///   TcpServer server(&router);
+///   LICM_RETURN_NOT_OK(server.Listen("127.0.0.1", 0));  // 0 = ephemeral
+///   server.Serve();  // blocks until Stop() or a shutdown request
+class TcpServer {
+ public:
+  explicit TcpServer(RequestRouter* router) : router_(router) {}
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds and listens. Port 0 picks an ephemeral port, readable from
+  /// port() afterwards. Returns kIOError when the sandbox forbids
+  /// binding (callers may fall back to batch mode).
+  Status Listen(const std::string& host, int port);
+
+  int port() const { return port_; }
+
+  /// Accept loop; blocks until Stop() is called (from any thread or a
+  /// connection handler via the shutdown op), then joins all connection
+  /// threads.
+  Status Serve();
+
+  void Stop();
+
+ private:
+  void HandleConnection(int fd);
+
+  RequestRouter* router_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace licm::service
+
+#endif  // LICM_SERVICE_SERVER_H_

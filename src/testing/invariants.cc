@@ -9,6 +9,7 @@
 #include "licm/evaluator.h"
 #include "licm/ops.h"
 #include "sampler/monte_carlo.h"
+#include "service/query_service.h"
 #include "solver/lp_format.h"
 #include "solver/mip_solver.h"
 
@@ -362,6 +363,107 @@ InvariantReport CheckTimeout(const CaseContext& ctx) {
   return Pass(name);
 }
 
+InvariantReport CheckService(const CaseContext& ctx) {
+  const char* name = "service";
+  service::ServiceConfig cfg;
+  cfg.num_workers = 1;
+  cfg.solver_threads = 1;
+  cfg.degraded_worlds = 8;
+  service::QueryService svc(cfg);
+  // No sampling structure: the degraded path exercises the generic
+  // rejection sampler against the case's constraint set.
+  Status added = svc.AddInstance("case", ctx.c->db);
+  if (!added.ok()) {
+    return Fail(name, "AddInstance: " + added.ToString());
+  }
+
+  // A generous deadline must reproduce the offline baseline exactly —
+  // same bounds bit-for-bit, or the same error code.
+  service::QueryRequest req;
+  req.instance = "case";
+  req.query = ctx.c->query;
+  req.deadline_s = 1e9;  // effectively unlimited
+  auto exact = svc.Execute(req);
+  if (!ctx.baseline.ok) {
+    if (exact.ok()) {
+      return Fail(name, "service answered " + Num(exact->min) + ".." +
+                            Num(exact->max) + " but offline reported " +
+                            std::string(Status::CodeName(ctx.baseline.code)));
+    }
+    if (exact.status().code() != ctx.baseline.code) {
+      return Fail(name, std::string("service error ") +
+                            Status::CodeName(exact.status().code()) +
+                            " != offline " +
+                            Status::CodeName(ctx.baseline.code));
+    }
+  } else {
+    if (!exact.ok()) {
+      return Fail(name,
+                  "service errored on a solvable case: " +
+                      exact.status().ToString());
+    }
+    if (exact->degraded) {
+      return Fail(name, "service degraded under an unlimited deadline");
+    }
+    Summary got;
+    got.ok = true;
+    got.min = exact->min;
+    got.max = exact->max;
+    got.min_exact = exact->min_exact;
+    got.max_exact = exact->max_exact;
+    got.min_proved = exact->proved_min;
+    got.max_proved = exact->proved_max;
+    if (!(got == ctx.baseline)) {
+      return Fail(name, "service response " + got.ToString() +
+                            " != offline baseline " +
+                            ctx.baseline.ToString());
+    }
+  }
+
+  // A zero deadline must either still be exact (trivial instances solve
+  // without search) — then bit-identical again — or come back degraded
+  // with an interval containing the exact bounds.
+  req.deadline_s = 0.0;
+  req.mc_worlds = 8;
+  req.mc_seed = ctx.c->seed + 1;
+  auto capped = svc.Execute(req);
+  if (!ctx.baseline.ok) {
+    // Infeasibility may or may not be proved in zero time; both an error
+    // and a degraded interval are valid. Nothing further to contain.
+    return Pass(name);
+  }
+  if (!capped.ok()) {
+    return Fail(name, "zero-deadline request errored on a solvable case: " +
+                          capped.status().ToString());
+  }
+  if (!capped->degraded) {
+    if (capped->min != ctx.baseline.min || capped->max != ctx.baseline.max) {
+      return Fail(name, "zero-deadline exact response [" +
+                            Num(capped->min) + ", " + Num(capped->max) +
+                            "] != baseline [" + Num(ctx.baseline.min) +
+                            ", " + Num(ctx.baseline.max) + "]");
+    }
+    return Pass(name);
+  }
+  if (capped->min_exact && capped->max_exact) {
+    return Fail(name, "degraded response claims both bounds exact");
+  }
+  if (capped->min > ctx.baseline.min || capped->max < ctx.baseline.max) {
+    return Fail(name, "degraded interval [" + Num(capped->min) + ", " +
+                          Num(capped->max) + "] does not contain exact [" +
+                          Num(ctx.baseline.min) + ", " +
+                          Num(ctx.baseline.max) + "]");
+  }
+  if (capped->has_samples &&
+      (capped->sample_min < capped->min ||
+       capped->sample_max > capped->max)) {
+    return Fail(name, "sampled band [" + Num(capped->sample_min) + ", " +
+                          Num(capped->sample_max) +
+                          "] escapes the served interval");
+  }
+  return Pass(name);
+}
+
 }  // namespace
 
 const char* VerdictName(Verdict v) {
@@ -411,6 +513,9 @@ const std::vector<Invariant>& AllInvariants() {
        CheckLpRoundTrip},
       {"timeout", "deadline-capped solves stay valid and Gap-consistent",
        CheckTimeout},
+      {"service", "service responses match offline bounds; degraded "
+                  "intervals contain them",
+       CheckService},
   };
   return kAll;
 }

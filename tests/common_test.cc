@@ -2,6 +2,7 @@
 // deterministic PRNG.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "common/rng.h"
@@ -82,6 +83,62 @@ TEST(StopWatch, MeasuresElapsedTime) {
   EXPECT_GE(w.ElapsedMs(), 0.0);
   w.Restart();
   EXPECT_LT(w.ElapsedMs(), 1000.0);
+}
+
+TEST(Status, OverloadedIsTyped) {
+  Status s = Status::Overloaded("queue full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(s.ToString(), "Overloaded: queue full");
+}
+
+// The service's admission control budgets requests off these semantics:
+// a zero budget must read as expired-with-zero-remaining immediately, not
+// as a negative or wrapped remaining time.
+TEST(Deadline, ZeroBudgetExpiresImmediately) {
+  const Deadline d = Deadline::After(0.0);
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.RemainingSeconds(), 0.0);
+}
+
+TEST(Deadline, AlreadyExpiredStaysExpiredAndClamped) {
+  const Deadline d = Deadline::After(-5.0);  // budget in the past
+  EXPECT_TRUE(d.Expired());
+  // Sticky: a second read agrees, and remaining time clamps at zero
+  // rather than going negative.
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.RemainingSeconds(), 0.0);
+}
+
+TEST(Deadline, RemainingTimeClampsWithinBudget) {
+  const Deadline d = Deadline::After(3600.0);
+  EXPECT_FALSE(d.Expired());
+  const double remaining = d.RemainingSeconds();
+  EXPECT_GT(remaining, 0.0);
+  EXPECT_LE(remaining, 3600.0);
+}
+
+TEST(Deadline, NeverHasInfiniteRemaining) {
+  const Deadline d = Deadline::Never();
+  EXPECT_FALSE(d.Expired());
+  EXPECT_TRUE(std::isinf(d.RemainingSeconds()));
+  // A billion-second budget is the benches' "effectively unlimited".
+  EXPECT_TRUE(std::isinf(Deadline::After(1e9).RemainingSeconds()));
+}
+
+TEST(Deadline, CancelZeroesRemainingTime) {
+  Deadline d = Deadline::After(3600.0);
+  d.Cancel();
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.RemainingSeconds(), 0.0);
+}
+
+TEST(Deadline, CopyPreservesExpiry) {
+  Deadline d = Deadline::After(3600.0);
+  d.Cancel();
+  const Deadline copy = d;
+  EXPECT_TRUE(copy.Expired());
+  EXPECT_EQ(copy.RemainingSeconds(), 0.0);
 }
 
 }  // namespace

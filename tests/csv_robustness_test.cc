@@ -1,0 +1,120 @@
+// Robustness of the CSV loader against malformed input: tolerated
+// variations (CRLF endings, blank and whitespace-only rows) round-trip to
+// the same dataset, while structural malformations (trailing commas,
+// empty cells, trailing garbage) come back as typed kInvalidArgument
+// errors rather than silently misparsed datasets.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "data/csv.h"
+
+namespace licm::data {
+namespace {
+
+// Writes `body` as the transaction file and a minimal valid prices file
+// next to it, returning the transaction path.
+std::string WritePair(const std::string& name, const std::string& body,
+                      const std::string& prices = "item,price\n0,5\n1,7\n") {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  {
+    std::ofstream f(path);
+    f << body;
+  }
+  {
+    std::ofstream pf(path + ".prices");
+    pf << prices;
+  }
+  return path;
+}
+
+TEST(CsvRobustness, CrlfLineEndingsAreTolerated) {
+  const std::string path =
+      WritePair("crlf.csv", "tid,loc,item\r\n1,10,0\r\n1,10,1\r\n2,20,1\r\n",
+                "item,price\r\n0,5\r\n1,7\r\n");
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->transactions.size(), 2u);
+  EXPECT_EQ(loaded->transactions[0].tid, 1);
+  EXPECT_EQ(loaded->transactions[0].items.size(), 2u);
+  EXPECT_EQ(loaded->price[1], 7);
+}
+
+TEST(CsvRobustness, BlankAndWhitespaceOnlyRowsAreSkipped) {
+  const std::string path = WritePair(
+      "blank.csv", "tid,loc,item\n\n1,10,0\n   \n\t\n2,20,1\n  \t \n");
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->transactions.size(), 2u);
+}
+
+TEST(CsvRobustness, TrailingCommaIsATypedError) {
+  const std::string path =
+      WritePair("trailing.csv", "tid,loc,item\n1,10,0,\n");
+  auto loaded = LoadCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("trailing comma"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(CsvRobustness, EmptyCellIsATypedError) {
+  const std::string path = WritePair("empty_cell.csv", "tid,loc,item\n1,,0\n");
+  auto loaded = LoadCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("empty CSV cell"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(CsvRobustness, TrailingGarbageInCellIsATypedError) {
+  // strtoll would happily read "10abc" as 10 — the classic silent
+  // misparse this loader must refuse.
+  const std::string path =
+      WritePair("garbage.csv", "tid,loc,item\n1,10abc,0\n");
+  auto loaded = LoadCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("trailing garbage"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(CsvRobustness, NonNumericCellIsATypedError) {
+  const std::string path = WritePair("alpha.csv", "tid,loc,item\n1,x,0\n");
+  auto loaded = LoadCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvRobustness, WrongColumnCountIsATypedError) {
+  const std::string path = WritePair("cols.csv", "tid,loc,item\n1,10\n");
+  auto loaded = LoadCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvRobustness, PaddedNumericCellsStillParse) {
+  const std::string path =
+      WritePair("padded.csv", "tid,loc,item\n1, 10 ,0\n");
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->transactions.size(), 1u);
+  EXPECT_EQ(loaded->transactions[0].location, 10);
+}
+
+TEST(CsvRobustness, MalformedPricesRowIsATypedError) {
+  const std::string path = WritePair("prices_bad.csv", "tid,loc,item\n1,10,0\n",
+                                     "item,price\n0,5,\n");
+  auto loaded = LoadCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("trailing comma"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace licm::data

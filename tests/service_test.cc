@@ -1,0 +1,489 @@
+// Tests of the query service layer (src/service/): the JSON parser, the
+// wire protocol, admission control, degraded responses, the batch
+// transport, and a loopback TCP session (skipped when the sandbox
+// forbids binding).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "licm/evaluator.h"
+#include "service/json.h"
+#include "service/protocol.h"
+#include "service/query_service.h"
+#include "service/server.h"
+#include "testing/generator.h"
+
+namespace licm::service {
+namespace {
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(Json, ParsesScalarsObjectsAndArrays) {
+  auto v = ParseJson(
+      R"({"a": 1.5, "b": "x\ny", "c": [true, false, null], "d": {"e": -2}})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  ASSERT_TRUE(v->IsObject());
+  EXPECT_EQ(1.5, v->GetNumber("a", 0).value());
+  EXPECT_EQ("x\ny", v->GetString("b", "").value());
+  const JsonValue* c = v->Find("c");
+  ASSERT_NE(nullptr, c);
+  ASSERT_EQ(JsonValue::Kind::kArray, c->kind);
+  ASSERT_EQ(3u, c->array.size());
+  EXPECT_EQ(JsonValue::Kind::kBool, c->array[0].kind);
+  EXPECT_EQ(JsonValue::Kind::kNull, c->array[2].kind);
+  const JsonValue* d = v->Find("d");
+  ASSERT_NE(nullptr, d);
+  EXPECT_EQ(-2, d->GetInt("e", 0).value());
+}
+
+TEST(Json, TypedAccessorsDefaultWhenAbsentAndErrorWhenMistyped) {
+  auto v = ParseJson(R"({"n": 3, "s": "hi"})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(7, v->GetInt("missing", 7).value());
+  EXPECT_EQ("d", v->GetString("missing", "d").value());
+  EXPECT_FALSE(v->GetString("n", "").ok());
+  EXPECT_FALSE(v->GetNumber("s", 0).ok());
+  EXPECT_FALSE(v->GetInt("s", 0).ok());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "1.5.5x", "{\"a\":1} trailing",
+        "\"unterminated", "{\"a\" 1}", "nan", "inf"}) {
+    auto v = ParseJson(bad);
+    EXPECT_FALSE(v.ok()) << "accepted: " << bad;
+    if (!v.ok()) {
+      EXPECT_EQ(StatusCode::kInvalidArgument, v.status().code());
+    }
+  }
+}
+
+TEST(Json, RejectsExcessiveNesting) {
+  std::string deep(64, '[');
+  deep += "1";
+  deep.append(64, ']');
+  auto v = ParseJson(deep);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(std::string::npos, v.status().message().find("deep"));
+}
+
+TEST(Json, GetIntRejectsFractions) {
+  auto v = ParseJson(R"({"n": 1.5})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->GetInt("n", 0).ok());
+}
+
+TEST(Json, EscapeRoundTripsControlCharacters) {
+  const std::string raw = "a\"b\\c\nd\te\x01f";
+  auto v = ParseJson("{\"s\":\"" + JsonEscape(raw) + "\"}");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(raw, v->GetString("s", "").value());
+}
+
+// ------------------------------------------------------------ protocol --
+
+TEST(Protocol, ParsesQueryRequestWithDefaults) {
+  auto req = ParseRequestLine(R"({"op":"query","instance":"demo"})");
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ("query", req->op);
+  EXPECT_EQ("demo", req->instance);
+  EXPECT_EQ(-1, req->id);
+  EXPECT_EQ(1, req->qnum);
+  EXPECT_EQ(-1.0, req->deadline_ms);
+  EXPECT_EQ(0, req->mc_worlds);
+}
+
+TEST(Protocol, ParsesAllFields) {
+  auto req = ParseRequestLine(
+      R"({"op":"query","id":9,"instance":"i","qnum":3,"deadline_ms":250,)"
+      R"("mc_worlds":12,"seed":77})");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(9, req->id);
+  EXPECT_EQ(3, req->qnum);
+  EXPECT_EQ(250.0, req->deadline_ms);
+  EXPECT_EQ(12, req->mc_worlds);
+  EXPECT_EQ(77u, req->seed);
+}
+
+TEST(Protocol, MissingOpAndMistypedFieldsAreTypedErrors) {
+  EXPECT_FALSE(ParseRequestLine(R"({"id":1})").ok());
+  EXPECT_FALSE(ParseRequestLine(R"({"op":"query","qnum":"one"})").ok());
+  EXPECT_FALSE(ParseRequestLine(R"({"op":"query","mc_worlds":-1})").ok());
+  EXPECT_FALSE(ParseRequestLine(R"([1,2,3])").ok());
+}
+
+TEST(Protocol, RenderedResponsesParseBack) {
+  QueryResponse r;
+  r.degraded = true;
+  r.min = 1;
+  r.max = 9;
+  r.proved_min = 0;
+  r.proved_max = 10;
+  r.has_samples = true;
+  r.sample_min = 2;
+  r.sample_max = 8;
+  r.sample_worlds = 5;
+  auto v = ParseJson(RenderQueryResponse(42, r));
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(42, v->GetInt("id", 0).value());
+  EXPECT_TRUE(v->GetBool("ok", false).value());
+  EXPECT_TRUE(v->GetBool("degraded", false).value());
+  EXPECT_EQ(1.0, v->GetNumber("min", -1).value());
+  EXPECT_EQ(9.0, v->GetNumber("max", -1).value());
+  EXPECT_EQ(5, v->GetInt("sample_worlds", 0).value());
+
+  auto err = ParseJson(RenderError(7, Status::Overloaded("queue full")));
+  ASSERT_TRUE(err.ok());
+  EXPECT_FALSE(err->GetBool("ok", true).value());
+  EXPECT_EQ("Overloaded", err->GetString("status", "").value());
+  EXPECT_EQ("queue full", err->GetString("error", "").value());
+}
+
+// -------------------------------------------------------- QueryService --
+
+// A small solvable fuzz case registered as a service instance, with its
+// offline baseline for parity checks.
+struct ServiceFixture {
+  testing::FuzzCase fuzz;
+  double exact_min = 0, exact_max = 0;
+
+  static ServiceFixture Make(uint64_t seed_from = 1) {
+    for (uint64_t seed = seed_from; seed < seed_from + 64; ++seed) {
+      ServiceFixture f;
+      f.fuzz = testing::GenerateCase(seed);
+      auto ans = AnswerAggregate(*f.fuzz.query, f.fuzz.db, {});
+      if (!ans.ok()) continue;  // infeasible case; try the next seed
+      EXPECT_TRUE(ans->bounds.min.exact && ans->bounds.max.exact);
+      f.exact_min = ans->bounds.min.value;
+      f.exact_max = ans->bounds.max.value;
+      return f;
+    }
+    ADD_FAILURE() << "no feasible fuzz case in 64 seeds";
+    return {};
+  }
+};
+
+TEST(QueryService, UnknownInstanceIsNotFound) {
+  QueryService svc({.num_workers = 1, .solver_threads = 1});
+  ServiceFixture f = ServiceFixture::Make();
+  QueryRequest req;
+  req.instance = "nope";
+  req.query = f.fuzz.query;
+  auto resp = svc.Execute(req);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(StatusCode::kNotFound, resp.status().code());
+}
+
+TEST(QueryService, NonAggregateQueryIsInvalid) {
+  QueryService svc({.num_workers = 1, .solver_threads = 1});
+  QueryRequest req;
+  req.instance = "x";
+  req.query = nullptr;
+  auto resp = svc.Execute(req);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, resp.status().code());
+}
+
+TEST(QueryService, DuplicateInstanceIsRejected) {
+  QueryService svc({.num_workers = 1, .solver_threads = 1});
+  ServiceFixture f = ServiceFixture::Make();
+  ASSERT_TRUE(svc.AddInstance("a", f.fuzz.db).ok());
+  Status dup = svc.AddInstance("a", f.fuzz.db);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(StatusCode::kAlreadyExists, dup.code());
+  EXPECT_EQ(std::vector<std::string>{"a"}, svc.InstanceNames());
+}
+
+TEST(QueryService, ExactResponseMatchesOfflineBounds) {
+  QueryService svc({.num_workers = 2, .solver_threads = 1});
+  ServiceFixture f = ServiceFixture::Make();
+  ASSERT_TRUE(svc.AddInstance("case", f.fuzz.db).ok());
+
+  QueryRequest req;
+  req.instance = "case";
+  req.query = f.fuzz.query;
+  req.deadline_s = 1e9;
+  for (int i = 0; i < 3; ++i) {  // repeat: cache reuse must not change bounds
+    auto resp = svc.Execute(req);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_FALSE(resp->degraded);
+    EXPECT_TRUE(resp->min_exact);
+    EXPECT_TRUE(resp->max_exact);
+    EXPECT_EQ(f.exact_min, resp->min);
+    EXPECT_EQ(f.exact_max, resp->max);
+  }
+  ServiceStats stats = svc.Stats();
+  EXPECT_EQ(3, stats.admitted);
+  EXPECT_EQ(3, stats.completed);
+  EXPECT_EQ(0, stats.degraded);
+  EXPECT_EQ(0, stats.rejected_overload);
+}
+
+TEST(QueryService, ZeroDeadlineDegradesWithContainment) {
+  // Deterministic solves: scan seeds until one actually degrades under a
+  // zero deadline (trivial cases may still solve exactly via presolve).
+  for (uint64_t seed = 1; seed < 64; ++seed) {
+    testing::FuzzCase fuzz = testing::GenerateCase(seed);
+    auto ans = AnswerAggregate(*fuzz.query, fuzz.db, {});
+    if (!ans.ok()) continue;
+    QueryService svc({.num_workers = 1,
+                      .degraded_worlds = 8,
+                      .degraded_seed = 3,
+                      .solver_threads = 1});
+    ASSERT_TRUE(svc.AddInstance("case", fuzz.db).ok());
+    QueryRequest req;
+    req.instance = "case";
+    req.query = fuzz.query;
+    req.deadline_s = 0.0;
+    auto resp = svc.Execute(req);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    if (!resp->degraded) continue;
+    EXPECT_FALSE(resp->min_exact && resp->max_exact);
+    // Containment: the served interval must cover the exact bounds.
+    EXPECT_LE(resp->min, ans->bounds.min.value);
+    EXPECT_GE(resp->max, ans->bounds.max.value);
+    if (resp->has_samples) {
+      EXPECT_GE(resp->sample_min, resp->min);
+      EXPECT_LE(resp->sample_max, resp->max);
+      EXPECT_GT(resp->sample_worlds, 0);
+    }
+    EXPECT_EQ(1, svc.Stats().degraded);
+    return;
+  }
+  GTEST_SKIP() << "no fuzz case degraded under a zero deadline";
+}
+
+TEST(QueryService, QueueOverflowIsTypedAndCounted) {
+  QueryService svc({.num_workers = 1, .max_queue = 1, .solver_threads = 1});
+  ServiceFixture f = ServiceFixture::Make();
+  ASSERT_TRUE(svc.AddInstance("case", f.fuzz.db).ok());
+
+  // Hold the single worker hostage so requests pile up deterministically.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> entered{0};
+  svc.SetSolveHookForTest([&] {
+    ++entered;
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  QueryRequest req;
+  req.instance = "case";
+  req.query = f.fuzz.query;
+  req.deadline_s = 1e9;
+
+  std::thread inflight([&] { ASSERT_TRUE(svc.Execute(req).ok()); });
+  while (entered.load() == 0) std::this_thread::yield();
+
+  std::thread queued([&] { ASSERT_TRUE(svc.Execute(req).ok()); });
+  while (svc.Stats().queue_depth == 0) std::this_thread::yield();
+
+  // Worker busy + queue full: the next arrival must be rejected, typed.
+  auto rejected = svc.Execute(req);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(StatusCode::kOverloaded, rejected.status().code());
+  EXPECT_NE(std::string::npos, rejected.status().message().find("queue full"));
+
+  ServiceStats mid = svc.Stats();
+  EXPECT_EQ(2, mid.admitted);
+  EXPECT_EQ(1, mid.rejected_overload);
+  EXPECT_EQ(1, mid.inflight);
+  EXPECT_EQ(1u, mid.queue_depth);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  inflight.join();
+  queued.join();
+  svc.SetSolveHookForTest(nullptr);
+
+  ServiceStats done = svc.Stats();
+  EXPECT_EQ(2, done.completed);
+  EXPECT_EQ(1, done.rejected_overload);
+  EXPECT_EQ(0, done.inflight);
+  EXPECT_EQ(0u, done.queue_depth);
+}
+
+TEST(QueryService, ConcurrentRequestsAllMatchOffline) {
+  QueryService svc({.num_workers = 4, .max_queue = 64,
+                    .solver_threads = 2});
+  ServiceFixture a = ServiceFixture::Make(1);
+  ServiceFixture b = ServiceFixture::Make(20);
+  ASSERT_TRUE(svc.AddInstance("a", a.fuzz.db).ok());
+  ASSERT_TRUE(svc.AddInstance("b", b.fuzz.db).ok());
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      const ServiceFixture& f = (t % 2 == 0) ? a : b;
+      QueryRequest req;
+      req.instance = (t % 2 == 0) ? "a" : "b";
+      req.query = f.fuzz.query;
+      req.deadline_s = 1e9;
+      for (int i = 0; i < 4; ++i) {
+        auto resp = svc.Execute(req);
+        if (!resp.ok() || resp->degraded || resp->min != f.exact_min ||
+            resp->max != f.exact_max) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(0, mismatches.load());
+  EXPECT_EQ(32, svc.Stats().completed);
+}
+
+// ------------------------------------------------------------ transports --
+
+RequestRouter::QueryFactory FixtureFactory(const ServiceFixture& f) {
+  return [query = f.fuzz.query](const WireRequest&)
+             -> Result<rel::QueryNodePtr> { return query; };
+}
+
+TEST(Transport, BatchModeAnswersLineByLine) {
+  QueryService svc({.num_workers = 1, .solver_threads = 1});
+  ServiceFixture f = ServiceFixture::Make();
+  ASSERT_TRUE(svc.AddInstance("case", f.fuzz.db).ok());
+  RequestRouter router(&svc, FixtureFactory(f));
+
+  std::istringstream in(
+      "{\"op\":\"ping\",\"id\":1}\n"
+      "\n"
+      "not json\n"
+      "{\"op\":\"query\",\"id\":2,\"instance\":\"case\"}\n"
+      "{\"op\":\"bogus\",\"id\":3}\n"
+      "{\"op\":\"shutdown\",\"id\":4}\n"
+      "{\"op\":\"ping\",\"id\":5}\n");  // after shutdown: never handled
+  std::ostringstream out;
+  const int64_t handled = RunBatch(&router, in, out);
+  EXPECT_EQ(5, handled);  // blank line skipped, post-shutdown line unread
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<service::JsonValue> replies;
+  while (std::getline(lines, line)) {
+    auto v = ParseJson(line);
+    ASSERT_TRUE(v.ok()) << line;
+    replies.push_back(std::move(*v));
+  }
+  ASSERT_EQ(5u, replies.size());
+  EXPECT_TRUE(replies[0].GetBool("ok", false).value());
+  EXPECT_FALSE(replies[1].GetBool("ok", true).value());   // parse error
+  EXPECT_EQ(-1, replies[1].GetInt("id", 0).value());
+  EXPECT_TRUE(replies[2].GetBool("ok", false).value());   // query
+  EXPECT_EQ(f.exact_min, replies[2].GetNumber("min", -1e9).value());
+  EXPECT_EQ(f.exact_max, replies[2].GetNumber("max", -1e9).value());
+  EXPECT_FALSE(replies[3].GetBool("ok", true).value());   // unknown op
+  EXPECT_TRUE(replies[4].GetBool("ok", false).value());   // shutdown ack
+  EXPECT_TRUE(replies[4].GetBool("shutting_down", false).value());
+}
+
+// Minimal blocking line client for the loopback test.
+class TestClient {
+ public:
+  bool Connect(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Result<JsonValue> RoundTrip(const std::string& line) {
+    std::string framed = line + "\n";
+    if (::send(fd_, framed.data(), framed.size(), MSG_NOSIGNAL) !=
+        static_cast<ssize_t>(framed.size())) {
+      return Status::IOError("send failed");
+    }
+    while (buffer_.find('\n') == std::string::npos) {
+      char chunk[1024];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return Status::IOError("connection closed");
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    const size_t nl = buffer_.find('\n');
+    std::string reply = buffer_.substr(0, nl);
+    buffer_.erase(0, nl + 1);
+    return ParseJson(reply);
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+TEST(Transport, TcpLoopbackSessionIncludingShutdown) {
+  QueryService svc({.num_workers = 2, .solver_threads = 1});
+  ServiceFixture f = ServiceFixture::Make();
+  ASSERT_TRUE(svc.AddInstance("case", f.fuzz.db).ok());
+  RequestRouter router(&svc, FixtureFactory(f));
+  TcpServer server(&router);
+  Status listening = server.Listen("127.0.0.1", 0);
+  if (!listening.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket here: "
+                 << listening.ToString();
+  }
+  ASSERT_GT(server.port(), 0);
+  std::thread serve_thread([&] { EXPECT_TRUE(server.Serve().ok()); });
+
+  {
+    TestClient c1, c2;
+    ASSERT_TRUE(c1.Connect(server.port()));
+    ASSERT_TRUE(c2.Connect(server.port()));
+
+    auto pong = c1.RoundTrip("{\"op\":\"ping\",\"id\":1}");
+    ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+    EXPECT_TRUE(pong->GetBool("ok", false).value());
+    EXPECT_FALSE(pong->GetString("git_sha", "").value().empty());
+
+    auto names = c2.RoundTrip("{\"op\":\"instances\",\"id\":2}");
+    ASSERT_TRUE(names.ok());
+    const JsonValue* arr = names->Find("instances");
+    ASSERT_NE(nullptr, arr);
+    ASSERT_EQ(1u, arr->array.size());
+    EXPECT_EQ("case", arr->array[0].string);
+
+    // Both connections query concurrently; answers must match offline.
+    auto q1 = c1.RoundTrip(
+        "{\"op\":\"query\",\"id\":3,\"instance\":\"case\"}");
+    auto q2 = c2.RoundTrip(
+        "{\"op\":\"query\",\"id\":4,\"instance\":\"case\"}");
+    for (const auto* q : {&q1, &q2}) {
+      ASSERT_TRUE(q->ok()) << q->status().ToString();
+      EXPECT_TRUE((*q)->GetBool("ok", false).value());
+      EXPECT_EQ(f.exact_min, (*q)->GetNumber("min", -1e9).value());
+      EXPECT_EQ(f.exact_max, (*q)->GetNumber("max", -1e9).value());
+    }
+
+    auto bye = c1.RoundTrip("{\"op\":\"shutdown\",\"id\":5}");
+    ASSERT_TRUE(bye.ok());
+    EXPECT_TRUE(bye->GetBool("shutting_down", false).value());
+  }
+  serve_thread.join();
+}
+
+}  // namespace
+}  // namespace licm::service

@@ -1,0 +1,484 @@
+// Load driver for licm_serve (DESIGN.md §10).
+//
+//   licm_client --port P [--host H] [--connections C] [--requests N]
+//               [--instance SPEC]... [--qnums 1,2,3] [--deadline-ms D]
+//               [--degraded-every K] [--burst B] [--verify]
+//               [--json BENCH_service.json] [--shutdown] [--version]
+//
+// Phase 1 (load): C concurrent connections each issue N query requests
+// round-robin over the instance x qnum mix, measuring per-request
+// latency. Phase 2 (optional, --burst B): B one-shot connections fire
+// simultaneously to provoke admission control; kOverloaded responses
+// are expected there and are not protocol errors. A final `stats`
+// request snapshots the server counters. Throughput and p50/p95/p99
+// latency go to --json in the standard BENCH format.
+//
+// --verify rebuilds every instance from the same specs the server got
+// and computes offline exact bounds per (instance, qnum); every
+// non-degraded response must match them bit-identically and every
+// degraded response's interval must contain them. Exit code 1 on any
+// protocol error or verification failure.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/version.h"
+#include "harness.h"
+#include "licm/evaluator.h"
+#include "service/json.h"
+#include "service_workload.h"
+
+namespace {
+
+using namespace licm;
+
+class Conn {
+ public:
+  ~Conn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Connect(const std::string& host, int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      return Status::IOError(std::string("socket: ") + std::strerror(errno));
+    }
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      return Status::InvalidArgument("bad host '" + host + "'");
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      return Status::IOError(std::string("connect: ") + std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status SendLine(const std::string& line) {
+    std::string framed = line + "\n";
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t w = ::send(fd_, framed.data() + sent,
+                               framed.size() - sent, MSG_NOSIGNAL);
+      if (w <= 0) {
+        return Status::IOError(std::string("send: ") + std::strerror(errno));
+      }
+      sent += static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> RecvLine() {
+    while (true) {
+      const size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return Status::IOError("connection closed mid-response");
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  Result<service::JsonValue> RoundTrip(const std::string& request) {
+    LICM_RETURN_NOT_OK(SendLine(request));
+    LICM_ASSIGN_OR_RETURN(std::string line, RecvLine());
+    return service::ParseJson(line);
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+struct Expected {
+  double min = 0, max = 0;
+};
+
+struct Tally {
+  std::vector<double> latencies_ms;
+  int64_t ok = 0;
+  int64_t degraded = 0;
+  int64_t overloaded = 0;
+  int64_t protocol_errors = 0;
+  int64_t verify_failures = 0;
+};
+
+std::atomic<int64_t> g_next_id{1};
+
+std::string QueryLine(const std::string& instance, int qnum,
+                      double deadline_ms) {
+  std::string line = "{\"op\":\"query\",\"id\":" +
+                     std::to_string(g_next_id.fetch_add(1)) +
+                     ",\"instance\":\"" + instance +
+                     "\",\"qnum\":" + std::to_string(qnum);
+  if (deadline_ms >= 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", deadline_ms);
+    line += std::string(",\"deadline_ms\":") + buf;
+  }
+  return line + "}";
+}
+
+// Classifies one query response into the tally, verifying against the
+// offline bounds when available. Returns false only on protocol errors
+// or verification failures (kOverloaded is an expected outcome).
+bool Classify(const Result<service::JsonValue>& reply, const Expected* want,
+              Tally* tally) {
+  if (!reply.ok()) {
+    ++tally->protocol_errors;
+    std::fprintf(stderr, "protocol error: %s\n",
+                 reply.status().ToString().c_str());
+    return false;
+  }
+  auto ok = reply->GetBool("ok", false);
+  if (!ok.ok()) {
+    ++tally->protocol_errors;
+    return false;
+  }
+  if (!*ok) {
+    auto code = reply->GetString("status", "");
+    if (code.ok() && *code == "Overloaded") {
+      ++tally->overloaded;
+      return true;
+    }
+    ++tally->protocol_errors;
+    std::fprintf(stderr, "request failed: %s\n",
+                 code.ok() ? code->c_str() : "?");
+    return false;
+  }
+  auto degraded = reply->GetBool("degraded", false);
+  auto min = reply->GetNumber("min", 0);
+  auto max = reply->GetNumber("max", 0);
+  if (!degraded.ok() || !min.ok() || !max.ok()) {
+    ++tally->protocol_errors;
+    return false;
+  }
+  ++tally->ok;
+  if (*degraded) ++tally->degraded;
+  if (want == nullptr) return true;
+  if (*degraded) {
+    // Containment: the degraded interval must cover the exact bounds.
+    if (*min > want->min || *max < want->max) {
+      ++tally->verify_failures;
+      std::fprintf(stderr,
+                   "VERIFY: degraded interval [%g, %g] does not contain "
+                   "exact [%g, %g]\n",
+                   *min, *max, want->min, want->max);
+      return false;
+    }
+  } else if (*min != want->min || *max != want->max) {
+    ++tally->verify_failures;
+    std::fprintf(stderr,
+                 "VERIFY: exact response [%g, %g] != offline [%g, %g]\n",
+                 *min, *max, want->min, want->max);
+    return false;
+  }
+  return true;
+}
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(q * static_cast<double>(
+                                                 sorted.size() - 1));
+  return sorted[idx];
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --port P [--host H] [--connections C] [--requests N]\n"
+      "          [--instance SPEC]... [--qnums 1,2] [--deadline-ms D]\n"
+      "          [--degraded-every K] [--burst B] [--verify]\n"
+      "          [--json FILE] [--shutdown] [--version]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int connections = 4;
+  int requests = 8;
+  std::vector<std::string> instance_args;
+  std::vector<int> qnums;
+  double deadline_ms = -1.0;
+  int degraded_every = 0;
+  int burst = 0;
+  bool verify = false;
+  bool send_shutdown = false;
+  std::string json_path = "BENCH_service.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--version") {
+      std::printf("%s\n", VersionString("licm_client").c_str());
+      return 0;
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--shutdown") {
+      send_shutdown = true;
+    } else if (arg == "--host") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      port = std::atoi(v);
+    } else if (arg == "--connections") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      connections = std::atoi(v);
+    } else if (arg == "--requests") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      requests = std::atoi(v);
+    } else if (arg == "--instance") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      instance_args.push_back(v);
+    } else if (arg == "--qnums") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      for (const char* p = v; *p != '\0'; ++p) {
+        if (*p >= '1' && *p <= '9') qnums.push_back(*p - '0');
+      }
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      deadline_ms = std::atof(v);
+    } else if (arg == "--degraded-every") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      degraded_every = std::atoi(v);
+    } else if (arg == "--burst") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      burst = std::atoi(v);
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      json_path = v;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (port <= 0) return Usage(argv[0]);
+  if (instance_args.empty()) instance_args.push_back("demo=kanon:4");
+  if (qnums.empty()) qnums = {1, 2};
+  if (connections < 1) connections = 1;
+  if (requests < 1) requests = 1;
+
+  std::vector<tools::InstanceSpec> specs;
+  for (const std::string& text : instance_args) {
+    auto spec = tools::ParseInstanceSpec(text);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "bad --instance: %s\n",
+                   spec.status().ToString().c_str());
+      return 2;
+    }
+    specs.push_back(*spec);
+  }
+
+  // Offline oracle: exact bounds per (instance, qnum), computed from the
+  // same spec strings the server was started with.
+  std::map<std::pair<std::string, int>, Expected> expected;
+  if (verify) {
+    for (const auto& spec : specs) {
+      auto enc = tools::BuildInstance(spec);
+      if (!enc.ok()) {
+        std::fprintf(stderr, "offline build of '%s' failed: %s\n",
+                     spec.name.c_str(), enc.status().ToString().c_str());
+        return 1;
+      }
+      for (int qnum : qnums) {
+        auto query = tools::BuildServiceQuery(spec, qnum);
+        if (!query.ok()) return 1;
+        auto ans = AnswerAggregate(**query, enc->db, {});
+        if (!ans.ok()) {
+          std::fprintf(stderr, "offline solve of %s q%d failed: %s\n",
+                       spec.name.c_str(), qnum,
+                       ans.status().ToString().c_str());
+          return 1;
+        }
+        if (!ans->bounds.min.exact || !ans->bounds.max.exact) {
+          std::fprintf(stderr,
+                       "offline solve of %s q%d not exact; refusing to "
+                       "verify against it\n",
+                       spec.name.c_str(), qnum);
+          return 1;
+        }
+        expected[{spec.name, qnum}] = {ans->bounds.min.value,
+                                       ans->bounds.max.value};
+      }
+    }
+    std::fprintf(stderr, "offline oracle ready (%zu cells)\n",
+                 expected.size());
+  }
+
+  // Phase 1: sustained load at the target concurrency.
+  std::mutex tally_mu;
+  Tally tally;
+  StopWatch load_watch;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(connections));
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      Tally local;
+      Conn conn;
+      Status connected = conn.Connect(host, port);
+      if (!connected.ok()) {
+        std::fprintf(stderr, "conn %d: %s\n", c,
+                     connected.ToString().c_str());
+        local.protocol_errors += requests;
+      } else {
+        for (int r = 0; r < requests; ++r) {
+          const auto& spec = specs[static_cast<size_t>(c + r) %
+                                   specs.size()];
+          const int qnum = qnums[static_cast<size_t>(r) % qnums.size()];
+          const bool degrade = degraded_every > 0 &&
+                               (r + 1) % degraded_every == 0;
+          const double dl = degrade ? 0.0 : deadline_ms;
+          const Expected* want = nullptr;
+          if (verify) {
+            auto it = expected.find({spec.name, qnum});
+            if (it != expected.end()) want = &it->second;
+          }
+          StopWatch watch;
+          auto reply = conn.RoundTrip(QueryLine(spec.name, qnum, dl));
+          local.latencies_ms.push_back(watch.ElapsedMs());
+          Classify(reply, want, &local);
+        }
+      }
+      std::lock_guard<std::mutex> lock(tally_mu);
+      tally.ok += local.ok;
+      tally.degraded += local.degraded;
+      tally.overloaded += local.overloaded;
+      tally.protocol_errors += local.protocol_errors;
+      tally.verify_failures += local.verify_failures;
+      tally.latencies_ms.insert(tally.latencies_ms.end(),
+                                local.latencies_ms.begin(),
+                                local.latencies_ms.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double load_s = load_watch.ElapsedMs() / 1e3;
+
+  // Phase 2: simultaneous burst to provoke admission control.
+  if (burst > 0) {
+    std::vector<std::thread> burst_threads;
+    burst_threads.reserve(static_cast<size_t>(burst));
+    for (int b = 0; b < burst; ++b) {
+      burst_threads.emplace_back([&, b] {
+        Tally local;
+        Conn conn;
+        if (!conn.Connect(host, port).ok()) {
+          ++local.protocol_errors;
+        } else {
+          const auto& spec = specs[static_cast<size_t>(b) % specs.size()];
+          auto reply =
+              conn.RoundTrip(QueryLine(spec.name, qnums[0], deadline_ms));
+          Classify(reply, nullptr, &local);
+        }
+        std::lock_guard<std::mutex> lock(tally_mu);
+        tally.ok += local.ok;
+        tally.degraded += local.degraded;
+        tally.overloaded += local.overloaded;
+        tally.protocol_errors += local.protocol_errors;
+      });
+    }
+    for (std::thread& t : burst_threads) t.join();
+  }
+
+  // Final control connection: server-side counters, optional shutdown.
+  int64_t server_rejected = -1;
+  {
+    Conn conn;
+    if (conn.Connect(host, port).ok()) {
+      auto stats = conn.RoundTrip("{\"op\":\"stats\",\"id\":0}");
+      if (stats.ok()) {
+        auto rejected = stats->GetInt("rejected_overload", -1);
+        if (rejected.ok()) server_rejected = *rejected;
+      }
+      if (send_shutdown) {
+        (void)conn.RoundTrip("{\"op\":\"shutdown\",\"id\":0}");
+      }
+    }
+  }
+
+  std::sort(tally.latencies_ms.begin(), tally.latencies_ms.end());
+  const double p50 = Percentile(tally.latencies_ms, 0.50);
+  const double p95 = Percentile(tally.latencies_ms, 0.95);
+  const double p99 = Percentile(tally.latencies_ms, 0.99);
+  const double rps =
+      load_s > 0 ? static_cast<double>(tally.latencies_ms.size()) / load_s
+                 : 0.0;
+
+  std::printf(
+      "requests=%zu ok=%lld degraded=%lld overloaded=%lld errors=%lld "
+      "verify_failures=%lld\n",
+      tally.latencies_ms.size() + static_cast<size_t>(burst),
+      static_cast<long long>(tally.ok),
+      static_cast<long long>(tally.degraded),
+      static_cast<long long>(tally.overloaded),
+      static_cast<long long>(tally.protocol_errors),
+      static_cast<long long>(tally.verify_failures));
+  std::printf("throughput=%.1f req/s p50=%.2fms p95=%.2fms p99=%.2fms\n",
+              rps, p50, p95, p99);
+  if (server_rejected >= 0) {
+    std::printf("server rejected_overload=%lld\n",
+                static_cast<long long>(server_rejected));
+  }
+
+  bench::JsonRecord rec;
+  rec.AddString("bench", "service")
+      .AddInt("connections", connections)
+      .AddInt("requests_per_connection", requests)
+      .AddInt("burst", burst)
+      .AddInt("ok", tally.ok)
+      .AddInt("degraded", tally.degraded)
+      .AddInt("overloaded", tally.overloaded)
+      .AddInt("protocol_errors", tally.protocol_errors)
+      .AddInt("verify_failures", tally.verify_failures)
+      .AddInt("server_rejected_overload", server_rejected)
+      .AddBool("verified", verify)
+      .AddNumber("throughput_rps", rps)
+      .AddNumber("p50_ms", p50)
+      .AddNumber("p95_ms", p95)
+      .AddNumber("p99_ms", p99)
+      .AddNumber("load_seconds", load_s);
+  Status wrote = bench::WriteBenchJson(json_path, {rec});
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "writing %s failed: %s\n", json_path.c_str(),
+                 wrote.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+
+  return (tally.protocol_errors > 0 || tally.verify_failures > 0) ? 1 : 0;
+}

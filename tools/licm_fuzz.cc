@@ -12,12 +12,14 @@
 // The default seed honours the LICM_FUZZ_SEED environment variable, so a
 // failing CI run is replayed locally with the seed it printed.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/version.h"
 #include "harness.h"
 #include "solver/lp_format.h"
 #include "testing/invariants.h"
@@ -56,7 +58,10 @@ bool ParseArgs(int argc, char** argv, Args* a) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
-    if (flag == "--seed") {
+    if (flag == "--version") {
+      std::printf("%s\n", licm::VersionString("licm_fuzz").c_str());
+      std::exit(0);
+    } else if (flag == "--seed") {
       const char* v = next();
       if (!v) return false;
       a->seed = std::strtoull(v, nullptr, 0);

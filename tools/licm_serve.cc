@@ -1,0 +1,157 @@
+// Query service front-end (DESIGN.md §10).
+//
+//   licm_serve [--port P] [--host H] [--stdin]
+//              [--instance name=scheme:k[:txns[:items[:seed]]]]...
+//              [--workers N] [--queue N] [--deadline-ms D]
+//              [--mc-worlds W] [--solver-threads T] [--version]
+//
+// Registers the given instances (default: one small k-anonymity
+// instance named `demo`), then serves the line-oriented JSON protocol
+// over TCP (--port, 0 = ephemeral; the chosen port is printed as
+// `LISTENING <port>` before the accept loop starts) or over
+// stdin/stdout (--stdin). A client `shutdown` request stops either
+// mode.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/version.h"
+#include "service/server.h"
+#include "service_workload.h"
+
+namespace {
+
+using namespace licm;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port P] [--host H] [--stdin]\n"
+               "          [--instance name=scheme:k[:txns[:items[:seed]]]]...\n"
+               "          [--workers N] [--queue N] [--deadline-ms D]\n"
+               "          [--mc-worlds W] [--solver-threads T] [--version]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  bool use_stdin = false;
+  std::vector<std::string> instance_args;
+  service::ServiceConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--version") {
+      std::printf("%s\n", VersionString("licm_serve").c_str());
+      return 0;
+    } else if (arg == "--stdin") {
+      use_stdin = true;
+    } else if (arg == "--host") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      port = std::atoi(v);
+    } else if (arg == "--instance") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      instance_args.push_back(v);
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      config.num_workers = std::atoi(v);
+    } else if (arg == "--queue") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      config.max_queue = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      config.default_deadline_s = std::atof(v) / 1e3;
+    } else if (arg == "--mc-worlds") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      config.degraded_worlds = std::atoi(v);
+    } else if (arg == "--solver-threads") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      config.solver_threads = std::atoi(v);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (instance_args.empty()) instance_args.push_back("demo=kanon:4");
+
+  service::QueryService svc(config);
+  std::map<std::string, tools::InstanceSpec> specs;
+  for (const std::string& text : instance_args) {
+    auto spec = tools::ParseInstanceSpec(text);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "bad --instance: %s\n",
+                   spec.status().ToString().c_str());
+      return 2;
+    }
+    auto enc = tools::BuildInstance(*spec);
+    if (!enc.ok()) {
+      std::fprintf(stderr, "building instance '%s' failed: %s\n",
+                   spec->name.c_str(), enc.status().ToString().c_str());
+      return 1;
+    }
+    Status added = svc.AddInstance(spec->name, std::move(enc->db),
+                                   std::move(enc->structure));
+    if (!added.ok()) {
+      std::fprintf(stderr, "registering instance '%s' failed: %s\n",
+                   spec->name.c_str(), added.ToString().c_str());
+      return 1;
+    }
+    specs.emplace(spec->name, *spec);
+    std::fprintf(stderr, "instance %s ready (%s)\n", spec->name.c_str(),
+                 text.c_str());
+  }
+
+  service::RequestRouter router(
+      &svc,
+      [&specs](const service::WireRequest& req)
+          -> Result<rel::QueryNodePtr> {
+        auto it = specs.find(req.instance);
+        if (it == specs.end()) {
+          return Status::NotFound("unknown instance '" + req.instance + "'");
+        }
+        return tools::BuildServiceQuery(it->second, req.qnum);
+      });
+
+  if (use_stdin) {
+    const int64_t handled = service::RunBatch(&router, std::cin, std::cout);
+    std::fprintf(stderr, "handled %lld requests\n",
+                 static_cast<long long>(handled));
+    return 0;
+  }
+
+  service::TcpServer server(&router);
+  Status listening = server.Listen(host, port);
+  if (!listening.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n",
+                 listening.ToString().c_str());
+    return 1;
+  }
+  std::printf("LISTENING %d\n", server.port());
+  std::fflush(stdout);
+  Status served = server.Serve();
+  if (!served.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", served.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+#include "service_workload.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "data/transactions.h"
+
+namespace licm::tools {
+namespace {
+
+Result<uint64_t> ParseU64(const std::string& field, const std::string& text) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument("instance spec " + field +
+                                   " must be a non-negative integer, got '" +
+                                   text + "'");
+  }
+  return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+Result<InstanceSpec> ParseInstanceSpec(const std::string& text) {
+  const size_t eq = text.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument(
+        "instance spec must look like name=scheme:k[:txns[:items[:seed]]], "
+        "got '" +
+        text + "'");
+  }
+  InstanceSpec spec;
+  spec.name = text.substr(0, eq);
+
+  std::vector<std::string> parts;
+  size_t start = eq + 1;
+  while (start <= text.size()) {
+    const size_t colon = text.find(':', start);
+    if (colon == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, colon - start));
+    start = colon + 1;
+  }
+  if (parts.size() < 2 || parts.size() > 5) {
+    return Status::InvalidArgument(
+        "instance spec must have 2-5 ':'-separated fields after '=', got '" +
+        text + "'");
+  }
+
+  if (parts[0] == "kanon") spec.scheme = bench::Scheme::kKAnon;
+  else if (parts[0] == "km") spec.scheme = bench::Scheme::kKm;
+  else if (parts[0] == "supp") spec.scheme = bench::Scheme::kSuppression;
+  else if (parts[0] == "bipartite") spec.scheme = bench::Scheme::kBipartite;
+  else {
+    return Status::InvalidArgument(
+        "unknown scheme '" + parts[0] +
+        "' (want kanon | km | supp | bipartite)");
+  }
+
+  LICM_ASSIGN_OR_RETURN(uint64_t k, ParseU64("k", parts[1]));
+  if (k < 2) return Status::InvalidArgument("instance spec k must be >= 2");
+  spec.k = static_cast<uint32_t>(k);
+  // Bipartite encodings are solver-hard permutation instances; default
+  // them smaller, as the bench config does.
+  if (spec.scheme == bench::Scheme::kBipartite) spec.transactions = 60;
+  if (parts.size() > 2) {
+    LICM_ASSIGN_OR_RETURN(uint64_t v, ParseU64("txns", parts[2]));
+    if (v == 0) return Status::InvalidArgument("txns must be positive");
+    spec.transactions = static_cast<uint32_t>(v);
+  }
+  if (parts.size() > 3) {
+    LICM_ASSIGN_OR_RETURN(uint64_t v, ParseU64("items", parts[3]));
+    if (v == 0) return Status::InvalidArgument("items must be positive");
+    spec.items = static_cast<uint32_t>(v);
+  }
+  if (parts.size() > 4) {
+    LICM_ASSIGN_OR_RETURN(spec.seed, ParseU64("seed", parts[4]));
+  }
+  return spec;
+}
+
+Result<anonymize::EncodedDb> BuildInstance(const InstanceSpec& spec) {
+  data::GeneratorConfig gen;
+  gen.num_transactions = spec.transactions;
+  gen.num_items = spec.items;
+  gen.seed = spec.seed;
+  data::TransactionDataset dataset = data::GenerateTransactions(gen);
+
+  switch (spec.scheme) {
+    case bench::Scheme::kBipartite: {
+      LICM_ASSIGN_OR_RETURN(
+          auto groups,
+          anonymize::SafeGrouping(dataset, {spec.k, 2, spec.seed}));
+      return anonymize::EncodeBipartite(groups, dataset);
+    }
+    case bench::Scheme::kSuppression: {
+      LICM_ASSIGN_OR_RETURN(auto anon,
+                            anonymize::SuppressRareItems(dataset, {spec.k}));
+      return anonymize::EncodeSuppressed(anon, dataset);
+    }
+    case bench::Scheme::kKm:
+    case bench::Scheme::kKAnon: {
+      anonymize::Hierarchy h =
+          anonymize::Hierarchy::BuildUniform(dataset.num_items, 2);
+      anonymize::GeneralizedDataset anon;
+      if (spec.scheme == bench::Scheme::kKm) {
+        LICM_ASSIGN_OR_RETURN(anon,
+                              anonymize::KmAnonymize(dataset, h, {spec.k, 2}));
+      } else {
+        LICM_ASSIGN_OR_RETURN(anon, anonymize::KAnonymize(dataset, h, {spec.k}));
+      }
+      return anonymize::EncodeGeneralized(anon, h, dataset);
+    }
+  }
+  return Status::Internal("unreachable scheme");
+}
+
+Result<rel::QueryNodePtr> BuildServiceQuery(const InstanceSpec& spec,
+                                            int qnum) {
+  if (qnum < 1 || qnum > 3) {
+    return Status::InvalidArgument("qnum must be 1, 2, or 3; got " +
+                                   std::to_string(qnum));
+  }
+  bench::QueryParams params;
+  bench::BenchConfig defaults;
+  // Query 3's popularity threshold is an absolute transaction count;
+  // scale it with the instance size as RunCell does for its small sweeps.
+  if (spec.transactions < defaults.num_transactions) {
+    params.q3_x = std::max<int64_t>(
+        2, params.q3_x * spec.transactions / defaults.num_transactions);
+  }
+  if (spec.scheme == bench::Scheme::kBipartite) {
+    return bench::BuildBipartiteQuery(qnum, params);
+  }
+  return bench::BuildFlatQuery(qnum, params);
+}
+
+}  // namespace licm::tools

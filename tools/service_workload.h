@@ -1,0 +1,49 @@
+// Instance and query catalogue shared by licm_serve and licm_client.
+//
+// Both sides of the service smoke/load setup parse the same
+// `name=scheme:k[:txns[:items[:seed]]]` spec strings, so the client can
+// rebuild the server's instances bit-identically and verify service
+// responses against offline AnswerAggregate runs. Lives in tools/ (not
+// src/service/) because it reuses the bench harness's paper-query
+// catalogue, which is layered above the service library.
+#ifndef LICM_TOOLS_SERVICE_WORKLOAD_H_
+#define LICM_TOOLS_SERVICE_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "anonymize/licm_encode.h"
+#include "harness.h"
+#include "common/status.h"
+#include "relational/query.h"
+
+namespace licm::tools {
+
+struct InstanceSpec {
+  std::string name;
+  bench::Scheme scheme = bench::Scheme::kKAnon;
+  uint32_t k = 2;
+  /// Small defaults: service instances are sized for request throughput,
+  /// not for the paper-scale figure sweeps.
+  uint32_t transactions = 200;
+  uint32_t items = 60;
+  uint64_t seed = 42;
+};
+
+/// Parses `name=scheme:k[:txns[:items[:seed]]]` where scheme is one of
+/// kanon | km | supp | bipartite.
+Result<InstanceSpec> ParseInstanceSpec(const std::string& text);
+
+/// Generates the synthetic dataset, anonymizes it, and encodes it as an
+/// LICM database + sampling structure. Deterministic in the spec.
+Result<anonymize::EncodedDb> BuildInstance(const InstanceSpec& spec);
+
+/// Builds paper query `qnum` (1..3) against the spec's encoding (flat vs
+/// bipartite base view), with the Query-3 popularity threshold scaled to
+/// the spec's transaction count as in bench::RunCell.
+Result<rel::QueryNodePtr> BuildServiceQuery(const InstanceSpec& spec,
+                                            int qnum);
+
+}  // namespace licm::tools
+
+#endif  // LICM_TOOLS_SERVICE_WORKLOAD_H_

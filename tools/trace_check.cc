@@ -4,15 +4,22 @@
 // traced smoke bench; also handy on any trace before loading it into
 // chrome://tracing.
 //
-// Usage: trace_check <trace.json> [trace2.json ...]
+// Usage: trace_check [--version] <trace.json> [trace2.json ...]
 // Exit 0 when every file validates, 1 otherwise.
 #include <cstdio>
+#include <cstring>
 
 #include "common/trace_export.h"
+#include "common/version.h"
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", licm::VersionString("trace_check").c_str());
+    return 0;
+  }
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <trace.json> [trace2.json ...]\n",
+    std::fprintf(stderr, "usage: %s [--version] <trace.json> "
+                 "[trace2.json ...]\n",
                  argv[0]);
     return 1;
   }
