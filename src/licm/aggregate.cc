@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "common/telemetry.h"
 #include "solver/scheduler.h"
@@ -89,19 +91,60 @@ Status CheckPrunedRemainder(const ConstraintSet& constraints,
   if (dropped.empty()) return Status::OK();
 
   solver::LinearProgram lp;
-  std::unordered_map<BVar, solver::VarId> to_lp;
+  // Dense BVar -> VarId map: ids are contiguous and small, and the hash
+  // lookups of a map dominate construction time on large remainders.
+  constexpr solver::VarId kUnmapped =
+      std::numeric_limits<solver::VarId>::max();
+  std::vector<solver::VarId> to_lp;
   for (const LinearConstraint* c : dropped) {
     solver::Row row;
     row.terms.reserve(c->terms.size());
     for (const auto& t : c->terms) {
-      auto [it, fresh] = to_lp.emplace(t.var, 0);
-      if (fresh) it->second = lp.AddBinary();
-      row.terms.push_back({it->second, static_cast<double>(t.coef)});
+      if (t.var >= to_lp.size()) to_lp.resize(t.var + 1, kUnmapped);
+      if (to_lp[t.var] == kUnmapped) to_lp[t.var] = lp.AddBinary();
+      row.terms.push_back({to_lp[t.var], static_cast<double>(t.coef)});
     }
     row.op = ToRowOp(c->op);
     row.rhs = static_cast<double>(c->rhs);
     lp.AddRow(std::move(row));
   }
+  // Witness fast path: LICM remainders are overwhelmingly disjoint
+  // cardinality blocks ("between lo and hi of this group set"), where
+  // raising the minimum number of variables per >=/== row yields a
+  // possible world. Build that assignment greedily, then verify it against
+  // EVERY row exactly — all quantities are small integers, so the checks
+  // are exact and a verified witness proves feasibility outright, skipping
+  // the solver (whose canonicalization pass dominates this probe on
+  // monolithic-component workloads). Verification failure falls through to
+  // the exact zero-objective solve, so the heuristic cannot affect
+  // soundness in either direction.
+  std::vector<uint8_t> x(lp.num_vars(), 0);
+  for (const solver::Row& row : lp.rows()) {
+    if (row.op == solver::RowOp::kLe) continue;
+    double act = 0.0;
+    for (const auto& t : row.terms) act += t.coef * x[t.var];
+    for (const auto& t : row.terms) {
+      if (act >= row.rhs) break;
+      if (t.coef > 0 && x[t.var] == 0) {
+        x[t.var] = 1;
+        act += t.coef;
+      }
+    }
+  }
+  bool witness_ok = true;
+  for (const solver::Row& row : lp.rows()) {
+    double act = 0.0;
+    for (const auto& t : row.terms) act += t.coef * x[t.var];
+    const bool sat = row.op == solver::RowOp::kLe   ? act <= row.rhs
+                     : row.op == solver::RowOp::kGe ? act >= row.rhs
+                                                    : act == row.rhs;
+    if (!sat) {
+      witness_ok = false;
+      break;
+    }
+  }
+  if (witness_ok) return Status::OK();
+
   const solver::MipResult r =
       solver::MipSolver(mip).Solve(lp, solver::Sense::kMaximize);
   if (r.status == solver::SolveStatus::kInfeasible) {
@@ -139,27 +182,30 @@ Result<AggregateBounds> ComputeBounds(const Objective& objective,
                     constraints.size()};
   }
 
-  // Build the BIP over live variables.
+  // Build the BIP over live variables. BVar -> VarId uses a dense vector:
+  // ids are contiguous, and at Query-3 scale (hundreds of thousands of
+  // terms) map hashing dominates construction otherwise.
   solver::LinearProgram lp;
-  std::unordered_map<BVar, solver::VarId> to_lp;
-  to_lp.reserve(pruned.live.size());
+  constexpr solver::VarId kUnmapped =
+      std::numeric_limits<solver::VarId>::max();
+  std::vector<solver::VarId> to_lp(num_vars, kUnmapped);
   // Deterministic order: sort live variables.
   std::vector<BVar> live_sorted(pruned.live.begin(), pruned.live.end());
   std::sort(live_sorted.begin(), live_sorted.end());
-  for (BVar v : live_sorted) to_lp.emplace(v, lp.AddBinary());
+  for (BVar v : live_sorted) to_lp[v] = lp.AddBinary();
   for (const LinearConstraint& c : pruned.kept) {
     solver::Row row;
     row.terms.reserve(c.terms.size());
     for (const auto& t : c.terms) {
       row.terms.push_back(
-          {to_lp.at(t.var), static_cast<double>(t.coef)});
+          {to_lp[t.var], static_cast<double>(t.coef)});
     }
     row.op = ToRowOp(c.op);
     row.rhs = static_cast<double>(c.rhs);
     lp.AddRow(std::move(row));
   }
   for (const auto& [v, coef] : objective.coefs) {
-    lp.SetObjectiveCoef(to_lp.at(v), coef);
+    lp.SetObjectiveCoef(to_lp[v], coef);
   }
   lp.AddObjectiveConstant(objective.constant);
 

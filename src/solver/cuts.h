@@ -1,0 +1,48 @@
+// Cover and clique cuts from cardinality / knapsack rows.
+//
+// LICM programs are dominated by COUNT-between constraints: cardinality
+// rows over a tuple group, AND/OR link rows with mixed-sign coefficients.
+// Complementing negative-coefficient binaries (x -> 1 - x) turns any such
+// row into an all-positive knapsack sum(a_j * l_j) <= b over literals, from
+// which two classic families of valid inequalities follow:
+//
+//  * Cover cuts: a minimal literal set C with sum(a_j) > b cannot be all
+//    ones, so sum_{C} l_j <= |C| - 1.
+//  * Clique cuts: literals with a_j > b/2 are pairwise conflicting, so at
+//    most one of them can be one.
+//
+// Cuts are separated at a fractional LP point (only violated cuts are
+// returned) and de-complemented back into input variable space, so they
+// are valid for the original program regardless of the current search
+// node — which is what lets the per-component cut pool (solve_cache.h)
+// reuse them across cache hits.
+#ifndef LICM_SOLVER_CUTS_H_
+#define LICM_SOLVER_CUTS_H_
+
+#include <vector>
+
+#include "solver/linear_program.h"
+
+namespace licm::solver {
+
+struct CutOptions {
+  /// Cap on returned cuts per call (most violated first).
+  int max_cuts = 32;
+  /// Minimum violation at the separation point for a cut to be emitted.
+  double min_violation = 1e-3;
+  /// Rows with more terms than this are skipped (dense rows make weak
+  /// covers and cost quadratic minimalization time).
+  size_t max_row_terms = 128;
+};
+
+/// Separates violated cover and clique cuts for `lp` at the fractional
+/// point `x` (indexed by VarId). Only rows whose variables are all binary
+/// in `lp` participate. Returned rows are kLe over input variables and
+/// globally valid for every integer-feasible point of `lp`.
+std::vector<Row> GenerateCardinalityCuts(const LinearProgram& lp,
+                                         const std::vector<double>& x,
+                                         const CutOptions& options = {});
+
+}  // namespace licm::solver
+
+#endif  // LICM_SOLVER_CUTS_H_

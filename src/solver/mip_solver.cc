@@ -8,13 +8,16 @@
 #include <mutex>
 #include <optional>
 
+#include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/stopwatch.h"
 #include "common/telemetry.h"
 #include "solver/canonical.h"
 #include "solver/components.h"
+#include "solver/cuts.h"
 #include "solver/presolve.h"
 #include "solver/propagation.h"
 #include "solver/scheduler.h"
@@ -54,22 +57,62 @@ double ActivityBound(const LinearProgram& lp, const Domains& dom) {
   return b;
 }
 
+constexpr VarId kNoVar = std::numeric_limits<VarId>::max();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// Serialized identity of a cut row for deduplication in the component
+// registry (variable ids, coefficient signs, rounded rhs).
+std::string CutKeyString(const Row& row) {
+  std::string key;
+  key.reserve(row.terms.size() * 6 + 8);
+  for (const Term& t : row.terms) {
+    key.push_back(t.coef > 0 ? '+' : '-');
+    key.append(std::to_string(t.var));
+    key.push_back(',');
+  }
+  key.push_back('|');
+  key.append(std::to_string(std::llround(row.rhs * 4.0)));
+  return key;
+}
+
 // Branch & bound over one connected component. When `scheduler` is
 // non-null the search may go parallel: once a depth-first strand has run
 // `split_node_threshold` nodes and an executor is idle, it donates the
-// oldest half of its open stack (the subtrees nearest the root) to the
-// pool as fresh strands, all sharing one atomic incumbent for pruning,
+// oldest open decisions of its stack (the subtrees nearest the root) to
+// the pool as fresh strands, all sharing one atomic incumbent for pruning,
 // one node budget, and one stop flag. Every frontier node is either
 // expanded or folded into `open_bound_`, so `best_bound` stays a proved
 // bound even when the node cap or the deadline cuts the search short.
+//
+// Node state is a *strand*: one Domains, one BoundTrail, and a stack of
+// pending Decisions. A decision records the trail mark at which it was
+// created; popping it unwinds the trail to that mark (O(#changes) instead
+// of a Domains copy per node), applies its bound change, and propagates.
+// Probing and dives run on the same trail. Each strand also carries one
+// IncrementalLp: the node relaxation warm-starts from whatever basis the
+// previous node left, and its duals feed reduced-cost fixing and
+// pseudo-cost branching. Donated subtrees materialize their Domains from
+// the donor's trail and inherit the donor's basis snapshot.
 class ComponentSearch {
  public:
   ComponentSearch(const LinearProgram& lp, const MipOptions& opt,
                   const Deadline& deadline, Scheduler* scheduler,
-                  MipStats* stats, int64_t trace_id = 0)
+                  MipStats* stats, int64_t trace_id = 0,
+                  const CanonicalForm* form = nullptr)
       : lp_(lp), opt_(opt), deadline_(deadline), scheduler_(scheduler),
-        stats_(stats), trace_id_(trace_id), propagator_(lp),
-        integral_(AllIntegral(lp)) {
+        stats_(stats), trace_id_(trace_id), form_(form), propagator_(lp),
+        integral_(AllIntegral(lp)),
+        lp_warm_(opt.use_lp_bound && opt.use_warm_lp &&
+                 lp.num_vars() <= opt.warm_lp_max_vars &&
+                 IncrementalLp::Suitable(lp, SimplexOptions{})),
+        lp_at_nodes_(opt.use_lp_bound &&
+                     (lp.num_vars() <= opt.lp_bound_max_vars || lp_warm_)) {
+    if (opt.use_pseudo_cost) {
+      for (int dir = 0; dir < 2; ++dir) {
+        pc_sum_[dir].assign(lp.num_vars(), 0.0);
+        pc_cnt_[dir].assign(lp.num_vars(), 0);
+      }
+    }
     // Index SOS1-style rows (sum of binaries = 1): branching on a whole
     // row (one child per candidate assignee) fixes a permutation slot at a
     // time, which propagates far better than 0/1 branching on one binary.
@@ -133,17 +176,59 @@ class ComponentSearch {
       return res;
     }
 
-    Domains root = Domains::FromProgram(lp_);
-    if (propagator_.Run(&root) == PropagateResult::kFixpoint) {
-      if (opt_.use_probing && !ProbeRoot(&root)) {
+    Strand root_strand;
+    root_strand.dom = Domains::FromProgram(lp_);
+    if (propagator_.Run(&root_strand.dom, nullptr, nullptr,
+                        &root_strand.scratch) == PropagateResult::kFixpoint) {
+      // Adaptive prologue (use_adaptive_prologue): one objective-guided
+      // dive first — heuristic 1 drives every objective variable to its
+      // preferred bound before touching filler variables, so when that
+      // corner is feasible the incumbent equals the root activity bound
+      // outright and both the singleton-probing sweep and the remaining
+      // dives are pure overhead (on aggregate queries the objective
+      // touches a few dozen variables of a 20k-variable component). Each
+      // stage below runs only while the gap stays open. With the flag off
+      // this reproduces the legacy fixed prologue: full probing sweep,
+      // then all three dives, unconditionally.
+      if (opt_.use_adaptive_prologue) {
+        LICM_TRACE_SPAN("solver", "dives");
+        // Cheapest first: if the objective-preferred corner of the
+        // propagated box satisfies every row outright (one O(nnz) sweep),
+        // its value IS the activity bound and no dive is needed at all.
+        if (!TryPreferredCorner(root_strand.dom)) {
+          GreedyDive(&root_strand, 1);
+        }
+      }
+      if (!opt_.use_adaptive_prologue || !RootGapClosed(root_strand.dom)) {
+        LICM_TRACE_SPAN("solver", "probe_root");
+        if (opt_.use_probing && !ProbeRoot(&root_strand)) {
+          res.status = SolveStatus::kInfeasible;
+          stats_->cpu_seconds += prep_clock.ElapsedSeconds();
+          return res;
+        }
+      }
+      // Remaining dives: seed the incumbent from other corners so search
+      // starts with a primal bound to prune against. Single-threaded —
+      // parallel strands only exist below.
+      if (!opt_.use_adaptive_prologue) {
+        LICM_TRACE_SPAN("solver", "dives");
+        for (int heur = 0; heur < 3; ++heur) GreedyDive(&root_strand, heur);
+      } else if (!RootGapClosed(root_strand.dom)) {
+        LICM_TRACE_SPAN("solver", "dives");
+        for (int heur : {0, 2}) {
+          GreedyDive(&root_strand, heur);
+          if (RootGapClosed(root_strand.dom)) break;
+        }
+      }
+
+      // Root LP: warm state, pooled cuts, root cut separation, and strong
+      // branching — all before any parallel strand exists.
+      double root_bound = kInfinity;
+      if (lp_warm_ && !RootLpSetup(&root_strand, &root_bound)) {
         res.status = SolveStatus::kInfeasible;
         stats_->cpu_seconds += prep_clock.ElapsedSeconds();
         return res;
       }
-      // Seed the incumbent with a few propagation-guided greedy dives;
-      // search then starts with a primal bound to prune against. This
-      // phase is single-threaded: parallel strands only exist below.
-      for (int heur = 0; heur < 3; ++heur) GreedyDive(root, heur);
       stats_->cpu_seconds += prep_clock.ElapsedSeconds();
       {
         std::optional<Scheduler::Group> group;
@@ -152,12 +237,20 @@ class ComponentSearch {
           group_ = &*group;
         }
         MipStats local;
-        std::vector<Node> stack;
-        stack.push_back(Node{std::move(root), {}});
-        Dfs(std::move(stack), &local);
+        Decision root_dec;
+        root_dec.var = kNoVar;  // domains already propagated above
+        root_dec.inherited = root_bound;
+        root_strand.stack.push_back(root_dec);
+        Dfs(&root_strand, &local);
         if (group) group->Wait();  // donated strands merge their stats
         group_ = nullptr;
         MergeLocalStats(local);
+      }
+      // Cuts survive the search — valid rows for every later isomorphic
+      // component even when this solve itself hit a limit.
+      if (opt_.use_cuts && opt_.cut_pool != nullptr && form_ != nullptr) {
+        std::lock_guard<std::mutex> lock(cuts_mu_);
+        if (!cuts_.empty()) opt_.cut_pool->Store(*form_, cuts_);
       }
     } else {
       res.status = SolveStatus::kInfeasible;
@@ -191,14 +284,38 @@ class ComponentSearch {
   }
 
  private:
-  struct Node {
-    Domains dom;
-    // Variables newly restricted relative to the parent (for incremental
-    // propagation); empty => propagate everything.
-    std::vector<VarId> touched;
+  // One pending branch decision. `mark` is the trail length when the
+  // decision was created: popping it unwinds to `mark` (recovering the
+  // parent's exact Domains), then imposes [lo, hi] on `var` and
+  // propagates. The root seed uses var == kNoVar (no change, domains
+  // already at fixpoint).
+  struct Decision {
+    size_t mark = 0;
+    VarId var = kNoVar;
+    double lo = 0.0, hi = 0.0;
     // Tightest bound inherited from ancestors (their LP/activity bounds
     // remain valid for this subregion). +inf at the root.
-    double inherited_bound = kInfinity;
+    double inherited = kInfinity;
+    // Parent relaxation objective and this child's fractional distance,
+    // for the pseudo-cost observation when this child's relaxation
+    // solves. pc_dist < 0 => no observation (no parent LP, SOS1 child).
+    double parent_obj = kNan;
+    double pc_dist = -1.0;
+    int8_t dir = 0;  // 0 = down child, 1 = up child
+  };
+
+  // One depth-first search strand: shared Domains + undo trail + decision
+  // stack, plus the strand's warm LP state and reusable propagation
+  // scratch. Sequential searches have exactly one; SplitStack donates
+  // more.
+  struct Strand {
+    Domains dom;
+    BoundTrail trail;
+    std::vector<Decision> stack;
+    PropagationScratch scratch;
+    std::unique_ptr<IncrementalLp> lp;
+    size_t applied_cuts = 0;  // prefix of cuts_ already in `lp`
+    LpBasis seed_basis;       // donor basis for warm-starting
   };
 
   // Singleton-consistency probing at the root: for every unfixed binary,
@@ -206,31 +323,53 @@ class ComponentSearch {
   // infeasibility fixes the variable to the other value. Returns false if
   // the root itself becomes infeasible. Tightens both search and the
   // activity bounds substantially on permutation-coupled instances.
-  bool ProbeRoot(Domains* root) {
+  // Probes run on the strand's trail and unwind in O(#changes); forced
+  // fixings are committed (root state is permanent, nothing unwinds past
+  // it).
+  bool ProbeRoot(Strand* s) {
+    Domains& dom = s->dom;
     bool changed = true;
     int rounds = 0;
+    uint32_t since_check = 0;
     while (changed && rounds++ < 3) {
       changed = false;
+      if (opt_.use_adaptive_prologue && RootGapClosed(dom)) return true;
       for (VarId v = 0; v < lp_.num_vars(); ++v) {
         if (!lp_.vars()[v].is_integer) continue;
-        if (root->upper[v] - root->lower[v] < 0.5) continue;
+        if (dom.upper[v] - dom.lower[v] < 0.5) continue;
         if (deadline_.Expired()) return true;
+        // Committed fixings tighten the activity bound as the sweep runs;
+        // once it meets the incumbent the rest of the sweep is moot.
+        if (opt_.use_adaptive_prologue && ++since_check >= 512) {
+          since_check = 0;
+          if (RootGapClosed(dom)) return true;
+        }
         const std::vector<VarId> touched{v};
-        Domains low = *root;
-        low.upper[v] = low.lower[v];
+        const size_t mark = s->trail.Mark();
+        s->trail.Record(v, dom);
+        dom.upper[v] = dom.lower[v];
         const bool low_ok =
-            propagator_.Run(&low, &touched) == PropagateResult::kFixpoint;
-        Domains high = *root;
-        high.lower[v] = high.upper[v];
+            propagator_.Run(&dom, &touched, &s->trail, &s->scratch) ==
+            PropagateResult::kFixpoint;
+        s->trail.UnwindTo(mark, &dom);
+        s->trail.Record(v, dom);
+        dom.lower[v] = dom.upper[v];
         const bool high_ok =
-            propagator_.Run(&high, &touched) == PropagateResult::kFixpoint;
+            propagator_.Run(&dom, &touched, &s->trail, &s->scratch) ==
+            PropagateResult::kFixpoint;
         if (!low_ok && !high_ok) return false;
         if (!low_ok) {
-          *root = std::move(high);
+          s->trail.CommitTo(mark);  // keep the propagated high state
           changed = true;
         } else if (!high_ok) {
-          *root = std::move(low);
+          s->trail.UnwindTo(mark, &dom);
+          s->trail.Record(v, dom);
+          dom.upper[v] = dom.lower[v];
+          propagator_.Run(&dom, &touched, &s->trail, &s->scratch);
+          s->trail.CommitTo(mark);  // keep the propagated low state
           changed = true;
+        } else {
+          s->trail.UnwindTo(mark, &dom);  // both viable: keep neither
         }
       }
     }
@@ -239,34 +378,68 @@ class ComponentSearch {
 
   // Probes every unfixed objective variable at its objective-preferred
   // bound (we maximize, so coef > 0 prefers upper, coef < 0 prefers
-  // lower). A refuted preference fixes the variable the other way in
-  // `dom`, directly lowering the activity bound. Returns false when the
-  // node is infeasible.
-  bool ProbeObjectiveVars(Domains* dom) {
+  // lower). A refuted preference fixes the variable the other way —
+  // recorded on the trail, so the fixing lives exactly as long as the
+  // node. Returns false when the node is infeasible.
+  bool ProbeObjectiveVars(Strand* s) {
+    Domains& dom = s->dom;
     for (VarId v = 0; v < lp_.num_vars(); ++v) {
       const double c = lp_.objective_coef(v);
       if (c == 0.0 || !lp_.vars()[v].is_integer) continue;
-      if (dom->upper[v] - dom->lower[v] < 0.5) continue;
+      if (dom.upper[v] - dom.lower[v] < 0.5) continue;
       const std::vector<VarId> touched{v};
-      Domains probe = *dom;
+      const size_t mark = s->trail.Mark();
+      s->trail.Record(v, dom);
       if (c > 0) {
-        probe.lower[v] = probe.upper[v];
+        dom.lower[v] = dom.upper[v];
       } else {
-        probe.upper[v] = probe.lower[v];
+        dom.upper[v] = dom.lower[v];
       }
-      if (propagator_.Run(&probe, &touched) == PropagateResult::kFixpoint) {
+      if (propagator_.Run(&dom, &touched, &s->trail, &s->scratch) ==
+          PropagateResult::kFixpoint) {
+        s->trail.UnwindTo(mark, &dom);
         continue;  // preferred value viable; bound keeps its contribution
       }
       // Preferred value refuted: force the other one and re-propagate.
+      s->trail.UnwindTo(mark, &dom);
+      s->trail.Record(v, dom);
       if (c > 0) {
-        dom->upper[v] = dom->lower[v];
+        dom.upper[v] = dom.lower[v];
       } else {
-        dom->lower[v] = dom->upper[v];
+        dom.lower[v] = dom.upper[v];
       }
-      if (propagator_.Run(dom, &touched) == PropagateResult::kInfeasible) {
+      if (propagator_.Run(&dom, &touched, &s->trail, &s->scratch) ==
+          PropagateResult::kInfeasible) {
         return false;
       }
     }
+    return true;
+  }
+
+  // Evaluates the objective-preferred corner of the current box (every
+  // variable at the bound its objective coefficient prefers) against all
+  // rows. Feasible => offers it as the incumbent — whose value equals the
+  // activity bound by construction — and returns true. One O(nnz) sweep;
+  // integral components only (fractional bounds could need rounding).
+  bool TryPreferredCorner(const Domains& dom) {
+    for (const auto& v : lp_.vars()) {
+      if (!v.is_integer) return false;
+    }
+    std::vector<double> x(lp_.num_vars());
+    for (VarId v = 0; v < lp_.num_vars(); ++v) {
+      x[v] = lp_.objective_coef(v) > 0 ? dom.upper[v] : dom.lower[v];
+    }
+    for (const Row& row : lp_.rows()) {
+      double act = 0.0;
+      for (const Term& t : row.terms) act += t.coef * x[t.var];
+      const bool ok = row.op == RowOp::kLe   ? act <= row.rhs + opt_.tol
+                      : row.op == RowOp::kGe ? act >= row.rhs - opt_.tol
+                                             : std::abs(act - row.rhs) <=
+                                                   opt_.tol;
+      if (!ok) return false;
+    }
+    const double val = lp_.EvalObjective(x);  // before the move below
+    OfferIncumbent(val, std::move(x));
     return true;
   }
 
@@ -274,107 +447,370 @@ class ComponentSearch {
   // heuristic value (repairing to the other value on refutation) until all
   // integer variables are fixed, then record the incumbent. Different
   // `heur` values vary the variable order so the dives explore different
-  // corners.
-  void GreedyDive(Domains dom, int heur) {
+  // corners. Runs on the strand's trail and fully unwinds before
+  // returning.
+  void GreedyDive(Strand* s, int heur) {
     // Dives only apply to pure-integer components (always true for LICM).
     for (const auto& v : lp_.vars()) {
       if (!v.is_integer) return;
     }
-    uint64_t lcg = 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(heur + 1);
-    for (;;) {
-      if (deadline_.Expired()) return;
-      VarId pick = lp_.num_vars();
-      double best_key = -kInfinity;
+    Domains& dom = s->dom;
+    const size_t base = s->trail.Mark();
+    // Pick order, fixed up front: scanning all variables per pick is
+    // O(n^2) on monolithic components (the Query-3 wall). Within a dive
+    // domains only tighten — an unwind restores at most the state at its
+    // own probe's mark — so a cursor over this order never has to move
+    // backwards.
+    std::vector<VarId> order(lp_.num_vars());
+    for (VarId v = 0; v < lp_.num_vars(); ++v) order[v] = v;
+    if (heur == 1) {
+      std::sort(order.begin(), order.end(), [this](VarId a, VarId b) {
+        const double ka = std::abs(lp_.objective_coef(a));
+        const double kb = std::abs(lp_.objective_coef(b));
+        return ka > kb || (ka == kb && a < b);
+      });
+    } else if (heur >= 2) {
+      uint64_t lcg = 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(heur + 1);
+      std::vector<uint64_t> key(lp_.num_vars());
       for (VarId v = 0; v < lp_.num_vars(); ++v) {
-        if (dom.upper[v] - dom.lower[v] <= 0.5) continue;
-        double key = 0.0;
-        switch (heur) {
-          case 0: key = -static_cast<double>(v); break;  // lowest id
-          case 1: key = std::abs(lp_.objective_coef(v)); break;
-          default: {
-            lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
-            key = static_cast<double>(lcg >> 33);
-            break;
-          }
-        }
-        if (key > best_key) {
-          best_key = key;
-          pick = v;
-        }
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        key[v] = lcg;
       }
+      std::sort(order.begin(), order.end(),
+                [&key](VarId a, VarId b) { return key[a] < key[b]; });
+    }
+    size_t cursor = 0;
+    for (;;) {
+      if (deadline_.Expired()) break;
+      while (cursor < order.size() &&
+             dom.upper[order[cursor]] - dom.lower[order[cursor]] <= 0.5) {
+        ++cursor;
+      }
+      const VarId pick =
+          cursor < order.size() ? order[cursor] : lp_.num_vars();
       if (pick == lp_.num_vars()) {
         std::vector<double> x(lp_.num_vars());
         for (VarId v = 0; v < lp_.num_vars(); ++v) x[v] = dom.lower[v];
         const double val = lp_.EvalObjective(x);
         OfferIncumbent(val, std::move(x));
-        return;
+        break;
       }
       const double c = lp_.objective_coef(pick);
-      const bool up_first = c > 0 || (c == 0.0 && heur == 1);
+      const bool up_first = c > 0;
       const std::vector<VarId> touched{pick};
-      Domains trial = dom;
-      if (up_first) trial.lower[pick] = trial.upper[pick];
-      else trial.upper[pick] = trial.lower[pick];
-      if (propagator_.Run(&trial, &touched) == PropagateResult::kFixpoint) {
-        dom = std::move(trial);
+      const size_t mark = s->trail.Mark();
+      s->trail.Record(pick, dom);
+      if (up_first) dom.lower[pick] = dom.upper[pick];
+      else dom.upper[pick] = dom.lower[pick];
+      if (propagator_.Run(&dom, &touched, &s->trail, &s->scratch) ==
+          PropagateResult::kFixpoint) {
         continue;
       }
+      s->trail.UnwindTo(mark, &dom);
+      s->trail.Record(pick, dom);
       if (up_first) dom.upper[pick] = dom.lower[pick];
       else dom.lower[pick] = dom.upper[pick];
-      if (propagator_.Run(&dom, &touched) == PropagateResult::kInfeasible) {
-        return;  // dead end; abandon this dive
+      if (propagator_.Run(&dom, &touched, &s->trail, &s->scratch) ==
+          PropagateResult::kInfeasible) {
+        break;  // dead end; abandon this dive
       }
     }
+    s->trail.UnwindTo(base, &dom);
   }
 
-  // One depth-first strand. Sequential runs have exactly one strand and
-  // visit nodes in the same order as the pre-parallel solver; parallel
-  // runs spawn more strands via SplitStack. `stats` is strand-local and
+  // Lazily creates the strand's warm LP state, replays the shared cut
+  // registry into it, and warm-starts from the donor basis if one was
+  // inherited (a column-count mismatch — the registry grew since the
+  // donor's snapshot — falls back to a cold basis inside RestoreBasis).
+  void EnsureLp(Strand* s) {
+    if (s->lp != nullptr) return;
+    s->lp = std::make_unique<IncrementalLp>(lp_, SimplexOptions{});
+    ApplyNewCuts(s);
+    if (!s->seed_basis.empty()) s->lp->RestoreBasis(s->seed_basis);
+  }
+
+  // Appends every registry cut this strand's LP has not absorbed yet.
+  void ApplyNewCuts(Strand* s) {
+    if (!opt_.use_cuts || s->lp == nullptr) return;
+    std::lock_guard<std::mutex> lock(cuts_mu_);
+    for (size_t i = s->applied_cuts; i < cuts_.size(); ++i) {
+      s->lp->AddCutRow(cuts_[i]);
+    }
+    s->applied_cuts = cuts_.size();
+  }
+
+  // Separates cardinality cuts at the fractional vertex `x`, registers the
+  // unseen ones (deduped across strands), and replays them into this
+  // strand's LP. Returns how many new cuts were registered.
+  int SeparateCuts(Strand* s, const std::vector<double>& x, MipStats* stats) {
+    CutOptions copt;
+    copt.max_cuts = opt_.max_cuts_per_component;
+    std::vector<Row> gen = GenerateCardinalityCuts(lp_, x, copt);
+    int added = 0;
+    {
+      std::lock_guard<std::mutex> lock(cuts_mu_);
+      for (Row& r : gen) {
+        if (cuts_.size() >=
+            static_cast<size_t>(opt_.max_cuts_per_component)) {
+          break;
+        }
+        if (!cut_keys_.insert(CutKeyString(r)).second) continue;
+        cuts_.push_back(std::move(r));
+        ++added;
+      }
+    }
+    stats->cuts_generated += added;
+    if (added > 0) ApplyNewCuts(s);
+    return added;
+  }
+
+  // Reduced-cost fixing after an optimal node relaxation: a nonbasic
+  // integer variable whose reduced cost proves that moving it off its
+  // bound (by the minimal integer step) cannot reach an objective above
+  // the incumbent is fixed at that bound for the whole subtree. We
+  // maximize, so a variable at lower has d <= 0 (obj(v = lo + 1) <=
+  // lp_obj + d) and one at upper has d >= 0 (obj(v = hi - 1) <= lp_obj -
+  // d). With an integral program the incumbent+1 rounding makes the test
+  // exact. Fixings land on the trail (they die with the node) and are
+  // propagated; returns -1 when propagation refutes the node, else the
+  // number of variables fixed.
+  int RcFix(Strand* s, double lp_obj, MipStats* stats) {
+    const double inc = incumbent_value_.load(std::memory_order_relaxed);
+    const double limit =
+        integral_ ? inc + 1.0 - 2.0 * opt_.tol : inc + opt_.tol;
+    Domains& dom = s->dom;
+    std::vector<VarId> fixed;
+    for (VarId v = 0; v < lp_.num_vars(); ++v) {
+      if (!lp_.vars()[v].is_integer) continue;
+      if (dom.upper[v] - dom.lower[v] <= 0.5) continue;
+      const VarStatus st = s->lp->StatusOf(v);
+      if (st == VarStatus::kBasic) continue;
+      const double d = s->lp->ReducedCost(v);
+      if (st == VarStatus::kAtLower && lp_obj + d <= limit) {
+        s->trail.Record(v, dom);
+        dom.upper[v] = dom.lower[v];
+        fixed.push_back(v);
+      } else if (st == VarStatus::kAtUpper && lp_obj - d <= limit) {
+        s->trail.Record(v, dom);
+        dom.lower[v] = dom.upper[v];
+        fixed.push_back(v);
+      }
+    }
+    if (fixed.empty()) return 0;
+    stats->rc_fixed_vars += static_cast<int64_t>(fixed.size());
+    if (propagator_.Run(&dom, &fixed, &s->trail, &s->scratch) ==
+        PropagateResult::kInfeasible) {
+      return -1;
+    }
+    return static_cast<int>(fixed.size());
+  }
+
+  // Accumulates one pseudo-cost observation: objective degradation per
+  // unit of enforced fractional distance for branching `v` in direction
+  // `dir` (0 = down, 1 = up).
+  void RecordPseudoCost(VarId v, int dir, double deg) {
+    if (!(deg >= 0.0)) deg = 0.0;  // guards NaN and negative degradations
+    std::lock_guard<std::mutex> lock(pc_mu_);
+    pc_sum_[dir][v] += deg;
+    ++pc_cnt_[dir][v];
+  }
+
+  // Pseudo-cost branching rule: product of estimated down/up degradations,
+  // with the global average as prior for unobserved variables. Returns
+  // kNoVar when no integer variable is fractional in `x`.
+  VarId SelectPseudoCost(const Domains& dom, const std::vector<double>& x,
+                         double* frac_out) {
+    std::lock_guard<std::mutex> lock(pc_mu_);
+    double avg[2] = {1.0, 1.0};
+    for (int dir = 0; dir < 2; ++dir) {
+      double sum = 0.0;
+      int64_t cnt = 0;
+      for (VarId v = 0; v < lp_.num_vars(); ++v) {
+        sum += pc_sum_[dir][v];
+        cnt += pc_cnt_[dir][v];
+      }
+      if (cnt > 0) avg[dir] = sum / static_cast<double>(cnt);
+    }
+    VarId best = kNoVar;
+    double best_score = -1.0;
+    for (VarId v = 0; v < lp_.num_vars(); ++v) {
+      if (!lp_.vars()[v].is_integer) continue;
+      if (dom.upper[v] - dom.lower[v] <= 0.5) continue;
+      const double f = x[v] - std::floor(x[v]);
+      if (f <= opt_.tol || f >= 1.0 - opt_.tol) continue;
+      const double down =
+          pc_cnt_[0][v] > 0 ? pc_sum_[0][v] / pc_cnt_[0][v] : avg[0];
+      const double up =
+          pc_cnt_[1][v] > 0 ? pc_sum_[1][v] / pc_cnt_[1][v] : avg[1];
+      const double score =
+          std::max(down * f, 1e-6) * std::max(up * (1.0 - f), 1e-6);
+      if (score > best_score + 1e-12) {
+        best_score = score;
+        best = v;
+      }
+    }
+    if (best != kNoVar) *frac_out = x[best];
+    return best;
+  }
+
+  // Root LP work, all before any parallel strand exists: builds the root
+  // strand's warm state, replays pooled cuts from isomorphic components,
+  // separates a few rounds of fresh root cuts, and seeds the pseudo-cost
+  // tables by strong branching. Returns false when the relaxation (with
+  // globally valid cuts) is infeasible — a proof that the component is.
+  bool RootLpSetup(Strand* s, double* root_bound) {
+    LICM_TRACE_SPAN("solver", "root_lp");
+    EnsureLp(s);
+    if (opt_.use_cuts && opt_.cut_pool != nullptr && form_ != nullptr) {
+      std::vector<Row> pooled = opt_.cut_pool->Fetch(*form_);
+      int added = 0;
+      {
+        std::lock_guard<std::mutex> lock(cuts_mu_);
+        for (Row& r : pooled) {
+          if (cuts_.size() >=
+              static_cast<size_t>(opt_.max_cuts_per_component)) {
+            break;
+          }
+          if (!cut_keys_.insert(CutKeyString(r)).second) continue;
+          cuts_.push_back(std::move(r));
+          ++added;
+        }
+      }
+      stats_->cuts_reused += added;
+      if (added > 0) ApplyNewCuts(s);
+    }
+    auto solve = [&] {
+      const SolveStatus st = s->lp->Solve(s->dom.lower, s->dom.upper);
+      ++stats_->lp_solves;
+      ++stats_->warm_lp_solves;
+      stats_->lp_pivots += s->lp->last_pivots();
+      stats_->max_resolve_pivots =
+          std::max(stats_->max_resolve_pivots, s->lp->last_pivots());
+      return st;
+    };
+    SolveStatus st = solve();
+    if (st == SolveStatus::kInfeasible) return false;
+    if (st == SolveStatus::kOptimal && opt_.use_cuts) {
+      for (int round = 0; round < 4; ++round) {
+        if (SeparateCuts(s, s->lp->values(), stats_) == 0) break;
+        st = solve();
+        if (st == SolveStatus::kInfeasible) return false;
+        if (st != SolveStatus::kOptimal) break;
+      }
+    }
+    if (st == SolveStatus::kOptimal) {
+      *root_bound = s->lp->objective();
+      if (integral_) *root_bound = std::floor(*root_bound + opt_.tol);
+      if (opt_.use_pseudo_cost) StrongBranchRoot(s);
+    }
+    return true;
+  }
+
+  // Strong branching at the component root: probes both directions of the
+  // most fractional variables by direct bound mutation + warm re-solve
+  // (single-threaded here, so no trail needed) and records the observed
+  // degradations as pseudo-cost seeds. Leaves the LP re-solved at the true
+  // root bounds.
+  void StrongBranchRoot(Strand* s) {
+    const double root_obj = s->lp->objective();
+    const std::vector<double> x = s->lp->values();  // re-solves overwrite
+    Domains& dom = s->dom;
+    std::vector<std::pair<double, VarId>> cands;
+    for (VarId v = 0; v < lp_.num_vars(); ++v) {
+      if (!lp_.vars()[v].is_integer) continue;
+      if (dom.upper[v] - dom.lower[v] <= 0.5) continue;
+      const double f = std::abs(x[v] - std::round(x[v]));
+      if (f > opt_.tol) cands.emplace_back(f, v);
+    }
+    std::sort(cands.begin(), cands.end(), [](const auto& a, const auto& b) {
+      return a.first > b.first || (a.first == b.first && a.second < b.second);
+    });
+    if (opt_.strong_branch_candidates >= 0 &&
+        cands.size() > static_cast<size_t>(opt_.strong_branch_candidates)) {
+      cands.resize(static_cast<size_t>(opt_.strong_branch_candidates));
+    }
+    for (const auto& [f, v] : cands) {
+      if (deadline_.Expired()) break;
+      const double split = std::floor(x[v]);
+      const double frac = x[v] - split;
+      const double lo = dom.lower[v], hi = dom.upper[v];
+      dom.upper[v] = std::max(split, lo);  // down probe: x[v] <= split
+      SolveStatus st = s->lp->Solve(dom.lower, dom.upper);
+      ++stats_->strong_branch_solves;
+      stats_->lp_pivots += s->lp->last_pivots();
+      if (st == SolveStatus::kOptimal) {
+        RecordPseudoCost(
+            v, 0, (root_obj - s->lp->objective()) / std::max(frac, 1e-6));
+      }
+      dom.upper[v] = hi;
+      dom.lower[v] = std::min(split + 1.0, hi);  // up probe: >= split + 1
+      st = s->lp->Solve(dom.lower, dom.upper);
+      ++stats_->strong_branch_solves;
+      stats_->lp_pivots += s->lp->last_pivots();
+      if (st == SolveStatus::kOptimal) {
+        RecordPseudoCost(v, 1, (root_obj - s->lp->objective()) /
+                                   std::max(1.0 - frac, 1e-6));
+      }
+      dom.lower[v] = lo;
+    }
+    s->lp->Solve(dom.lower, dom.upper);
+    stats_->lp_pivots += s->lp->last_pivots();
+  }
+
+  // One depth-first strand. Sequential runs have exactly one strand;
+  // parallel runs spawn more via SplitStack. `stats` is strand-local and
   // merged under stats_mu_ when the strand ends. The wrapper charges the
   // strand's elapsed time to cpu_seconds: strands run concurrently, so
   // their sum approximates CPU time, not wall time.
-  void Dfs(std::vector<Node> stack, MipStats* stats) {
+  void Dfs(Strand* s, MipStats* stats) {
     StopWatch strand_clock;
-    DfsLoop(std::move(stack), stats);
+    DfsLoop(s, stats);
     stats->cpu_seconds += strand_clock.ElapsedSeconds();
   }
 
-  void DfsLoop(std::vector<Node> stack, MipStats* stats) {
+  void DfsLoop(Strand* s, MipStats* stats) {
     int64_t since_split = 0;
     int64_t since_progress = 0;
-    while (!stack.empty()) {
+    Domains& dom = s->dom;
+    while (!s->stack.empty()) {
       if (stopped_.load(std::memory_order_relaxed) ||
           nodes_.load(std::memory_order_relaxed) >=
               opt_.max_nodes_per_component ||
           deadline_.Expired()) {
         stopped_.store(true, std::memory_order_relaxed);
-        // Remaining nodes contribute to the proved bound.
-        AccountOpen(stack);
+        // Remaining decisions contribute to the proved bound.
+        AccountOpen(*s);
         return;
       }
       // Donate the oldest open subtrees once this strand has done enough
       // work to suggest the component is hard and someone is idle.
-      if (group_ != nullptr && stack.size() >= 2 &&
+      if (group_ != nullptr && s->stack.size() >= 2 &&
           ++since_split >= opt_.split_node_threshold &&
           scheduler_->HasIdleWorker()) {
         since_split = 0;
-        SplitStack(&stack, stats);
+        SplitStack(s, stats);
       }
-      Node node = std::move(stack.back());
-      stack.pop_back();
+      const Decision d = s->stack.back();
+      s->stack.pop_back();
+      // O(#changes) backtrack to this decision's parent state, then apply
+      // and propagate its bound change.
+      s->trail.UnwindTo(d.mark, &dom);
       nodes_.fetch_add(1, std::memory_order_relaxed);
       ++stats->nodes;
 
-      const std::vector<VarId>* touched =
-          node.touched.empty() ? nullptr : &node.touched;
-      if (propagator_.Run(&node.dom, touched) ==
-          PropagateResult::kInfeasible) {
-        continue;
+      if (d.var != kNoVar) {
+        const std::vector<VarId> touched{d.var};
+        s->trail.Record(d.var, dom);
+        dom.lower[d.var] = d.lo;
+        dom.upper[d.var] = d.hi;
+        if (propagator_.Run(&dom, &touched, &s->trail, &s->scratch) ==
+            PropagateResult::kInfeasible) {
+          continue;
+        }
       }
       infeasible_only_.store(false, std::memory_order_relaxed);
 
-      double bound =
-          std::min(ActivityBound(lp_, node.dom), node.inherited_bound);
+      double bound = std::min(ActivityBound(lp_, dom), d.inherited);
       if (integral_) bound = std::floor(bound + opt_.tol);
       if (telemetry::Enabled() &&
           ++since_progress >= opt_.trace_progress_nodes) {
@@ -383,82 +819,128 @@ class ComponentSearch {
       }
       if (Cut(bound)) continue;
 
-      if (opt_.use_objective_probing &&
-          !ProbeObjectiveVars(&node.dom)) {
+      if (opt_.use_objective_probing && !ProbeObjectiveVars(s)) {
         continue;  // probing proved the node infeasible
       }
-      bound = std::min(ActivityBound(lp_, node.dom), node.inherited_bound);
+      bound = std::min(ActivityBound(lp_, dom), d.inherited);
       if (integral_) bound = std::floor(bound + opt_.tol);
       if (Cut(bound)) continue;
 
-      // Find an unfixed integer variable; preferred branch value comes from
-      // the LP relaxation when available. Among candidates, prefer the one
-      // most connected to already-fixed variables: on permutation-coupled
-      // instances this interleaves the two sides of each join so objective
-      // variables get decided (and the bound tightens) early in each dive.
-      VarId branch_var = lp_.num_vars();
-      double best_score = -1.0;
-      for (VarId v = 0; v < lp_.num_vars(); ++v) {
-        if (!lp_.vars()[v].is_integer ||
-            node.dom.upper[v] - node.dom.lower[v] <= 0.5) {
-          continue;
-        }
-        double score = 0.0;
-        for (uint32_t r : propagator_.var_rows()[v]) {
-          const Row& row = lp_.rows()[r];
-          int fixed = 0;
-          for (const Term& t : row.terms) {
-            if (node.dom.upper[t.var] - node.dom.lower[t.var] <= 0.5) {
-              ++fixed;
+      // LP relaxation at the node. The warm path re-solves the strand's
+      // incremental state from the previous basis in a few dual pivots and
+      // feeds reduced-cost fixing, cut separation, and pseudo-cost data;
+      // the cold path is one SolveLpRelaxation call on a bounded copy.
+      VarId branch_var = kNoVar;
+      double frac_target = -1.0;  // LP value of the branch variable
+      double lp_obj = kNan;       // node relaxation objective if optimal
+      if (lp_at_nodes_ && lp_warm_) {
+        EnsureLp(s);
+        ApplyNewCuts(s);
+        bool prune = false;
+        bool did_rc = false;
+        bool did_cuts = false;
+        bool pc_recorded = false;
+        for (;;) {
+          const SolveStatus st = s->lp->Solve(dom.lower, dom.upper);
+          ++stats->lp_solves;
+          ++stats->warm_lp_solves;
+          stats->lp_pivots += s->lp->last_pivots();
+          stats->max_resolve_pivots =
+              std::max(stats->max_resolve_pivots, s->lp->last_pivots());
+          if (st == SolveStatus::kInfeasible) {
+            prune = true;
+            break;
+          }
+          if (st != SolveStatus::kOptimal) break;  // keep activity bound
+          lp_obj = s->lp->objective();
+          if (!pc_recorded && opt_.use_pseudo_cost && d.var != kNoVar &&
+              !std::isnan(d.parent_obj) && d.pc_dist > 1e-6) {
+            pc_recorded = true;
+            RecordPseudoCost(d.var, d.dir,
+                             (d.parent_obj - lp_obj) / d.pc_dist);
+          }
+          double lpb = lp_obj;
+          if (integral_) lpb = std::floor(lpb + opt_.tol);
+          bound = std::min(bound, lpb);
+          if (Cut(bound)) {
+            prune = true;
+            break;
+          }
+          if (!did_rc && opt_.use_rc_fixing &&
+              has_incumbent_.load(std::memory_order_relaxed)) {
+            did_rc = true;
+            const int fixed = RcFix(s, lp_obj, stats);
+            if (fixed < 0) {
+              prune = true;
+              break;
+            }
+            if (fixed > 0) continue;  // re-solve under the fixed bounds
+          }
+          const std::vector<double>& x = s->lp->values();
+          VarId most_frac = kNoVar;
+          double best_frac = opt_.tol;
+          for (VarId v = 0; v < lp_.num_vars(); ++v) {
+            if (!lp_.vars()[v].is_integer) continue;
+            const double f = std::abs(x[v] - std::round(x[v]));
+            if (f > best_frac && dom.upper[v] - dom.lower[v] > 0.5) {
+              best_frac = f;
+              most_frac = v;
             }
           }
-          score += static_cast<double>(fixed) /
-                   static_cast<double>(row.terms.size());
+          if (most_frac == kNoVar) {
+            // Integral vertex: a feasible point of the node. Snap the
+            // within-tolerance values to exact integers and re-evaluate so
+            // the incumbent never carries simplex epsilons (bounds must be
+            // bit-identical to enumerating worlds).
+            std::vector<double> xi = x;
+            for (VarId v = 0; v < lp_.num_vars(); ++v) {
+              if (lp_.vars()[v].is_integer) xi[v] = std::round(xi[v]);
+            }
+            const double val = lp_.EvalObjective(xi);
+            OfferIncumbent(val, std::move(xi));
+            prune = true;
+            break;
+          }
+          if (!did_cuts && opt_.use_cuts) {
+            did_cuts = true;
+            if (SeparateCuts(s, x, stats) > 0) continue;  // one re-solve
+          }
+          branch_var = most_frac;
+          frac_target = x[most_frac];
+          if (opt_.use_pseudo_cost) {
+            double pf = -1.0;
+            const VarId pv = SelectPseudoCost(dom, x, &pf);
+            if (pv != kNoVar) {
+              branch_var = pv;
+              frac_target = pf;
+            }
+          }
+          break;
         }
-        if (score > best_score + 1e-12) {
-          best_score = score;
-          branch_var = v;
-        }
-      }
-      if (branch_var == lp_.num_vars()) {
-        // All integer variables fixed; propagation fixpoint on fully fixed
-        // integer rows implies feasibility (activities are point values).
-        std::vector<double> x(lp_.num_vars());
-        for (VarId v = 0; v < lp_.num_vars(); ++v) x[v] = node.dom.lower[v];
-        const double val = lp_.EvalObjective(x);
-        OfferIncumbent(val, std::move(x));
-        continue;
-      }
-
-      double frac_target = -1.0;  // LP value of the branch variable
-      if (opt_.use_lp_bound && lp_.num_vars() <= opt_.lp_bound_max_vars) {
-        LpSolution rel = SolveWithDomains(node.dom);
+        if (prune) continue;
+      } else if (lp_at_nodes_) {
+        LpSolution rel = SolveWithDomains(dom);
         ++stats->lp_solves;
         if (rel.status == SolveStatus::kInfeasible) continue;
         if (rel.status == SolveStatus::kOptimal) {
-          double lpb = rel.objective;
+          lp_obj = rel.objective;
+          double lpb = lp_obj;
           if (integral_) lpb = std::floor(lpb + opt_.tol);
           bound = std::min(bound, lpb);
           if (Cut(bound)) continue;
           // Integral LP solutions are incumbents for free.
-          VarId most_frac = lp_.num_vars();
+          VarId most_frac = kNoVar;
           double best_frac = opt_.tol;
           for (VarId v = 0; v < lp_.num_vars(); ++v) {
             if (!lp_.vars()[v].is_integer) continue;
             const double f =
                 std::abs(rel.values[v] - std::round(rel.values[v]));
-            if (f > best_frac &&
-                node.dom.upper[v] - node.dom.lower[v] > 0.5) {
+            if (f > best_frac && dom.upper[v] - dom.lower[v] > 0.5) {
               best_frac = f;
               most_frac = v;
             }
           }
-          if (most_frac == lp_.num_vars()) {
-            // Vertex is integral; it may still sit between node bounds for
-            // fixed vars, but bounds were respected by the LP, so feasible.
-            // Snap the within-tolerance values to exact integers and
-            // re-evaluate, so the incumbent never carries simplex epsilons
-            // (bounds must be bit-identical to enumerating worlds).
+          if (most_frac == kNoVar) {
             std::vector<double> x = rel.values;
             for (VarId v = 0; v < lp_.num_vars(); ++v) {
               if (lp_.vars()[v].is_integer) x[v] = std::round(x[v]);
@@ -473,80 +955,133 @@ class ComponentSearch {
         // kTimeLimit / kUnbounded from the relaxation: keep activity bound.
       }
 
+      // No LP-guided choice: pick the unfixed integer variable most
+      // connected to already-fixed variables — on permutation-coupled
+      // instances this interleaves the two sides of each join so objective
+      // variables get decided (and the bound tightens) early in each dive.
+      if (branch_var == kNoVar) {
+        double best_score = -1.0;
+        for (VarId v = 0; v < lp_.num_vars(); ++v) {
+          if (!lp_.vars()[v].is_integer ||
+              dom.upper[v] - dom.lower[v] <= 0.5) {
+            continue;
+          }
+          double score = 0.0;
+          for (uint32_t r : propagator_.var_rows()[v]) {
+            const Row& row = lp_.rows()[r];
+            int fixed = 0;
+            for (const Term& t : row.terms) {
+              if (dom.upper[t.var] - dom.lower[t.var] <= 0.5) ++fixed;
+            }
+            score += static_cast<double>(fixed) /
+                     static_cast<double>(row.terms.size());
+          }
+          if (score > best_score + 1e-12) {
+            best_score = score;
+            branch_var = v;
+          }
+        }
+        if (branch_var == kNoVar) {
+          // All integer variables fixed; propagation fixpoint on fully
+          // fixed integer rows implies feasibility (activities are point
+          // values).
+          std::vector<double> x(lp_.num_vars());
+          for (VarId v = 0; v < lp_.num_vars(); ++v) x[v] = dom.lower[v];
+          const double val = lp_.EvalObjective(x);
+          OfferIncumbent(val, std::move(x));
+          continue;
+        }
+      }
+
       // SOS1 branching: if the variable sits in a sum(=1) row with several
       // candidates, branch "who gets the 1" — one child per candidate.
+      const size_t mark = s->trail.Mark();
       if (sos1_of_var_[branch_var] >= 0) {
         const Row& row =
             lp_.rows()[static_cast<uint32_t>(sos1_of_var_[branch_var])];
         std::vector<VarId> candidates;
         for (const Term& t : row.terms) {
-          if (node.dom.upper[t.var] - node.dom.lower[t.var] > 0.5) {
+          if (dom.upper[t.var] - dom.lower[t.var] > 0.5) {
             candidates.push_back(t.var);
           }
         }
         if (candidates.size() >= 2) {
           // Push in reverse so the first candidate is explored first.
           for (size_t i = candidates.size(); i-- > 0;) {
-            Node child{node.dom, {candidates[i]}, bound};
-            child.dom.lower[candidates[i]] = 1.0;
-            stack.push_back(std::move(child));
+            Decision child;
+            child.mark = mark;
+            child.var = candidates[i];
+            child.lo = 1.0;
+            child.hi = dom.upper[candidates[i]];
+            child.inherited = bound;
+            s->stack.push_back(child);
           }
           continue;
         }
       }
 
       // Child A explores the preferred value first (pushed last).
-      const double lo = node.dom.lower[branch_var];
-      const double hi = node.dom.upper[branch_var];
+      const double lo = dom.lower[branch_var];
+      const double hi = dom.upper[branch_var];
       double split;  // branch: x <= split  |  x >= split + 1
       if (frac_target >= 0.0) {
-        split = std::floor(frac_target);
-        split = std::clamp(split, lo, hi - 1.0);
+        split = std::clamp(std::floor(frac_target), lo, hi - 1.0);
       } else {
         split = lo;  // binary-style: try lo side vs rest
       }
       const double c = lp_.objective_coef(branch_var);
-      const bool prefer_up = frac_target >= 0.0
-                                 ? (frac_target - split > 0.5)
-                                 : (c > 0);
+      const bool prefer_up =
+          frac_target >= 0.0 ? (frac_target - split > 0.5) : (c > 0);
 
-      Node down{node.dom, {branch_var}, bound};
-      down.dom.upper[branch_var] = split;
-      Node up{std::move(node.dom), {branch_var}, bound};
-      up.dom.lower[branch_var] = split + 1.0;
+      Decision down{mark,   branch_var, lo,
+                    split,  bound,      lp_obj,
+                    frac_target >= 0.0 ? frac_target - split : -1.0, 0};
+      Decision up{mark,     branch_var,  split + 1.0,
+                  hi,       bound,       lp_obj,
+                  frac_target >= 0.0 ? split + 1.0 - frac_target : -1.0, 1};
 
       if (prefer_up) {
-        stack.push_back(std::move(down));
-        stack.push_back(std::move(up));
+        s->stack.push_back(down);
+        s->stack.push_back(up);
       } else {
-        stack.push_back(std::move(up));
-        stack.push_back(std::move(down));
+        s->stack.push_back(up);
+        s->stack.push_back(down);
       }
     }
   }
 
   // Donates the oldest half of the open stack (the subtrees nearest the
-  // root) to the pool as fresh strands of this same search.
-  void SplitStack(std::vector<Node>* stack, MipStats* stats) {
-    const size_t donate = stack->size() / 2;
+  // root) to the pool as fresh strands of this same search. A donated
+  // strand materializes its Domains by replaying the donor's trail down to
+  // the decision's mark (non-destructively) and inherits the donor's basis
+  // snapshot so its first LP solve warm-starts too.
+  void SplitStack(Strand* s, MipStats* stats) {
+    const size_t donate = s->stack.size() / 2;
     telemetry::Instant("scheduler", "donate",
                        {{"component", static_cast<double>(trace_id_)},
                         {"tasks", static_cast<double>(donate)}});
+    LpBasis basis;
+    if (s->lp != nullptr) basis = s->lp->SaveBasis();
     for (size_t i = 0; i < donate; ++i) {
+      const Decision& d = s->stack[i];
       // shared_ptr because std::function requires a copyable callable.
-      auto n = std::make_shared<Node>(std::move((*stack)[i]));
+      auto child = std::make_shared<Strand>();
+      child->dom = s->dom;
+      s->trail.ReplayUndo(d.mark, &child->dom);
+      Decision seed = d;
+      seed.mark = 0;
+      child->stack.push_back(seed);
+      child->seed_basis = basis;
       ++stats->subtree_tasks;
-      group_->Submit([this, n] {
+      group_->Submit([this, child] {
         LICM_TRACE_SPAN("bnb", "subtree");
         MipStats local;
-        std::vector<Node> sub;
-        sub.push_back(std::move(*n));
-        Dfs(std::move(sub), &local);
+        Dfs(child.get(), &local);
         MergeLocalStats(local);
       });
     }
-    stack->erase(stack->begin(),
-                 stack->begin() + static_cast<ptrdiff_t>(donate));
+    s->stack.erase(s->stack.begin(),
+                   s->stack.begin() + static_cast<ptrdiff_t>(donate));
     ++stats->subtree_splits;
   }
 
@@ -568,13 +1103,21 @@ class ComponentSearch {
          {"gap", has_inc ? std::max(0.0, bound - inc) : kNan}});
   }
 
-  // Folds unexplored frontier nodes into the proved bound of a stopped
-  // search.
-  void AccountOpen(const std::vector<Node>& stack) {
+  // Folds unexplored frontier decisions into the proved bound of a
+  // stopped search. Each decision's Domains are materialized from the
+  // strand's live state by non-destructive trail replay (only runs once,
+  // at stop time).
+  void AccountOpen(const Strand& s) {
     std::lock_guard<std::mutex> lock(mu_);
-    for (const Node& n : stack) {
-      open_bound_ = std::max(
-          open_bound_, std::min(NodeBoundCheap(n.dom), n.inherited_bound));
+    for (const Decision& d : s.stack) {
+      Domains dm = s.dom;
+      s.trail.ReplayUndo(d.mark, &dm);
+      if (d.var != kNoVar) {
+        dm.lower[d.var] = d.lo;
+        dm.upper[d.var] = d.hi;
+      }
+      open_bound_ = std::max(open_bound_,
+                             std::min(NodeBoundCheap(dm), d.inherited));
     }
   }
 
@@ -600,6 +1143,15 @@ class ComponentSearch {
     return has_incumbent_.load(std::memory_order_relaxed) &&
            bound <= incumbent_value_.load(std::memory_order_relaxed) +
                         opt_.tol;
+  }
+
+  // True when the incumbent already matches the root activity bound (same
+  // floor + tolerance as the node prune): the search would cut its first
+  // node immediately, so any remaining prologue work is pure overhead.
+  bool RootGapClosed(const Domains& dom) const {
+    double bound = ActivityBound(lp_, dom);
+    if (integral_) bound = std::floor(bound + opt_.tol);
+    return Cut(bound);
   }
 
   void MergeLocalStats(const MipStats& local) {
@@ -628,9 +1180,25 @@ class ComponentSearch {
   Scheduler* const scheduler_;  // null => splitting disabled
   MipStats* stats_;             // merged into under stats_mu_
   const int64_t trace_id_;      // component id in telemetry events
+  const CanonicalForm* form_;   // cut-pool key (null => no pooling)
   Propagator propagator_;       // Run() is const and stateless: shared
-  std::vector<int32_t> sos1_of_var_;
   const bool integral_;
+  const bool lp_warm_;      // strands keep warm IncrementalLp states
+  const bool lp_at_nodes_;  // some LP bound (warm or cold) at every node
+  std::vector<int32_t> sos1_of_var_;
+
+  // Cut registry shared by all strands: each strand's LP has absorbed the
+  // prefix cuts_[0 .. strand.applied_cuts); ApplyNewCuts replays the rest.
+  // cut_keys_ dedupes across strands. Guarded by cuts_mu_.
+  std::mutex cuts_mu_;
+  std::vector<Row> cuts_;
+  std::unordered_set<std::string> cut_keys_;
+
+  // Pseudo-cost tables per direction (0 = down, 1 = up), guarded by
+  // pc_mu_. Sized in the constructor iff use_pseudo_cost.
+  std::mutex pc_mu_;
+  std::vector<double> pc_sum_[2];
+  std::vector<int32_t> pc_cnt_[2];
 
   // State shared by all strands of this component's search. The atomics
   // are monotone signals (relaxed ordering suffices: a stale read costs
@@ -765,7 +1333,7 @@ std::vector<ComponentResult> SolveBatch(
       telemetry::ScopedSpan span("solver", "search");
       span.AddArg("component", static_cast<double>(i));
       ComponentSearch search(*programs[i], opt, deadline, scheduler,
-                             task_stats, static_cast<int64_t>(i));
+                             task_stats, static_cast<int64_t>(i), &forms[i]);
       results[i] = search.Run();
       const ComponentResult& res = results[i];
       if (res.status == SolveStatus::kOptimal ||
@@ -930,6 +1498,13 @@ void MipStats::MergeFrom(const MipStats& other) {
   canonical_forms += other.canonical_forms;
   subtree_splits += other.subtree_splits;
   subtree_tasks += other.subtree_tasks;
+  warm_lp_solves += other.warm_lp_solves;
+  lp_pivots += other.lp_pivots;
+  max_resolve_pivots = std::max(max_resolve_pivots, other.max_resolve_pivots);
+  rc_fixed_vars += other.rc_fixed_vars;
+  cuts_generated += other.cuts_generated;
+  cuts_reused += other.cuts_reused;
+  strong_branch_solves += other.strong_branch_solves;
   num_threads = std::max(num_threads, other.num_threads);
   // Wall time keeps the outermost (concurrent strands overlap in time);
   // CPU time sums across strands. Sequential aggregation over *disjoint*

@@ -14,13 +14,14 @@ namespace licm::solver {
 namespace {
 constexpr double kTol = 1e-7;
 
-// Order-insensitive hash of a normalized row for duplicate detection.
+// Order-insensitive hash of a normalized row's LHS (terms + op, NOT rhs):
+// rows with identical left sides but different right sides must collide so
+// the dedup pass can merge them by tightening instead of keeping both.
 size_t HashRow(const Row& r) {
   size_t h = static_cast<size_t>(r.op) * 0x9e3779b97f4a7c15ULL;
   auto mix = [&h](uint64_t v) {
     h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
   };
-  mix(static_cast<uint64_t>(r.rhs * 4096.0));
   for (const Term& t : r.terms) {
     mix(t.var);
     mix(static_cast<uint64_t>(t.coef * 4096.0));
@@ -28,8 +29,9 @@ size_t HashRow(const Row& r) {
   return h;
 }
 
-bool SameRow(const Row& a, const Row& b) {
-  if (a.op != b.op || std::abs(a.rhs - b.rhs) > kTol) return false;
+// Same op and identical (sorted) term list; rhs may differ.
+bool SameLhs(const Row& a, const Row& b) {
+  if (a.op != b.op) return false;
   if (a.terms.size() != b.terms.size()) return false;
   for (size_t i = 0; i < a.terms.size(); ++i) {
     if (a.terms[i].var != b.terms[i].var ||
@@ -146,18 +148,27 @@ PresolveResult Presolve(const LinearProgram& lp) {
     std::sort(nr.terms.begin(), nr.terms.end(),
               [](const Term& a, const Term& b) { return a.var < b.var; });
     const size_t h = HashRow(nr);
-    bool dup = false;
+    bool merged = false;
     auto [it, end] = seen.equal_range(h);
     for (; it != end; ++it) {
-      if (SameRow(out.reduced.rows()[it->second], nr)) {
-        dup = true;
-        break;
+      Row& prev = out.reduced.mutable_rows()[it->second];
+      if (!SameLhs(prev, nr)) continue;
+      merged = true;
+      if (std::abs(prev.rhs - nr.rhs) <= kTol) {
+        ++out.stats.duplicate_rows;
+      } else if (nr.op == RowOp::kEq) {
+        // ax = b1 and ax = b2 with b1 != b2: no point satisfies both.
+        out.infeasible = true;
+        return out;
+      } else {
+        // Same LHS, different rhs: keep the binding one.
+        prev.rhs = nr.op == RowOp::kLe ? std::min(prev.rhs, nr.rhs)
+                                       : std::max(prev.rhs, nr.rhs);
+        ++out.stats.rows_tightened;
       }
+      break;
     }
-    if (dup) {
-      ++out.stats.duplicate_rows;
-      continue;
-    }
+    if (merged) continue;
     seen.emplace(h, out.reduced.num_rows());
     out.reduced.AddRow(std::move(nr));
   }

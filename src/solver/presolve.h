@@ -28,6 +28,8 @@ struct PresolveResult {
     size_t vars_fixed = 0;
     size_t rows_removed = 0;
     size_t duplicate_rows = 0;
+    /// Same-LHS inequality pairs merged by keeping the tighter rhs.
+    size_t rows_tightened = 0;
   } stats;
 
   /// Expands a solution of `reduced` into original variable space.

@@ -1,8 +1,7 @@
 #include "solver/propagation.h"
 
+#include <algorithm>
 #include <cmath>
-#include <deque>
-#include <unordered_set>
 
 namespace licm::solver {
 
@@ -38,42 +37,49 @@ PropagateResult Propagate(const LinearProgram& lp, Domains* domains,
 }
 
 PropagateResult Propagator::Run(Domains* domains,
-                                const std::vector<VarId>* touched) const {
+                                const std::vector<VarId>* touched,
+                                BoundTrail* trail,
+                                PropagationScratch* scratch) const {
   const LinearProgram& lp = lp_;
   const auto& rows = lp.rows();
   const auto& var_rows = var_rows_;
 
-  std::deque<uint32_t> queue;
-  std::vector<bool> queued(rows.size(), false);
-  if (touched == nullptr) {
-    for (uint32_t r = 0; r < rows.size(); ++r) {
-      queue.push_back(r);
-      queued[r] = true;
+  // Worklist: FIFO queue with an epoch-stamped membership test, so a
+  // reused scratch needs no clearing between runs.
+  PropagationScratch local;
+  PropagationScratch& s = scratch != nullptr ? *scratch : local;
+  if (s.stamp.size() != rows.size()) {
+    s.stamp.assign(rows.size(), 0);
+    s.epoch = 0;
+  }
+  if (++s.epoch == 0) {  // wraparound: old stamps could collide
+    std::fill(s.stamp.begin(), s.stamp.end(), 0);
+    s.epoch = 1;
+  }
+  s.queue.clear();
+  size_t head = 0;
+  auto enqueue_row = [&](uint32_t r) {
+    if (s.stamp[r] != s.epoch) {
+      s.stamp[r] = s.epoch;
+      s.queue.push_back(r);
     }
+  };
+
+  if (touched == nullptr) {
+    for (uint32_t r = 0; r < rows.size(); ++r) enqueue_row(r);
   } else {
     for (VarId v : *touched) {
-      for (uint32_t r : var_rows[v]) {
-        if (!queued[r]) {
-          queue.push_back(r);
-          queued[r] = true;
-        }
-      }
+      for (uint32_t r : var_rows[v]) enqueue_row(r);
     }
   }
 
   auto enqueue_var = [&](VarId v) {
-    for (uint32_t r : var_rows[v]) {
-      if (!queued[r]) {
-        queue.push_back(r);
-        queued[r] = true;
-      }
-    }
+    for (uint32_t r : var_rows[v]) enqueue_row(r);
   };
 
-  while (!queue.empty()) {
-    const uint32_t ri = queue.front();
-    queue.pop_front();
-    queued[ri] = false;
+  while (head < s.queue.size()) {
+    const uint32_t ri = s.queue[head++];
+    s.stamp[ri] = 0;  // dequeued (epoch is never 0)
     const Row& row = rows[ri];
 
     // Treat the row as up to two one-sided constraints.
@@ -132,15 +138,13 @@ PropagateResult Propagator::Run(Domains* domains,
 
       if (lo > hi + kTol) return PropagateResult::kInfeasible;
       if (lo > domains->lower[v] + kTol || hi < domains->upper[v] - kTol) {
+        if (trail != nullptr) trail->Record(v, *domains);
         domains->lower[v] = lo;
         domains->upper[v] = std::max(lo, hi);
         enqueue_var(v);
         // Bounds moved: the activity snapshot for this row is stale, so
         // requeue it as well rather than continuing with stale values.
-        if (!queued[ri]) {
-          queue.push_back(ri);
-          queued[ri] = true;
-        }
+        enqueue_row(ri);
         break;
       }
     }

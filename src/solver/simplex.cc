@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace licm::solver {
@@ -303,6 +304,425 @@ LpSolution SolveLpRelaxation(const LinearProgram& lp, Sense sense,
   }
   out.objective = lp.EvalObjective(out.values);
   return out;
+}
+
+namespace {
+
+// Feasibility tolerance for primal bound violations in the dual engine.
+// Looser than SimplexOptions::tol (which governs pivot eligibility) to
+// match the 1e-7 feasibility tolerance of the primal engine above.
+constexpr double kFeasTol = 1e-7;
+// Minimum |pivot| accepted by the ratio test.
+constexpr double kPivEps = 1e-7;
+// Entries below this are treated as structural zeros when deciding whether
+// a row certifies infeasibility.
+constexpr double kZeroEps = 1e-9;
+
+}  // namespace
+
+bool IncrementalLp::Suitable(const LinearProgram& lp,
+                             const SimplexOptions& options) {
+  const size_t n = lp.num_vars();
+  if (n == 0) return false;
+  for (const auto& v : lp.vars()) {
+    if (!std::isfinite(v.lower) || !std::isfinite(v.upper)) return false;
+  }
+  const size_t m = lp.num_rows();
+  // Reserve headroom for cut rows when sizing the dense tableau.
+  const size_t kCutReserve = 64;
+  return (m + kCutReserve) * (n + m + kCutReserve) <= options.max_tableau_cells;
+}
+
+IncrementalLp::IncrementalLp(const LinearProgram& lp,
+                             const SimplexOptions& options)
+    : lp_(lp), opt_(options) {
+  num_vars_ = lp.num_vars();
+  num_base_rows_ = lp.num_rows();
+  num_rows_ = num_base_rows_;
+  num_cols_ = num_vars_ + num_rows_;
+
+  rows_.reserve(num_base_rows_);
+  for (const Row& r : lp.rows()) {
+    StoredRow sr;
+    sr.terms = r.terms;
+    sr.rhs = r.rhs;
+    switch (r.op) {
+      case RowOp::kLe:
+        sr.slack_lo = 0.0;
+        sr.slack_hi = std::numeric_limits<double>::infinity();
+        break;
+      case RowOp::kGe:
+        sr.slack_lo = -std::numeric_limits<double>::infinity();
+        sr.slack_hi = 0.0;
+        break;
+      case RowOp::kEq:
+        sr.slack_lo = 0.0;
+        sr.slack_hi = 0.0;
+        break;
+    }
+    rows_.push_back(std::move(sr));
+  }
+
+  status_.assign(num_cols_, VarStatus::kAtLower);
+  d_.assign(num_cols_, 0.0);
+  obj_.assign(num_cols_, 0.0);
+  lb_.assign(num_cols_, 0.0);
+  ub_.assign(num_cols_, 0.0);
+  for (VarId v = 0; v < num_vars_; ++v) {
+    obj_[v] = lp.objective_coef(v);
+    lb_[v] = lp.vars()[v].lower;
+    ub_[v] = lp.vars()[v].upper;
+  }
+  for (size_t r = 0; r < num_rows_; ++r) {
+    lb_[num_vars_ + r] = rows_[r].slack_lo;
+    ub_[num_vars_ + r] = rows_[r].slack_hi;
+  }
+  values_.assign(num_vars_, 0.0);
+}
+
+double IncrementalLp::NonbasicValue(size_t col) const {
+  return status_[col] == VarStatus::kAtUpper ? ub_[col] : lb_[col];
+}
+
+void IncrementalLp::ColdBasis() {
+  // All slacks basic; each structural rests at its objective-preferred
+  // bound so the starting reduced costs are dual feasible by construction.
+  for (VarId v = 0; v < num_vars_; ++v) {
+    status_[v] = obj_[v] > 0.0 ? VarStatus::kAtUpper : VarStatus::kAtLower;
+  }
+  for (size_t r = 0; r < num_rows_; ++r) {
+    status_[num_vars_ + r] = VarStatus::kBasic;
+  }
+  Refactorize();  // identity basis: cannot be singular
+  factorized_ = true;
+}
+
+bool IncrementalLp::Refactorize() {
+  ++stats_.refactorizations;
+  pivots_since_refactor_ = 0;
+
+  tab_.assign(num_rows_, std::vector<double>(num_cols_, 0.0));
+  std::vector<double> rhs(num_rows_, 0.0);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    for (const Term& t : rows_[r].terms) tab_[r][t.var] += t.coef;
+    tab_[r][num_vars_ + r] = 1.0;
+    rhs[r] = rows_[r].rhs;
+  }
+
+  // Gauss-Jordan over the basic columns with row pivoting.
+  std::vector<char> row_done(num_rows_, 0);
+  basis_.assign(num_rows_, num_cols_);
+  size_t assigned = 0;
+  for (size_t c = 0; c < num_cols_; ++c) {
+    if (status_[c] != VarStatus::kBasic) continue;
+    size_t pr = num_rows_;
+    double best = 1e-9;
+    for (size_t r = 0; r < num_rows_; ++r) {
+      if (row_done[r]) continue;
+      const double a = std::abs(tab_[r][c]);
+      if (a > best) {
+        best = a;
+        pr = r;
+      }
+    }
+    if (pr == num_rows_) return false;  // singular
+    const double inv = 1.0 / tab_[pr][c];
+    for (size_t j = 0; j < num_cols_; ++j) tab_[pr][j] *= inv;
+    rhs[pr] *= inv;
+    tab_[pr][c] = 1.0;
+    for (size_t r = 0; r < num_rows_; ++r) {
+      if (r == pr) continue;
+      const double f = tab_[r][c];
+      if (f == 0.0) continue;
+      const std::vector<double>& prow = tab_[pr];
+      std::vector<double>& rrow = tab_[r];
+      for (size_t j = 0; j < num_cols_; ++j) rrow[j] -= f * prow[j];
+      rhs[r] -= f * rhs[pr];
+      rrow[c] = 0.0;
+    }
+    row_done[pr] = 1;
+    basis_[pr] = c;
+    ++assigned;
+  }
+  if (assigned != num_rows_) return false;
+
+  // beta = B^-1 b - sum over nonbasic j of column_j * value_j.
+  beta_ = rhs;
+  for (size_t j = 0; j < num_cols_; ++j) {
+    if (status_[j] == VarStatus::kBasic) continue;
+    const double x = NonbasicValue(j);
+    if (x == 0.0) continue;
+    for (size_t r = 0; r < num_rows_; ++r) {
+      const double a = tab_[r][j];
+      if (a != 0.0) beta_[r] -= a * x;
+    }
+  }
+
+  // Reduced costs d = c - c_B^T B^-1 A.
+  d_.assign(num_cols_, 0.0);
+  for (size_t j = 0; j < num_cols_; ++j) d_[j] = obj_[j];
+  for (size_t r = 0; r < num_rows_; ++r) {
+    const double cb = obj_[basis_[r]];
+    if (cb == 0.0) continue;
+    const std::vector<double>& rrow = tab_[r];
+    for (size_t j = 0; j < num_cols_; ++j) d_[j] -= cb * rrow[j];
+  }
+  for (size_t r = 0; r < num_rows_; ++r) d_[basis_[r]] = 0.0;
+  return true;
+}
+
+void IncrementalLp::SyncBounds(const std::vector<double>& lower,
+                               const std::vector<double>& upper) {
+  for (VarId v = 0; v < num_vars_; ++v) {
+    const double nl = lower[v], nu = upper[v];
+    if (nl == lb_[v] && nu == ub_[v]) continue;
+    if (status_[v] != VarStatus::kBasic) {
+      // The resting value moves with its bound; shift beta by the delta
+      // times the variable's tableau column.
+      const double old = NonbasicValue(v);
+      const double now = status_[v] == VarStatus::kAtUpper ? nu : nl;
+      const double delta = now - old;
+      if (delta != 0.0) {
+        for (size_t r = 0; r < num_rows_; ++r) {
+          const double a = tab_[r][v];
+          if (a != 0.0) beta_[r] -= a * delta;
+        }
+      }
+    }
+    lb_[v] = nl;
+    ub_[v] = nu;
+  }
+}
+
+void IncrementalLp::Pivot(size_t row, size_t enter_col, double theta) {
+  const size_t leave_col = basis_[row];
+  std::vector<double>& prow = tab_[row];
+  const double alpha = prow[enter_col];
+
+  // Primal update: entering variable moves by t so the leaving variable
+  // lands exactly on its violated bound.
+  const bool to_lower = beta_[row] < lb_[leave_col];
+  const double target = to_lower ? lb_[leave_col] : ub_[leave_col];
+  const double t = (beta_[row] - target) / alpha;
+  const double enter_val = NonbasicValue(enter_col) + t;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (r == row) continue;
+    const double a = tab_[r][enter_col];
+    if (a != 0.0) beta_[r] -= a * t;
+  }
+  beta_[row] = enter_val;
+
+  // Dual update uses the unscaled pivot row.
+  for (size_t j = 0; j < num_cols_; ++j) d_[j] -= theta * prow[j];
+  d_[enter_col] = 0.0;
+
+  // Eliminate the entering column everywhere else.
+  const double inv = 1.0 / alpha;
+  for (size_t j = 0; j < num_cols_; ++j) prow[j] *= inv;
+  prow[enter_col] = 1.0;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (r == row) continue;
+    const double f = tab_[r][enter_col];
+    if (f == 0.0) continue;
+    std::vector<double>& rrow = tab_[r];
+    for (size_t j = 0; j < num_cols_; ++j) rrow[j] -= f * prow[j];
+    rrow[enter_col] = 0.0;
+  }
+
+  status_[enter_col] = VarStatus::kBasic;
+  status_[leave_col] = to_lower ? VarStatus::kAtLower : VarStatus::kAtUpper;
+  basis_[row] = enter_col;
+  ++pivots_since_refactor_;
+  ++stats_.pivots;
+}
+
+SolveStatus IncrementalLp::Solve(const std::vector<double>& lower,
+                                 const std::vector<double>& upper) {
+  ++stats_.solves;
+  last_pivots_ = 0;
+  for (VarId v = 0; v < num_vars_; ++v) {
+    if (lower[v] > upper[v] + opt_.tol) return SolveStatus::kInfeasible;
+  }
+
+  if (!factorized_) {
+    for (VarId v = 0; v < num_vars_; ++v) {
+      lb_[v] = lower[v];
+      ub_[v] = upper[v];
+    }
+    ColdBasis();
+  } else {
+    SyncBounds(lower, upper);
+    if (pivots_since_refactor_ >= opt_.refactor_interval) {
+      if (!Refactorize()) ColdBasis();
+    }
+  }
+
+  const int bland_after = opt_.max_iterations / 2;
+  bool retried_after_refactor = false;
+  for (;;) {
+    // Leaving row: largest primal bound violation among basic variables.
+    size_t row = num_rows_;
+    double worst = kFeasTol;
+    for (size_t r = 0; r < num_rows_; ++r) {
+      const size_t b = basis_[r];
+      double viol = lb_[b] - beta_[r];
+      const double over = beta_[r] - ub_[b];
+      if (over > viol) viol = over;
+      if (viol > worst) {
+        worst = viol;
+        row = r;
+      }
+    }
+    if (row == num_rows_) break;  // primal feasible => optimal
+
+    if (++last_pivots_ > opt_.max_iterations) {
+      factorized_ = false;  // state is suspect; next Solve cold-starts
+      return SolveStatus::kTimeLimit;
+    }
+    const bool bland = last_pivots_ > bland_after;
+
+    const size_t leave_col = basis_[row];
+    const bool to_lower = beta_[row] < lb_[leave_col];
+    const std::vector<double>& prow = tab_[row];
+
+    // Dual ratio test. When the leaving variable rises to its lower bound,
+    // eligible entering columns are at-lower with negative row entry or
+    // at-upper with positive entry (signs flip for the upper case); the
+    // winner minimizes |d_j / alpha_j|, keeping reduced costs dual
+    // feasible after the pivot.
+    size_t enter = num_cols_;
+    double best_score = 0.0, best_alpha = 0.0;
+    bool any_sign_ok = false;
+    for (size_t j = 0; j < num_cols_; ++j) {
+      const VarStatus st = status_[j];
+      if (st == VarStatus::kBasic) continue;
+      const double a = prow[j];
+      const bool sign_ok =
+          to_lower ? (st == VarStatus::kAtLower ? a < -kZeroEps : a > kZeroEps)
+                   : (st == VarStatus::kAtLower ? a > kZeroEps : a < -kZeroEps);
+      if (!sign_ok) continue;
+      any_sign_ok = true;
+      if (std::abs(a) <= kPivEps) continue;
+      double score = to_lower ? d_[j] / a : -(d_[j] / a);
+      if (score < 0.0) score = 0.0;  // numerical dual infeasibility
+      if (enter == num_cols_) {
+        enter = j;
+        best_score = score;
+        best_alpha = std::abs(a);
+        continue;
+      }
+      if (bland) continue;  // first eligible (smallest index) already kept
+      if (score < best_score - opt_.tol ||
+          (score < best_score + opt_.tol && std::abs(a) > best_alpha)) {
+        enter = j;
+        best_score = score;
+        best_alpha = std::abs(a);
+      }
+    }
+
+    if (enter == num_cols_) {
+      // No usable pivot. A freshly refactorized row with no sign-correct
+      // entry is a Farkas certificate; anything else is numerical doubt,
+      // answered conservatively.
+      if (pivots_since_refactor_ > 0 && !retried_after_refactor) {
+        retried_after_refactor = true;
+        if (!Refactorize()) ColdBasis();
+        continue;
+      }
+      if (any_sign_ok) {
+        factorized_ = false;
+        return SolveStatus::kTimeLimit;
+      }
+      return SolveStatus::kInfeasible;
+    }
+    retried_after_refactor = false;
+
+    const double theta = d_[enter] / prow[enter];
+    Pivot(row, enter, theta);
+  }
+
+  // Extract the optimum.
+  for (VarId v = 0; v < num_vars_; ++v) {
+    if (status_[v] != VarStatus::kBasic) values_[v] = NonbasicValue(v);
+  }
+  for (size_t r = 0; r < num_rows_; ++r) {
+    const size_t b = basis_[r];
+    if (b < num_vars_) values_[b] = std::clamp(beta_[r], lb_[b], ub_[b]);
+  }
+  objective_ = lp_.objective_constant();
+  for (VarId v = 0; v < num_vars_; ++v) objective_ += obj_[v] * values_[v];
+  if (stats_.solves > 1 && last_pivots_ > stats_.max_resolve_pivots) {
+    stats_.max_resolve_pivots = last_pivots_;
+  }
+  return SolveStatus::kOptimal;
+}
+
+void IncrementalLp::AddCutRow(const Row& row) {
+  StoredRow sr;
+  sr.terms = row.terms;
+  sr.rhs = row.rhs;
+  sr.slack_lo = 0.0;
+  sr.slack_hi = std::numeric_limits<double>::infinity();
+  rows_.push_back(sr);
+
+  const size_t new_row = num_rows_;
+  const size_t slack_col = num_vars_ + new_row;
+  ++num_rows_;
+  ++num_cols_;
+  // Slack columns stay contiguous after structurals, so the new slack's
+  // column index is exactly the old num_cols_ and no remapping is needed.
+  status_.push_back(VarStatus::kBasic);
+  d_.push_back(0.0);
+  obj_.push_back(0.0);
+  lb_.push_back(sr.slack_lo);
+  ub_.push_back(sr.slack_hi);
+
+  if (!factorized_) return;  // next Solve cold-starts and rebuilds
+
+  for (auto& r : tab_) r.push_back(0.0);
+  std::vector<double> nrow(num_cols_, 0.0);
+  for (const Term& t : row.terms) nrow[t.var] += t.coef;
+  nrow[slack_col] = 1.0;
+  // Express the cut in the current basis: eliminate every basic column.
+  for (size_t r = 0; r < new_row; ++r) {
+    const double f = nrow[basis_[r]];
+    if (f == 0.0) continue;
+    const std::vector<double>& rrow = tab_[r];
+    for (size_t j = 0; j < num_cols_; ++j) nrow[j] -= f * rrow[j];
+    nrow[basis_[r]] = 0.0;
+  }
+  tab_.push_back(std::move(nrow));
+  basis_.push_back(slack_col);
+  // The slack's value at the current point; if negative the cut is
+  // violated and the next Solve repairs it dually.
+  double s = row.rhs;
+  for (const Term& t : row.terms) s -= t.coef * values_[t.var];
+  beta_.push_back(s);
+}
+
+LpBasis IncrementalLp::SaveBasis() const {
+  LpBasis b;
+  b.status = status_;
+  return b;
+}
+
+void IncrementalLp::RestoreBasis(const LpBasis& basis) {
+  if (basis.status.size() != num_cols_) {
+    ColdBasis();
+    return;
+  }
+  size_t basic = 0;
+  for (VarStatus st : basis.status) basic += st == VarStatus::kBasic ? 1 : 0;
+  if (basic != num_rows_) {
+    ColdBasis();
+    return;
+  }
+  status_ = basis.status;
+  if (!Refactorize()) {
+    ColdBasis();
+    return;
+  }
+  factorized_ = true;
 }
 
 }  // namespace licm::solver

@@ -167,6 +167,21 @@ InvariantReport CheckThreads(const CaseContext& ctx) {
   return CompareWithBaseline("threads", ctx, opt, "4 threads");
 }
 
+InvariantReport CheckSolverFeatures(const CaseContext& ctx) {
+  // The baseline runs with the incremental LP core fully enabled (warm
+  // dual simplex, reduced-cost fixing, cardinality cuts, pseudo-cost
+  // branching); this re-solve turns all of it off at once.
+  AnswerOptions opt = BaselineOptions();
+  opt.bounds.mip.use_warm_lp = false;
+  opt.bounds.mip.use_rc_fixing = false;
+  opt.bounds.mip.use_cuts = false;
+  opt.bounds.mip.use_pseudo_cost = false;
+  opt.bounds.mip.use_adaptive_prologue = false;
+  return CompareWithBaseline(
+      "solver_features", ctx, opt,
+      "warm LP / RC fixing / cuts / pseudo-cost / adaptive prologue off");
+}
+
 InvariantReport CheckMinMaxBatch(const CaseContext& ctx) {
   const char* name = "minmax";
   auto lp = BuildCaseLp(*ctx.c);
@@ -505,6 +520,10 @@ const std::vector<Invariant>& AllInvariants() {
        CheckDecompose},
       {"threads", "bit-identical bounds with 1 vs 4 worker threads",
        CheckThreads},
+      {"solver_features", "bit-identical bounds with warm LP, RC fixing, "
+                          "cuts, pseudo-cost branching, and the adaptive "
+                          "prologue off",
+       CheckSolverFeatures},
       {"minmax", "SolveMinMax equals two single-sense solves",
        CheckMinMaxBatch},
       {"sampler", "Monte-Carlo world answers land inside exact bounds",

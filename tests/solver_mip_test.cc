@@ -99,6 +99,47 @@ TEST(Presolve, RemovesDuplicateAndRedundantRows) {
   EXPECT_GE(pre.stats.rows_removed, 1u);
 }
 
+TEST(Presolve, TightensSameLhsInequalities) {
+  LinearProgram lp;
+  VarId a = lp.AddBinary();
+  VarId b = lp.AddBinary();
+  VarId c = lp.AddBinary();
+  lp.SetObjectiveCoef(a, 1);
+  lp.SetObjectiveCoef(b, 1);
+  lp.SetObjectiveCoef(c, 1);
+  // Same LHS twice with different rhs: only the binding rhs survives.
+  lp.AddRow(Row{{{a, 1}, {b, 1}, {c, 1}}, RowOp::kLe, 2});
+  lp.AddRow(Row{{{a, 1}, {b, 1}, {c, 1}}, RowOp::kLe, 1});
+  PresolveResult pre = Presolve(lp);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.reduced.num_rows(), 1u);
+  EXPECT_EQ(pre.stats.rows_tightened, 1u);
+  EXPECT_DOUBLE_EQ(pre.reduced.rows()[0].rhs, 1.0);
+
+  // The other direction: >= keeps the larger rhs. (Three variables so
+  // neither row lets bound propagation fix anything first.)
+  LinearProgram ge;
+  VarId x = ge.AddBinary();
+  VarId y = ge.AddBinary();
+  VarId z = ge.AddBinary();
+  ge.AddRow(Row{{{x, 1}, {y, 1}, {z, 1}}, RowOp::kGe, 1});
+  ge.AddRow(Row{{{x, 1}, {y, 1}, {z, 1}}, RowOp::kGe, 2});
+  PresolveResult pge = Presolve(ge);
+  ASSERT_FALSE(pge.infeasible);
+  ASSERT_EQ(pge.reduced.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(pge.reduced.rows()[0].rhs, 2.0);
+}
+
+TEST(Presolve, ConflictingEqualitiesAreInfeasible) {
+  LinearProgram lp;
+  VarId a = lp.AddBinary();
+  VarId b = lp.AddBinary();
+  VarId c = lp.AddBinary();
+  lp.AddRow(Row{{{a, 1}, {b, 1}, {c, -1}}, RowOp::kEq, 1});
+  lp.AddRow(Row{{{a, 1}, {b, 1}, {c, -1}}, RowOp::kEq, 0});
+  EXPECT_TRUE(Presolve(lp).infeasible);
+}
+
 TEST(Presolve, DetectsInfeasibility) {
   LinearProgram lp;
   VarId a = lp.AddBinary();
