@@ -24,6 +24,27 @@ rel::Relation TransactionDataset::ToTransItem() const {
   return r;
 }
 
+rel::ColumnTable TransactionDataset::ToTransItemColumnar() const {
+  rel::ColumnTable t(TransItemSchema());
+  size_t rows = 0;
+  for (const Transaction& txn : transactions) rows += txn.items.size();
+  t.Reserve(rows);
+  std::vector<int64_t>& tid = t.col(0).i64;
+  std::vector<int64_t>& loc = t.col(1).i64;
+  std::vector<int64_t>& item = t.col(2).i64;
+  std::vector<int64_t>& pr = t.col(3).i64;
+  for (const Transaction& txn : transactions) {
+    for (ItemId it : txn.items) {
+      tid.push_back(txn.tid);
+      loc.push_back(txn.location);
+      item.push_back(static_cast<int64_t>(it));
+      pr.push_back(price[it]);
+    }
+  }
+  t.set_num_rows(rows);
+  return t;
+}
+
 TransactionDataset::Stats TransactionDataset::ComputeStats() const {
   Stats s;
   s.num_transactions = transactions.size();

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "relational/column.h"
 #include "relational/relation.h"
 
 namespace licm::data {
@@ -38,6 +39,12 @@ struct TransactionDataset {
   /// Flattens to TRANSITEM(tid, loc, item, price): one row per (txn, item),
   /// attributes denormalized the way the paper's queries consume them.
   rel::Relation ToTransItem() const;
+
+  /// Same flattening straight into typed column vectors, skipping the
+  /// row/Tuple materialization entirely (all four columns are ints, so no
+  /// dictionary is needed). ToTransItemColumnar().ToRows(nullptr) equals
+  /// ToTransItem() row for row.
+  rel::ColumnTable ToTransItemColumnar() const;
 
   /// Dataset statistics for validation / reporting.
   struct Stats {

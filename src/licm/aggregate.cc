@@ -470,8 +470,26 @@ Result<MinMaxBounds> ComputeMinMaxBounds(const LicmRelation& relation,
     return Status::InvalidArgument("MIN/MAX over string column '" + column +
                                    "'");
   }
+  std::vector<double> vals;
+  std::vector<Ext> exts;
+  vals.reserve(relation.size());
+  exts.reserve(relation.size());
+  for (size_t i = 0; i < relation.size(); ++i) {
+    vals.push_back(NumericAt(relation, i, col));
+    exts.push_back(relation.ext(i));
+  }
+  return ComputeMinMaxBounds(vals, exts, constraints, num_vars, is_max,
+                             options);
+}
+
+Result<MinMaxBounds> ComputeMinMaxBounds(const std::vector<double>& vals,
+                                         const std::vector<Ext>& tuple_exts,
+                                         const ConstraintSet& constraints,
+                                         uint32_t num_vars, bool is_max,
+                                         const BoundsOptions& options) {
+  LICM_CHECK(vals.size() == tuple_exts.size());
   MinMaxBounds out;
-  if (relation.empty()) {
+  if (vals.empty()) {
     out.always_empty = true;
     out.may_be_empty = true;
     return out;
@@ -480,13 +498,13 @@ Result<MinMaxBounds> ComputeMinMaxBounds(const LicmRelation& relation,
   // Distinct values ascending, with the variables / certainty per value.
   std::map<double, std::pair<bool, std::vector<BVar>>> by_value;
   bool any_certain = false;
-  for (size_t i = 0; i < relation.size(); ++i) {
-    auto& entry = by_value[NumericAt(relation, i, col)];
-    if (relation.ext(i).certain()) {
+  for (size_t i = 0; i < vals.size(); ++i) {
+    auto& entry = by_value[vals[i]];
+    if (tuple_exts[i].certain()) {
       entry.first = true;
       any_certain = true;
     } else {
-      entry.second.push_back(relation.ext(i).var());
+      entry.second.push_back(tuple_exts[i].var());
     }
   }
   std::vector<double> values;

@@ -9,6 +9,7 @@
 #define LICM_LICM_AGGREGATE_H_
 
 #include <unordered_map>
+#include <vector>
 
 #include "licm/licm_relation.h"
 #include "licm/prune.h"
@@ -102,6 +103,16 @@ struct MinMaxBounds {
 /// the distinct column values. `is_max` selects MAX (else MIN).
 Result<MinMaxBounds> ComputeMinMaxBounds(const LicmRelation& relation,
                                          const std::string& column,
+                                         const ConstraintSet& constraints,
+                                         uint32_t num_vars, bool is_max,
+                                         const BoundsOptions& options = {});
+
+/// Core of the MIN/MAX case analysis over pre-extracted parallel
+/// value/lineage vectors (one entry per tuple, in relation order). The
+/// relation overload delegates here; the columnar path calls it directly
+/// with the gathered column.
+Result<MinMaxBounds> ComputeMinMaxBounds(const std::vector<double>& values,
+                                         const std::vector<Ext>& exts,
                                          const ConstraintSet& constraints,
                                          uint32_t num_vars, bool is_max,
                                          const BoundsOptions& options = {});

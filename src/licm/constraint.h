@@ -35,6 +35,8 @@ struct LinearConstraint {
   ConstraintOp op = ConstraintOp::kLe;
   int64_t rhs = 0;
 
+  bool operator==(const LinearConstraint&) const = default;
+
   std::string ToString() const;
 
   /// Evaluates the constraint under a 0/1 assignment (indexed by BVar).
@@ -59,6 +61,11 @@ class VariablePool {
 class ConstraintSet {
  public:
   void Add(LinearConstraint c) { constraints_.push_back(std::move(c)); }
+
+  /// Pre-sizes for a known batch of upcoming Add calls.
+  void Reserve(size_t additional) {
+    constraints_.reserve(constraints_.size() + additional);
+  }
 
   /// Z1 <= sum(vars) <= Z2 (Definition 1). Bounds outside [0, n] are
   /// clamped; a vacuous side is omitted.

@@ -2,6 +2,7 @@
 
 #include "common/stopwatch.h"
 #include "common/telemetry.h"
+#include "licm/columnar_ops.h"
 #include "licm/ops.h"
 
 namespace licm {
@@ -60,12 +61,113 @@ Result<LicmRelation> EvaluateLicm(const rel::QueryNode& node,
   return Status::Internal("unknown query kind");
 }
 
+namespace {
+
+// Columnar twin of the row-path AnswerAggregate body below. Both walk the
+// merged result in the same row order, so the objective accumulation (a
+// float-order-sensitive sum) and the MIN/MAX case analysis see identical
+// inputs and the bounds match bit for bit.
+Result<AggregateAnswer> AnswerAggregateColumnar(const rel::QueryNode& query,
+                                                LicmDatabase db,
+                                                const AnswerOptions& options) {
+  AggregateAnswer out;
+  StopWatch watch;
+
+  telemetry::ScopedSpan eval_span("licm", "query_eval");
+  ColumnarLicmContext ctx(OpContext{&db.pool(), &db.constraints()});
+  LICM_ASSIGN_OR_RETURN(LicmBatch result,
+                        EvaluateLicmBatch(*query.left, &db, &ctx));
+  // Aggregates count each distinct tuple once per world.
+  LICM_ASSIGN_OR_RETURN(result, MergeDuplicatesBatch(result, &ctx));
+  eval_span.End();
+  telemetry::ScopedSpan solve_span("licm", "solve");
+
+  if (query.kind == rel::QueryKind::kMin ||
+      query.kind == rel::QueryKind::kMax) {
+    out.vars_at_query = db.pool().size();
+    out.constraints_at_query = db.constraints().size();
+    out.query_ms = watch.ElapsedMs();
+    watch.Restart();
+    LICM_ASSIGN_OR_RETURN(size_t col,
+                          result.view.schema.IndexOf(query.sum_column));
+    if (result.view.schema.column(col).type == rel::ValueType::kString) {
+      return Status::InvalidArgument("MIN/MAX over string column '" +
+                                     query.sum_column + "'");
+    }
+    std::vector<double> values;
+    std::vector<Ext> exts;
+    NumericColumnBatch(result, col, &ctx, &values, &exts);
+    LICM_ASSIGN_OR_RETURN(
+        out.minmax,
+        ComputeMinMaxBounds(values, exts, db.constraints(), db.pool().size(),
+                            query.kind == rel::QueryKind::kMax,
+                            options.bounds));
+    out.is_minmax = true;
+    out.bounds.min.value = out.bounds.min.proved = out.minmax.lo;
+    out.bounds.min.exact = out.minmax.exact_lo;
+    out.bounds.max.value = out.bounds.max.proved = out.minmax.hi;
+    out.bounds.max.exact = out.minmax.exact_hi;
+    out.bounds.stats = out.minmax.stats;
+    out.solve_ms = watch.ElapsedMs();
+    return out;
+  }
+
+  const uint32_t* rows = rel::ActiveRows(result.view, &ctx.arena);
+  Objective obj;
+  if (query.kind == rel::QueryKind::kCountStar) {
+    for (size_t i = 0; i < result.view.active; ++i) {
+      const Ext e = result.exts[rows[i]];
+      if (e.certain()) {
+        obj.constant += 1.0;
+      } else {
+        obj.coefs[e.var()] += 1.0;
+      }
+    }
+  } else {
+    LICM_ASSIGN_OR_RETURN(size_t idx,
+                          result.view.schema.IndexOf(query.sum_column));
+    const rel::ValueType t = result.view.schema.column(idx).type;
+    if (t == rel::ValueType::kString) {
+      return Status::InvalidArgument("SUM over string column '" +
+                                     query.sum_column + "'");
+    }
+    for (size_t i = 0; i < result.view.active; ++i) {
+      const uint32_t row = rows[i];
+      const double x = t == rel::ValueType::kInt
+                           ? static_cast<double>(result.view.cols[idx].i64[row])
+                           : result.view.cols[idx].f64[row];
+      const Ext e = result.exts[row];
+      if (e.certain()) {
+        obj.constant += x;
+      } else {
+        obj.coefs[e.var()] += x;
+      }
+    }
+  }
+  out.vars_at_query = db.pool().size();
+  out.constraints_at_query = db.constraints().size();
+  out.query_ms = watch.ElapsedMs();
+
+  watch.Restart();
+  LICM_ASSIGN_OR_RETURN(
+      out.bounds,
+      ComputeBounds(obj, db.constraints(), db.pool().size(),
+                    options.bounds));
+  out.solve_ms = watch.ElapsedMs();
+  return out;
+}
+
+}  // namespace
+
 Result<AggregateAnswer> AnswerAggregate(const rel::QueryNode& query,
                                         LicmDatabase db,
                                         const AnswerOptions& options) {
   if (!rel::IsAggregate(query)) {
     return Status::InvalidArgument(
         "AnswerAggregate requires kCountStar or kSum at the root");
+  }
+  if (options.engine == rel::EvalEngine::kColumnar) {
+    return AnswerAggregateColumnar(query, std::move(db), options);
   }
   AggregateAnswer out;
   StopWatch watch;

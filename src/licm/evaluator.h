@@ -8,6 +8,7 @@
 
 #include "licm/aggregate.h"
 #include "licm/licm_relation.h"
+#include "relational/engine.h"
 #include "relational/query.h"
 
 namespace licm {
@@ -20,6 +21,11 @@ Result<LicmRelation> EvaluateLicm(const rel::QueryNode& node,
 
 struct AnswerOptions {
   BoundsOptions bounds;
+  /// Operator pipeline implementation. Both allocate identical variable
+  /// ids, emit identical constraints, and produce bit-identical bounds;
+  /// kRow is the straightforward tuple-at-a-time reference, kColumnar the
+  /// batch engine (columnar_ops.h).
+  rel::EvalEngine engine = rel::EvalEngine::kColumnar;
 };
 
 /// Full answer to an aggregate query, with the phase instrumentation the

@@ -4,49 +4,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "licm/lineage.h"
 #include "relational/engine.h"
 
 namespace licm {
-
-namespace {
-
-// Collects the distinct maybe-variables of a tuple group; `any_certain` is
-// set when at least one group member is certain.
-struct GroupExt {
-  bool any_certain = false;
-  std::vector<BVar> vars;  // distinct
-};
-
-void Accumulate(GroupExt* g, Ext e) {
-  if (e.certain()) {
-    g->any_certain = true;
-  } else if (std::find(g->vars.begin(), g->vars.end(), e.var()) ==
-             g->vars.end()) {
-    g->vars.push_back(e.var());
-  }
-}
-
-// Existence of "at least one member of the group": certain, a reused single
-// variable (Example 7's optimization), or a fresh OR-linked variable.
-Ext GroupOrExt(const GroupExt& g, OpContext ctx) {
-  if (g.any_certain) return Ext::Certain();
-  LICM_CHECK(!g.vars.empty());
-  if (g.vars.size() == 1) return Ext::Maybe(g.vars[0]);
-  const BVar out = ctx.pool->New();
-  ctx.constraints->AddOr(out, g.vars);
-  return Ext::Maybe(out);
-}
-
-// AND of two tuple existences (Algorithm 2/3 case analysis).
-Ext AndExt(Ext a, Ext b, OpContext ctx) {
-  if (a == b || b.certain()) return a;
-  if (a.certain()) return b;
-  const BVar out = ctx.pool->New();
-  ctx.constraints->AddAnd(out, a.var(), b.var());
-  return Ext::Maybe(out);
-}
-
-}  // namespace
 
 Result<LicmRelation> SelectOp(
     const LicmRelation& in, const std::vector<rel::Predicate>& predicates) {
@@ -194,75 +155,6 @@ Result<LicmRelation> JoinOp(
 
 namespace {
 
-// One group of Algorithm 4: n certain tuples and maybe-terms B = sum of
-// existence variables (with multiplicity when several group members share
-// a variable).
-struct CountGroup {
-  int64_t n = 0;
-  std::vector<LinearConstraint::Term> terms;  // merged by variable
-  int64_t m = 0;  // number of maybe tuples (sum of coefficients)
-  // Group existence (set semantics: a group value only appears in the
-  // output when at least one of its tuples is present). Tracked over ALL
-  // group tuples, including zero-weight ones.
-  bool any_certain = false;
-  std::vector<BVar> existence_vars;  // distinct
-};
-
-// Existence outcome for a group under one one-sided count predicate.
-struct CountCase {
-  enum Kind { kCertain, kExcluded, kVariable } kind;
-  BVar var = 0;
-};
-
-// COUNT <= d over the group (Algorithm 4, case 1).
-CountCase EncodeLe(const CountGroup& g, int64_t d, OpContext ctx) {
-  if (g.m + g.n <= d) return {CountCase::kCertain, 0};
-  if (g.n > d) return {CountCase::kExcluded, 0};
-  const BVar b = ctx.pool->New();
-  // (d - n + 1) b + B >= d - n + 1
-  LinearConstraint c1;
-  c1.terms = g.terms;
-  c1.terms.push_back({b, d - g.n + 1});
-  c1.op = ConstraintOp::kGe;
-  c1.rhs = d - g.n + 1;
-  ctx.constraints->Add(std::move(c1));
-  // (m - d + n) b + B <= m
-  LinearConstraint c2;
-  c2.terms = g.terms;
-  c2.terms.push_back({b, g.m - d + g.n});
-  c2.op = ConstraintOp::kLe;
-  c2.rhs = g.m;
-  ctx.constraints->Add(std::move(c2));
-  return {CountCase::kVariable, b};
-}
-
-// COUNT >= d over the group (Algorithm 4, case 2).
-CountCase EncodeGe(const CountGroup& g, int64_t d, OpContext ctx) {
-  if (g.n >= d) return {CountCase::kCertain, 0};
-  if (g.m + g.n < d) return {CountCase::kExcluded, 0};
-  const BVar b = ctx.pool->New();
-  // (d - n) b <= B
-  LinearConstraint c1;
-  c1.terms = g.terms;
-  for (auto& t : c1.terms) t.coef = -t.coef;
-  c1.terms.push_back({b, d - g.n});
-  c1.op = ConstraintOp::kLe;
-  c1.rhs = 0;
-  ctx.constraints->Add(std::move(c1));
-  // B <= d - n - 1 + (m - d + n + 1) b
-  LinearConstraint c2;
-  c2.terms = g.terms;
-  c2.terms.push_back({b, -(g.m - d + g.n + 1)});
-  c2.op = ConstraintOp::kLe;
-  c2.rhs = d - g.n - 1;
-  ctx.constraints->Add(std::move(c2));
-  return {CountCase::kVariable, b};
-}
-
-}  // namespace
-
-namespace {
-
 // Shared engine of CountPredicateOp / SumPredicateOp: groups the merged
 // relation by `gidx`, weighting each tuple by 1 (count) or by its value in
 // column `vidx` (sum), and emits Algorithm 4's encoding per group.
@@ -305,23 +197,7 @@ Result<LicmRelation> GroupPredicateImpl(const LicmRelation& merged,
                                         size_t gidx, size_t vidx,
                                         bool weighted, rel::CmpOp op,
                                         int64_t d, OpContext ctx) {
-  // Normalize the comparison to <= and/or >=.
-  bool want_le = false, want_ge = false;
-  int64_t d_le = 0, d_ge = 0;
-  switch (op) {
-    case rel::CmpOp::kLe: want_le = true; d_le = d; break;
-    case rel::CmpOp::kLt: want_le = true; d_le = d - 1; break;
-    case rel::CmpOp::kGe: want_ge = true; d_ge = d; break;
-    case rel::CmpOp::kGt: want_ge = true; d_ge = d + 1; break;
-    case rel::CmpOp::kEq:
-      want_le = want_ge = true;
-      d_le = d_ge = d;
-      break;
-    case rel::CmpOp::kNe:
-      return Status::Unimplemented(
-          "COUNT != d requires disjunctive lineage, which LICM encodes only "
-          "via the completeness construction");
-  }
+  LICM_ASSIGN_OR_RETURN(CountOpSides sides, NormalizeCountOp(op, d));
 
   // Group tuples by the group column value, weighting by the summed
   // column (or 1 for COUNT).
@@ -340,64 +216,18 @@ Result<LicmRelation> GroupPredicateImpl(const LicmRelation& merged,
     const rel::Value& g = merged.tuple(t)[gidx];
     auto [it, inserted] = groups.emplace(g, CountGroup{});
     if (inserted) order.push_back(g);
-    {
-      CountGroup& cg = it->second;
-      if (merged.ext(t).certain()) {
-        cg.any_certain = true;
-      } else {
-        const BVar v = merged.ext(t).var();
-        if (std::find(cg.existence_vars.begin(), cg.existence_vars.end(),
-                      v) == cg.existence_vars.end()) {
-          cg.existence_vars.push_back(v);
-        }
-      }
-    }
-    if (w == 0) continue;  // zero-weight tuples cannot affect the sum
-    CountGroup& cg = it->second;
-    if (merged.ext(t).certain()) {
-      cg.n += w;
-    } else {
-      cg.m += w;
-      const BVar v = merged.ext(t).var();
-      auto term = std::find_if(cg.terms.begin(), cg.terms.end(),
-                               [v](const auto& x) { return x.var == v; });
-      if (term == cg.terms.end()) {
-        cg.terms.push_back({v, w});
-      } else {
-        term->coef += w;
-      }
-    }
+    AccumulateCount(&it->second, merged.ext(t), w);
   }
 
   LicmRelation out{rel::Schema({merged.schema().column(gidx)})};
   for (const rel::Value& g : order) {
     const CountGroup& cg = groups.at(g);
     CountCase le{CountCase::kCertain, 0}, ge{CountCase::kCertain, 0};
-    if (want_le) le = EncodeLe(cg, d_le, ctx);
-    if (want_ge) ge = EncodeGe(cg, d_ge, ctx);
-    if (le.kind == CountCase::kExcluded || ge.kind == CountCase::kExcluded) {
-      continue;
-    }
-    Ext e = Ext::Certain();
-    if (le.kind == CountCase::kVariable &&
-        ge.kind == CountCase::kVariable) {
-      e = AndExt(Ext::Maybe(le.var), Ext::Maybe(ge.var), ctx);
-    } else if (le.kind == CountCase::kVariable) {
-      e = Ext::Maybe(le.var);
-    } else if (ge.kind == CountCase::kVariable) {
-      e = Ext::Maybe(ge.var);
-    }
-    // Set semantics: the group value only exists in the output when some
-    // group tuple is present. A satisfied >= d side with d >= 1 already
-    // implies this; otherwise (pure <=, or thresholds <= 0) AND it in.
-    const bool existence_implied = want_ge && d_ge >= 1;
-    if (!existence_implied && !cg.any_certain) {
-      if (cg.existence_vars.empty()) continue;  // cannot ever exist
-      GroupExt gext;
-      gext.vars = cg.existence_vars;
-      e = AndExt(e, GroupOrExt(gext, ctx), ctx);
-    }
-    out.AppendUnchecked(rel::Tuple{g}, e);
+    if (sides.want_le) le = EncodeLe(cg, sides.d_le, ctx);
+    if (sides.want_ge) ge = EncodeGe(cg, sides.d_ge, ctx);
+    const std::optional<Ext> e = GroupRowExt(cg, sides, ctx, le, ge);
+    if (!e.has_value()) continue;
+    out.AppendUnchecked(rel::Tuple{g}, *e);
   }
   return out;
 }

@@ -1,0 +1,360 @@
+#include "relational/batch.h"
+
+#include <bit>
+#include <cstring>
+
+namespace licm::rel {
+
+namespace {
+
+// splitmix64 finalizer: cheap, well-mixed, deterministic across platforms.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Bit pattern of a double compatible with ==: -0.0 folds onto +0.0 so the
+// two hash alike (they compare equal); NaNs keep their payload, which is
+// irrelevant because NaN == NaN is false and equality always rejects them.
+inline uint64_t DoubleBits(double d) {
+  if (d == 0.0) d = 0.0;
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+inline uint64_t CellBits(const BatchView& view, size_t col, uint32_t row) {
+  return view.schema.column(col).type == ValueType::kDouble
+             ? DoubleBits(view.cols[col].f64[row])
+             : static_cast<uint64_t>(view.cols[col].i64[row]);
+}
+
+template <typename T, typename Op>
+void CompareLoop(const T* data, size_t rows, Op op, uint64_t* out) {
+  const size_t full = rows / 64;
+  for (size_t w = 0; w < full; ++w) {
+    const T* p = data + w * 64;
+    uint64_t bits = 0;
+    for (unsigned b = 0; b < 64; ++b) {
+      bits |= static_cast<uint64_t>(op(p[b])) << b;
+    }
+    out[w] = bits;
+  }
+  const size_t rem = rows & 63;
+  if (rem != 0) {
+    const T* p = data + full * 64;
+    uint64_t bits = 0;
+    for (unsigned b = 0; b < rem; ++b) {
+      bits |= static_cast<uint64_t>(op(p[b])) << b;
+    }
+    out[full] = bits;
+  }
+}
+
+template <typename T>
+void CompareDispatch(const T* data, size_t rows, CmpOp op, T operand,
+                     uint64_t* out) {
+  switch (op) {
+    case CmpOp::kEq:
+      CompareLoop(data, rows, [operand](T v) { return v == operand; }, out);
+      break;
+    case CmpOp::kNe:
+      CompareLoop(data, rows, [operand](T v) { return v != operand; }, out);
+      break;
+    case CmpOp::kLt:
+      CompareLoop(data, rows, [operand](T v) { return v < operand; }, out);
+      break;
+    case CmpOp::kLe:
+      CompareLoop(data, rows, [operand](T v) { return v <= operand; }, out);
+      break;
+    case CmpOp::kGt:
+      CompareLoop(data, rows, [operand](T v) { return v > operand; }, out);
+      break;
+    case CmpOp::kGe:
+      CompareLoop(data, rows, [operand](T v) { return v >= operand; }, out);
+      break;
+  }
+}
+
+}  // namespace
+
+BatchView TableView(const ColumnTable& table) {
+  BatchView v;
+  v.schema = table.schema();
+  v.rows = table.num_rows();
+  v.active = table.num_rows();
+  v.cols.reserve(table.num_cols());
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    v.cols.push_back(SpanOf(table.col(c), table.schema().column(c).type));
+  }
+  return v;
+}
+
+ColSpan GatherColumn(const BatchView& view, size_t c, const uint32_t* rows,
+                     size_t n, Arena* arena) {
+  ColSpan out;
+  if (view.schema.column(c).type == ValueType::kDouble) {
+    double* data = arena->AllocArray<double>(n);
+    const double* src = view.cols[c].f64;
+    for (size_t i = 0; i < n; ++i) data[i] = src[rows[i]];
+    out.f64 = data;
+  } else {
+    int64_t* data = arena->AllocArray<int64_t>(n);
+    const int64_t* src = view.cols[c].i64;
+    for (size_t i = 0; i < n; ++i) data[i] = src[rows[i]];
+    out.i64 = data;
+  }
+  return out;
+}
+
+ColSpan SpanOf(const ColumnData& col, ValueType type) {
+  ColSpan s;
+  if (type == ValueType::kDouble) {
+    s.f64 = col.f64.data();
+  } else {
+    s.i64 = col.i64.data();
+  }
+  return s;
+}
+
+uint64_t* AllocBitmap(size_t rows, Arena* arena) {
+  return arena->AllocZeroed<uint64_t>(BitmapWords(rows));
+}
+
+size_t BitmapCount(const uint64_t* words, size_t rows) {
+  const size_t full = rows / 64;
+  size_t n = 0;
+  for (size_t w = 0; w < full; ++w) n += std::popcount(words[w]);
+  const size_t rem = rows & 63;
+  if (rem != 0) {
+    n += std::popcount(words[full] & ((uint64_t{1} << rem) - 1));
+  }
+  return n;
+}
+
+void BitmapAnd(uint64_t* dst, const uint64_t* src, size_t rows) {
+  const size_t words = BitmapWords(rows);
+  for (size_t w = 0; w < words; ++w) dst[w] &= src[w];
+}
+
+const uint32_t* ActiveRows(const BatchView& view, Arena* arena) {
+  uint32_t* out = arena->AllocArray<uint32_t>(view.active);
+  if (view.AllActive()) {
+    for (size_t i = 0; i < view.rows; ++i) out[i] = static_cast<uint32_t>(i);
+    return out;
+  }
+  size_t n = 0;
+  const size_t words = BitmapWords(view.rows);
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t bits = view.sel[w];
+    while (bits != 0) {
+      const unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+      out[n++] = static_cast<uint32_t>(w * 64 + b);
+      bits &= bits - 1;
+    }
+  }
+  LICM_CHECK(n == view.active);
+  return out;
+}
+
+void CompareBitsI64(const int64_t* data, size_t rows, CmpOp op,
+                    int64_t operand, uint64_t* out) {
+  CompareDispatch(data, rows, op, operand, out);
+}
+
+void CompareBitsF64(const double* data, size_t rows, CmpOp op, double operand,
+                    uint64_t* out) {
+  CompareDispatch(data, rows, op, operand, out);
+}
+
+void CompareBitsI64AsF64(const int64_t* data, size_t rows, CmpOp op,
+                         double operand, uint64_t* out) {
+  switch (op) {
+    case CmpOp::kEq:
+      CompareLoop(
+          data, rows,
+          [operand](int64_t v) { return static_cast<double>(v) == operand; },
+          out);
+      break;
+    case CmpOp::kNe:
+      CompareLoop(
+          data, rows,
+          [operand](int64_t v) { return static_cast<double>(v) != operand; },
+          out);
+      break;
+    case CmpOp::kLt:
+      CompareLoop(
+          data, rows,
+          [operand](int64_t v) { return static_cast<double>(v) < operand; },
+          out);
+      break;
+    case CmpOp::kLe:
+      CompareLoop(
+          data, rows,
+          [operand](int64_t v) { return static_cast<double>(v) <= operand; },
+          out);
+      break;
+    case CmpOp::kGt:
+      CompareLoop(
+          data, rows,
+          [operand](int64_t v) { return static_cast<double>(v) > operand; },
+          out);
+      break;
+    case CmpOp::kGe:
+      CompareLoop(
+          data, rows,
+          [operand](int64_t v) { return static_cast<double>(v) >= operand; },
+          out);
+      break;
+  }
+}
+
+void CompareBitsTable(const int64_t* ids, size_t rows, const uint8_t* table,
+                      uint64_t* out) {
+  CompareLoop(
+      ids, rows, [table](int64_t id) { return table[id] != 0; }, out);
+}
+
+uint64_t HashRow(const BatchView& view, const std::vector<size_t>& key_cols,
+                 uint32_t row) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const size_t c : key_cols) {
+    h ^= Mix64(CellBits(view, c, row)) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+  }
+  return h;
+}
+
+bool RowsEqual(const BatchView& a, const std::vector<size_t>& a_cols,
+               uint32_t a_row, const BatchView& b,
+               const std::vector<size_t>& b_cols, uint32_t b_row) {
+  LICM_CHECK(a_cols.size() == b_cols.size());
+  for (size_t i = 0; i < a_cols.size(); ++i) {
+    const size_t ac = a_cols[i], bc = b_cols[i];
+    const ValueType at = a.schema.column(ac).type;
+    // variant equality is type-strict: an int64 never equals a double.
+    if (at != b.schema.column(bc).type) return false;
+    if (at == ValueType::kDouble) {
+      // == semantics: ±0.0 equal, NaN equal to nothing (incl. itself).
+      if (!(a.cols[ac].f64[a_row] == b.cols[bc].f64[b_row])) return false;
+    } else {
+      if (a.cols[ac].i64[a_row] != b.cols[bc].i64[b_row]) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+inline size_t TableSizeFor(size_t n) {
+  size_t size = 16;
+  while (size < n * 2) size *= 2;
+  return size;
+}
+
+}  // namespace
+
+Grouping GroupBy(const BatchView& view, const std::vector<size_t>& key_cols,
+                 Arena* arena) {
+  Grouping g;
+  g.n = view.active;
+  const uint32_t* rows = ActiveRows(view, arena);
+  g.row_index = rows;
+  uint32_t* group_of = arena->AllocArray<uint32_t>(g.n);
+  uint32_t* rep = arena->AllocArray<uint32_t>(g.n);  // capacity: ≤ n groups
+  g.group_of = group_of;
+  g.rep_row = rep;
+  if (g.n == 0) {
+    g.run_begin = arena->AllocZeroed<uint32_t>(1);
+    return g;
+  }
+
+  const size_t table_size = TableSizeFor(g.n);
+  const size_t mask = table_size - 1;
+  constexpr uint32_t kEmpty = 0xffffffffu;
+  uint32_t* slots = arena->AllocArray<uint32_t>(table_size);
+  uint64_t* slot_hash = arena->AllocArray<uint64_t>(table_size);
+  for (size_t s = 0; s < table_size; ++s) slots[s] = kEmpty;
+
+  uint32_t num_groups = 0;
+  for (size_t i = 0; i < g.n; ++i) {
+    const uint32_t row = rows[i];
+    const uint64_t h = HashRow(view, key_cols, row);
+    size_t s = h & mask;
+    uint32_t gid = kEmpty;
+    while (slots[s] != kEmpty) {
+      if (slot_hash[s] == h &&
+          RowsEqual(view, key_cols, rep[slots[s]], view, key_cols, row)) {
+        gid = slots[s];
+        break;
+      }
+      s = (s + 1) & mask;
+    }
+    if (gid == kEmpty) {
+      gid = num_groups++;
+      rep[gid] = row;
+      slots[s] = gid;
+      slot_hash[s] = h;
+    }
+    group_of[i] = gid;
+  }
+  g.num_groups = num_groups;
+
+  // Counting sort into contiguous per-group runs; scanning rows in
+  // ascending order keeps each run ascending (stable).
+  uint32_t* run_begin = arena->AllocZeroed<uint32_t>(num_groups + 1);
+  uint32_t* run_rows = arena->AllocArray<uint32_t>(g.n);
+  for (size_t i = 0; i < g.n; ++i) ++run_begin[group_of[i] + 1];
+  for (uint32_t k = 0; k < num_groups; ++k) run_begin[k + 1] += run_begin[k];
+  uint32_t* cursor = arena->AllocArray<uint32_t>(num_groups);
+  for (uint32_t k = 0; k < num_groups; ++k) cursor[k] = run_begin[k];
+  for (size_t i = 0; i < g.n; ++i) {
+    run_rows[cursor[group_of[i]]++] = rows[i];
+  }
+  g.run_begin = run_begin;
+  g.run_rows = run_rows;
+  return g;
+}
+
+RowHashIndex::RowHashIndex(const BatchView& build,
+                           const std::vector<size_t>& build_cols, Arena* arena)
+    : build_(build), build_cols_(build_cols) {
+  grouping_ = GroupBy(build, build_cols, arena);
+  if (grouping_.num_groups == 0) return;
+  const size_t table_size = TableSizeFor(grouping_.num_groups);
+  slot_mask_ = table_size - 1;
+  uint32_t* slots = arena->AllocArray<uint32_t>(table_size);
+  uint64_t* hashes = arena->AllocArray<uint64_t>(grouping_.num_groups);
+  for (size_t s = 0; s < table_size; ++s) slots[s] = kNone;
+  for (uint32_t gid = 0; gid < grouping_.num_groups; ++gid) {
+    const uint64_t h = HashRow(build, build_cols_, grouping_.rep_row[gid]);
+    hashes[gid] = h;
+    size_t s = h & slot_mask_;
+    while (slots[s] != kNone) s = (s + 1) & slot_mask_;
+    slots[s] = gid;
+  }
+  slots_ = slots;
+  group_hash_ = hashes;
+}
+
+uint32_t RowHashIndex::Find(const BatchView& probe,
+                            const std::vector<size_t>& probe_cols,
+                            uint32_t row) const {
+  if (slots_ == nullptr) return kNone;
+  const uint64_t h = HashRow(probe, probe_cols, row);
+  size_t s = h & slot_mask_;
+  while (slots_[s] != kNone) {
+    const uint32_t gid = slots_[s];
+    if (group_hash_[gid] == h &&
+        RowsEqual(build_, build_cols_, grouping_.rep_row[gid], probe,
+                  probe_cols, row)) {
+      return gid;
+    }
+    s = (s + 1) & slot_mask_;
+  }
+  return kNone;
+}
+
+}  // namespace licm::rel

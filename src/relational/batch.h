@@ -1,0 +1,160 @@
+// Zero-copy column batches, selection bitmaps and grouping kernels — the
+// execution layer of the columnar engine.
+//
+// A BatchView is a schema plus one typed pointer per column and an
+// optional selection bitmap (one bit per physical row, uint64_t words).
+// Operators that only filter (selection, intersection membership, dedup)
+// produce a new bitmap over the same column pointers instead of
+// materializing an intermediate relation; operators that reshape rows
+// (project/join/product/group) materialize gathered columns into the
+// per-query Arena. Predicate evaluation is branch-free per 64-row word so
+// the compiler can auto-vectorize the compare loops.
+//
+// Grouping/dedup/join all share one primitive: GroupBy assigns dense group
+// ids in first-seen order over the active rows — exactly the first-
+// occurrence order the row engine's hash-map-plus-order-vector code used,
+// which is what keeps the two engines bit-identical — and exposes each
+// group's rows as one contiguous run (counting sort), so downstream
+// consumers bulk-emit per group instead of re-probing a hash map per row.
+#ifndef LICM_RELATIONAL_BATCH_H_
+#define LICM_RELATIONAL_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/arena.h"
+#include "relational/column.h"
+#include "relational/query.h"
+
+namespace licm::rel {
+
+/// Borrowed pointer to one column's data; which member is set follows the
+/// column's ValueType (i64 for kInt/kString ids, f64 for kDouble).
+struct ColSpan {
+  const int64_t* i64 = nullptr;
+  const double* f64 = nullptr;
+};
+
+ColSpan SpanOf(const ColumnData& col, ValueType type);
+
+/// Number of uint64_t words of a bitmap over `rows` rows.
+inline size_t BitmapWords(size_t rows) { return (rows + 63) / 64; }
+
+/// Arena-allocated all-zero bitmap.
+uint64_t* AllocBitmap(size_t rows, Arena* arena);
+
+/// Number of set bits in the first `rows` bits.
+size_t BitmapCount(const uint64_t* words, size_t rows);
+
+/// dst &= src, word-wise.
+void BitmapAnd(uint64_t* dst, const uint64_t* src, size_t rows);
+
+inline bool BitmapTest(const uint64_t* words, size_t row) {
+  return (words[row >> 6] >> (row & 63)) & 1;
+}
+inline void BitmapSet(uint64_t* words, size_t row) {
+  words[row >> 6] |= uint64_t{1} << (row & 63);
+}
+
+/// A batch of rows: physical columns plus an optional selection. `sel ==
+/// nullptr` means every physical row is active. `active` caches the
+/// selected row count.
+struct BatchView {
+  Schema schema;
+  size_t rows = 0;
+  std::vector<ColSpan> cols;
+  const uint64_t* sel = nullptr;
+  size_t active = 0;
+
+  bool AllActive() const { return sel == nullptr; }
+};
+
+/// Physical indices of the active rows, ascending.
+const uint32_t* ActiveRows(const BatchView& view, Arena* arena);
+
+/// Branch-free predicate bitmaps: out[bit i] = (data[i] op operand) for
+/// every physical row, one 64-row word at a time.
+void CompareBitsI64(const int64_t* data, size_t rows, CmpOp op,
+                    int64_t operand, uint64_t* out);
+void CompareBitsF64(const double* data, size_t rows, CmpOp op,
+                    double operand, uint64_t* out);
+/// Int column vs double operand (the row engine compares numerically
+/// across int/double): bit i = (double(data[i]) op operand).
+void CompareBitsI64AsF64(const int64_t* data, size_t rows, CmpOp op,
+                         double operand, uint64_t* out);
+/// Dictionary-id column through a precomputed per-id truth table.
+void CompareBitsTable(const int64_t* ids, size_t rows, const uint8_t* table,
+                      uint64_t* out);
+
+/// Grouping of the active rows of a batch by a set of key columns. Group
+/// ids are dense and assigned in first-seen (row) order. Rows of group g
+/// are run_rows[run_begin[g] .. run_begin[g+1]), ascending — counting sort
+/// is stable, so each run preserves the physical row order.
+struct Grouping {
+  uint32_t num_groups = 0;
+  size_t n = 0;                        // active rows grouped
+  const uint32_t* row_index = nullptr; // active rows ascending, size n
+  const uint32_t* group_of = nullptr;  // group id per row_index entry
+  const uint32_t* rep_row = nullptr;   // first physical row per group
+  const uint32_t* run_begin = nullptr; // size num_groups + 1
+  const uint32_t* run_rows = nullptr;  // size n, physical row ids
+};
+
+/// Groups the active rows of `view` by `key_cols`. Key equality follows
+/// the row engine's Value equality: type-strict, doubles by == (so ±0.0
+/// merge and NaNs never do).
+Grouping GroupBy(const BatchView& view, const std::vector<size_t>& key_cols,
+                 Arena* arena);
+
+/// Hash index over the active rows of a build-side batch, keyed by
+/// `build_cols`; probe-side rows look up the matching build group. Used
+/// for join (runs give the matching right rows, ascending) and intersect
+/// (membership).
+class RowHashIndex {
+ public:
+  static constexpr uint32_t kNone = 0xffffffffu;
+
+  RowHashIndex(const BatchView& build, const std::vector<size_t>& build_cols,
+               Arena* arena);
+
+  const Grouping& grouping() const { return grouping_; }
+
+  /// Group id matching `probe`'s physical row `row` on `probe_cols`, or
+  /// kNone. Key columns compare type-strictly: if any probe column type
+  /// differs from its build counterpart, nothing matches (mirroring the
+  /// row engine's variant equality).
+  uint32_t Find(const BatchView& probe, const std::vector<size_t>& probe_cols,
+                uint32_t row) const;
+
+ private:
+  const BatchView& build_;
+  std::vector<size_t> build_cols_;
+  Grouping grouping_;
+  // Open-addressing table of group ids, probed by row hash.
+  const uint32_t* slots_ = nullptr;
+  size_t slot_mask_ = 0;
+  const uint64_t* group_hash_ = nullptr;  // hash per group
+};
+
+/// 64-bit hash of one row restricted to `key_cols` (normalizing -0.0 so
+/// hash is compatible with double ==).
+uint64_t HashRow(const BatchView& view, const std::vector<size_t>& key_cols,
+                 uint32_t row);
+
+/// Type-strict equality of two rows on parallel column lists.
+bool RowsEqual(const BatchView& a, const std::vector<size_t>& a_cols,
+               uint32_t a_row, const BatchView& b,
+               const std::vector<size_t>& b_cols, uint32_t b_row);
+
+/// All-rows-active view over a column table (the table must outlive it).
+BatchView TableView(const ColumnTable& table);
+
+/// Gathers `view`'s column `c` at `rows[0..n)` into a fresh arena array
+/// and returns its span (materialization step of product/join/group
+/// outputs).
+ColSpan GatherColumn(const BatchView& view, size_t c, const uint32_t* rows,
+                     size_t n, Arena* arena);
+
+}  // namespace licm::rel
+
+#endif  // LICM_RELATIONAL_BATCH_H_

@@ -1,0 +1,40 @@
+// Shared pieces of the columnar evaluator that the LICM columnar encode
+// reuses: predicate → selection-bitmap compilation and batch dedup
+// grouping. The full-query entry points live in engine.h
+// (EvaluateColumnar / EvaluateAggregateColumnar).
+#ifndef LICM_RELATIONAL_COLUMNAR_ENGINE_H_
+#define LICM_RELATIONAL_COLUMNAR_ENGINE_H_
+
+#include <vector>
+
+#include "relational/batch.h"
+#include "relational/column.h"
+#include "relational/engine.h"
+
+namespace licm::rel {
+
+/// ANDs the bitmap of `column_index op operand` into `dst` (sized for
+/// `in.rows`). Numeric predicates compare like Value::Compare (int/double
+/// mix compared as doubles); string predicates compile to a per-dictionary-
+/// id truth table. Mixed string/non-string predicates LICM_CHECK-fail,
+/// matching the row engine's Compare.
+Status AndPredicateBits(const BatchView& in, size_t column_index,
+                        const Predicate& pred, const StringDictionary& dict,
+                        Arena* arena, uint64_t* dst);
+
+/// Bitmap with the first `rows` bits of `view.sel` (or all ones when the
+/// view has no selection); tail bits are zero.
+uint64_t* CopySelection(const BatchView& view, Arena* arena);
+
+/// Restricts `view`'s selection to the first occurrence of each distinct
+/// row (set semantics), preserving row order — the columnar counterpart of
+/// Relation::Deduplicate. No-op when all active rows are already distinct.
+void DeduplicateBatch(BatchView* view, Arena* arena);
+
+/// Gathers the active rows of `view` into a row Relation, in row order.
+Relation BatchToRelation(const BatchView& view, const StringDictionary& dict,
+                         Arena* arena);
+
+}  // namespace licm::rel
+
+#endif  // LICM_RELATIONAL_COLUMNAR_ENGINE_H_

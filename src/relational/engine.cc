@@ -48,7 +48,7 @@ Schema JoinSchema(const Schema& left, const Schema& right,
 namespace {
 
 Result<Relation> EvalSelect(const QueryNode& node, const Database& db) {
-  LICM_ASSIGN_OR_RETURN(Relation in, Evaluate(*node.left, db));
+  LICM_ASSIGN_OR_RETURN(Relation in, Evaluate(*node.left, db, EvalEngine::kRow));
   // Resolve predicate columns once.
   std::vector<size_t> idx(node.predicates.size());
   for (size_t i = 0; i < node.predicates.size(); ++i) {
@@ -56,6 +56,7 @@ Result<Relation> EvalSelect(const QueryNode& node, const Database& db) {
                           in.schema().IndexOf(node.predicates[i].column));
   }
   Relation out(in.schema());
+  out.Reserve(in.size());
   for (const Tuple& t : in.rows()) {
     bool pass = true;
     for (size_t i = 0; i < node.predicates.size() && pass; ++i) {
@@ -68,7 +69,7 @@ Result<Relation> EvalSelect(const QueryNode& node, const Database& db) {
 }
 
 Result<Relation> EvalProject(const QueryNode& node, const Database& db) {
-  LICM_ASSIGN_OR_RETURN(Relation in, Evaluate(*node.left, db));
+  LICM_ASSIGN_OR_RETURN(Relation in, Evaluate(*node.left, db, EvalEngine::kRow));
   std::vector<size_t> idx(node.columns.size());
   std::vector<Column> cols(node.columns.size());
   for (size_t i = 0; i < node.columns.size(); ++i) {
@@ -76,6 +77,7 @@ Result<Relation> EvalProject(const QueryNode& node, const Database& db) {
     cols[i] = in.schema().column(idx[i]);
   }
   Relation out(Schema(std::move(cols)));
+  out.Reserve(in.size());
   for (const Tuple& t : in.rows()) {
     Tuple nt(idx.size());
     for (size_t i = 0; i < idx.size(); ++i) nt[i] = t[idx[i]];
@@ -86,8 +88,8 @@ Result<Relation> EvalProject(const QueryNode& node, const Database& db) {
 }
 
 Result<Relation> EvalIntersect(const QueryNode& node, const Database& db) {
-  LICM_ASSIGN_OR_RETURN(Relation l, Evaluate(*node.left, db));
-  LICM_ASSIGN_OR_RETURN(Relation r, Evaluate(*node.right, db));
+  LICM_ASSIGN_OR_RETURN(Relation l, Evaluate(*node.left, db, EvalEngine::kRow));
+  LICM_ASSIGN_OR_RETURN(Relation r, Evaluate(*node.right, db, EvalEngine::kRow));
   if (!(l.schema() == r.schema())) {
     return Status::InvalidArgument("intersect schema mismatch: " +
                                    l.schema().ToString() + " vs " +
@@ -103,8 +105,8 @@ Result<Relation> EvalIntersect(const QueryNode& node, const Database& db) {
 }
 
 Result<Relation> EvalProduct(const QueryNode& node, const Database& db) {
-  LICM_ASSIGN_OR_RETURN(Relation l, Evaluate(*node.left, db));
-  LICM_ASSIGN_OR_RETURN(Relation r, Evaluate(*node.right, db));
+  LICM_ASSIGN_OR_RETURN(Relation l, Evaluate(*node.left, db, EvalEngine::kRow));
+  LICM_ASSIGN_OR_RETURN(Relation r, Evaluate(*node.right, db, EvalEngine::kRow));
   Relation out(ProductSchema(l.schema(), r.schema()));
   for (const Tuple& lt : l.rows()) {
     for (const Tuple& rt : r.rows()) {
@@ -117,8 +119,8 @@ Result<Relation> EvalProduct(const QueryNode& node, const Database& db) {
 }
 
 Result<Relation> EvalJoin(const QueryNode& node, const Database& db) {
-  LICM_ASSIGN_OR_RETURN(Relation l, Evaluate(*node.left, db));
-  LICM_ASSIGN_OR_RETURN(Relation r, Evaluate(*node.right, db));
+  LICM_ASSIGN_OR_RETURN(Relation l, Evaluate(*node.left, db, EvalEngine::kRow));
+  LICM_ASSIGN_OR_RETURN(Relation r, Evaluate(*node.right, db, EvalEngine::kRow));
   if (node.join_on.empty()) {
     return Status::InvalidArgument("join requires at least one key pair");
   }
@@ -157,7 +159,7 @@ Result<Relation> EvalJoin(const QueryNode& node, const Database& db) {
 }
 
 Result<Relation> EvalSumPredicate(const QueryNode& node, const Database& db) {
-  LICM_ASSIGN_OR_RETURN(Relation in, Evaluate(*node.left, db));
+  LICM_ASSIGN_OR_RETURN(Relation in, Evaluate(*node.left, db, EvalEngine::kRow));
   LICM_ASSIGN_OR_RETURN(size_t gidx, in.schema().IndexOf(node.group_column));
   LICM_ASSIGN_OR_RETURN(size_t vidx, in.schema().IndexOf(node.sum_column));
   if (in.schema().column(vidx).type != ValueType::kInt) {
@@ -189,7 +191,7 @@ Result<Relation> EvalSumPredicate(const QueryNode& node, const Database& db) {
 
 Result<Relation> EvalCountPredicate(const QueryNode& node,
                                     const Database& db) {
-  LICM_ASSIGN_OR_RETURN(Relation in, Evaluate(*node.left, db));
+  LICM_ASSIGN_OR_RETURN(Relation in, Evaluate(*node.left, db, EvalEngine::kRow));
   LICM_ASSIGN_OR_RETURN(size_t gidx, in.schema().IndexOf(node.group_column));
   // Enforce set semantics before counting group members.
   in.Deduplicate();
@@ -211,7 +213,9 @@ Result<Relation> EvalCountPredicate(const QueryNode& node,
 
 }  // namespace
 
-Result<Relation> Evaluate(const QueryNode& node, const Database& db) {
+Result<Relation> Evaluate(const QueryNode& node, const Database& db,
+                          EvalEngine engine) {
+  if (engine == EvalEngine::kColumnar) return EvaluateColumnar(node, db);
   switch (node.kind) {
     case QueryKind::kScan: {
       LICM_ASSIGN_OR_RETURN(const Relation* r, db.Get(node.relation_name));
@@ -236,12 +240,16 @@ Result<Relation> Evaluate(const QueryNode& node, const Database& db) {
   return Status::Internal("unknown query kind");
 }
 
-Result<double> EvaluateAggregate(const QueryNode& node, const Database& db) {
+Result<double> EvaluateAggregate(const QueryNode& node, const Database& db,
+                                 EvalEngine engine) {
+  if (engine == EvalEngine::kColumnar) {
+    return EvaluateAggregateColumnar(node, db);
+  }
   if (!IsAggregate(node)) {
     return Status::InvalidArgument("EvaluateAggregate requires kCountStar "
                                    "or kSum at the root");
   }
-  LICM_ASSIGN_OR_RETURN(Relation in, Evaluate(*node.left, db));
+  LICM_ASSIGN_OR_RETURN(Relation in, Evaluate(*node.left, db, EvalEngine::kRow));
   in.Deduplicate();
   if (node.kind == QueryKind::kCountStar) {
     return static_cast<double>(in.size());

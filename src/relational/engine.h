@@ -30,11 +30,26 @@ class Database {
   std::unordered_map<std::string, Relation> map_;
 };
 
-/// Evaluates a non-aggregate query tree to a relation.
-Result<Relation> Evaluate(const QueryNode& node, const Database& db);
+/// Which physical evaluator executes the query tree. Both produce
+/// bit-identical relations (same rows, same order); kColumnar is the
+/// production engine, kRow the reference the differential tests compare
+/// against.
+enum class EvalEngine { kColumnar, kRow };
 
-/// Evaluates a tree rooted at a kCountStar / kSum aggregate to a scalar.
-Result<double> EvaluateAggregate(const QueryNode& node, const Database& db);
+/// Evaluates a non-aggregate query tree to a relation.
+Result<Relation> Evaluate(const QueryNode& node, const Database& db,
+                          EvalEngine engine = EvalEngine::kColumnar);
+
+/// Evaluates a tree rooted at a kCountStar / kSum / kMin / kMax aggregate
+/// to a scalar.
+Result<double> EvaluateAggregate(const QueryNode& node, const Database& db,
+                                 EvalEngine engine = EvalEngine::kColumnar);
+
+/// Columnar entry points (columnar_engine.cc); the wrappers above
+/// dispatch here by default.
+Result<Relation> EvaluateColumnar(const QueryNode& node, const Database& db);
+Result<double> EvaluateAggregateColumnar(const QueryNode& node,
+                                         const Database& db);
 
 /// Output schema of Product/Join column naming (exposed for the LICM
 /// evaluator, which must produce identical schemas).

@@ -32,6 +32,9 @@ class Relation {
   /// Appends without checking (hot paths that construct typed tuples).
   void AppendUnchecked(Tuple t) { rows_.push_back(std::move(t)); }
 
+  /// Pre-sizes the row vector ahead of a known-length append loop.
+  void Reserve(size_t rows) { rows_.reserve(rows); }
+
   /// Removes duplicate tuples (set semantics), preserving first occurrence
   /// order.
   void Deduplicate();

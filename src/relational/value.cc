@@ -62,17 +62,21 @@ size_t TupleHash::operator()(const Tuple& t) const {
   return h;
 }
 
-Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  index_.reserve(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    index_.emplace(columns_[i].name, i);  // keeps the first on duplicates
+  }
+}
 
 Result<size_t> Schema::IndexOf(const std::string& name) const {
-  for (size_t i = 0; i < columns_.size(); ++i) {
-    if (columns_[i].name == name) return i;
-  }
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
   return Status::NotFound("no column named '" + name + "' in " + ToString());
 }
 
 bool Schema::Has(const std::string& name) const {
-  return IndexOf(name).ok();
+  return index_.contains(name);
 }
 
 Status Schema::Check(const Tuple& t) const {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -58,7 +59,8 @@ class Schema {
   Schema() = default;
   explicit Schema(std::vector<Column> columns);
 
-  /// Index of `name`, or NotFound.
+  /// Index of `name`, or NotFound. O(1): served from a name→index map
+  /// built once at construction.
   Result<size_t> IndexOf(const std::string& name) const;
   bool Has(const std::string& name) const;
 
@@ -66,7 +68,11 @@ class Schema {
   const Column& column(size_t i) const { return columns_[i]; }
   const std::vector<Column>& columns() const { return columns_; }
 
-  bool operator==(const Schema&) const = default;
+  /// Schemas are equal iff their column lists are (the index map is
+  /// derived state).
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
 
   /// Type-checks a tuple against this schema.
   Status Check(const Tuple& t) const;
@@ -75,6 +81,10 @@ class Schema {
 
  private:
   std::vector<Column> columns_;
+  // First index per name; duplicate names (possible after product/join
+  // renaming collisions) resolve to the first match, like the old linear
+  // scan did.
+  std::unordered_map<std::string, size_t> index_;
 };
 
 }  // namespace licm::rel

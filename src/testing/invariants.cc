@@ -134,6 +134,16 @@ InvariantReport CheckOrder(const CaseContext& ctx) {
   return Pass(name);
 }
 
+InvariantReport CheckColumnar(const CaseContext& ctx) {
+  // The baseline runs the columnar batch pipeline (the default engine);
+  // this re-solve runs the row-at-a-time reference. Both must allocate the
+  // same lineage variables and emit the same constraints, so the final
+  // bounds are bit-identical — no tolerance.
+  AnswerOptions opt = BaselineOptions();
+  opt.engine = rel::EvalEngine::kRow;
+  return CompareWithBaseline("columnar", ctx, opt, "row engine");
+}
+
 InvariantReport CheckPrune(const CaseContext& ctx) {
   AnswerOptions opt = BaselineOptions();
   opt.bounds.prune = false;
@@ -513,6 +523,8 @@ const std::vector<Invariant>& AllInvariants() {
        CheckOracle},
       {"order", "MIN <= MAX and proved bounds envelope values and oracle",
        CheckOrder},
+      {"columnar", "bit-identical bounds from the columnar and row engines",
+       CheckColumnar},
       {"prune", "bit-identical bounds with pruning off", CheckPrune},
       {"presolve", "bit-identical bounds with presolve off", CheckPresolve},
       {"cache", "bit-identical bounds with the solve cache off", CheckCache},

@@ -92,6 +92,19 @@ TEST(Generator, ToTransItemFlattens) {
             d.price[static_cast<ItemId>(std::get<int64_t>(row[2]))]);
 }
 
+TEST(Generator, ToTransItemColumnarMatchesRowFlattening) {
+  TransactionDataset d = GenerateTransactions(SmallConfig());
+  const rel::Relation rows = d.ToTransItem();
+  const rel::ColumnTable cols = d.ToTransItemColumnar();
+  ASSERT_EQ(cols.num_rows(), rows.size());
+  // All-int schema, so no dictionary is needed for the round trip.
+  const rel::Relation back = cols.ToRows(nullptr);
+  ASSERT_TRUE(back.schema() == rows.schema());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(back.rows()[i], rows.rows()[i]) << "row " << i;
+  }
+}
+
 TEST(Csv, RoundTripsDataset) {
   GeneratorConfig c = SmallConfig();
   c.num_transactions = 100;
