@@ -1,5 +1,7 @@
 #include "harness.h"
 
+#include <sys/resource.h>
+
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -8,6 +10,7 @@
 #include <functional>
 #include <thread>
 
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/telemetry.h"
 #include "common/trace_export.h"
@@ -327,6 +330,14 @@ std::string JsonRecord::ToJson() const {
   return out;
 }
 
+int64_t PeakRssKb() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is kilobytes on Linux (kernel >= 2.6.32; this repo's
+  // platforms).
+  return static_cast<int64_t>(usage.ru_maxrss);
+}
+
 Status WriteBenchJson(const std::string& path,
                       const std::vector<JsonRecord>& records) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -335,13 +346,27 @@ Status WriteBenchJson(const std::string& path,
   }
   // Provenance prefix spliced into every row: one touch point covers all
   // bench binaries, and per-row stamping keeps rows self-describing when
-  // files are concatenated across runs.
-  char provenance[160];
+  // files are concatenated across runs. Peak RSS and the registry totals
+  // are process-lifetime values at write time — identical across the rows
+  // of one file, comparable across files of one trajectory.
+  auto& reg = metrics::MetricsRegistry::Default();
+  char provenance[512];
   std::snprintf(provenance, sizeof(provenance),
                 "{\"git_sha\":\"%s\",\"build_type\":\"%s\","
-                "\"hardware_concurrency\":%u,",
+                "\"hardware_concurrency\":%u,\"max_rss_kb\":%lld,"
+                "\"m_solver_nodes\":%lld,\"m_rows_scanned\":%lld,"
+                "\"m_constraints_emitted\":%lld,\"m_arena_bytes\":%lld,",
                 BuildGitSha(), BuildTypeName(),
-                std::thread::hardware_concurrency());
+                std::thread::hardware_concurrency(),
+                static_cast<long long>(PeakRssKb()),
+                static_cast<long long>(
+                    reg.CounterTotal("licm_solver_nodes_total")),
+                static_cast<long long>(
+                    reg.CounterTotal("licm_query_rows_scanned_total")),
+                static_cast<long long>(
+                    reg.CounterTotal("licm_query_constraints_emitted_total")),
+                static_cast<long long>(
+                    reg.CounterTotal("licm_query_arena_bytes_total")));
   std::fputs("[\n", f);
   for (size_t i = 0; i < records.size(); ++i) {
     const std::string row = records[i].ToJson();

@@ -157,10 +157,17 @@ class JsonRecord {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
+/// Peak resident set size of this process in kilobytes, via
+/// getrusage(RUSAGE_SELF). Monotone over the process lifetime.
+int64_t PeakRssKb();
+
 /// Writes `records` to `path` as a JSON array (one object per line).
 /// Every record is prefixed with provenance fields — git_sha, build_type,
-/// hardware_concurrency — so BENCH_*.json trajectories stay comparable
-/// across commits and machines.
+/// hardware_concurrency, max_rss_kb, and the process metrics-registry
+/// totals (solver nodes / rows scanned / constraints emitted / arena
+/// bytes at write time) — so BENCH_*.json trajectories stay comparable
+/// across commits and machines, and memory/work regressions are visible
+/// alongside wall times.
 Status WriteBenchJson(const std::string& path,
                       const std::vector<JsonRecord>& records);
 

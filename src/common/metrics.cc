@@ -1,0 +1,362 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "common/status.h"
+
+namespace licm::metrics {
+
+namespace detail {
+
+int AssignShard() {
+  static std::atomic<unsigned> next{0};
+  return static_cast<int>(next.fetch_add(1, std::memory_order_relaxed) %
+                          kShards);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Histogram bucketing
+
+int Histogram::BucketIndex(double v) {
+  // NaN, negatives, zero, and sub-resolution values land in underflow.
+  if (!(v >= std::ldexp(1.0, kFirstExp - 1))) return 0;
+  if (v >= std::ldexp(1.0, kLastExp)) return kBuckets - 1;
+  int exp = 0;
+  const double frac = std::frexp(v, &exp);  // frac in [0.5, 1)
+  const int octave = exp - kFirstExp;
+  int sub = static_cast<int>((frac - 0.5) * 2.0 * kSubBuckets);
+  if (sub < 0) sub = 0;
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return 1 + octave * kSubBuckets + sub;
+}
+
+double Histogram::BucketLowerBound(int idx) {
+  if (idx <= 0) return 0.0;
+  if (idx >= kBuckets - 1) return std::ldexp(1.0, kLastExp);
+  const int octave = (idx - 1) / kSubBuckets;
+  const int sub = (idx - 1) % kSubBuckets;
+  // Octave `o` spans [2^(kFirstExp-1+o), 2^(kFirstExp+o)), split linearly.
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets,
+                    kFirstExp - 1 + octave);
+}
+
+double Histogram::BucketUpperBound(int idx) {
+  if (idx >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return BucketLowerBound(idx + 1);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kBuckets, 0);
+  for (const Shard& s : shards_) {
+    for (int b = 0; b < kBuckets; ++b) {
+      snap.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  for (int64_t c : snap.buckets) snap.count += c;
+  return snap;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count <= 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Exact-count rank walk: the q-quantile is the value at rank
+  // q*(count-1) of the sorted observations; the landing bucket is known
+  // exactly, the position inside it is interpolated linearly.
+  const double rank = q * static_cast<double>(count - 1);
+  int64_t before = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    if (static_cast<double>(before + buckets[b]) > rank) {
+      const double lo = Histogram::BucketLowerBound(static_cast<int>(b));
+      double hi = Histogram::BucketUpperBound(static_cast<int>(b));
+      if (!std::isfinite(hi)) return lo;  // overflow bucket: clamp
+      const double inside =
+          (rank - static_cast<double>(before) + 0.5) /
+          static_cast<double>(buckets[b]);
+      return lo + inside * (hi - lo);
+    }
+    before += buckets[b];
+  }
+  return Max();
+}
+
+double HistogramSnapshot::Min() const {
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] > 0) return Histogram::BucketLowerBound(static_cast<int>(b));
+  }
+  return 0.0;
+}
+
+double HistogramSnapshot::Max() const {
+  for (size_t b = buckets.size(); b-- > 0;) {
+    if (buckets[b] > 0) {
+      const double hi = Histogram::BucketUpperBound(static_cast<int>(b));
+      return std::isfinite(hi) ? hi
+                               : Histogram::BucketLowerBound(static_cast<int>(b));
+    }
+  }
+  return 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+namespace {
+
+Labels SortedLabels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+// {k="v",...} for Prometheus; empty string when unlabeled.
+std::string PromLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    AppendEscaped(&out, labels[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Same, but with an extra label spliced in (for histogram `le`).
+std::string PromLabelsWith(const Labels& labels, const char* key,
+                           const std::string& value) {
+  std::string out = "{";
+  for (const auto& [k, v] : labels) {
+    out += k;
+    out += "=\"";
+    AppendEscaped(&out, v);
+    out += "\",";
+  }
+  out += key;
+  out += "=\"";
+  out += value;
+  out += "\"}";
+  return out;
+}
+
+std::string JsonLabels(const Labels& labels) {
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ",";
+    out += "\"";
+    AppendEscaped(&out, labels[i].first);
+    out += "\":\"";
+    AppendEscaped(&out, labels[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string Num(double v) {
+  if (std::isnan(v)) return "null";
+  if (std::isinf(v)) return v > 0 ? "\"+Inf\"" : "\"-Inf\"";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Default() {
+  // Leaked (like telemetry's Registry): detached worker threads may
+  // still bump counters while static destructors run.
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+size_t* MetricsRegistry::FindOrCreate(const std::string& name,
+                                      const Labels& labels, Type type) {
+  // Returns the slot for an existing series, or nullptr when a new series
+  // was appended (with a placeholder index the caller must fill in after
+  // allocating storage). Caller holds mu_.
+  Family& fam = families_[name];
+  if (fam.series.empty()) {
+    fam.type = type;
+  } else {
+    LICM_CHECK(fam.type == type);  // one type per metric name
+  }
+  for (auto& [ls, idx] : fam.series) {
+    if (ls == labels) return &idx;
+  }
+  fam.series.emplace_back(labels, 0);
+  return nullptr;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t* slot = FindOrCreate(name, SortedLabels(labels), Type::kCounter);
+  if (slot != nullptr) return &counters_[*slot];
+  counters_.emplace_back();
+  families_[name].series.back().second = counters_.size() - 1;
+  return &counters_.back();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t* slot = FindOrCreate(name, SortedLabels(labels), Type::kGauge);
+  if (slot != nullptr) return &gauges_[*slot];
+  gauges_.emplace_back();
+  families_[name].series.back().second = gauges_.size() - 1;
+  return &gauges_.back();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t* slot = FindOrCreate(name, SortedLabels(labels), Type::kHistogram);
+  if (slot != nullptr) return &histograms_[*slot];
+  histograms_.emplace_back();
+  families_[name].series.back().second = histograms_.size() - 1;
+  return &histograms_.back();
+}
+
+int64_t MetricsRegistry::CounterTotal(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end() || it->second.type != Type::kCounter) return 0;
+  int64_t total = 0;
+  for (const auto& [labels, idx] : it->second.series) {
+    total += counters_[idx].Value();
+  }
+  return total;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, fam] : families_) {
+    switch (fam.type) {
+      case Type::kCounter: {
+        out += "# TYPE " + name + " counter\n";
+        for (const auto& [labels, idx] : fam.series) {
+          out += name + PromLabels(labels) + " " +
+                 std::to_string(counters_[idx].Value()) + "\n";
+        }
+        break;
+      }
+      case Type::kGauge: {
+        out += "# TYPE " + name + " gauge\n";
+        for (const auto& [labels, idx] : fam.series) {
+          out += name + PromLabels(labels) + " " +
+                 Num(gauges_[idx].Value()) + "\n";
+        }
+        break;
+      }
+      case Type::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        for (const auto& [labels, idx] : fam.series) {
+          const HistogramSnapshot snap = histograms_[idx].Snapshot();
+          int64_t cum = 0;
+          for (size_t b = 0; b < snap.buckets.size(); ++b) {
+            if (snap.buckets[b] == 0) continue;
+            cum += snap.buckets[b];
+            const double hi =
+                Histogram::BucketUpperBound(static_cast<int>(b));
+            if (!std::isfinite(hi)) continue;  // folded into +Inf below
+            char le[64];
+            std::snprintf(le, sizeof(le), "%.9g", hi);
+            out += name + "_bucket" + PromLabelsWith(labels, "le", le) +
+                   " " + std::to_string(cum) + "\n";
+          }
+          out += name + "_bucket" + PromLabelsWith(labels, "le", "+Inf") +
+                 " " + std::to_string(snap.count) + "\n";
+          out += name + "_sum" + PromLabels(labels) + " " + Num(snap.sum) +
+                 "\n";
+          out += name + "_count" + PromLabels(labels) + " " +
+                 std::to_string(snap.count) + "\n";
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string counters = "[";
+  std::string gauges = "[";
+  std::string histograms = "[";
+  bool c0 = true, g0 = true, h0 = true;
+  for (const auto& [name, fam] : families_) {
+    for (const auto& [labels, idx] : fam.series) {
+      switch (fam.type) {
+        case Type::kCounter:
+          if (!c0) counters += ",";
+          c0 = false;
+          counters += "{\"name\":\"";
+          AppendEscaped(&counters, name);
+          counters += "\",\"labels\":" + JsonLabels(labels) +
+                      ",\"value\":" + std::to_string(counters_[idx].Value()) +
+                      "}";
+          break;
+        case Type::kGauge:
+          if (!g0) gauges += ",";
+          g0 = false;
+          gauges += "{\"name\":\"";
+          AppendEscaped(&gauges, name);
+          gauges += "\",\"labels\":" + JsonLabels(labels) +
+                    ",\"value\":" + Num(gauges_[idx].Value()) + "}";
+          break;
+        case Type::kHistogram: {
+          const HistogramSnapshot snap = histograms_[idx].Snapshot();
+          if (!h0) histograms += ",";
+          h0 = false;
+          histograms += "{\"name\":\"";
+          AppendEscaped(&histograms, name);
+          histograms += "\",\"labels\":" + JsonLabels(labels) +
+                        ",\"count\":" + std::to_string(snap.count) +
+                        ",\"sum\":" + Num(snap.sum) +
+                        ",\"mean\":" + Num(snap.Mean()) +
+                        ",\"p50\":" + Num(snap.Quantile(0.50)) +
+                        ",\"p90\":" + Num(snap.Quantile(0.90)) +
+                        ",\"p99\":" + Num(snap.Quantile(0.99)) +
+                        ",\"p999\":" + Num(snap.Quantile(0.999)) +
+                        ",\"max\":" + Num(snap.Max()) + "}";
+          break;
+        }
+      }
+    }
+  }
+  return "{\"counters\":" + counters + "],\"gauges\":" + gauges +
+         "],\"histograms\":" + histograms + "]}";
+}
+
+}  // namespace licm::metrics

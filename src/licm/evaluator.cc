@@ -1,11 +1,33 @@
 #include "licm/evaluator.h"
 
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/telemetry.h"
 #include "licm/columnar_ops.h"
 #include "licm/ops.h"
 
 namespace licm {
+
+namespace {
+
+// Batch-path totals, flushed once per aggregate answer (DESIGN.md §12):
+// base-relation rows fed into the operator pipeline, lineage constraints
+// the evaluation appended, and arena bytes the batch views consumed.
+void RecordQueryMetrics(const char* engine, size_t rows_scanned,
+                        size_t constraints_emitted, size_t arena_bytes) {
+  auto& reg = metrics::MetricsRegistry::Default();
+  const metrics::Labels labels{{"engine", engine}};
+  reg.GetCounter("licm_query_rows_scanned_total", labels)
+      ->Increment(static_cast<int64_t>(rows_scanned));
+  reg.GetCounter("licm_query_constraints_emitted_total", labels)
+      ->Increment(static_cast<int64_t>(constraints_emitted));
+  if (arena_bytes > 0) {
+    reg.GetCounter("licm_query_arena_bytes_total", labels)
+        ->Increment(static_cast<int64_t>(arena_bytes));
+  }
+}
+
+}  // namespace
 
 Result<LicmRelation> EvaluateLicm(const rel::QueryNode& node,
                                   LicmDatabase* db) {
@@ -72,6 +94,7 @@ Result<AggregateAnswer> AnswerAggregateColumnar(const rel::QueryNode& query,
                                                 const AnswerOptions& options) {
   AggregateAnswer out;
   StopWatch watch;
+  const size_t cons_before = db.constraints().size();
 
   telemetry::ScopedSpan eval_span("licm", "query_eval");
   ColumnarLicmContext ctx(OpContext{&db.pool(), &db.constraints()});
@@ -80,6 +103,11 @@ Result<AggregateAnswer> AnswerAggregateColumnar(const rel::QueryNode& query,
   // Aggregates count each distinct tuple once per world.
   LICM_ASSIGN_OR_RETURN(result, MergeDuplicatesBatch(result, &ctx));
   eval_span.End();
+  size_t rows_scanned = 0;
+  for (const auto& t : ctx.base_tables) rows_scanned += t->num_rows();
+  RecordQueryMetrics("columnar", rows_scanned,
+                     db.constraints().size() - cons_before,
+                     ctx.arena.bytes_allocated());
   telemetry::ScopedSpan solve_span("licm", "solve");
 
   if (query.kind == rel::QueryKind::kMin ||
@@ -171,6 +199,7 @@ Result<AggregateAnswer> AnswerAggregate(const rel::QueryNode& query,
   }
   AggregateAnswer out;
   StopWatch watch;
+  const size_t cons_before = db.constraints().size();
 
   telemetry::ScopedSpan eval_span("licm", "query_eval");
   LICM_ASSIGN_OR_RETURN(LicmRelation result, EvaluateLicm(*query.left, &db));
@@ -178,6 +207,8 @@ Result<AggregateAnswer> AnswerAggregate(const rel::QueryNode& query,
   OpContext ctx{&db.pool(), &db.constraints()};
   LICM_ASSIGN_OR_RETURN(result, MergeDuplicates(result, ctx));
   eval_span.End();
+  // The row path has no batch arena and does not track base-scan rows.
+  RecordQueryMetrics("row", 0, db.constraints().size() - cons_before, 0);
   telemetry::ScopedSpan solve_span("licm", "solve");
 
   if (query.kind == rel::QueryKind::kMin ||

@@ -9,9 +9,26 @@
 #include <memory>
 #include <numeric>
 
+#include "common/metrics.h"
 #include "relational/columnar_engine.h"
 
 namespace licm::rel {
+
+namespace {
+
+// Deterministic batch-engine totals, flushed once per evaluated query:
+// base rows through the operator pipeline and arena bytes consumed.
+void RecordBatchMetrics(size_t rows_scanned, size_t arena_bytes) {
+  auto& reg = licm::metrics::MetricsRegistry::Default();
+  static licm::metrics::Counter* rows = reg.GetCounter(
+      "licm_query_rows_scanned_total", {{"engine", "deterministic"}});
+  static licm::metrics::Counter* bytes = reg.GetCounter(
+      "licm_query_arena_bytes_total", {{"engine", "deterministic"}});
+  rows->Increment(static_cast<int64_t>(rows_scanned));
+  bytes->Increment(static_cast<int64_t>(arena_bytes));
+}
+
+}  // namespace
 
 Status AndPredicateBits(const BatchView& in, size_t column_index,
                         const Predicate& pred, const StringDictionary& dict,
@@ -367,8 +384,24 @@ Result<BatchView> EvalNode(const QueryNode& node, Ctx* ctx) {
 
 }  // namespace
 
+namespace {
+
+// Flushes the per-query totals when the evaluation scope unwinds, so
+// every exit path (including error statuses) is counted once.
+struct BatchMetricsScope {
+  const Ctx& ctx;
+  ~BatchMetricsScope() {
+    size_t rows = 0;
+    for (const auto& t : ctx.base_tables) rows += t->num_rows();
+    RecordBatchMetrics(rows, ctx.arena.bytes_allocated());
+  }
+};
+
+}  // namespace
+
 Result<Relation> EvaluateColumnar(const QueryNode& node, const Database& db) {
   Ctx ctx{db};
+  BatchMetricsScope metrics_scope{ctx};
   LICM_ASSIGN_OR_RETURN(BatchView out, EvalNode(node, &ctx));
   return BatchToRelation(out, ctx.dict, &ctx.arena);
 }
@@ -380,6 +413,7 @@ Result<double> EvaluateAggregateColumnar(const QueryNode& node,
                                    "or kSum at the root");
   }
   Ctx ctx{db};
+  BatchMetricsScope metrics_scope{ctx};
   LICM_ASSIGN_OR_RETURN(BatchView in, EvalNode(*node.left, &ctx));
   DeduplicateBatch(&in, &ctx.arena);
   if (node.kind == QueryKind::kCountStar) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/metrics.h"
 #include "common/version.h"
 #include "service/json.h"
 
@@ -136,7 +137,53 @@ std::string RenderStats(int64_t id, const ServiceStats& s) {
                              static_cast<double>(lookups)
                        : 0.0)
       .Num("cpu_s", s.solve.cpu_seconds)
+      .Int("slow_queries", s.slow_queries)
+      .Num("uptime_s", s.uptime_s)
+      .Int("snapshot_seq", s.snapshot_seq)
       .Done();
+}
+
+std::string RenderMetrics(int64_t id) {
+  // The registry renders a self-contained JSON object; splice it in like
+  // RenderInstances splices its array.
+  std::string line = Begin(id, true).Done();
+  line.pop_back();  // drop '}'
+  line += ",\"metrics\":" +
+          metrics::MetricsRegistry::Default().RenderJson() + "}";
+  return line;
+}
+
+std::string RenderSlowLog(int64_t id,
+                          const std::vector<SlowQueryRecord>& records) {
+  std::string arr = "[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SlowQueryRecord& r = records[i];
+    if (i > 0) arr += ",";
+    LineWriter w;
+    w.Int("seq", r.seq)
+        .Num("ts_s", r.ts_s)
+        .Str("instance", r.instance)
+        .Str("query", r.query)
+        .Bool("degraded", r.degraded)
+        .Num("slo_ms", r.slo_ms)
+        .Num("queue_ms", r.queue_ms)
+        .Num("solve_ms", r.solve_ms)
+        .Num("sample_ms", r.sample_ms)
+        .Num("total_ms", r.total_ms)
+        .Num("min", r.min)
+        .Num("max", r.max)
+        .Int("nodes", r.stats.nodes)
+        .Int("lp_solves", r.stats.lp_solves)
+        .Int("lp_pivots", r.stats.lp_pivots)
+        .Int("cache_hits", r.stats.cache_hits)
+        .Int("cache_misses", r.stats.cache_misses);
+    arr += w.Done();
+  }
+  arr += "]";
+  std::string line = Begin(id, true).Done();
+  line.pop_back();  // drop '}'
+  line += ",\"slowlog\":" + arr + "}";
+  return line;
 }
 
 std::string RenderPong(int64_t id) {

@@ -4,8 +4,8 @@
 // either a TCP connection or the stdin/stdout batch mode — the framing is
 // identical. Grammar (all fields but `op` optional):
 //
-//   request  := { "op": "query" | "ping" | "stats" | "instances"
-//                        | "shutdown",
+//   request  := { "op": "query" | "ping" | "stats" | "metrics"
+//                        | "slowlog" | "instances" | "shutdown",
 //                 "id": number,            // echoed verbatim in the reply
 //                 "instance": string,      // query: registered instance
 //                 "qnum": 1 | 2 | 3,       // query: paper query number
@@ -50,6 +50,13 @@ Result<WireRequest> ParseRequestLine(const std::string& line);
 std::string RenderError(int64_t id, const Status& status);
 std::string RenderQueryResponse(int64_t id, const QueryResponse& response);
 std::string RenderStats(int64_t id, const ServiceStats& stats);
+/// Full metrics-registry dump: {"id":...,"ok":true,"metrics":{...}} with
+/// the registry's counters/gauges/histograms JSON (p50/p90/p99/p999 per
+/// histogram). Supersedes `stats` for pollers that want distributions.
+std::string RenderMetrics(int64_t id);
+/// Slow-query ring, newest first (see ServiceConfig::slo_ms).
+std::string RenderSlowLog(int64_t id,
+                          const std::vector<SlowQueryRecord>& records);
 std::string RenderPong(int64_t id);
 std::string RenderInstances(int64_t id,
                             const std::vector<std::string>& names);

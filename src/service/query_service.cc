@@ -2,12 +2,80 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
 #include "relational/engine.h"
 #include "sampler/monte_carlo.h"
 
 namespace licm::service {
+
+namespace {
+
+// Cached series pointers for the request lifecycle (registration is
+// mutex-guarded; updates after that are lock-free relaxed adds).
+struct ServiceMetrics {
+  metrics::Counter* admitted;
+  metrics::Counter* rejected_overload;
+  metrics::Counter* failed;
+  metrics::Counter* completed;
+  metrics::Counter* degraded;
+  metrics::Counter* deadline_expired;
+  metrics::Counter* slow_queries;
+  metrics::Gauge* queue_depth;
+  metrics::Gauge* inflight;
+  metrics::Gauge* instances;
+  metrics::Histogram* queue_ms;
+  metrics::Histogram* solve_ms;
+  metrics::Histogram* sample_ms;
+  metrics::Histogram* total_ms;
+
+  static const ServiceMetrics& Get() {
+    static const ServiceMetrics m;
+    return m;
+  }
+
+ private:
+  ServiceMetrics() {
+    auto& reg = metrics::MetricsRegistry::Default();
+    admitted = reg.GetCounter("licm_requests_total");
+    rejected_overload = reg.GetCounter("licm_requests_rejected_total",
+                                       {{"reason", "overload"}});
+    failed = reg.GetCounter("licm_requests_failed_total");
+    completed = reg.GetCounter("licm_requests_completed_total");
+    degraded = reg.GetCounter("licm_requests_degraded_total");
+    deadline_expired = reg.GetCounter("licm_deadline_expired_total");
+    slow_queries = reg.GetCounter("licm_slow_queries_total");
+    queue_depth = reg.GetGauge("licm_queue_depth");
+    inflight = reg.GetGauge("licm_inflight");
+    instances = reg.GetGauge("licm_instances");
+    queue_ms = reg.GetHistogram("licm_request_queue_ms");
+    solve_ms = reg.GetHistogram("licm_request_solve_ms");
+    sample_ms = reg.GetHistogram("licm_request_sample_ms");
+    total_ms = reg.GetHistogram("licm_request_total_ms");
+  }
+};
+
+// Short root-aggregate description for slow-query records and the
+// per-query metric label ("COUNT(*)", "SUM(price)", ...). The label
+// cardinality stays bounded by the schema's aggregate columns, which the
+// service owner controls (DESIGN.md §12).
+std::string QueryAggLabel(const rel::QueryNode& query) {
+  switch (query.kind) {
+    case rel::QueryKind::kCountStar:
+      return "COUNT(*)";
+    case rel::QueryKind::kSum:
+      return "SUM(" + query.sum_column + ")";
+    case rel::QueryKind::kMin:
+      return "MIN(" + query.sum_column + ")";
+    case rel::QueryKind::kMax:
+      return "MAX(" + query.sum_column + ")";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
 
 QueryService::QueryService(ServiceConfig config)
     : config_([&] {
@@ -59,6 +127,7 @@ Status QueryService::AddInstance(
     return Status::AlreadyExists("instance '" + it->first +
                                  "' already registered");
   }
+  ServiceMetrics::Get().instances->Set(static_cast<double>(instances_.size()));
   return Status::OK();
 }
 
@@ -98,6 +167,7 @@ Result<QueryResponse> QueryService::Execute(const QueryRequest& request) {
   }
   if (queue_.size() >= config_.max_queue) {
     ++rejected_overload_;
+    ServiceMetrics::Get().rejected_overload->Increment();
     telemetry::Instant("service", "overloaded",
                        {{"queue_depth", static_cast<double>(queue_.size())}});
     return Status::Overloaded(
@@ -106,6 +176,8 @@ Result<QueryResponse> QueryService::Execute(const QueryRequest& request) {
   }
   ++admitted_;
   queue_.push_back(pending);
+  ServiceMetrics::Get().admitted->Increment();
+  ServiceMetrics::Get().queue_depth->Set(static_cast<double>(queue_.size()));
   telemetry::Instant("service", "enqueue",
                      {{"queue_depth", static_cast<double>(queue_.size())}});
   work_cv_.notify_one();
@@ -129,6 +201,9 @@ void QueryService::WorkerLoop() {
       queue_ms = static_cast<double>(telemetry::NowNs() -
                                      pending->enqueue_ns) /
                  1e6;
+      ServiceMetrics::Get().queue_depth->Set(
+          static_cast<double>(queue_.size()));
+      ServiceMetrics::Get().inflight->Set(static_cast<double>(inflight_));
     }
     telemetry::Instant("service", "admit", {{"queue_ms", queue_ms}});
     if (hook) hook();
@@ -137,12 +212,58 @@ void QueryService::WorkerLoop() {
         Process(*pending->request, pending->deadline, queue_ms);
 
     telemetry::ScopedSpan respond_span("service", "respond");
+    const ServiceMetrics& m = ServiceMetrics::Get();
+    m.queue_ms->Observe(queue_ms);
+    if (outcome.ok()) {
+      m.completed->Increment();
+      if (outcome->degraded) m.degraded->Increment();
+      if (pending->deadline.Expired()) m.deadline_expired->Increment();
+      m.solve_ms->Observe(outcome->solve_ms);
+      m.sample_ms->Observe(outcome->sample_ms);
+      m.total_ms->Observe(outcome->total_ms);
+      // Per-instance latency series: registry lookup (mutex + label
+      // match), acceptable at request granularity.
+      metrics::MetricsRegistry::Default()
+          .GetHistogram("licm_instance_request_total_ms",
+                        {{"instance", pending->request->instance}})
+          ->Observe(outcome->total_ms);
+    } else {
+      m.failed->Increment();
+    }
+
     std::lock_guard<std::mutex> lock(mu_);
     --inflight_;
+    m.inflight->Set(static_cast<double>(inflight_));
     if (outcome.ok()) {
       ++completed_;
       if (outcome->degraded) ++degraded_;
       solve_stats_.MergeFrom(outcome->stats);
+      // SLO check: flush the request's phase breakdown into the bounded
+      // slow-query ring (slo_ms < 0 disables, 0 captures everything).
+      if (config_.slo_ms >= 0.0 && outcome->total_ms > config_.slo_ms &&
+          config_.slowlog_capacity > 0) {
+        SlowQueryRecord rec;
+        rec.seq = slow_captured_++;
+        rec.ts_s = uptime_watch_.ElapsedMs() / 1e3;
+        rec.instance = pending->request->instance;
+        rec.query = QueryAggLabel(*pending->request->query);
+        rec.degraded = outcome->degraded;
+        rec.slo_ms = config_.slo_ms;
+        rec.queue_ms = outcome->queue_ms;
+        rec.solve_ms = outcome->solve_ms;
+        rec.sample_ms = outcome->sample_ms;
+        rec.total_ms = outcome->total_ms;
+        rec.min = outcome->min;
+        rec.max = outcome->max;
+        rec.stats = outcome->stats;
+        slowlog_.push_back(std::move(rec));
+        while (slowlog_.size() > config_.slowlog_capacity) {
+          slowlog_.pop_front();
+        }
+        m.slow_queries->Increment();
+        telemetry::Instant("service", "slow_query",
+                           {{"total_ms", outcome->total_ms}});
+      }
     } else {
       ++failed_;
     }
@@ -275,9 +396,17 @@ ServiceStats QueryService::Stats() const {
   s.queue_depth = queue_.size();
   s.inflight = inflight_;
   s.instances = instances_.size();
+  s.slow_queries = slow_captured_;
+  s.uptime_s = uptime_watch_.ElapsedMs() / 1e3;
+  s.snapshot_seq = ++snapshot_seq_;
   s.solve = solve_stats_;
   s.cache = cache_.Snapshot();
   return s;
+}
+
+std::vector<SlowQueryRecord> QueryService::SlowLog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowQueryRecord>(slowlog_.rbegin(), slowlog_.rend());
 }
 
 }  // namespace licm::service

@@ -43,6 +43,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "licm/evaluator.h"
 #include "licm/licm_relation.h"
 #include "relational/query.h"
@@ -70,6 +71,12 @@ struct ServiceConfig {
   int solver_threads = 0;
   /// Capacity of the shared isomorphic-component solve cache.
   size_t cache_capacity = solver::ComponentCache::kDefaultCapacity;
+  /// Latency SLO: a completed request whose total_ms exceeds this is
+  /// captured into the slow-query ring (phase breakdown + solver stats).
+  /// 0 captures every request; negative disables capture.
+  double slo_ms = 1000.0;
+  /// Bound on the slow-query ring; the oldest record is evicted first.
+  size_t slowlog_capacity = 64;
 };
 
 struct QueryRequest {
@@ -114,6 +121,30 @@ struct QueryResponse {
   solver::MipStats stats;
 };
 
+/// One SLO-violating request, captured at completion into a bounded ring
+/// (ServiceConfig::slo_ms / slowlog_capacity) and served by the `slowlog`
+/// verb. The phase breakdown is the request's own telemetry — queue wait,
+/// exact solve, degraded sampling — plus the solver counters of its solve.
+struct SlowQueryRecord {
+  /// Monotonic capture index (never reused; gaps mean evictions).
+  int64_t seq = 0;
+  /// Capture time in seconds since service start (compare to uptime_s).
+  double ts_s = 0.0;
+  std::string instance;
+  /// Root aggregate of the query, e.g. "COUNT(*)" or "SUM(price)".
+  std::string query;
+  bool degraded = false;
+  double slo_ms = 0.0;
+  double queue_ms = 0.0;
+  double solve_ms = 0.0;
+  double sample_ms = 0.0;
+  double total_ms = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Solver statistics of this request's solve.
+  solver::MipStats stats;
+};
+
 /// Aggregate service counters, snapshotted under the service lock.
 struct ServiceStats {
   int64_t admitted = 0;
@@ -123,9 +154,21 @@ struct ServiceStats {
   int64_t failed = 0;
   int64_t completed = 0;
   int64_t degraded = 0;
+  /// queue_depth and inflight are read under one lock acquisition, so a
+  /// snapshot is internally coherent (a request is in exactly one of the
+  /// two while the lock is held).
   size_t queue_depth = 0;
   int inflight = 0;
   size_t instances = 0;
+  /// Requests captured into the slow-query ring so far (not the ring's
+  /// current size — evictions do not decrement this).
+  int64_t slow_queries = 0;
+  /// Seconds since the service was constructed. A poller seeing this
+  /// decrease knows the service restarted.
+  double uptime_s = 0.0;
+  /// Strictly increasing per Stats() call; lets pollers order snapshots
+  /// and detect restarts even within one second of uptime.
+  int64_t snapshot_seq = 0;
   /// Merged solver stats over all completed requests.
   solver::MipStats solve;
   solver::ComponentCacheStats cache;
@@ -160,6 +203,9 @@ class QueryService {
   Result<QueryResponse> Execute(const QueryRequest& request);
 
   ServiceStats Stats() const;
+
+  /// Snapshot of the slow-query ring, newest first.
+  std::vector<SlowQueryRecord> SlowLog() const;
 
   const ServiceConfig& config() const { return config_; }
 
@@ -208,6 +254,11 @@ class QueryService {
   int64_t degraded_ = 0;
   solver::MipStats solve_stats_;
   std::function<void()> solve_hook_;
+  // SLO capture ring (guarded by mu_; only touched for slow requests).
+  std::deque<SlowQueryRecord> slowlog_;
+  int64_t slow_captured_ = 0;
+  mutable int64_t snapshot_seq_ = 0;
+  StopWatch uptime_watch_;
 };
 
 }  // namespace licm::service

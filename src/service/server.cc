@@ -20,6 +20,8 @@ std::string RequestRouter::Handle(const std::string& line, bool* shutdown) {
 
   if (req.op == "ping") return RenderPong(req.id);
   if (req.op == "stats") return RenderStats(req.id, service_->Stats());
+  if (req.op == "metrics") return RenderMetrics(req.id);
+  if (req.op == "slowlog") return RenderSlowLog(req.id, service_->SlowLog());
   if (req.op == "instances") {
     return RenderInstances(req.id, service_->InstanceNames());
   }
@@ -171,6 +173,86 @@ void TcpServer::HandleConnection(int fd) {
                     conn_fds_.end());
   }
   if (shutdown_requested) Stop();
+}
+
+MetricsHttpServer::~MetricsHttpServer() {
+  Stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Status MetricsHttpServer::Listen(const std::string& host, int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address '" + host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IOError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return Status::IOError(std::string("getsockname: ") +
+                               std::strerror(errno));
+  }
+  port_ = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+void MetricsHttpServer::Start() {
+  if (listen_fd_ < 0 || accept_thread_.joinable()) return;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+void MetricsHttpServer::Stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR) continue;
+      break;
+    }
+    // Drain one request chunk (the path is irrelevant — every GET serves
+    // the same exposition), answer, close. Scrapers reconnect per scrape.
+    char req[2048];
+    (void)::recv(fd, req, sizeof(req), 0);
+    const std::string body = render_();
+    std::string response =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+    size_t sent = 0;
+    while (sent < response.size()) {
+      const ssize_t w = ::send(fd, response.data() + sent,
+                               response.size() - sent, MSG_NOSIGNAL);
+      if (w <= 0) break;
+      sent += static_cast<size_t>(w);
+    }
+    ::close(fd);
+  }
 }
 
 }  // namespace licm::service

@@ -84,6 +84,38 @@ class TcpServer {
   std::vector<std::thread> conn_threads_;
 };
 
+/// Minimal HTTP/1.0 exposition endpoint for Prometheus scrapes: every
+/// request (any path) gets a 200 text/plain body from `render` and the
+/// connection is closed. One accept thread, one connection at a time —
+/// scrape traffic, not the data plane. Lifecycle mirrors TcpServer:
+///   MetricsHttpServer http([] { return registry.RenderPrometheus(); });
+///   LICM_RETURN_NOT_OK(http.Listen("127.0.0.1", 0));
+///   http.Start();   // background accept loop
+///   ...
+///   http.Stop();    // joins
+class MetricsHttpServer {
+ public:
+  explicit MetricsHttpServer(std::function<std::string()> render)
+      : render_(std::move(render)) {}
+  ~MetricsHttpServer();
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  Status Listen(const std::string& host, int port);
+  int port() const { return port_; }
+  void Start();
+  void Stop();
+
+ private:
+  void AcceptLoop();
+
+  std::function<std::string()> render_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+};
+
 }  // namespace licm::service
 
 #endif  // LICM_SERVICE_SERVER_H_

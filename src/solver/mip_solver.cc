@@ -1,5 +1,7 @@
 #include "solver/mip_solver.h"
 
+#include "common/metrics.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -1514,6 +1516,51 @@ void MipStats::MergeFrom(const MipStats& other) {
   cpu_seconds += other.cpu_seconds;
 }
 
+namespace {
+
+// Global solver counters, flushed once per top-level solve from the
+// solve's merged MipStats. The search hot path keeps updating the plain
+// stats struct; one batched Increment per metric here keeps the registry
+// off the per-node path entirely. Scrapers turn the monotonic totals
+// into rates (steal/donation pressure, cut/cache hit rates).
+void RecordSolveMetrics(const MipStats& s) {
+  auto& reg = metrics::MetricsRegistry::Default();
+  static metrics::Counter* solves =
+      reg.GetCounter("licm_solver_solves_total");
+  static metrics::Counter* nodes = reg.GetCounter("licm_solver_nodes_total");
+  static metrics::Counter* lp_solves =
+      reg.GetCounter("licm_solver_lp_solves_total");
+  static metrics::Counter* pivots =
+      reg.GetCounter("licm_solver_lp_pivots_total");
+  static metrics::Counter* rc_fixed =
+      reg.GetCounter("licm_solver_rc_fixed_vars_total");
+  static metrics::Counter* cuts_generated =
+      reg.GetCounter("licm_solver_cuts_generated_total");
+  static metrics::Counter* cut_hits =
+      reg.GetCounter("licm_solver_cut_hits_total");
+  static metrics::Counter* cache_hits =
+      reg.GetCounter("licm_solver_cache_hits_total");
+  static metrics::Counter* cache_misses =
+      reg.GetCounter("licm_solver_cache_misses_total");
+  static metrics::Counter* steals =
+      reg.GetCounter("licm_solver_subtree_steals_total");
+  static metrics::Counter* donations =
+      reg.GetCounter("licm_solver_subtree_donations_total");
+  solves->Increment();
+  nodes->Increment(static_cast<int64_t>(s.nodes));
+  lp_solves->Increment(static_cast<int64_t>(s.lp_solves));
+  pivots->Increment(static_cast<int64_t>(s.lp_pivots));
+  rc_fixed->Increment(static_cast<int64_t>(s.rc_fixed_vars));
+  cuts_generated->Increment(static_cast<int64_t>(s.cuts_generated));
+  cut_hits->Increment(static_cast<int64_t>(s.cuts_reused));
+  cache_hits->Increment(static_cast<int64_t>(s.cache_hits));
+  cache_misses->Increment(static_cast<int64_t>(s.cache_misses));
+  steals->Increment(static_cast<int64_t>(s.subtree_splits));
+  donations->Increment(static_cast<int64_t>(s.subtree_tasks));
+}
+
+}  // namespace
+
 MipResult MipSolver::Solve(const LinearProgram& input, Sense sense) const {
   StopWatch clock;
   LICM_TRACE_SPAN("solver", "mip_solve");
@@ -1551,6 +1598,7 @@ MipResult MipSolver::Solve(const LinearProgram& input, Sense sense) const {
     result.status = SolveStatus::kInfeasible;
     result.stats = stats;
     result.stats.solve_seconds = clock.ElapsedSeconds();
+    RecordSolveMetrics(result.stats);
     return result;
   }
 
@@ -1563,6 +1611,7 @@ MipResult MipSolver::Solve(const LinearProgram& input, Sense sense) const {
                               p.work->objective_constant(), minimize);
   result.stats = stats;
   result.stats.solve_seconds = clock.ElapsedSeconds();
+  RecordSolveMetrics(result.stats);
   return result;
 }
 
@@ -1596,6 +1645,7 @@ MinMaxMipResult MipSolver::SolveMinMax(const LinearProgram& input) const {
   if (p.infeasible) {
     out.min.status = out.max.status = SolveStatus::kInfeasible;
     out.stats.solve_seconds = clock.ElapsedSeconds();
+    RecordSolveMetrics(out.stats);
     return out;
   }
 
@@ -1622,6 +1672,7 @@ MinMaxMipResult MipSolver::SolveMinMax(const LinearProgram& input) const {
   out.min = Assemble(p, opt, programs, solved, nc,
                      -p.work->objective_constant(), /*negate=*/true);
   out.stats.solve_seconds = clock.ElapsedSeconds();
+  RecordSolveMetrics(out.stats);
   return out;
 }
 

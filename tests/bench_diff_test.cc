@@ -1,0 +1,192 @@
+// Tests for the bench regression sentinel (tools/bench_diff_core.h):
+// metric classification, the pass/warn/fail verdict rules per class, row
+// matching by identity key, one-sided column handling, and the verdict
+// JSON.
+#include "tools/bench_diff_core.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "service/json.h"
+
+namespace licm::tools {
+namespace {
+
+// Writes a two-row bench file shaped like BENCH_query.json.
+std::string WriteBench(const std::string& path, double q1_solve_ms,
+                       int64_t q1_nodes, double q1_max,
+                       const std::string& extra = "") {
+  std::ofstream out(path);
+  out << "[\n"
+      << "{\"git_sha\":\"abc\",\"bench\":\"query_path\",\"engine\":\"row\","
+         "\"query\":1,\"k\":12,\"num_transactions\":400,"
+         "\"min\":0,\"max\":" << q1_max << ",\"min_exact\":true,"
+         "\"max_exact\":true,\"solve_ms\":" << q1_solve_ms
+      << ",\"nodes\":" << q1_nodes << ",\"rows_per_s\":1000000" << extra
+      << "},\n"
+      << "{\"git_sha\":\"abc\",\"bench\":\"query_path\","
+         "\"engine\":\"columnar\",\"query\":1,\"k\":12,"
+         "\"num_transactions\":400,\"min\":0,\"max\":43,"
+         "\"min_exact\":true,\"max_exact\":true,\"solve_ms\":40.0,"
+         "\"nodes\":100,\"rows_per_s\":5000000}\n"
+      << "]\n";
+  return path;
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(BenchDiff, ClassifiesMetricNames) {
+  EXPECT_EQ(MetricClass::kIdentity, ClassifyMetric("engine"));
+  EXPECT_EQ(MetricClass::kIdentity, ClassifyMetric("num_transactions"));
+  EXPECT_EQ(MetricClass::kBound, ClassifyMetric("min"));
+  EXPECT_EQ(MetricClass::kBound, ClassifyMetric("max_exact"));
+  EXPECT_EQ(MetricClass::kBound, ClassifyMetric("verify_failures"));
+  EXPECT_EQ(MetricClass::kCounter, ClassifyMetric("nodes"));
+  EXPECT_EQ(MetricClass::kCounter, ClassifyMetric("lp_pivots"));
+  EXPECT_EQ(MetricClass::kCounter, ClassifyMetric("m_solver_nodes"));
+  EXPECT_EQ(MetricClass::kTime, ClassifyMetric("solve_ms"));
+  EXPECT_EQ(MetricClass::kTime, ClassifyMetric("cpu_s"));
+  EXPECT_EQ(MetricClass::kTime, ClassifyMetric("max_rss_kb"));
+  EXPECT_EQ(MetricClass::kRate, ClassifyMetric("rows_per_s"));
+  EXPECT_EQ(MetricClass::kRate, ClassifyMetric("speedup"));
+  EXPECT_EQ(MetricClass::kInfo, ClassifyMetric("git_sha"));
+  EXPECT_EQ(MetricClass::kInfo, ClassifyMetric("hardware_concurrency"));
+}
+
+TEST(BenchDiff, IdenticalFilesPass) {
+  const std::string base = WriteBench(TempPath("bd_ident_base.json"),
+                                      100.0, 100, 43);
+  auto diff = DiffBenchFiles(base, base, DiffOptions{});
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_EQ(Verdict::kPass, diff->verdict);
+  EXPECT_EQ(2, diff->rows_compared);
+  EXPECT_TRUE(diff->rows.empty());
+}
+
+TEST(BenchDiff, SlowerTimeWarnsOnly) {
+  const std::string base = WriteBench(TempPath("bd_time_base.json"),
+                                      100.0, 100, 43);
+  const std::string cur = WriteBench(TempPath("bd_time_cur.json"),
+                                     220.0, 100, 43);
+  auto diff = DiffBenchFiles(cur, base, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(Verdict::kWarn, diff->verdict);
+  ASSERT_EQ(1u, diff->rows.size());
+  ASSERT_EQ(1u, diff->rows[0].metrics.size());
+  EXPECT_EQ("solve_ms", diff->rows[0].metrics[0].name);
+  EXPECT_EQ(Verdict::kWarn, diff->rows[0].metrics[0].verdict);
+}
+
+TEST(BenchDiff, CounterRegressionFailsUnlessDowngraded) {
+  const std::string base = WriteBench(TempPath("bd_ctr_base.json"),
+                                      100.0, 100, 43);
+  const std::string cur = WriteBench(TempPath("bd_ctr_cur.json"),
+                                     100.0, 200, 43);
+  auto diff = DiffBenchFiles(cur, base, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(Verdict::kFail, diff->verdict);
+  ASSERT_EQ(1u, diff->rows.size());
+  EXPECT_EQ("nodes", diff->rows[0].metrics[0].name);
+
+  DiffOptions warn_only;
+  warn_only.counters_warn_only = true;
+  auto downgraded = DiffBenchFiles(cur, base, warn_only);
+  ASSERT_TRUE(downgraded.ok());
+  EXPECT_EQ(Verdict::kWarn, downgraded->verdict);
+}
+
+TEST(BenchDiff, SmallCounterDeltaIsBelowTheFloor) {
+  const std::string base = WriteBench(TempPath("bd_floor_base.json"),
+                                      100.0, 4, 43);
+  // 4 -> 12 nodes is a 3x ratio but only +8 absolute: noise on a tiny
+  // instance, not a regression.
+  const std::string cur = WriteBench(TempPath("bd_floor_cur.json"),
+                                     100.0, 12, 43);
+  auto diff = DiffBenchFiles(cur, base, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(Verdict::kPass, diff->verdict);
+}
+
+TEST(BenchDiff, BoundDriftHardFails) {
+  const std::string base = WriteBench(TempPath("bd_bound_base.json"),
+                                      100.0, 100, 43);
+  const std::string cur = WriteBench(TempPath("bd_bound_cur.json"),
+                                     100.0, 100, 44);
+  auto diff = DiffBenchFiles(cur, base, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(Verdict::kFail, diff->verdict);
+  ASSERT_EQ(1u, diff->rows.size());
+  EXPECT_EQ("max", diff->rows[0].metrics[0].name);
+  // Bounds fail even with counters downgraded: answers are not noise.
+  DiffOptions warn_only;
+  warn_only.counters_warn_only = true;
+  EXPECT_EQ(Verdict::kFail, DiffBenchFiles(cur, base, warn_only)->verdict);
+}
+
+TEST(BenchDiff, OneSidedColumnsAndNewRowsDoNotGate) {
+  const std::string base = WriteBench(TempPath("bd_side_base.json"),
+                                      100.0, 100, 43);
+  // Current adds a column the baseline predates (max_rss_kb) and keeps
+  // everything else identical: must still pass.
+  const std::string cur = WriteBench(TempPath("bd_side_cur.json"),
+                                     100.0, 100, 43,
+                                     ",\"max_rss_kb\":150000");
+  auto diff = DiffBenchFiles(cur, base, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(Verdict::kPass, diff->verdict);
+}
+
+TEST(BenchDiff, MissingBaselineRowWarnsAndNewRowIsNoted) {
+  // Baseline has both engines; current renames one engine, so one row is
+  // new and one baseline row goes unmatched.
+  const std::string base = WriteBench(TempPath("bd_rows_base.json"),
+                                      100.0, 100, 43);
+  const std::string cur_path = TempPath("bd_rows_cur.json");
+  {
+    std::ofstream out(cur_path);
+    out << "[{\"bench\":\"query_path\",\"engine\":\"vectorized\","
+           "\"query\":1,\"k\":12,\"num_transactions\":400,\"min\":0,"
+           "\"max\":43,\"solve_ms\":40.0,\"nodes\":100},\n"
+           "{\"bench\":\"query_path\",\"engine\":\"row\",\"query\":1,"
+           "\"k\":12,\"num_transactions\":400,\"min\":0,\"max\":43,"
+           "\"min_exact\":true,\"max_exact\":true,\"solve_ms\":100.0,"
+           "\"nodes\":100,\"rows_per_s\":1000000}]\n";
+  }
+  auto diff = DiffBenchFiles(cur_path, base, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(Verdict::kWarn, diff->verdict);  // vanished columnar row
+  EXPECT_EQ(1, diff->rows_compared);
+  EXPECT_EQ(1, diff->rows_only_in_current);
+  EXPECT_EQ(1, diff->rows_only_in_baseline);
+}
+
+TEST(BenchDiff, VerdictJsonParsesAndAggregates) {
+  const std::string base = WriteBench(TempPath("bd_json_base.json"),
+                                      100.0, 100, 43);
+  const std::string cur = WriteBench(TempPath("bd_json_cur.json"),
+                                     100.0, 200, 43);
+  auto diff = DiffBenchFiles(cur, base, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  auto parsed = service::ParseJson(RenderDiffJson({*diff}));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ("fail", parsed->GetString("verdict", "").value());
+  const service::JsonValue* files = parsed->Find("files");
+  ASSERT_NE(nullptr, files);
+  ASSERT_EQ(1u, files->array.size());
+  EXPECT_EQ("fail", files->array[0].GetString("verdict", "").value());
+  EXPECT_EQ(2, files->array[0].GetInt("rows_compared", 0).value());
+}
+
+TEST(BenchDiff, MissingFileIsAnErrorNotAVerdict) {
+  auto diff = DiffBenchFiles("/nonexistent/bench.json",
+                             "/nonexistent/base.json", DiffOptions{});
+  ASSERT_FALSE(diff.ok());
+}
+
+}  // namespace
+}  // namespace licm::tools

@@ -350,6 +350,61 @@ TEST(QueryService, ConcurrentRequestsAllMatchOffline) {
   EXPECT_EQ(32, svc.Stats().completed);
 }
 
+// --------------------------------------------------------- observability --
+
+TEST(QueryService, SlowLogCapturesNewestFirstAndEvictsOldest) {
+  // slo_ms = 0 captures every completed request; capacity 2 forces the
+  // first capture out once the third lands.
+  QueryService svc({.num_workers = 1,
+                    .solver_threads = 1,
+                    .slo_ms = 0.0,
+                    .slowlog_capacity = 2});
+  ServiceFixture f = ServiceFixture::Make();
+  ASSERT_TRUE(svc.AddInstance("case", f.fuzz.db).ok());
+
+  QueryRequest req;
+  req.instance = "case";
+  req.query = f.fuzz.query;
+  req.deadline_s = 1e9;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(svc.Execute(req).ok());
+  }
+
+  const std::vector<SlowQueryRecord> log = svc.SlowLog();
+  ASSERT_EQ(2u, log.size());
+  EXPECT_EQ(2, log[0].seq);  // newest first
+  EXPECT_EQ(1, log[1].seq);  // seq 0 evicted
+  EXPECT_EQ("case", log[0].instance);
+  EXPECT_FALSE(log[0].query.empty());
+  EXPECT_GE(log[0].ts_s, log[1].ts_s);
+  EXPECT_GE(log[0].total_ms, 0.0);
+  EXPECT_EQ(0.0, log[0].slo_ms);
+  // The capture counter keeps counting past evictions.
+  EXPECT_EQ(3, svc.Stats().slow_queries);
+}
+
+TEST(QueryService, NegativeSloDisablesSlowLogCapture) {
+  QueryService svc({.num_workers = 1, .solver_threads = 1, .slo_ms = -1.0});
+  ServiceFixture f = ServiceFixture::Make();
+  ASSERT_TRUE(svc.AddInstance("case", f.fuzz.db).ok());
+  QueryRequest req;
+  req.instance = "case";
+  req.query = f.fuzz.query;
+  req.deadline_s = 1e9;
+  ASSERT_TRUE(svc.Execute(req).ok());
+  EXPECT_TRUE(svc.SlowLog().empty());
+  EXPECT_EQ(0, svc.Stats().slow_queries);
+}
+
+TEST(QueryService, StatsSnapshotsAreOrderedAndCarryUptime) {
+  QueryService svc({.num_workers = 1, .solver_threads = 1});
+  const ServiceStats first = svc.Stats();
+  const ServiceStats second = svc.Stats();
+  EXPECT_GT(second.snapshot_seq, first.snapshot_seq);
+  EXPECT_GE(first.uptime_s, 0.0);
+  EXPECT_GE(second.uptime_s, first.uptime_s);
+}
+
 // ------------------------------------------------------------ transports --
 
 RequestRouter::QueryFactory FixtureFactory(const ServiceFixture& f) {
@@ -393,6 +448,60 @@ TEST(Transport, BatchModeAnswersLineByLine) {
   EXPECT_FALSE(replies[3].GetBool("ok", true).value());   // unknown op
   EXPECT_TRUE(replies[4].GetBool("ok", false).value());   // shutdown ack
   EXPECT_TRUE(replies[4].GetBool("shutting_down", false).value());
+}
+
+TEST(Transport, MetricsAndSlowlogVerbs) {
+  QueryService svc({.num_workers = 1, .solver_threads = 1, .slo_ms = 0.0});
+  ServiceFixture f = ServiceFixture::Make();
+  ASSERT_TRUE(svc.AddInstance("case", f.fuzz.db).ok());
+  RequestRouter router(&svc, FixtureFactory(f));
+
+  std::istringstream in(
+      "{\"op\":\"query\",\"id\":1,\"instance\":\"case\"}\n"
+      "{\"op\":\"stats\",\"id\":2}\n"
+      "{\"op\":\"metrics\",\"id\":3}\n"
+      "{\"op\":\"slowlog\",\"id\":4}\n");
+  std::ostringstream out;
+  EXPECT_EQ(4, RunBatch(&router, in, out));
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<service::JsonValue> replies;
+  while (std::getline(lines, line)) {
+    auto v = ParseJson(line);
+    ASSERT_TRUE(v.ok()) << line;
+    replies.push_back(std::move(*v));
+  }
+  ASSERT_EQ(4u, replies.size());
+
+  // stats now carries the staleness fields.
+  EXPECT_TRUE(replies[1].GetBool("ok", false).value());
+  EXPECT_GE(replies[1].GetNumber("uptime_s", -1).value(), 0.0);
+  EXPECT_GE(replies[1].GetInt("snapshot_seq", 0).value(), 1);
+  EXPECT_GE(replies[1].GetInt("slow_queries", -1).value(), 1);
+
+  // metrics splices the registry JSON; the registry is process-global, so
+  // assert >= on the request counter rather than an exact value.
+  EXPECT_TRUE(replies[2].GetBool("ok", false).value());
+  const service::JsonValue* metrics = replies[2].Find("metrics");
+  ASSERT_NE(nullptr, metrics);
+  const service::JsonValue* counters = metrics->Find("counters");
+  ASSERT_NE(nullptr, counters);
+  double requests_total = 0;
+  for (const auto& c : counters->array) {
+    if (c.GetString("name", "").value() == "licm_requests_total") {
+      requests_total += c.GetNumber("value", 0).value();
+    }
+  }
+  EXPECT_GE(requests_total, 1.0);
+
+  // slowlog: slo_ms = 0 captured the query; records are full objects.
+  EXPECT_TRUE(replies[3].GetBool("ok", false).value());
+  const service::JsonValue* slowlog = replies[3].Find("slowlog");
+  ASSERT_NE(nullptr, slowlog);
+  ASSERT_GE(slowlog->array.size(), 1u);
+  EXPECT_EQ("case", slowlog->array[0].GetString("instance", "").value());
+  EXPECT_GE(slowlog->array[0].GetNumber("total_ms", -1).value(), 0.0);
 }
 
 // Minimal blocking line client for the loopback test.

@@ -1,0 +1,107 @@
+// Bench regression sentinel: compares a freshly produced BENCH_*.json
+// against the committed reference rows in bench/baselines/ and renders a
+// machine-readable verdict (DESIGN.md §12).
+//
+// The comparison is metric-class aware, because the bench rows mix three
+// very different kinds of numbers:
+//   - bounds (min/max/min_exact/...) are answers: any drift is a
+//     correctness bug and hard-fails regardless of thresholds;
+//   - cost counters (nodes/lp_solves/cache_misses/...) are deterministic
+//     work measures: a ratio regression past the gate hard-fails, unless
+//     the caller downgrades them (multi-threaded benches have
+//     racy node counts);
+//   - wall times and peak RSS are machine-dependent: regressions only
+//     warn, with an absolute noise floor so a 2 ms -> 4 ms blip on a busy
+//     runner is not reported as "2x slower";
+//   - higher-is-better rates (rows_per_s, speedup, cache_hit_rate)
+//     warn when they drop by the time ratio, inverted.
+// Fields present on only one side (new instrumentation vs an older
+// baseline, or vice versa) are skipped — adding a column must never fail
+// the gate.
+#ifndef LICM_TOOLS_BENCH_DIFF_CORE_H_
+#define LICM_TOOLS_BENCH_DIFF_CORE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace licm::tools {
+
+enum class Verdict { kPass, kWarn, kFail };
+const char* VerdictName(Verdict v);
+/// Severity join: Combine(kWarn, kFail) == kFail.
+Verdict Combine(Verdict a, Verdict b);
+
+enum class MetricClass {
+  kIdentity,  // names the row (bench, scheme, query, k, ...)
+  kBound,     // query answer: exact match required
+  kCounter,   // deterministic cost: lower is better, ratio-gated fail
+  kTime,      // wall time / RSS: lower is better, warn-only
+  kRate,      // throughput / speedup / hit rate: higher is better, warn
+  kInfo,      // provenance and machine-dependent extras: ignored
+};
+MetricClass ClassifyMetric(const std::string& name);
+
+struct DiffOptions {
+  /// Time or rate ratio beyond which a warning is emitted.
+  double time_warn_ratio = 1.5;
+  /// Cost-counter ratio beyond which the row fails (warns at the
+  /// midpoint between 1 and this).
+  double counter_fail_ratio = 1.5;
+  /// Downgrade counter fails to warns (for benches whose node counts are
+  /// nondeterministic under multi-threaded search).
+  bool counters_warn_only = false;
+  /// Absolute noise floors: differences where both sides sit below the
+  /// floor (times), or whose absolute delta is below it (counters), pass.
+  double time_floor_ms = 5.0;
+  double rss_floor_kb = 20480.0;
+  double counter_floor = 16.0;
+};
+
+struct MetricDiff {
+  std::string name;
+  MetricClass cls = MetricClass::kInfo;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// current/baseline for costs and times, baseline/current for rates.
+  double ratio = 1.0;
+  Verdict verdict = Verdict::kPass;
+  std::string note;
+};
+
+struct RowDiff {
+  /// Identity key, e.g. "bench=query_path engine=columnar query=2 ...".
+  std::string key;
+  Verdict verdict = Verdict::kPass;
+  std::string note;  // set for unmatched rows
+  /// Only metrics that warned or failed; clean metrics are not recorded.
+  std::vector<MetricDiff> metrics;
+};
+
+struct FileDiff {
+  std::string current_path;
+  std::string baseline_path;
+  Verdict verdict = Verdict::kPass;
+  int rows_compared = 0;
+  int rows_only_in_current = 0;   // new rows: noted, never gate
+  int rows_only_in_baseline = 0;  // vanished rows: warn
+  std::vector<RowDiff> rows;      // rows with something to report
+};
+
+/// Loads both files (JSON arrays of flat objects) and diffs them.
+/// IO or parse problems are errors; verdicts are data, not errors.
+Result<FileDiff> DiffBenchFiles(const std::string& current_path,
+                                const std::string& baseline_path,
+                                const DiffOptions& opts);
+
+/// Human-readable multi-line report for one file diff.
+std::string RenderDiffText(const FileDiff& diff);
+
+/// Machine-readable verdict over all compared files:
+/// {"verdict":"pass|warn|fail","files":[...]}.
+std::string RenderDiffJson(const std::vector<FileDiff>& files);
+
+}  // namespace licm::tools
+
+#endif  // LICM_TOOLS_BENCH_DIFF_CORE_H_

@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/version.h"
 #include "harness.h"
@@ -115,7 +116,6 @@ struct Expected {
 };
 
 struct Tally {
-  std::vector<double> latencies_ms;
   int64_t ok = 0;
   int64_t degraded = 0;
   int64_t overloaded = 0;
@@ -194,13 +194,6 @@ bool Classify(const Result<service::JsonValue>& reply, const Expected* want,
     return false;
   }
   return true;
-}
-
-double Percentile(std::vector<double> sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const size_t idx = static_cast<size_t>(q * static_cast<double>(
-                                                 sorted.size() - 1));
-  return sorted[idx];
 }
 
 int Usage(const char* argv0) {
@@ -341,7 +334,10 @@ int main(int argc, char** argv) {
                  expected.size());
   }
 
-  // Phase 1: sustained load at the target concurrency.
+  // Phase 1: sustained load at the target concurrency. Latencies go
+  // straight into a shared lock-free histogram; worker threads never
+  // contend on the tally mutex per request.
+  static licm::metrics::Histogram latency_hist;
   std::mutex tally_mu;
   Tally tally;
   StopWatch load_watch;
@@ -371,7 +367,7 @@ int main(int argc, char** argv) {
           }
           StopWatch watch;
           auto reply = conn.RoundTrip(QueryLine(spec.name, qnum, dl));
-          local.latencies_ms.push_back(watch.ElapsedMs());
+          latency_hist.Observe(watch.ElapsedMs());
           Classify(reply, want, &local);
         }
       }
@@ -381,9 +377,6 @@ int main(int argc, char** argv) {
       tally.overloaded += local.overloaded;
       tally.protocol_errors += local.protocol_errors;
       tally.verify_failures += local.verify_failures;
-      tally.latencies_ms.insert(tally.latencies_ms.end(),
-                                local.latencies_ms.begin(),
-                                local.latencies_ms.end());
     });
   }
   for (std::thread& t : threads) t.join();
@@ -431,18 +424,19 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::sort(tally.latencies_ms.begin(), tally.latencies_ms.end());
-  const double p50 = Percentile(tally.latencies_ms, 0.50);
-  const double p95 = Percentile(tally.latencies_ms, 0.95);
-  const double p99 = Percentile(tally.latencies_ms, 0.99);
+  // Quantiles from the shared log-bucketed histogram (common/metrics.h)
+  // — one implementation for client- and server-side latency summaries.
+  const licm::metrics::HistogramSnapshot lat = latency_hist.Snapshot();
+  const double p50 = lat.Quantile(0.50);
+  const double p95 = lat.Quantile(0.95);
+  const double p99 = lat.Quantile(0.99);
   const double rps =
-      load_s > 0 ? static_cast<double>(tally.latencies_ms.size()) / load_s
-                 : 0.0;
+      load_s > 0 ? static_cast<double>(lat.count) / load_s : 0.0;
 
   std::printf(
       "requests=%zu ok=%lld degraded=%lld overloaded=%lld errors=%lld "
       "verify_failures=%lld\n",
-      tally.latencies_ms.size() + static_cast<size_t>(burst),
+      static_cast<size_t>(lat.count) + static_cast<size_t>(burst),
       static_cast<long long>(tally.ok),
       static_cast<long long>(tally.degraded),
       static_cast<long long>(tally.overloaded),

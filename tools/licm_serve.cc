@@ -3,7 +3,8 @@
 //   licm_serve [--port P] [--host H] [--stdin]
 //              [--instance name=scheme:k[:txns[:items[:seed]]]]...
 //              [--workers N] [--queue N] [--deadline-ms D]
-//              [--mc-worlds W] [--solver-threads T] [--version]
+//              [--mc-worlds W] [--solver-threads T] [--slo-ms D]
+//              [--metrics-port P] [--metrics-file PATH] [--version]
 //
 // Registers the given instances (default: one small k-anonymity
 // instance named `demo`), then serves the line-oriented JSON protocol
@@ -11,14 +12,22 @@
 // `LISTENING <port>` before the accept loop starts) or over
 // stdin/stdout (--stdin). A client `shutdown` request stops either
 // mode.
+//
+// Observability: --metrics-port serves the Prometheus text exposition of
+// the process metrics registry over HTTP (0 = ephemeral; printed as
+// `METRICS <port>`); --metrics-file writes the same exposition to a file
+// at shutdown for scraping-free environments; --slo-ms sets the slow-
+// query capture threshold served by the `slowlog` verb.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/version.h"
 #include "service/server.h"
 #include "service_workload.h"
@@ -32,7 +41,9 @@ int Usage(const char* argv0) {
                "usage: %s [--port P] [--host H] [--stdin]\n"
                "          [--instance name=scheme:k[:txns[:items[:seed]]]]...\n"
                "          [--workers N] [--queue N] [--deadline-ms D]\n"
-               "          [--mc-worlds W] [--solver-threads T] [--version]\n",
+               "          [--mc-worlds W] [--solver-threads T] [--slo-ms D]\n"
+               "          [--metrics-port P] [--metrics-file PATH]\n"
+               "          [--version]\n",
                argv0);
   return 2;
 }
@@ -42,6 +53,8 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
+  int metrics_port = -1;  // -1 = no HTTP exposition endpoint
+  std::string metrics_file;
   bool use_stdin = false;
   std::vector<std::string> instance_args;
   service::ServiceConfig config;
@@ -88,6 +101,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       config.solver_threads = std::atoi(v);
+    } else if (arg == "--slo-ms") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      config.slo_ms = std::atof(v);
+    } else if (arg == "--metrics-port") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      metrics_port = std::atoi(v);
+    } else if (arg == "--metrics-file") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      metrics_file = v;
     } else {
       return Usage(argv[0]);
     }
@@ -132,10 +157,43 @@ int main(int argc, char** argv) {
         return tools::BuildServiceQuery(it->second, req.qnum);
       });
 
+  auto render_metrics = [] {
+    return metrics::MetricsRegistry::Default().RenderPrometheus();
+  };
+  std::optional<service::MetricsHttpServer> metrics_http;
+  if (metrics_port >= 0) {
+    metrics_http.emplace(render_metrics);
+    Status mhttp = metrics_http->Listen(host, metrics_port);
+    if (!mhttp.ok()) {
+      std::fprintf(stderr, "metrics listen failed: %s\n",
+                   mhttp.ToString().c_str());
+      return 1;
+    }
+    metrics_http->Start();
+    std::printf("METRICS %d\n", metrics_http->port());
+    std::fflush(stdout);
+  }
+  // Final-exposition writer for scraping-free environments: dumped once
+  // at shutdown, after the last request has been counted.
+  auto dump_metrics_file = [&] {
+    if (metrics_file.empty()) return;
+    std::FILE* f = std::fopen(metrics_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write --metrics-file %s\n",
+                   metrics_file.c_str());
+      return;
+    }
+    const std::string text = render_metrics();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  };
+
   if (use_stdin) {
     const int64_t handled = service::RunBatch(&router, std::cin, std::cout);
     std::fprintf(stderr, "handled %lld requests\n",
                  static_cast<long long>(handled));
+    if (metrics_http.has_value()) metrics_http->Stop();
+    dump_metrics_file();
     return 0;
   }
 
@@ -149,6 +207,8 @@ int main(int argc, char** argv) {
   std::printf("LISTENING %d\n", server.port());
   std::fflush(stdout);
   Status served = server.Serve();
+  if (metrics_http.has_value()) metrics_http->Stop();
+  dump_metrics_file();
   if (!served.ok()) {
     std::fprintf(stderr, "serve failed: %s\n", served.ToString().c_str());
     return 1;
