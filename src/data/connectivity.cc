@@ -1,0 +1,65 @@
+#include "data/connectivity.h"
+
+#include <utility>
+
+namespace licm::data {
+
+void ConnectivityIndex::Reset(size_t num_nodes) {
+  parent_.resize(num_nodes);
+  size_.assign(num_nodes, 1);
+  for (size_t v = 0; v < num_nodes; ++v) parent_[v] = static_cast<uint32_t>(v);
+}
+
+void ConnectivityIndex::EnsureNodes(size_t num_nodes) {
+  const size_t old = parent_.size();
+  if (num_nodes <= old) return;
+  parent_.resize(num_nodes);
+  size_.resize(num_nodes, 1);
+  for (size_t v = old; v < num_nodes; ++v)
+    parent_[v] = static_cast<uint32_t>(v);
+}
+
+uint32_t ConnectivityIndex::Find(uint32_t node) {
+  EnsureNodes(static_cast<size_t>(node) + 1);
+  uint32_t root = node;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[node] != root) {
+    uint32_t next = parent_[node];
+    parent_[node] = root;
+    node = next;
+  }
+  return root;
+}
+
+void ConnectivityIndex::Union(uint32_t a, uint32_t b) {
+  uint32_t ra = Find(a);
+  uint32_t rb = Find(b);
+  if (ra == rb) return;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+}
+
+void ConnectivityIndex::UnionAll(const std::vector<uint32_t>& nodes) {
+  for (size_t i = 1; i < nodes.size(); ++i) Union(nodes[0], nodes[i]);
+}
+
+size_t ConnectivityIndex::NumComponents() {
+  size_t roots = 0;
+  for (size_t v = 0; v < parent_.size(); ++v) {
+    if (Find(static_cast<uint32_t>(v)) == v) ++roots;
+  }
+  return roots;
+}
+
+std::vector<uint32_t> ConnectivityIndex::Component(uint32_t node) {
+  const uint32_t root = Find(node);
+  std::vector<uint32_t> out;
+  for (size_t v = 0; v < parent_.size(); ++v) {
+    if (Find(static_cast<uint32_t>(v)) == root)
+      out.push_back(static_cast<uint32_t>(v));
+  }
+  return out;
+}
+
+}  // namespace licm::data

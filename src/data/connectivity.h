@@ -1,0 +1,58 @@
+// Union-find connectivity over boolean-variable ids.
+//
+// The mutation layer (licm/mutable_instance.h) needs to answer "which
+// connected components does this mutation touch?" without re-running the
+// solver's decomposition: constraints are hyperedges over BVars, and two
+// variables share a component exactly when a chain of constraints links
+// them. ConnectivityIndex is a plain disjoint-set union with union by
+// size and path compression — append-only unions are O(alpha) each, and a
+// retract/edit (which can split components) rebuilds from the surviving
+// hyperedges, which is linear in the constraint set and far cheaper than
+// any solve.
+#ifndef LICM_DATA_CONNECTIVITY_H_
+#define LICM_DATA_CONNECTIVITY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace licm::data {
+
+class ConnectivityIndex {
+ public:
+  ConnectivityIndex() = default;
+
+  /// Drops all nodes and edges.
+  void Reset(size_t num_nodes = 0);
+
+  /// Grows the node set to at least `num_nodes`; new nodes start as
+  /// singleton components.
+  void EnsureNodes(size_t num_nodes);
+
+  size_t num_nodes() const { return parent_.size(); }
+
+  /// Merges the components of `a` and `b` (both grown into range first).
+  void Union(uint32_t a, uint32_t b);
+
+  /// Merges every node in `nodes` into one component (a hyperedge).
+  void UnionAll(const std::vector<uint32_t>& nodes);
+
+  /// Component representative of `node`; nodes beyond num_nodes() are
+  /// their own singleton (they are grown in first).
+  uint32_t Find(uint32_t node);
+
+  /// Number of distinct components over the current node set.
+  size_t NumComponents();
+
+  /// All nodes in the same component as `node` (including itself).
+  std::vector<uint32_t> Component(uint32_t node);
+
+ private:
+  // parent_[v] == v for roots; size_ is only meaningful at roots.
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+};
+
+}  // namespace licm::data
+
+#endif  // LICM_DATA_CONNECTIVITY_H_

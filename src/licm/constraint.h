@@ -91,6 +91,14 @@ class ConstraintSet {
     return constraints_;
   }
 
+  /// Replaces the constraint at `index` in place (MutableInstance edits:
+  /// indices stay stable so later edits keep addressing the same slot).
+  /// Replacing with a vacuous constraint — no terms, `0 <= 0` — retires a
+  /// slot without renumbering the rest.
+  void Replace(size_t index, LinearConstraint c) {
+    constraints_.at(index) = std::move(c);
+  }
+
   /// True if every constraint holds under the 0/1 assignment.
   bool Satisfied(const std::vector<uint8_t>& assignment) const;
 

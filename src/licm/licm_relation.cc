@@ -58,6 +58,15 @@ Result<const LicmRelation*> LicmDatabase::GetRelation(
   return &it->second;
 }
 
+Result<LicmRelation*> LicmDatabase::GetMutableRelation(
+    const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no LICM relation '" + name + "'");
+  }
+  return &it->second;
+}
+
 rel::Database LicmDatabase::Instantiate(
     const std::vector<uint8_t>& assignment) const {
   rel::Database db;

@@ -74,6 +74,14 @@ class LicmRelation {
     exts_.push_back(ext);
   }
 
+  /// Removes the tuple (and its Ext) at position `i`; later tuples shift
+  /// down. Used by MutableInstance retractions.
+  void RemoveAt(size_t i) {
+    LICM_CHECK(i < tuples_.size());
+    tuples_.erase(tuples_.begin() + static_cast<ptrdiff_t>(i));
+    exts_.erase(exts_.begin() + static_cast<ptrdiff_t>(i));
+  }
+
   /// Instantiates this relation in the possible world selected by
   /// `assignment` (Section III): keeps tuples whose Ext evaluates to 1,
   /// deduplicated under set semantics.
@@ -96,6 +104,9 @@ class LicmDatabase {
  public:
   Status AddRelation(std::string name, LicmRelation r);
   Result<const LicmRelation*> GetRelation(const std::string& name) const;
+  /// Mutable lookup for the mutation layer (licm/mutable_instance.h);
+  /// query evaluation only ever uses the const accessor.
+  Result<LicmRelation*> GetMutableRelation(const std::string& name);
 
   VariablePool& pool() { return pool_; }
   const VariablePool& pool() const { return pool_; }

@@ -1,6 +1,8 @@
 #include "relational/value.h"
 
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <functional>
 #include <sstream>
 
@@ -105,6 +107,58 @@ std::string Schema::ToString() const {
   }
   s += ")";
   return s;
+}
+
+Result<Tuple> TupleFromText(const Schema& schema, const std::string& text) {
+  std::vector<std::string> cells;
+  size_t start = 0;
+  while (true) {
+    const size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      cells.push_back(text.substr(start));
+      break;
+    }
+    cells.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  if (cells.size() != schema.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(cells.size()) + " cells, schema " +
+        schema.ToString() + " expects " + std::to_string(schema.size()));
+  }
+  Tuple t;
+  t.reserve(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const std::string& cell = cells[i];
+    switch (schema.column(i).type) {
+      case ValueType::kInt: {
+        errno = 0;
+        char* end = nullptr;
+        const long long v = std::strtoll(cell.c_str(), &end, 10);
+        if (cell.empty() || end != cell.c_str() + cell.size() || errno != 0) {
+          return Status::InvalidArgument("column '" + schema.column(i).name +
+                                         "': '" + cell + "' is not an int");
+        }
+        t.emplace_back(static_cast<int64_t>(v));
+        break;
+      }
+      case ValueType::kDouble: {
+        errno = 0;
+        char* end = nullptr;
+        const double v = std::strtod(cell.c_str(), &end);
+        if (cell.empty() || end != cell.c_str() + cell.size() || errno != 0) {
+          return Status::InvalidArgument("column '" + schema.column(i).name +
+                                         "': '" + cell + "' is not a number");
+        }
+        t.emplace_back(v);
+        break;
+      }
+      case ValueType::kString:
+        t.emplace_back(cell);
+        break;
+    }
+  }
+  return t;
 }
 
 }  // namespace licm::rel

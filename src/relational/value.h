@@ -87,6 +87,14 @@ class Schema {
   std::unordered_map<std::string, size_t> index_;
 };
 
+/// Parses one comma-separated row of `schema` ("1,soda,5") into a typed
+/// tuple, cell by cell: kInt/kDouble cells must parse completely (trailing
+/// garbage is an error, matching the CSV loader's strictness), kString
+/// cells are taken verbatim (no quoting — the wire protocol's mutate verb
+/// carries whole rows as one JSON string, so commas inside string cells
+/// are not representable; the LICM schemas contain none).
+Result<Tuple> TupleFromText(const Schema& schema, const std::string& text);
+
 }  // namespace licm::rel
 
 #endif  // LICM_RELATIONAL_VALUE_H_

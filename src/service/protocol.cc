@@ -80,6 +80,17 @@ Result<WireRequest> ParseRequestLine(const std::string& line) {
   req.mc_worlds = static_cast<int>(worlds);
   LICM_ASSIGN_OR_RETURN(int64_t seed, root.GetInt("seed", 0));
   req.seed = static_cast<uint64_t>(seed);
+  LICM_ASSIGN_OR_RETURN(req.action, root.GetString("action", ""));
+  LICM_ASSIGN_OR_RETURN(req.relation, root.GetString("relation", ""));
+  LICM_ASSIGN_OR_RETURN(req.row, root.GetString("row", ""));
+  LICM_ASSIGN_OR_RETURN(req.maybe, root.GetBool("maybe", false));
+  LICM_ASSIGN_OR_RETURN(req.cindex, root.GetInt("cindex", -1));
+  LICM_ASSIGN_OR_RETURN(req.cop, root.GetString("cop", ""));
+  LICM_ASSIGN_OR_RETURN(req.rhs, root.GetInt("rhs", 0));
+  LICM_ASSIGN_OR_RETURN(req.var, root.GetInt("var", -1));
+  LICM_ASSIGN_OR_RETURN(req.value, root.GetInt("value", 0));
+  LICM_ASSIGN_OR_RETURN(req.spec, root.GetString("spec", ""));
+  LICM_ASSIGN_OR_RETURN(req.replace, root.GetBool("replace", false));
   return req;
 }
 
@@ -108,6 +119,7 @@ std::string RenderQueryResponse(int64_t id, const QueryResponse& r) {
       .Num("solve_ms", r.solve_ms)
       .Num("sample_ms", r.sample_ms)
       .Num("total_ms", r.total_ms)
+      .Int("version", static_cast<int64_t>(r.version))
       .Int("nodes", r.stats.nodes)
       .Int("cache_hits", r.stats.cache_hits)
       .Int("cache_misses", r.stats.cache_misses);
@@ -116,7 +128,8 @@ std::string RenderQueryResponse(int64_t id, const QueryResponse& r) {
 
 std::string RenderStats(int64_t id, const ServiceStats& s) {
   const int64_t lookups = s.cache.hits + s.cache.misses;
-  return Begin(id, true)
+  LineWriter w = Begin(id, true);
+  w
       .Int("admitted", s.admitted)
       .Int("rejected_overload", s.rejected_overload)
       .Int("failed", s.failed)
@@ -132,15 +145,29 @@ std::string RenderStats(int64_t id, const ServiceStats& s) {
       .Int("cache_hits", s.cache.hits)
       .Int("cache_misses", s.cache.misses)
       .Int("cache_evictions", s.cache.evictions)
+      .Int("cache_cross_version_hits", s.cache.cross_epoch_hits)
       .Num("cache_hit_rate",
            lookups > 0 ? static_cast<double>(s.cache.hits) /
                              static_cast<double>(lookups)
                        : 0.0)
       .Num("cpu_s", s.solve.cpu_seconds)
+      .Int("mutations", s.mutations)
       .Int("slow_queries", s.slow_queries)
       .Num("uptime_s", s.uptime_s)
-      .Int("snapshot_seq", s.snapshot_seq)
-      .Done();
+      .Int("snapshot_seq", s.snapshot_seq);
+  // Per-instance versions, as a nested object spliced the RenderInstances
+  // way (LineWriter has no object type).
+  std::string obj = "{";
+  for (size_t i = 0; i < s.versions.size(); ++i) {
+    if (i > 0) obj += ",";
+    obj += "\"" + JsonEscape(s.versions[i].first) +
+           "\":" + std::to_string(s.versions[i].second);
+  }
+  obj += "}";
+  std::string line = w.Done();
+  line.pop_back();  // drop '}'
+  line += ",\"versions\":" + obj + "}";
+  return line;
 }
 
 std::string RenderMetrics(int64_t id) {
@@ -209,6 +236,48 @@ std::string RenderInstances(int64_t id,
   line.pop_back();  // drop '}'
   line += ",\"instances\":" + arr + "}";
   return line;
+}
+
+std::string RenderMutateResponse(int64_t id, const MutationResult& r) {
+  LineWriter w = Begin(id, true);
+  w.Int("version", static_cast<int64_t>(r.version))
+      .Int("appended", static_cast<int64_t>(r.appended))
+      .Int("retracted", static_cast<int64_t>(r.retracted))
+      .Int("dirty_vars", static_cast<int64_t>(r.dirty_vars))
+      .Int("dirty_components", static_cast<int64_t>(r.dirty_components))
+      .Int("total_components", static_cast<int64_t>(r.total_components))
+      .Num("dirty_ms", r.dirty_ms)
+      .Num("commit_ms", r.commit_ms);
+  if (r.constraint_index != MutationResult::kNoConstraint) {
+    w.Int("cindex", static_cast<int64_t>(r.constraint_index));
+  }
+  std::string arr = "[";
+  for (size_t i = 0; i < r.new_vars.size(); ++i) {
+    if (i > 0) arr += ",";
+    arr += std::to_string(r.new_vars[i]);
+  }
+  arr += "]";
+  std::string line = w.Done();
+  line.pop_back();  // drop '}'
+  line += ",\"new_vars\":" + arr + "}";
+  return line;
+}
+
+std::string RenderVersion(int64_t id, const std::string& instance,
+                          uint64_t version) {
+  return Begin(id, true)
+      .Str("instance", instance)
+      .Int("version", static_cast<int64_t>(version))
+      .Done();
+}
+
+std::string RenderLoadAck(int64_t id, const std::string& instance,
+                          uint64_t version, bool replaced) {
+  return Begin(id, true)
+      .Str("instance", instance)
+      .Int("version", static_cast<int64_t>(version))
+      .Bool("replaced", replaced)
+      .Done();
 }
 
 std::string RenderShutdownAck(int64_t id) {

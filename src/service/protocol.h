@@ -5,15 +5,36 @@
 // identical. Grammar (all fields but `op` optional):
 //
 //   request  := { "op": "query" | "ping" | "stats" | "metrics"
-//                        | "slowlog" | "instances" | "shutdown",
+//                        | "slowlog" | "instances" | "mutate" | "version"
+//                        | "load" | "shutdown",
 //                 "id": number,            // echoed verbatim in the reply
-//                 "instance": string,      // query: registered instance
+//                 "instance": string,      // query/mutate/version/load
 //                 "qnum": 1 | 2 | 3,       // query: paper query number
 //                 "deadline_ms": number,   // query: wall budget, 0 =>
 //                                          //   degrade immediately
 //                 "mc_worlds": number,     // query: degraded sample size
-//                 "seed": number }         // query: degraded sample seed
+//                 "seed": number,          // query: degraded sample seed
+//                 "action": "append" | "retract" | "edit" | "fix",
+//                                          // mutate: which mutation
+//                 "relation": string,      // append/retract: target
+//                 "row": string,           // append/retract: comma cells
+//                 "maybe": bool,           // append: allocate a fresh var
+//                 "cindex": number,        // edit: constraint index
+//                 "cop": "le"|"ge"|"eq",   // edit: new comparison
+//                 "rhs": number,           // edit: new right-hand side
+//                 "var": number,           // fix: variable to pin
+//                 "value": 0 | 1,          // fix: pinned value
+//                 "spec": string,          // load: instance spec string
+//                 "replace": bool }        // load: swap an existing name
 //   response := { "id": ..., "ok": bool, ... }  // see the renderers
+//
+// `mutate` commits one versioned mutation (DESIGN.md §13): `append`
+// inserts one row (maybe=true allocates a fresh variable, returned in
+// new_vars), `retract` removes the first row matching `row`, `edit`
+// rewrites constraint `cindex`'s comparison in place (editing a fix
+// constraint to "ge 0" releases it — always true over binaries), and
+// `fix` pins variable `var` to `value` by appending the constraint
+// 1*b_var = value, echoing the constraint index for a later release.
 //
 // Every malformed line yields exactly one {"ok":false,...} response with
 // the typed status name — the connection survives, so a client bug never
@@ -39,6 +60,21 @@ struct WireRequest {
   double deadline_ms = -1.0;
   int mc_worlds = 0;
   uint64_t seed = 0;
+  /// mutate: "append" | "retract" | "edit" | "fix".
+  std::string action;
+  std::string relation;
+  /// Comma-separated cells, parsed against the relation's schema.
+  std::string row;
+  bool maybe = false;
+  int64_t cindex = -1;
+  /// "le" | "ge" | "eq"; empty = absent.
+  std::string cop;
+  int64_t rhs = 0;
+  int64_t var = -1;
+  int64_t value = 0;
+  /// load: instance spec (same grammar as licm_serve --instance).
+  std::string spec;
+  bool replace = false;
 };
 
 /// Parses one request line. Unknown fields are ignored (forward
@@ -60,6 +96,16 @@ std::string RenderSlowLog(int64_t id,
 std::string RenderPong(int64_t id);
 std::string RenderInstances(int64_t id,
                             const std::vector<std::string>& names);
+/// One committed mutation: version, dirty-set sizes, fresh variables and
+/// (for constraint mutations) the slot the constraint landed at.
+std::string RenderMutateResponse(int64_t id, const MutationResult& result);
+/// {"id":...,"ok":true,"instance":...,"version":N}
+std::string RenderVersion(int64_t id, const std::string& instance,
+                          uint64_t version);
+/// Ack for `load`: the published version (1 for a fresh name, the bumped
+/// counter when replace=true swapped a live instance).
+std::string RenderLoadAck(int64_t id, const std::string& instance,
+                          uint64_t version, bool replaced);
 std::string RenderShutdownAck(int64_t id);
 
 }  // namespace licm::service

@@ -22,6 +22,7 @@ struct ServiceMetrics {
   metrics::Counter* degraded;
   metrics::Counter* deadline_expired;
   metrics::Counter* slow_queries;
+  metrics::Counter* mutations;
   metrics::Gauge* queue_depth;
   metrics::Gauge* inflight;
   metrics::Gauge* instances;
@@ -46,6 +47,7 @@ struct ServiceMetrics {
     degraded = reg.GetCounter("licm_requests_degraded_total");
     deadline_expired = reg.GetCounter("licm_deadline_expired_total");
     slow_queries = reg.GetCounter("licm_slow_queries_total");
+    mutations = reg.GetCounter("licm_mutations_total");
     queue_depth = reg.GetGauge("licm_queue_depth");
     inflight = reg.GetGauge("licm_inflight");
     instances = reg.GetGauge("licm_instances");
@@ -75,6 +77,14 @@ std::string QueryAggLabel(const rel::QueryNode& query) {
   }
 }
 
+// Per-instance version gauge (registry lookup with a label match; mutation
+// and load granularity, not the query hot path).
+void SetVersionGauge(const std::string& instance, uint64_t version) {
+  metrics::MetricsRegistry::Default()
+      .GetGauge("licm_instance_version", {{"instance", instance}})
+      ->Set(static_cast<double>(version));
+}
+
 }  // namespace
 
 QueryService::QueryService(ServiceConfig config)
@@ -84,8 +94,7 @@ QueryService::QueryService(ServiceConfig config)
         if (c.degraded_worlds < 1) c.degraded_worlds = 1;
         return c;
       }()),
-      scheduler_(config_.solver_threads),
-      cache_(config_.cache_capacity) {
+      scheduler_(config_.solver_threads) {
   workers_.reserve(static_cast<size_t>(config_.num_workers));
   for (int i = 0; i < config_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -113,6 +122,13 @@ QueryService::~QueryService() {
 Status QueryService::AddInstance(
     std::string name, LicmDatabase db,
     std::optional<sampler::WorldStructure> structure) {
+  return LoadInstance(std::move(name), std::move(db), std::move(structure),
+                      /*replace=*/false);
+}
+
+Status QueryService::LoadInstance(
+    std::string name, LicmDatabase db,
+    std::optional<sampler::WorldStructure> structure, bool replace) {
   if (structure.has_value()) {
     LICM_RETURN_NOT_OK(structure->Validate());
     if (structure->num_vars < db.pool().size()) {
@@ -120,15 +136,109 @@ Status QueryService::AddInstance(
           "structure covers fewer variables than the database pool");
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = instances_.try_emplace(
-      std::move(name), Instance{std::move(db), std::move(structure)});
-  if (!inserted) {
-    return Status::AlreadyExists("instance '" + it->first +
-                                 "' already registered");
+  auto structure_ptr =
+      std::make_shared<const std::optional<sampler::WorldStructure>>(
+          std::move(structure));
+
+  std::shared_ptr<MutableInstance> existing;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = instances_.find(name);
+    if (it == instances_.end()) {
+      Instance entry;
+      entry.inst = std::make_shared<MutableInstance>(std::move(db),
+                                                     config_.cache_capacity);
+      entry.structure = std::move(structure_ptr);
+      SetVersionGauge(name, entry.inst->version());
+      instances_.emplace(std::move(name), std::move(entry));
+      ServiceMetrics::Get().instances->Set(
+          static_cast<double>(instances_.size()));
+      return Status::OK();
+    }
+    if (!replace) {
+      return Status::AlreadyExists("instance '" + it->first +
+                                   "' already registered (load with "
+                                   "replace=true to swap it)");
+    }
+    existing = it->second.inst;
+    it->second.structure = std::move(structure_ptr);
   }
-  ServiceMetrics::Get().instances->Set(static_cast<double>(instances_.size()));
+  // Commit the swap through the instance's own MVCC path, off the service
+  // lock: in-flight requests keep their admission-time snapshot.
+  const licm::MutationResult r = existing->Replace(std::move(db));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++mutations_;
+  }
+  ServiceMetrics::Get().mutations->Increment();
+  SetVersionGauge(name, r.version);
   return Status::OK();
+}
+
+Result<uint64_t> QueryService::VersionOf(const std::string& name) const {
+  LICM_ASSIGN_OR_RETURN(std::shared_ptr<MutableInstance> inst,
+                        GetInstance(name));
+  return inst->version();
+}
+
+Result<std::shared_ptr<MutableInstance>> QueryService::GetInstance(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = instances_.find(name);
+  if (it == instances_.end()) {
+    return Status::NotFound("unknown instance '" + name + "'");
+  }
+  return it->second.inst;
+}
+
+Result<licm::MutationResult> QueryService::Mutate(
+    const std::string& instance,
+    const std::function<Result<licm::MutationResult>(MutableInstance&)>& fn) {
+  LICM_ASSIGN_OR_RETURN(std::shared_ptr<MutableInstance> inst,
+                        GetInstance(instance));
+  telemetry::ScopedSpan span("service", "mutate");
+  LICM_ASSIGN_OR_RETURN(licm::MutationResult r, fn(*inst));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++mutations_;
+  }
+  ServiceMetrics::Get().mutations->Increment();
+  SetVersionGauge(instance, r.version);
+  telemetry::Instant(
+      "service", "mutation_commit",
+      {{"version", static_cast<double>(r.version)},
+       {"dirty_components", static_cast<double>(r.dirty_components)}});
+  return r;
+}
+
+Result<licm::MutationResult> QueryService::AppendTuples(
+    const std::string& instance, const std::string& relation,
+    const std::vector<RowSpec>& rows) {
+  return Mutate(instance, [&](MutableInstance& inst) {
+    return inst.AppendTuples(relation, rows);
+  });
+}
+
+Result<licm::MutationResult> QueryService::RetractTuples(
+    const std::string& instance, const std::string& relation,
+    const std::vector<rel::Tuple>& rows) {
+  return Mutate(instance, [&](MutableInstance& inst) {
+    return inst.RetractTuples(relation, rows);
+  });
+}
+
+Result<licm::MutationResult> QueryService::EditConstraintRhs(
+    const std::string& instance, size_t index, ConstraintOp op, int64_t rhs) {
+  return Mutate(instance, [&](MutableInstance& inst) {
+    return inst.EditConstraintRhs(index, op, rhs);
+  });
+}
+
+Result<licm::MutationResult> QueryService::AddConstraint(
+    const std::string& instance, LinearConstraint c) {
+  return Mutate(instance, [&](MutableInstance& inst) {
+    return inst.AddConstraint(std::move(c));
+  });
 }
 
 std::vector<std::string> QueryService::InstanceNames() const {
@@ -162,9 +272,16 @@ Result<QueryResponse> QueryService::Execute(const QueryRequest& request) {
 
   std::unique_lock<std::mutex> lock(mu_);
   if (stopping_) return Status::Internal("service stopped");
-  if (instances_.find(request.instance) == instances_.end()) {
+  auto inst_it = instances_.find(request.instance);
+  if (inst_it == instances_.end()) {
     return Status::NotFound("unknown instance '" + request.instance + "'");
   }
+  // MVCC capture: the snapshot taken here — before admission completes —
+  // is what the worker answers against, so mutations committing while the
+  // request waits in the queue cannot change its view.
+  pending->inst = inst_it->second.inst;
+  pending->snap = inst_it->second.inst->snapshot();
+  pending->structure = inst_it->second.structure;
   if (queue_.size() >= config_.max_queue) {
     ++rejected_overload_;
     ServiceMetrics::Get().rejected_overload->Increment();
@@ -208,8 +325,7 @@ void QueryService::WorkerLoop() {
     telemetry::Instant("service", "admit", {{"queue_ms", queue_ms}});
     if (hook) hook();
 
-    Result<QueryResponse> outcome =
-        Process(*pending->request, pending->deadline, queue_ms);
+    Result<QueryResponse> outcome = Process(*pending, queue_ms);
 
     telemetry::ScopedSpan respond_span("service", "respond");
     const ServiceMetrics& m = ServiceMetrics::Get();
@@ -273,29 +389,23 @@ void QueryService::WorkerLoop() {
   }
 }
 
-Result<QueryResponse> QueryService::Process(const QueryRequest& request,
-                                            const Deadline& deadline,
+Result<QueryResponse> QueryService::Process(const Pending& pending,
                                             double queue_ms) {
-  const Instance* instance = nullptr;
-  {
-    // Registered instances are immutable and unordered_map element
-    // references survive rehashes, so the pointer stays valid after the
-    // lock is dropped even if other instances are added concurrently.
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = instances_.find(request.instance);
-    if (it == instances_.end()) {
-      return Status::NotFound("unknown instance '" + request.instance + "'");
-    }
-    instance = &it->second;
-  }
+  const QueryRequest& request = *pending.request;
+  // The snapshot and structure were captured at admission (MVCC): no
+  // instance lookup here — a concurrent mutation commit or replace-load
+  // publishes a *new* snapshot and never touches this one.
+  const MutableInstance::Snapshot& snap = *pending.snap;
 
   QueryResponse response;
   response.queue_ms = queue_ms;
+  response.version = snap.version;
   StopWatch total_watch;
 
   AnswerOptions options;
-  options.bounds.mip.deadline = &deadline;
-  options.bounds.mip.cache = &cache_;
+  options.bounds.mip.deadline = &pending.deadline;
+  options.bounds.mip.cache = pending.inst->cache();
+  options.bounds.mip.incumbent_pool = pending.inst->incumbents();
   options.bounds.mip.scheduler = &scheduler_;
 
   telemetry::ScopedSpan solve_span("service", "solve");
@@ -303,7 +413,7 @@ Result<QueryResponse> QueryService::Process(const QueryRequest& request,
   // AnswerAggregate takes the database by value: each request evaluates
   // against its own copy, so concurrent requests never share the mutable
   // variable pool / constraint set the operators append to.
-  auto answer = AnswerAggregate(*request.query, instance->db, options);
+  auto answer = AnswerAggregate(*request.query, snap.db, options);
   response.solve_ms = solve_watch.ElapsedMs();
   solve_span.End();
   if (!answer.ok()) return answer.status();
@@ -318,15 +428,16 @@ Result<QueryResponse> QueryService::Process(const QueryRequest& request,
 
   if (!response.min_exact || !response.max_exact) {
     response.degraded = true;
-    Degrade(request, *instance, &response);
+    Degrade(request, snap.db, *pending.structure, &response);
   }
   response.total_ms = queue_ms + total_watch.ElapsedMs();
   return response;
 }
 
-void QueryService::Degrade(const QueryRequest& request,
-                           const Instance& instance,
-                           QueryResponse* response) {
+void QueryService::Degrade(
+    const QueryRequest& request, const LicmDatabase& db,
+    const std::optional<sampler::WorldStructure>& structure,
+    QueryResponse* response) {
   telemetry::ScopedSpan span("service", "degrade");
   const int worlds =
       request.mc_worlds > 0 ? request.mc_worlds : config_.degraded_worlds;
@@ -337,12 +448,16 @@ void QueryService::Degrade(const QueryRequest& request,
   double sample_min = 0.0, sample_max = 0.0;
   bool have_samples = false;
   int sampled = 0;
-  if (instance.structure.has_value()) {
+  // A structure compiled for an earlier version can no longer cover the
+  // pool once appends allocate fresh variables — fall back to rejection
+  // sampling rather than sample from a stale shape.
+  const bool structure_usable =
+      structure.has_value() && structure->num_vars >= db.pool().size();
+  if (structure_usable) {
     sampler::MonteCarloOptions mco;
     mco.num_worlds = worlds;
     mco.seed = seed;
-    auto mc = sampler::MonteCarloBounds(instance.db, *instance.structure,
-                                        *request.query, mco);
+    auto mc = sampler::MonteCarloBounds(db, *structure, *request.query, mco);
     if (mc.ok()) {
       sample_min = mc->min;
       sample_max = mc->max;
@@ -356,10 +471,9 @@ void QueryService::Degrade(const QueryRequest& request,
     Rng rng(seed);
     for (int i = 0; i < worlds; ++i) {
       auto assignment = sampler::SampleValidAssignment(
-          instance.db.constraints(),
-          static_cast<uint32_t>(instance.db.pool().size()), &rng);
+          db.constraints(), static_cast<uint32_t>(db.pool().size()), &rng);
       if (!assignment.ok()) break;
-      rel::Database world = instance.db.Instantiate(*assignment);
+      rel::Database world = db.Instantiate(*assignment);
       auto value = rel::EvaluateAggregate(*request.query, world);
       if (!value.ok()) break;  // e.g. MIN over a world with an empty answer
       if (!have_samples || *value < sample_min) sample_min = *value;
@@ -400,7 +514,19 @@ ServiceStats QueryService::Stats() const {
   s.uptime_s = uptime_watch_.ElapsedMs() / 1e3;
   s.snapshot_seq = ++snapshot_seq_;
   s.solve = solve_stats_;
-  s.cache = cache_.Snapshot();
+  s.mutations = mutations_;
+  // Per-instance caches: report the sum so the wire stats keep their old
+  // shape, plus the per-instance version vector (sorted for determinism).
+  for (const auto& [name, instance] : instances_) {
+    const solver::ComponentCacheStats c = instance.inst->cache()->Snapshot();
+    s.cache.hits += c.hits;
+    s.cache.misses += c.misses;
+    s.cache.inserts += c.inserts;
+    s.cache.evictions += c.evictions;
+    s.cache.cross_epoch_hits += c.cross_epoch_hits;
+    s.versions.emplace_back(name, instance.inst->version());
+  }
+  std::sort(s.versions.begin(), s.versions.end());
   return s;
 }
 

@@ -16,9 +16,17 @@
 // the exact BIP solve hits the deadline, the service degrades gracefully:
 // it returns the proved outer interval widened by a Monte-Carlo sample of
 // possible worlds, tagged `degraded=true`, instead of failing the
-// request. All requests share one solver Scheduler and one
-// ComponentCache, so isomorphic components recur across requests for
-// free and parallel solver capacity is pooled rather than per-request.
+// request. All requests share one solver Scheduler; each instance owns a
+// ComponentCache + IncumbentPool (licm/mutable_instance.h), so isomorphic
+// components recur across requests — and across mutation commits — for
+// free, while mutations on one instance can never evict another's entries.
+//
+// Instances are versioned and mutable (MVCC): Execute() captures the
+// instance's snapshot at admission, so a request admitted before a
+// mutation commit answers against the pre-commit version even if the
+// commit lands while the request is queued. Mutation verbs (AppendTuples
+// / RetractTuples / EditConstraintRhs / AddConstraint / LoadInstance with
+// replace) run on the caller's thread, serialized per instance.
 //
 // Determinism contract under concurrency: a non-degraded response is
 // bit-identical to an offline ComputeBounds run on the same instance and
@@ -41,11 +49,13 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/stopwatch.h"
 #include "licm/evaluator.h"
 #include "licm/licm_relation.h"
+#include "licm/mutable_instance.h"
 #include "relational/query.h"
 #include "sampler/structure.h"
 #include "solver/mip_solver.h"
@@ -117,6 +127,10 @@ struct QueryResponse {
   double solve_ms = 0.0;
   double sample_ms = 0.0;
   double total_ms = 0.0;
+  /// Instance version this response was computed against — the snapshot
+  /// captured at admission, so a query admitted before a mutation commit
+  /// reports (and answers against) the pre-commit version.
+  uint64_t version = 0;
   /// Solver statistics of this request's solve.
   solver::MipStats stats;
 };
@@ -169,8 +183,19 @@ struct ServiceStats {
   /// Strictly increasing per Stats() call; lets pollers order snapshots
   /// and detect restarts even within one second of uptime.
   int64_t snapshot_seq = 0;
+  /// Mutations committed across all instances (appends, retracts,
+  /// constraint edits, replace-loads).
+  int64_t mutations = 0;
+  /// Current version of every instance, sorted by name. Versions are
+  /// monotonic per instance; pollers use this to order mutation commits
+  /// against query responses.
+  std::vector<std::pair<std::string, uint64_t>> versions;
   /// Merged solver stats over all completed requests.
   solver::MipStats solve;
+  /// Summed per-instance component-cache stats (each instance owns its
+  /// cache so mutations on one instance never evict another's entries).
+  /// cache.cross_epoch_hits counts cached results that survived a version
+  /// bump — the incremental re-solve proof.
   solver::ComponentCacheStats cache;
 };
 
@@ -186,12 +211,46 @@ class QueryService {
   /// Registers a named instance. `structure` drives the degraded path's
   /// world sampling; without one the service falls back to generic
   /// rejection sampling against the constraint set (and to the proved
-  /// interval alone when that fails).
+  /// interval alone when that fails). Fails with kAlreadyExists if the
+  /// name is taken (LoadInstance with replace=true is the opt-in).
   Status AddInstance(std::string name, LicmDatabase db,
                      std::optional<sampler::WorldStructure> structure =
                          std::nullopt);
 
+  /// The `load` verb's semantics: registers `name`, or — only with
+  /// `replace` — swaps the database under an existing name through the
+  /// instance's MVCC commit, bumping its version; in-flight queries keep
+  /// answering against the snapshot they admitted on. Without `replace` a
+  /// name collision is a typed kAlreadyExists error.
+  Status LoadInstance(std::string name, LicmDatabase db,
+                      std::optional<sampler::WorldStructure> structure,
+                      bool replace);
+
   std::vector<std::string> InstanceNames() const;
+
+  /// Current version of an instance (kNotFound for unknown names).
+  Result<uint64_t> VersionOf(const std::string& name) const;
+
+  /// Mutation verbs: each commits one versioned mutation against the
+  /// named instance (serialized per instance by MutableInstance; the
+  /// service lock is not held during the commit). In-flight queries keep
+  /// their admission-time snapshot; later admissions see the new version.
+  Result<licm::MutationResult> AppendTuples(const std::string& instance,
+                                            const std::string& relation,
+                                            const std::vector<RowSpec>& rows);
+  Result<licm::MutationResult> RetractTuples(
+      const std::string& instance, const std::string& relation,
+      const std::vector<rel::Tuple>& rows);
+  Result<licm::MutationResult> EditConstraintRhs(const std::string& instance,
+                                                 size_t index,
+                                                 ConstraintOp op, int64_t rhs);
+  Result<licm::MutationResult> AddConstraint(const std::string& instance,
+                                             LinearConstraint c);
+
+  /// The live instance handle (tests and embedders; the wire layer only
+  /// uses the typed verbs above).
+  Result<std::shared_ptr<MutableInstance>> GetInstance(
+      const std::string& name) const;
 
   /// Admits, queues, and executes one request, blocking the caller until
   /// its response is ready. Safe to call from any number of threads —
@@ -216,14 +275,21 @@ class QueryService {
 
  private:
   struct Instance {
-    LicmDatabase db;
-    std::optional<sampler::WorldStructure> structure;
+    std::shared_ptr<MutableInstance> inst;
+    // Swapped as one shared_ptr so a request captures a (snapshot,
+    // structure) pair consistently at admission.
+    std::shared_ptr<const std::optional<sampler::WorldStructure>> structure;
   };
 
   struct Pending {
     const QueryRequest* request = nullptr;
     Deadline deadline = Deadline::Never();
     int64_t enqueue_ns = 0;
+    // MVCC capture at admission: the worker answers against exactly this
+    // snapshot, regardless of mutations committing while it waits.
+    std::shared_ptr<MutableInstance> inst;
+    std::shared_ptr<const MutableInstance::Snapshot> snap;
+    std::shared_ptr<const std::optional<sampler::WorldStructure>> structure;
     // Filled by the worker, signalled through `done`.
     std::optional<Result<QueryResponse>> outcome;
     bool done = false;
@@ -231,14 +297,19 @@ class QueryService {
   };
 
   void WorkerLoop();
-  Result<QueryResponse> Process(const QueryRequest& request,
-                                const Deadline& deadline, double queue_ms);
-  void Degrade(const QueryRequest& request, const Instance& instance,
+  Result<QueryResponse> Process(const Pending& pending, double queue_ms);
+  void Degrade(const QueryRequest& request, const LicmDatabase& db,
+               const std::optional<sampler::WorldStructure>& structure,
                QueryResponse* response);
+  // Looks up the instance handle under mu_ and bumps the mutation
+  // counters/metrics after `fn` commits.
+  Result<licm::MutationResult> Mutate(
+      const std::string& instance,
+      const std::function<Result<licm::MutationResult>(MutableInstance&)>&
+          fn);
 
   const ServiceConfig config_;
   solver::Scheduler scheduler_;
-  solver::ComponentCache cache_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
@@ -252,6 +323,7 @@ class QueryService {
   int64_t failed_ = 0;
   int64_t completed_ = 0;
   int64_t degraded_ = 0;
+  int64_t mutations_ = 0;
   solver::MipStats solve_stats_;
   std::function<void()> solve_hook_;
   // SLO capture ring (guarded by mu_; only touched for slow requests).

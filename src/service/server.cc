@@ -25,6 +25,23 @@ std::string RequestRouter::Handle(const std::string& line, bool* shutdown) {
   if (req.op == "instances") {
     return RenderInstances(req.id, service_->InstanceNames());
   }
+  if (req.op == "mutate") return HandleMutate(req);
+  if (req.op == "version") {
+    auto version = service_->VersionOf(req.instance);
+    if (!version.ok()) return RenderError(req.id, version.status());
+    return RenderVersion(req.id, req.instance, *version);
+  }
+  if (req.op == "load") {
+    if (!loader_) {
+      return RenderError(req.id, Status::InvalidArgument(
+                                     "this server has no instance loader"));
+    }
+    auto version = loader_(req.instance, req.spec, req.replace);
+    if (!version.ok()) return RenderError(req.id, version.status());
+    // A fresh registration publishes version 1; anything later means an
+    // existing instance was swapped in place.
+    return RenderLoadAck(req.id, req.instance, *version, *version > 1);
+  }
   if (req.op == "shutdown") {
     if (shutdown != nullptr) *shutdown = true;
     return RenderShutdownAck(req.id);
@@ -45,6 +62,70 @@ std::string RequestRouter::Handle(const std::string& line, bool* shutdown) {
   auto response = service_->Execute(request);
   if (!response.ok()) return RenderError(req.id, response.status());
   return RenderQueryResponse(req.id, *response);
+}
+
+std::string RequestRouter::HandleMutate(const WireRequest& req) {
+  Result<MutationResult> outcome =
+      Status::InvalidArgument("mutate needs an 'action' field");
+  if (req.action == "append" || req.action == "retract") {
+    if (req.relation.empty()) {
+      return RenderError(req.id,
+                         Status::InvalidArgument("mutate " + req.action +
+                                                 " needs a 'relation'"));
+    }
+    // Parse the row against the schema of the *current* snapshot; the
+    // typed verb re-validates against the commit-time snapshot.
+    auto inst = service_->GetInstance(req.instance);
+    if (!inst.ok()) return RenderError(req.id, inst.status());
+    auto relation = (*inst)->snapshot()->db.GetRelation(req.relation);
+    if (!relation.ok()) return RenderError(req.id, relation.status());
+    auto tuple = rel::TupleFromText((*relation)->schema(), req.row);
+    if (!tuple.ok()) return RenderError(req.id, tuple.status());
+    if (req.action == "append") {
+      RowSpec spec;
+      spec.tuple = std::move(*tuple);
+      spec.maybe = req.maybe;
+      outcome = service_->AppendTuples(req.instance, req.relation, {spec});
+    } else {
+      outcome = service_->RetractTuples(req.instance, req.relation,
+                                        {std::move(*tuple)});
+    }
+  } else if (req.action == "edit") {
+    if (req.cindex < 0) {
+      return RenderError(
+          req.id, Status::InvalidArgument("mutate edit needs a 'cindex'"));
+    }
+    ConstraintOp op;
+    if (req.cop == "le") {
+      op = ConstraintOp::kLe;
+    } else if (req.cop == "ge") {
+      op = ConstraintOp::kGe;
+    } else if (req.cop == "eq") {
+      op = ConstraintOp::kEq;
+    } else {
+      return RenderError(req.id, Status::InvalidArgument(
+                                     "mutate edit needs 'cop' le|ge|eq"));
+    }
+    outcome = service_->EditConstraintRhs(
+        req.instance, static_cast<size_t>(req.cindex), op, req.rhs);
+  } else if (req.action == "fix") {
+    if (req.var < 0 || (req.value != 0 && req.value != 1)) {
+      return RenderError(req.id,
+                         Status::InvalidArgument(
+                             "mutate fix needs 'var' >= 0 and 'value' 0|1"));
+    }
+    LinearConstraint c;
+    c.terms.push_back({static_cast<BVar>(req.var), 1});
+    c.op = ConstraintOp::kEq;
+    c.rhs = req.value;
+    outcome = service_->AddConstraint(req.instance, std::move(c));
+  } else if (!req.action.empty()) {
+    return RenderError(req.id, Status::InvalidArgument(
+                                   "unknown mutate action '" + req.action +
+                                   "' (append|retract|edit|fix)"));
+  }
+  if (!outcome.ok()) return RenderError(req.id, outcome.status());
+  return RenderMutateResponse(req.id, *outcome);
 }
 
 int64_t RunBatch(RequestRouter* router, std::istream& in, std::ostream& out) {

@@ -27,9 +27,17 @@ class RequestRouter {
  public:
   using QueryFactory =
       std::function<Result<rel::QueryNodePtr>(const WireRequest&)>;
+  /// Builds and registers an instance for the `load` op from a spec
+  /// string (the transport layer owns the spec grammar, exactly as it
+  /// owns the query catalogue). Returns the published version.
+  using InstanceLoader = std::function<Result<uint64_t>(
+      const std::string& name, const std::string& spec, bool replace)>;
 
   RequestRouter(QueryService* service, QueryFactory factory)
       : service_(service), factory_(std::move(factory)) {}
+
+  /// Enables the `load` op; without a loader it reports kInvalidArgument.
+  void set_loader(InstanceLoader loader) { loader_ = std::move(loader); }
 
   /// Handles one request line and returns the response line (no trailing
   /// newline). Never throws and never returns an empty string: malformed
@@ -38,8 +46,11 @@ class RequestRouter {
   std::string Handle(const std::string& line, bool* shutdown);
 
  private:
+  std::string HandleMutate(const WireRequest& req);
+
   QueryService* service_;
   QueryFactory factory_;
+  InstanceLoader loader_;
 };
 
 /// Reads request lines from `in` until EOF or a shutdown request,

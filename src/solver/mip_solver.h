@@ -19,6 +19,7 @@ namespace licm::solver {
 
 class ComponentCache;
 class CutPool;
+class IncumbentPool;
 class Scheduler;
 
 struct MipOptions {
@@ -82,6 +83,13 @@ struct MipOptions {
   /// Cross-call cut reuse keyed by canonical form (see solve_cache.h).
   /// Optional even when use_cuts is set; per-search separation still runs.
   CutPool* cut_pool = nullptr;
+  /// Cross-call warm starts keyed by canonical form (see solve_cache.h):
+  /// the best feasible point of every searched component is pooled, and a
+  /// later solve of the same form seeds its search with the pooled point
+  /// (after re-checking feasibility against the concrete program). This is
+  /// how a versioned instance's re-solve skips the prologue of components
+  /// the cache could not memoize — too large, or previously time-limited.
+  IncumbentPool* incumbent_pool = nullptr;
   /// Pseudo-cost branching seeded by strong branching at the component
   /// root, replacing the most-fractional rule when relaxation data is
   /// available (falls back to the structural heuristic otherwise).
@@ -163,6 +171,9 @@ struct MipStats {
   /// Cut rows separated by this solve / replayed from the cut pool.
   int64_t cuts_generated = 0;
   int64_t cuts_reused = 0;
+  /// Component searches seeded with a feasible point from the incumbent
+  /// pool (the point passed the pre-seed feasibility re-check).
+  int64_t warm_incumbents = 0;
   /// Strong-branching probe solves at component roots.
   int64_t strong_branch_solves = 0;
   /// Resolved executor count of the solve (MergeFrom keeps the max).

@@ -7,6 +7,7 @@
 #include "common/stopwatch.h"
 #include "licm/aggregate.h"
 #include "licm/evaluator.h"
+#include "licm/mutable_instance.h"
 #include "licm/ops.h"
 #include "sampler/monte_carlo.h"
 #include "service/query_service.h"
@@ -489,6 +490,157 @@ InvariantReport CheckService(const CaseContext& ctx) {
   return Pass(name);
 }
 
+// Flattens an Answer run against an arbitrary database (the incremental
+// invariant compares a mutated instance to a from-scratch rebuild, so it
+// cannot go through the FuzzCase-based Answer above).
+Summary Summarize(const Result<AggregateAnswer>& ans) {
+  Summary s;
+  if (!ans.ok()) {
+    s.ok = false;
+    s.code = ans.status().code();
+    return s;
+  }
+  s.ok = true;
+  s.min = ans->bounds.min.value;
+  s.max = ans->bounds.max.value;
+  s.min_exact = ans->bounds.min.exact;
+  s.max_exact = ans->bounds.max.exact;
+  s.min_proved = ans->bounds.min.proved;
+  s.max_proved = ans->bounds.max.proved;
+  return s;
+}
+
+InvariantReport CheckIncremental(const CaseContext& ctx) {
+  const char* name = "incremental";
+  // A MutableInstance seeded from the case and an independently maintained
+  // shadow database receive the same seeded mutation sequence; after every
+  // step the instance's warm answer (per-instance cache + incumbent pool
+  // carried across versions) must be bit-identical to a cold
+  // AnswerAggregate on the shadow — including error codes, since random
+  // constraint edits can make the instance infeasible.
+  MutableInstance inst(ctx.c->db);
+  LicmDatabase shadow = ctx.c->db;
+  Rng rng(ctx.c->seed ^ 0xa11ce5eedULL);
+  uint64_t expect_version = 1;
+
+  constexpr int kSteps = 7;
+  for (int step = 0; step < kSteps; ++step) {
+    auto shadow_rel = shadow.GetMutableRelation(kFuzzRelation);
+    if (!shadow_rel.ok()) {
+      return Fail(name, "shadow relation: " + shadow_rel.status().ToString());
+    }
+    LicmRelation* srel = *shadow_rel;
+    const uint32_t nvars = shadow.pool().size();
+    const size_t ncons = shadow.constraints().size();
+
+    int action = static_cast<int>(rng.Uniform(5));
+    if (action == 2 && srel->size() == 0) action = 0;  // nothing to retract
+    if (action == 3 && ncons == 0) action = 0;         // nothing to edit
+    if (action == 4 && nvars == 0) action = 0;         // no vars to constrain
+
+    Result<MutationResult> r = Status::Internal("no action ran");
+    switch (action) {
+      case 0: {  // append a certain row
+        RowSpec row;
+        row.tuple = {rng.UniformInt(0, 5),
+                     std::string("x") + std::to_string(rng.Uniform(4)),
+                     rng.UniformInt(-3, 3)};
+        srel->AppendUnchecked(row.tuple, Ext::Certain());
+        r = inst.AppendTuples(kFuzzRelation, {row});
+        break;
+      }
+      case 1: {  // append a maybe row (fresh var, sometimes reused)
+        RowSpec row;
+        row.tuple = {rng.UniformInt(0, 5),
+                     std::string("y") + std::to_string(rng.Uniform(4)),
+                     rng.UniformInt(-3, 3)};
+        row.maybe = true;
+        const bool reuse = nvars > 0 && rng.Bernoulli(0.3);
+        BVar expect_var;
+        if (reuse) {
+          row.reuse_var = static_cast<BVar>(rng.Uniform(nvars));
+          expect_var = *row.reuse_var;
+        } else {
+          expect_var = shadow.pool().New();
+        }
+        srel->AppendUnchecked(row.tuple, Ext::Maybe(expect_var));
+        r = inst.AppendTuples(kFuzzRelation, {row});
+        if (r.ok() && !reuse) {
+          if (r->new_vars.size() != 1 || r->new_vars[0] != expect_var) {
+            return Fail(name,
+                        "step " + std::to_string(step) +
+                            ": fresh variable diverged from the shadow "
+                            "pool (instance allocated " +
+                            (r->new_vars.empty()
+                                 ? std::string("none")
+                                 : std::to_string(r->new_vars[0])) +
+                            ", shadow b" + std::to_string(expect_var) + ")");
+          }
+        }
+        break;
+      }
+      case 2: {  // retract a random existing row (first-match semantics)
+        const size_t pick = rng.Uniform(srel->size());
+        const rel::Tuple victim = srel->tuple(pick);
+        size_t first = 0;
+        while (srel->tuple(first) != victim) ++first;
+        srel->RemoveAt(first);
+        r = inst.RetractTuples(kFuzzRelation, {victim});
+        break;
+      }
+      case 3: {  // rewrite a random constraint's comparison
+        const size_t index = rng.Uniform(ncons);
+        const ConstraintOp op =
+            static_cast<ConstraintOp>(rng.Uniform(3));
+        const int64_t rhs = rng.UniformInt(0, nvars);
+        LinearConstraint edited = shadow.constraints().constraints()[index];
+        edited.op = op;
+        edited.rhs = rhs;
+        shadow.constraints().Replace(index, std::move(edited));
+        r = inst.EditConstraintRhs(index, op, rhs);
+        break;
+      }
+      default: {  // add a cardinality constraint over a random var subset
+        LinearConstraint c;
+        const uint32_t width =
+            static_cast<uint32_t>(rng.UniformInt(1, std::min(nvars, 3u)));
+        for (uint32_t j = 0; j < width; ++j) {
+          c.terms.push_back({static_cast<BVar>(rng.Uniform(nvars)), 1});
+        }
+        c.op = ConstraintOp::kLe;
+        c.rhs = rng.UniformInt(0, width);
+        shadow.constraints().Add(c);
+        r = inst.AddConstraint(c);
+        break;
+      }
+    }
+
+    if (!r.ok()) {
+      return Fail(name, "step " + std::to_string(step) + " (action " +
+                            std::to_string(action) +
+                            ") failed: " + r.status().ToString());
+    }
+    ++expect_version;
+    if (r->version != expect_version) {
+      return Fail(name, "step " + std::to_string(step) + ": version " +
+                            std::to_string(r->version) + " != expected " +
+                            std::to_string(expect_version));
+    }
+
+    const Summary warm =
+        Summarize(inst.Answer(*ctx.c->query, BaselineOptions()));
+    const Summary cold =
+        Summarize(AnswerAggregate(*ctx.c->query, shadow, BaselineOptions()));
+    if (!(warm == cold)) {
+      return Fail(name, "step " + std::to_string(step) + " (action " +
+                            std::to_string(action) +
+                            "): incremental answer " + warm.ToString() +
+                            " != from-scratch " + cold.ToString());
+    }
+  }
+  return Pass(name);
+}
+
 }  // namespace
 
 const char* VerdictName(Verdict v) {
@@ -547,6 +699,10 @@ const std::vector<Invariant>& AllInvariants() {
       {"service", "service responses match offline bounds; degraded "
                   "intervals contain them",
        CheckService},
+      {"incremental", "after every random mutation step, the versioned "
+                      "instance's warm answer is bit-identical to a "
+                      "from-scratch rebuild",
+       CheckIncremental},
   };
   return kAll;
 }

@@ -116,6 +116,38 @@ TEST(Protocol, ParsesAllFields) {
   EXPECT_EQ(77u, req->seed);
 }
 
+TEST(Protocol, ParsesMutateAndLoadFields) {
+  auto m = ParseRequestLine(
+      R"({"op":"mutate","id":4,"instance":"i","action":"append",)"
+      R"("relation":"t","row":"9,z","maybe":true,"cindex":2,"cop":"ge",)"
+      R"("rhs":5,"var":3,"value":1})");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ("mutate", m->op);
+  EXPECT_EQ("append", m->action);
+  EXPECT_EQ("t", m->relation);
+  EXPECT_EQ("9,z", m->row);
+  EXPECT_TRUE(m->maybe);
+  EXPECT_EQ(2, m->cindex);
+  EXPECT_EQ("ge", m->cop);
+  EXPECT_EQ(5, m->rhs);
+  EXPECT_EQ(3, m->var);
+  EXPECT_EQ(1, m->value);
+
+  auto l = ParseRequestLine(
+      R"({"op":"load","instance":"i","spec":"kanon:4","replace":true})");
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ("kanon:4", l->spec);
+  EXPECT_TRUE(l->replace);
+
+  // Mutation fields default to their sentinels.
+  auto d = ParseRequestLine(R"({"op":"mutate","instance":"i"})");
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d->maybe);
+  EXPECT_FALSE(d->replace);
+  EXPECT_EQ(-1, d->cindex);
+  EXPECT_EQ(-1, d->var);
+}
+
 TEST(Protocol, MissingOpAndMistypedFieldsAreTypedErrors) {
   EXPECT_FALSE(ParseRequestLine(R"({"id":1})").ok());
   EXPECT_FALSE(ParseRequestLine(R"({"op":"query","qnum":"one"})").ok());
@@ -405,6 +437,148 @@ TEST(QueryService, StatsSnapshotsAreOrderedAndCarryUptime) {
   EXPECT_GE(second.uptime_s, first.uptime_s);
 }
 
+// ---------------------------------------------------- mutations / MVCC --
+
+// A deterministic two-component instance: one certain tuple, four maybe
+// tuples, b0 + b1 >= 1 and b2 + b3 <= 1. COUNT(*) bounds are [2, 4]; after
+// flipping c1 to b2 + b3 >= 1 they become [3, 5].
+LicmDatabase TwoComponentDb() {
+  LicmDatabase db;
+  rel::Schema schema({{"id", rel::ValueType::kInt},
+                      {"item", rel::ValueType::kString}});
+  LicmRelation r(schema);
+  r.AppendUnchecked({int64_t{1}, std::string("a")}, Ext::Certain());
+  for (int i = 0; i < 4; ++i) {
+    const BVar v = db.pool().New();
+    r.AppendUnchecked({int64_t{2 + i}, std::string(1, char('b' + i))},
+                      Ext::Maybe(v));
+  }
+  EXPECT_TRUE(db.AddRelation("t", std::move(r)).ok());
+  LinearConstraint c0;
+  c0.terms = {{0, 1}, {1, 1}};
+  c0.op = ConstraintOp::kGe;
+  c0.rhs = 1;
+  db.constraints().Add(std::move(c0));
+  LinearConstraint c1;
+  c1.terms = {{2, 1}, {3, 1}};
+  c1.op = ConstraintOp::kLe;
+  c1.rhs = 1;
+  db.constraints().Add(std::move(c1));
+  return db;
+}
+
+TEST(QueryService, InFlightQueriesAnswerAgainstTheirAdmissionSnapshot) {
+  QueryService svc({.num_workers = 1, .solver_threads = 1});
+  ASSERT_TRUE(svc.AddInstance("case", TwoComponentDb()).ok());
+  const rel::QueryNodePtr query = rel::CountStar(rel::Scan("t"));
+
+  // Hold the worker at the start of its solve: the request was admitted
+  // (snapshot captured) but has not answered yet.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false, release = false;
+  svc.SetSolveHookForTest([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    entered = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  });
+
+  Result<QueryResponse> inflight = Status::Internal("unset");
+  std::thread t([&] {
+    QueryRequest req;
+    req.instance = "case";
+    req.query = query;
+    req.deadline_s = 1e9;
+    inflight = svc.Execute(req);
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered; });
+  }
+  // Commit a mutation while the request is in flight.
+  auto edit = svc.EditConstraintRhs("case", 1, ConstraintOp::kGe, 1);
+  ASSERT_TRUE(edit.ok()) << edit.status().ToString();
+  EXPECT_EQ(2u, edit->version);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  t.join();
+  svc.SetSolveHookForTest(nullptr);
+
+  // The in-flight request answered against the pre-commit snapshot.
+  ASSERT_TRUE(inflight.ok()) << inflight.status().ToString();
+  EXPECT_EQ(1u, inflight->version);
+  EXPECT_EQ(2.0, inflight->min);
+  EXPECT_EQ(4.0, inflight->max);
+
+  // A post-commit admission sees the new version and the new bounds.
+  QueryRequest req;
+  req.instance = "case";
+  req.query = query;
+  req.deadline_s = 1e9;
+  auto after = svc.Execute(req);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(2u, after->version);
+  EXPECT_EQ(3.0, after->min);
+  EXPECT_EQ(5.0, after->max);
+}
+
+TEST(QueryService, StatsCarryMutationCountAndMonotonicVersions) {
+  QueryService svc({.num_workers = 1, .solver_threads = 1});
+  ASSERT_TRUE(svc.AddInstance("a", TwoComponentDb()).ok());
+  ASSERT_TRUE(svc.AddInstance("b", TwoComponentDb()).ok());
+  ASSERT_TRUE(svc.EditConstraintRhs("a", 0, ConstraintOp::kGe, 2).ok());
+  ASSERT_TRUE(
+      svc.AppendTuples("a", "t", {{rel::Tuple{int64_t{9}, std::string("z")},
+                                   false, std::nullopt}})
+          .ok());
+  EXPECT_EQ(3u, *svc.VersionOf("a"));
+  EXPECT_EQ(1u, *svc.VersionOf("b"));
+  EXPECT_EQ(StatusCode::kNotFound, svc.VersionOf("nope").status().code());
+
+  const ServiceStats s = svc.Stats();
+  EXPECT_EQ(2, s.mutations);
+  ASSERT_EQ(2u, s.versions.size());  // sorted by name
+  EXPECT_EQ("a", s.versions[0].first);
+  EXPECT_EQ(3u, s.versions[0].second);
+  EXPECT_EQ("b", s.versions[1].first);
+  EXPECT_EQ(1u, s.versions[1].second);
+
+  // Versions only ever move forward across snapshots.
+  ASSERT_TRUE(
+      svc.RetractTuples("a", "t", {rel::Tuple{int64_t{9}, std::string("z")}})
+          .ok());
+  const ServiceStats s2 = svc.Stats();
+  EXPECT_EQ(4u, s2.versions[0].second);
+  EXPECT_EQ(3, s2.mutations);
+}
+
+TEST(QueryService, LoadCollisionIsTypedAndReplaceBumpsVersion) {
+  QueryService svc({.num_workers = 1, .solver_threads = 1});
+  ASSERT_TRUE(
+      svc.LoadInstance("a", TwoComponentDb(), std::nullopt, false).ok());
+  EXPECT_EQ(1u, *svc.VersionOf("a"));
+
+  Status dup = svc.LoadInstance("a", TwoComponentDb(), std::nullopt, false);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(StatusCode::kAlreadyExists, dup.code());
+  EXPECT_NE(std::string::npos, dup.message().find("replace"));
+  EXPECT_EQ(1u, *svc.VersionOf("a"));  // collision committed nothing
+
+  ASSERT_TRUE(
+      svc.LoadInstance("a", TwoComponentDb(), std::nullopt, true).ok());
+  EXPECT_EQ(2u, *svc.VersionOf("a"));
+  EXPECT_EQ(1, svc.Stats().mutations);  // the replace was a commit
+
+  // replace=true on a fresh name is a plain registration at version 1.
+  ASSERT_TRUE(
+      svc.LoadInstance("b", TwoComponentDb(), std::nullopt, true).ok());
+  EXPECT_EQ(1u, *svc.VersionOf("b"));
+}
+
 // ------------------------------------------------------------ transports --
 
 RequestRouter::QueryFactory FixtureFactory(const ServiceFixture& f) {
@@ -502,6 +676,99 @@ TEST(Transport, MetricsAndSlowlogVerbs) {
   ASSERT_GE(slowlog->array.size(), 1u);
   EXPECT_EQ("case", slowlog->array[0].GetString("instance", "").value());
   EXPECT_GE(slowlog->array[0].GetNumber("total_ms", -1).value(), 0.0);
+}
+
+TEST(Transport, MutateVersionAndLoadVerbs) {
+  QueryService svc({.num_workers = 1, .solver_threads = 1});
+  ASSERT_TRUE(svc.AddInstance("case", TwoComponentDb()).ok());
+  const rel::QueryNodePtr query = rel::CountStar(rel::Scan("t"));
+  RequestRouter router(&svc, [query](const WireRequest&)
+                                 -> Result<rel::QueryNodePtr> {
+    return query;
+  });
+  router.set_loader([&svc](const std::string& name, const std::string&,
+                           bool replace) -> Result<uint64_t> {
+    LICM_RETURN_NOT_OK(
+        svc.LoadInstance(name, TwoComponentDb(), std::nullopt, replace));
+    return svc.VersionOf(name);
+  });
+
+  std::istringstream in(
+      "{\"op\":\"query\",\"id\":1,\"instance\":\"case\"}\n"
+      "{\"op\":\"version\",\"id\":2,\"instance\":\"case\"}\n"
+      "{\"op\":\"mutate\",\"id\":3,\"instance\":\"case\",\"action\":\"edit\","
+      "\"cindex\":1,\"cop\":\"ge\",\"rhs\":1}\n"
+      "{\"op\":\"query\",\"id\":4,\"instance\":\"case\"}\n"
+      "{\"op\":\"mutate\",\"id\":5,\"instance\":\"case\","
+      "\"action\":\"append\",\"relation\":\"t\",\"row\":\"9,z\","
+      "\"maybe\":true}\n"
+      "{\"op\":\"mutate\",\"id\":6,\"instance\":\"case\","
+      "\"action\":\"bogus\"}\n"
+      "{\"op\":\"load\",\"id\":7,\"instance\":\"case\"}\n"
+      "{\"op\":\"load\",\"id\":8,\"instance\":\"case\",\"replace\":true}\n"
+      "{\"op\":\"version\",\"id\":9,\"instance\":\"case\"}\n"
+      "{\"op\":\"stats\",\"id\":10}\n");
+  std::ostringstream out;
+  EXPECT_EQ(10, RunBatch(&router, in, out));
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<service::JsonValue> replies;
+  while (std::getline(lines, line)) {
+    auto v = ParseJson(line);
+    ASSERT_TRUE(v.ok()) << line;
+    replies.push_back(std::move(*v));
+  }
+  ASSERT_EQ(10u, replies.size());
+
+  // Query before any mutation: version 1, bounds [2, 4].
+  EXPECT_TRUE(replies[0].GetBool("ok", false).value());
+  EXPECT_EQ(1, replies[0].GetInt("version", 0).value());
+  EXPECT_EQ(2.0, replies[0].GetNumber("min", -1).value());
+  EXPECT_EQ(4.0, replies[0].GetNumber("max", -1).value());
+  // The version verb agrees.
+  EXPECT_TRUE(replies[1].GetBool("ok", false).value());
+  EXPECT_EQ("case", replies[1].GetString("instance", "").value());
+  EXPECT_EQ(1, replies[1].GetInt("version", 0).value());
+  // The edit committed version 2 and reports its dirty set.
+  EXPECT_TRUE(replies[2].GetBool("ok", false).value());
+  EXPECT_EQ(2, replies[2].GetInt("version", 0).value());
+  EXPECT_EQ(1, replies[2].GetInt("cindex", -1).value());
+  EXPECT_EQ(1, replies[2].GetInt("dirty_components", 0).value());
+  EXPECT_EQ(2, replies[2].GetInt("total_components", 0).value());
+  // Post-edit query: version 2, bounds [3, 5].
+  EXPECT_EQ(2, replies[3].GetInt("version", 0).value());
+  EXPECT_EQ(3.0, replies[3].GetNumber("min", -1).value());
+  EXPECT_EQ(5.0, replies[3].GetNumber("max", -1).value());
+  // The maybe-append allocated the next pool variable (b4).
+  EXPECT_TRUE(replies[4].GetBool("ok", false).value());
+  EXPECT_EQ(3, replies[4].GetInt("version", 0).value());
+  EXPECT_EQ(1, replies[4].GetInt("appended", 0).value());
+  const service::JsonValue* new_vars = replies[4].Find("new_vars");
+  ASSERT_NE(nullptr, new_vars);
+  ASSERT_EQ(1u, new_vars->array.size());
+  EXPECT_EQ(4.0, new_vars->array[0].number);
+  // Unknown action: typed error, nothing committed.
+  EXPECT_FALSE(replies[5].GetBool("ok", true).value());
+  EXPECT_NE(std::string::npos,
+            replies[5].GetString("error", "").value().find("action"));
+  // Load collision without replace: typed error pointing at the opt-in.
+  EXPECT_FALSE(replies[6].GetBool("ok", true).value());
+  EXPECT_NE(std::string::npos,
+            replies[6].GetString("error", "").value().find("replace"));
+  // load replace=true swaps the database and bumps the version.
+  EXPECT_TRUE(replies[7].GetBool("ok", false).value());
+  EXPECT_TRUE(replies[7].GetBool("replaced", false).value());
+  EXPECT_EQ(4, replies[7].GetInt("version", 0).value());
+  EXPECT_EQ(4, replies[8].GetInt("version", 0).value());
+  // Stats: three commits (edit, append, replace-load), the instance's
+  // version, and cross-version cache hits from the post-edit query.
+  EXPECT_TRUE(replies[9].GetBool("ok", false).value());
+  EXPECT_EQ(3, replies[9].GetInt("mutations", 0).value());
+  const service::JsonValue* versions = replies[9].Find("versions");
+  ASSERT_NE(nullptr, versions);
+  EXPECT_EQ(4, versions->GetInt("case", 0).value());
+  EXPECT_GE(replies[9].GetInt("cache_cross_version_hits", -1).value(), 1);
 }
 
 // Minimal blocking line client for the loopback test.

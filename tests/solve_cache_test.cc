@@ -255,6 +255,106 @@ TEST(ComponentCacheTest, ConcurrentInsertLookupSmoke) {
   EXPECT_LE(cache.size(), 64u);
 }
 
+TEST(ComponentCacheTest, EpochCountsCrossVersionHits) {
+  ComponentCache cache;
+  CanonicalForm a = FormWithRhs(1), b = FormWithRhs(2);
+  ComponentCache::Entry e;
+  e.status = SolveStatus::kOptimal;
+  ASSERT_TRUE(cache.Insert(a, e));
+
+  // Same-epoch hits are ordinary hits.
+  EXPECT_TRUE(cache.Lookup(a, &e));
+  EXPECT_EQ(cache.Snapshot().cross_epoch_hits, 0);
+
+  // After a version bump (mutation commit), a hit on the pre-bump entry is
+  // the proof that the fingerprint-keyed result survived the mutation.
+  cache.BumpEpoch();
+  EXPECT_EQ(cache.epoch(), 1u);
+  EXPECT_TRUE(cache.Lookup(a, &e));
+  EXPECT_EQ(cache.Snapshot().cross_epoch_hits, 1);
+
+  // Entries inserted in the current epoch do not count.
+  ASSERT_TRUE(cache.Insert(b, e));
+  EXPECT_TRUE(cache.Lookup(b, &e));
+  EXPECT_EQ(cache.Snapshot().cross_epoch_hits, 1);
+
+  // Two bumps later, both entries predate the epoch.
+  cache.BumpEpoch();
+  EXPECT_TRUE(cache.Lookup(a, &e));
+  EXPECT_TRUE(cache.Lookup(b, &e));
+  EXPECT_EQ(cache.Snapshot().cross_epoch_hits, 3);
+}
+
+TEST(ComponentCacheTest, EraseKeysRetiresExactFingerprints) {
+  ComponentCache cache;
+  CanonicalForm a = FormWithRhs(1), b = FormWithRhs(2), c = FormWithRhs(3);
+  ComponentCache::Entry e;
+  e.status = SolveStatus::kOptimal;
+  ASSERT_TRUE(cache.Insert(a, e));
+  ASSERT_TRUE(cache.Insert(b, e));
+  ASSERT_TRUE(cache.Insert(c, e));
+
+  EXPECT_EQ(cache.EraseKeys({a.key, "no-such-fingerprint"}), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Lookup(a, &e));
+  EXPECT_TRUE(cache.Lookup(b, &e));
+  EXPECT_TRUE(cache.Lookup(c, &e));
+  EXPECT_EQ(cache.EraseKeys({}), 0u);
+}
+
+// ---- IncumbentPool ----
+
+TEST(IncumbentPoolTest, TranslatesSolutionsAcrossIsomorphs) {
+  LinearProgram lp;
+  for (int v = 0; v < 3; ++v) lp.AddBinary();
+  lp.SetObjectiveCoef(0, 1.0);
+  lp.SetObjectiveCoef(1, 2.0);
+  lp.SetObjectiveCoef(2, 1.0);
+  lp.AddRow(Row{{{0, 1}, {1, 1}, {2, 1}}, RowOp::kLe, 2});
+
+  Rng rng(17);
+  LinearProgram iso =
+      PermuteProgram(lp, RandomPermutation(lp.num_vars(), &rng), &rng);
+  CanonicalForm a = Canonicalize(lp);
+  CanonicalForm b = Canonicalize(iso);
+  ASSERT_EQ(a.key, b.key);
+
+  solver::IncumbentPool pool;
+  std::vector<double> x = {1.0, 1.0, 0.0};
+  ASSERT_TRUE(lp.IsFeasible(x));
+  pool.Store(a, lp.EvalObjective(x), x);
+  EXPECT_EQ(pool.size(), 1u);
+
+  // Fetching through the isomorph's form lands a point that is feasible
+  // for the isomorph and worth the same objective.
+  std::vector<double> mapped;
+  ASSERT_TRUE(pool.Fetch(b, &mapped));
+  EXPECT_TRUE(iso.IsFeasible(mapped));
+  EXPECT_DOUBLE_EQ(iso.EvalObjective(mapped), lp.EvalObjective(x));
+  EXPECT_EQ(pool.hits(), 1);
+
+  std::vector<double> none;
+  EXPECT_FALSE(pool.Fetch(FormWithRhs(7), &none));
+}
+
+TEST(IncumbentPoolTest, KeepsTheBetterIncumbent) {
+  LinearProgram lp;
+  for (int v = 0; v < 2; ++v) lp.AddBinary();
+  lp.SetObjectiveCoef(0, 1.0);
+  lp.SetObjectiveCoef(1, 1.0);
+  lp.AddRow(Row{{{0, 1}, {1, 1}}, RowOp::kLe, 2});
+  CanonicalForm f = Canonicalize(lp);
+
+  solver::IncumbentPool pool;
+  pool.Store(f, 1.0, {1.0, 0.0});
+  pool.Store(f, 2.0, {1.0, 1.0});  // better: replaces
+  pool.Store(f, 0.0, {0.0, 0.0});  // worse: ignored
+  std::vector<double> x;
+  ASSERT_TRUE(pool.Fetch(f, &x));
+  EXPECT_DOUBLE_EQ(lp.EvalObjective(x), 2.0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
 // ---- MipStats ----
 
 TEST(MipStatsTest, MergeFromSumsCountersAndSplitsWallFromCpu) {
@@ -356,6 +456,27 @@ TEST(SolveMinMax, MatchesSeparateSolves) {
   }
 }
 
+TEST(IncumbentPoolTest, WarmStartsUncacheableResolves) {
+  // With the memo cache off, the pool is the only carrier across solves:
+  // the second run must seed incumbents from the first and still produce
+  // bit-identical results.
+  Rng rng(53);
+  LinearProgram lp = RandomProgram(&rng, 10);
+  solver::IncumbentPool pool;
+  MipOptions opt;
+  opt.use_cache = false;
+  opt.incumbent_pool = &pool;
+  MipSolver solver(opt);
+
+  const solver::MinMaxMipResult cold = solver.SolveMinMax(lp);
+  if (!cold.min.has_solution) GTEST_SKIP() << "random program infeasible";
+  ASSERT_GT(pool.size(), 0u);
+  const solver::MinMaxMipResult warm = solver.SolveMinMax(lp);
+  EXPECT_GT(warm.stats.warm_incumbents, 0);
+  ExpectSameResult(warm.min, cold.min);
+  ExpectSameResult(warm.max, cold.max);
+}
+
 // ---- Aggregate layer ----
 
 // A constraint set of `groups` structurally identical blocks over disjoint
@@ -408,6 +529,67 @@ TEST(AggregateCache, SharedCacheCarriesAcrossCalls) {
   EXPECT_EQ(second->stats.cache_misses, 0);
   EXPECT_DOUBLE_EQ(second->min.value, first->min.value);
   EXPECT_DOUBLE_EQ(second->max.value, first->max.value);
+}
+
+TEST(AggregateCache, MutationKeepsUntouchedComponentsCached) {
+  // The streaming commit protocol at the cache level: solve K pairwise
+  // non-isomorphic groups (distinct sizes, so every group has its own
+  // fingerprint), bump the epoch (one mutation commit), perturb exactly
+  // one group, and re-solve. The K-1 untouched groups must be answered by
+  // cross-epoch hits, the touched group's new fingerprint must miss and
+  // insert, and nothing may be evicted.
+  const int kGroups = 10;
+  auto group_vars = [](int g) {
+    // Group g owns 2+g consecutive variables; distinct widths keep the
+    // canonical forms distinct.
+    std::vector<BVar> vars;
+    BVar base = 0;
+    for (int h = 0; h < g; ++h) base += static_cast<BVar>(2 + h);
+    for (int i = 0; i < 2 + g; ++i) vars.push_back(base + i);
+    return vars;
+  };
+  uint32_t num_vars = 0;
+  for (int g = 0; g < kGroups; ++g) num_vars += 2 + g;
+
+  auto build = [&](int64_t group0_z1, int64_t group0_z2) {
+    ConstraintSet cs;
+    for (int g = 0; g < kGroups; ++g) {
+      std::vector<BVar> vars = group_vars(g);
+      const int64_t z1 = g == 0 ? group0_z1 : 1;
+      const int64_t z2 =
+          g == 0 ? group0_z2 : static_cast<int64_t>(vars.size()) - 1;
+      cs.AddCardinality(vars, z1, z2);
+    }
+    return cs;
+  };
+  Objective obj;
+  for (BVar v = 0; v < num_vars; ++v) obj.coefs[v] = 1.0;
+
+  ComponentCache shared;
+  BoundsOptions options;
+  options.mip.cache = &shared;
+  auto before = ComputeBounds(obj, build(1, 1), num_vars, options);
+  ASSERT_TRUE(before.ok());
+  const solver::ComponentCacheStats cold = shared.Snapshot();
+
+  shared.BumpEpoch();
+  // "Mutate" group 0: shift its cardinality band from [1,1] to [0,1].
+  // All other groups keep their constraints — and their fingerprints.
+  auto after = ComputeBounds(obj, build(0, 1), num_vars, options);
+  ASSERT_TRUE(after.ok());
+  const solver::ComponentCacheStats warm = shared.Snapshot();
+
+  // Untouched components were served across the version bump.
+  EXPECT_GE(warm.cross_epoch_hits, 2 * (kGroups - 1));
+  // Only the touched component's new fingerprint missed (once per sense).
+  EXPECT_LE(warm.misses - cold.misses, 2);
+  EXPECT_GE(warm.inserts - cold.inserts, 1);
+  // Mutation never evicts: stale fingerprints just stop being looked up.
+  EXPECT_EQ(warm.evictions, 0);
+  // And the bounds reflect the edit: group 0's band shifted from [1,1] to
+  // [0,1], so the floor drops by one and the ceiling is unchanged.
+  EXPECT_DOUBLE_EQ(after->min.value, before->min.value - 1.0);
+  EXPECT_DOUBLE_EQ(after->max.value, before->max.value);
 }
 
 // Random oracle-sized instances: the cache must be answer-invisible.

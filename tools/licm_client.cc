@@ -4,6 +4,12 @@
 //               [--instance SPEC]... [--qnums 1,2,3] [--deadline-ms D]
 //               [--degraded-every K] [--burst B] [--verify]
 //               [--json BENCH_service.json] [--shutdown] [--version]
+//   licm_client --port P --raw LINE [--raw LINE]...
+//
+// --raw sends the given request lines verbatim over one connection and
+// prints each response line to stdout — the scriptable path to the
+// `mutate` / `version` / `load` verbs (exit 1 if any response has
+// ok:false). No load phase, no JSON report.
 //
 // Phase 1 (load): C concurrent connections each issue N query requests
 // round-robin over the instance x qnum mix, measuring per-request
@@ -202,8 +208,9 @@ int Usage(const char* argv0) {
       "usage: %s --port P [--host H] [--connections C] [--requests N]\n"
       "          [--instance SPEC]... [--qnums 1,2] [--deadline-ms D]\n"
       "          [--degraded-every K] [--burst B] [--verify]\n"
-      "          [--json FILE] [--shutdown] [--version]\n",
-      argv0);
+      "          [--json FILE] [--shutdown] [--version]\n"
+      "       %s --port P --raw LINE [--raw LINE]...\n",
+      argv0, argv0);
   return 2;
 }
 
@@ -222,6 +229,7 @@ int main(int argc, char** argv) {
   bool verify = false;
   bool send_shutdown = false;
   std::string json_path = "BENCH_service.json";
+  std::vector<std::string> raw_lines;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -277,11 +285,47 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       json_path = v;
+    } else if (arg == "--raw") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      raw_lines.push_back(v);
     } else {
       return Usage(argv[0]);
     }
   }
   if (port <= 0) return Usage(argv[0]);
+
+  if (!raw_lines.empty()) {
+    Conn conn;
+    Status connected = conn.Connect(host, port);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "%s\n", connected.ToString().c_str());
+      return 1;
+    }
+    bool all_ok = true;
+    for (const std::string& line : raw_lines) {
+      Status sent = conn.SendLine(line);
+      if (!sent.ok()) {
+        std::fprintf(stderr, "%s\n", sent.ToString().c_str());
+        return 1;
+      }
+      auto response = conn.RecvLine();
+      if (!response.ok()) {
+        std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%s\n", response->c_str());
+      auto parsed = service::ParseJson(*response);
+      if (!parsed.ok()) {
+        all_ok = false;
+      } else {
+        auto ok = parsed->GetBool("ok", false);
+        if (!ok.ok() || !*ok) all_ok = false;
+      }
+    }
+    return all_ok ? 0 : 1;
+  }
+
   if (instance_args.empty()) instance_args.push_back("demo=kanon:4");
   if (qnums.empty()) qnums = {1, 2};
   if (connections < 1) connections = 1;

@@ -23,6 +23,7 @@
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -120,6 +121,10 @@ int main(int argc, char** argv) {
   if (instance_args.empty()) instance_args.push_back("demo=kanon:4");
 
   service::QueryService svc(config);
+  // The spec map backs both the query factory (qnum -> query against the
+  // instance's scheme) and the `load` verb, which mutates it from
+  // connection threads — hence the mutex.
+  std::mutex specs_mu;
   std::map<std::string, tools::InstanceSpec> specs;
   for (const std::string& text : instance_args) {
     auto spec = tools::ParseInstanceSpec(text);
@@ -148,14 +153,38 @@ int main(int argc, char** argv) {
 
   service::RequestRouter router(
       &svc,
-      [&specs](const service::WireRequest& req)
+      [&specs, &specs_mu](const service::WireRequest& req)
           -> Result<rel::QueryNodePtr> {
-        auto it = specs.find(req.instance);
-        if (it == specs.end()) {
-          return Status::NotFound("unknown instance '" + req.instance + "'");
+        tools::InstanceSpec spec;
+        {
+          std::lock_guard<std::mutex> lock(specs_mu);
+          auto it = specs.find(req.instance);
+          if (it == specs.end()) {
+            return Status::NotFound("unknown instance '" + req.instance +
+                                    "'");
+          }
+          spec = it->second;
         }
-        return tools::BuildServiceQuery(it->second, req.qnum);
+        return tools::BuildServiceQuery(spec, req.qnum);
       });
+  router.set_loader([&svc, &specs, &specs_mu](
+                        const std::string& name, const std::string& text,
+                        bool replace) -> Result<uint64_t> {
+    if (name.empty()) {
+      return Status::InvalidArgument("load needs an 'instance' name");
+    }
+    // The wire spec omits the name= prefix of the CLI grammar.
+    LICM_ASSIGN_OR_RETURN(tools::InstanceSpec spec,
+                          tools::ParseInstanceSpec(name + "=" + text));
+    LICM_ASSIGN_OR_RETURN(auto enc, tools::BuildInstance(spec));
+    LICM_RETURN_NOT_OK(svc.LoadInstance(name, std::move(enc.db),
+                                        std::move(enc.structure), replace));
+    {
+      std::lock_guard<std::mutex> lock(specs_mu);
+      specs.insert_or_assign(name, spec);
+    }
+    return svc.VersionOf(name);
+  });
 
   auto render_metrics = [] {
     return metrics::MetricsRegistry::Default().RenderPrometheus();
