@@ -338,12 +338,10 @@ int64_t PeakRssKb() {
   return static_cast<int64_t>(usage.ru_maxrss);
 }
 
-Status WriteBenchJson(const std::string& path,
-                      const std::vector<JsonRecord>& records) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::Internal("cannot open " + path + " for writing");
-  }
+namespace {
+
+void WriteProvenancedRows(std::FILE* f,
+                          const std::vector<JsonRecord>& records) {
   // Provenance prefix spliced into every row: one touch point covers all
   // bench binaries, and per-row stamping keeps rows self-describing when
   // files are concatenated across runs. Peak RSS and the registry totals
@@ -367,7 +365,6 @@ Status WriteBenchJson(const std::string& path,
                     reg.CounterTotal("licm_query_constraints_emitted_total")),
                 static_cast<long long>(
                     reg.CounterTotal("licm_query_arena_bytes_total")));
-  std::fputs("[\n", f);
   for (size_t i = 0; i < records.size(); ++i) {
     const std::string row = records[i].ToJson();
     if (row.size() > 2) {  // non-empty record: replace its leading '{'
@@ -378,6 +375,58 @@ Status WriteBenchJson(const std::string& path,
     }
     std::fputs(i + 1 < records.size() ? ",\n" : "\n", f);
   }
+}
+
+}  // namespace
+
+Status WriteBenchJson(const std::string& path,
+                      const std::vector<JsonRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  std::fputs("[\n", f);
+  WriteProvenancedRows(f, records);
+  std::fputs("]\n", f);
+  if (std::fclose(f) != 0) {
+    return Status::Internal("error writing " + path);
+  }
+  return Status::OK();
+}
+
+Status AppendBenchJson(const std::string& path,
+                       const std::vector<JsonRecord>& records) {
+  std::string existing;
+  {
+    std::FILE* in = std::fopen(path.c_str(), "r");
+    if (in == nullptr) return WriteBenchJson(path, records);
+    char chunk[4096];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), in)) > 0) {
+      existing.append(chunk, n);
+    }
+    std::fclose(in);
+  }
+  const size_t close_bracket = existing.find_last_of(']');
+  if (close_bracket == std::string::npos) {
+    // Not a bench array (empty/corrupt file): start fresh.
+    return WriteBenchJson(path, records);
+  }
+  std::string head = existing.substr(0, close_bracket);
+  while (!head.empty() &&
+         (head.back() == '\n' || head.back() == '\r' || head.back() == ' ' ||
+          head.back() == '\t')) {
+    head.pop_back();
+  }
+  const bool has_rows = !head.empty() && head.back() != '[';
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  std::fputs(head.c_str(), f);
+  std::fputs(has_rows ? ",\n" : "\n", f);
+  WriteProvenancedRows(f, records);
   std::fputs("]\n", f);
   if (std::fclose(f) != 0) {
     return Status::Internal("error writing " + path);

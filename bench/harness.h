@@ -171,6 +171,13 @@ int64_t PeakRssKb();
 Status WriteBenchJson(const std::string& path,
                       const std::vector<JsonRecord>& records);
 
+/// Appends rows to an existing BENCH file (written by WriteBenchJson),
+/// preserving its rows; starts a fresh file when `path` is missing or
+/// not a bench array. Lets multi-phase drivers (e.g. licm_client runs
+/// against several server topologies) accumulate one comparable file.
+Status AppendBenchJson(const std::string& path,
+                       const std::vector<JsonRecord>& records);
+
 }  // namespace licm::bench
 
 #endif  // LICM_BENCH_HARNESS_H_

@@ -1,0 +1,104 @@
+#include "net/coalescer.h"
+
+#include <utility>
+
+#include "common/metrics.h"
+#include "relational/query.h"
+
+namespace licm::net {
+
+namespace {
+
+struct CoalescerMetrics {
+  metrics::Counter* hits;
+  metrics::Counter* misses;
+
+  static const CoalescerMetrics& Get() {
+    static const CoalescerMetrics m;
+    return m;
+  }
+
+ private:
+  CoalescerMetrics() {
+    auto& reg = metrics::MetricsRegistry::Default();
+    hits = reg.GetCounter("licm_coalesce_hits_total");
+    misses = reg.GetCounter("licm_coalesce_misses_total");
+  }
+};
+
+}  // namespace
+
+RequestCoalescer::RequestCoalescer(service::QueryService* service)
+    : service_(service) {}
+
+void RequestCoalescer::Execute(service::QueryRequest request,
+                               service::QueryService::ResponseCallback done) {
+  auto version = service_->VersionOf(request.instance);
+  if (!version.ok() || request.query == nullptr) {
+    // Unknown instance / malformed request: let the service produce its
+    // usual typed error. Nothing to coalesce with.
+    service_->ExecuteAsync(std::move(request), std::move(done));
+    return;
+  }
+
+  // The full canonical query text goes into the key (not a hash of it):
+  // a collision here would silently serve one query's bounds to another.
+  std::string key = request.instance;
+  key += '\x1f';
+  key += std::to_string(*version);
+  key += '\x1f';
+  key += std::to_string(request.deadline_s);
+  key += '\x1f';
+  key += std::to_string(request.mc_worlds);
+  key += '\x1f';
+  key += std::to_string(request.mc_seed);
+  key += '\x1f';
+  key += request.query->ToString();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      it->second->waiters.push_back(std::move(done));
+      ++hits_;
+      CoalescerMetrics::Get().hits->Increment();
+      return;
+    }
+    auto entry = std::make_shared<InFlight>();
+    entry->waiters.push_back(std::move(done));
+    inflight_.emplace(key, std::move(entry));
+    ++misses_;
+    CoalescerMetrics::Get().misses->Increment();
+  }
+
+  service_->ExecuteAsync(
+      std::move(request),
+      [this, key = std::move(key)](
+          const Result<service::QueryResponse>& outcome) {
+        std::shared_ptr<InFlight> entry;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          auto it = inflight_.find(key);
+          if (it != inflight_.end()) {
+            entry = std::move(it->second);
+            inflight_.erase(it);
+          }
+        }
+        if (!entry) return;
+        // Fan out off the lock: a waiter's callback may re-enter
+        // Execute() (e.g. a retry) without deadlocking.
+        for (auto& waiter : entry->waiters) waiter(outcome);
+      });
+}
+
+int64_t RequestCoalescer::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t RequestCoalescer::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace licm::net

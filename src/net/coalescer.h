@@ -1,0 +1,63 @@
+// In-flight request coalescing (DESIGN.md §14).
+//
+// Many clients ask the same aggregate over the same instance version —
+// the workload shape of the paper's setting. The ComponentCache already
+// collapses *sequential* duplicates; the coalescer collapses
+// *concurrent* ones: the first request with a given key (the leader)
+// submits the solve, every identical request arriving before it
+// completes (followers) just parks a callback, and the one result fans
+// out to all of them. N identical concurrent requests cost one queue
+// slot and one solve.
+//
+// Key = (instance, instance version at submit, canonical query text,
+// deadline budget, Monte-Carlo worlds + seed). The version pin makes
+// coalescing MVCC-correct: a mutation commit publishes a new version, so
+// requests that must see it get a fresh key and never join a stale
+// solve. (A follower that arrives after a commit but keys the leader's
+// version would be a staleness bug — that cannot happen, because the key
+// samples VersionOf at arrival.) Deadline and sampling parameters are in
+// the key because they change the answer a degraded request gets.
+#ifndef LICM_NET_COALESCER_H_
+#define LICM_NET_COALESCER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "service/query_service.h"
+
+namespace licm::net {
+
+class RequestCoalescer {
+ public:
+  explicit RequestCoalescer(service::QueryService* service);
+
+  /// Drop-in for QueryService::ExecuteAsync (plugs into
+  /// RequestRouter::set_async_executor). The callback runs exactly once,
+  /// on a service worker thread (or inline on admission failure).
+  void Execute(service::QueryRequest request,
+               service::QueryService::ResponseCallback done);
+
+  /// Followers served from a leader's in-flight solve.
+  int64_t hits() const;
+  /// Leaders (solves actually submitted to the service).
+  int64_t misses() const;
+
+ private:
+  struct InFlight {
+    std::vector<service::QueryService::ResponseCallback> waiters;
+  };
+
+  service::QueryService* service_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace licm::net
+
+#endif  // LICM_NET_COALESCER_H_

@@ -1,0 +1,93 @@
+// Non-blocking epoll event loop (DESIGN.md §14).
+//
+// One loop = one thread = one epoll instance plus an eventfd for
+// cross-thread wakeups. Fd handlers and the connection registry built on
+// top are confined to the loop thread; the only thread-safe entry points
+// are Post() and Stop(), which queue work / signal the eventfd. Worker
+// threads finishing a solve never touch connection state directly — they
+// Post() a completion closure that the loop runs between epoll waits.
+//
+// Registration uses edge-triggered epoll (EPOLLET): handlers must drain
+// their fd to EAGAIN on every event, in exchange for one wakeup per
+// readiness transition instead of per poll.
+#ifndef LICM_NET_EVENT_LOOP_H_
+#define LICM_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace licm::net {
+
+class EventLoop {
+ public:
+  /// Receives the epoll event mask for the registered fd.
+  using FdHandler = std::function<void(uint32_t)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creation status (epoll_create1/eventfd can fail under fd pressure).
+  const Status& status() const { return status_; }
+
+  /// Registers `fd` with the given epoll event mask (callers add EPOLLET
+  /// themselves — the loop does not second-guess the trigger mode).
+  /// Loop-thread only (or before Run()).
+  Status Add(int fd, uint32_t events, FdHandler handler);
+  Status Mod(int fd, uint32_t events);
+  /// Unregisters; safe to call from inside the fd's own handler.
+  void Remove(int fd);
+
+  /// Queues `fn` to run on the loop thread and wakes the loop. Safe from
+  /// any thread, including the loop thread itself (fn runs on the next
+  /// iteration, never reentrantly).
+  void Post(std::function<void()> fn);
+
+  /// Blocks dispatching events until Stop(). Runs at most one Run() at a
+  /// time.
+  void Run();
+
+  /// Signals the loop to exit after the current iteration. Any thread.
+  /// Sticky: a Stop() that lands before Run() makes Run() return
+  /// immediately instead of being lost to the startup race.
+  void Stop();
+
+  bool IsInLoopThread() const {
+    return std::this_thread::get_id() == loop_tid_;
+  }
+
+  /// Counter bumped once per epoll_wait return (a "wakeup"); optional.
+  void set_wakeup_counter(metrics::Counter* c) { wakeups_ = c; }
+
+ private:
+  void DrainPosted();
+
+  Status status_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread::id loop_tid_;
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+
+  // fd -> handler; loop-thread confined. The indirection through a map
+  // (instead of epoll_event.data.ptr) makes Remove()-during-dispatch
+  // safe: stale events for an already-removed fd find no handler.
+  std::unordered_map<int, FdHandler> handlers_;
+
+  metrics::Counter* wakeups_ = nullptr;
+};
+
+}  // namespace licm::net
+
+#endif  // LICM_NET_EVENT_LOOP_H_

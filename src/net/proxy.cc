@@ -1,0 +1,273 @@
+#include "net/proxy.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <utility>
+
+#include "net/wire.h"
+#include "service/protocol.h"
+
+namespace licm::net {
+
+namespace {
+
+Status WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t w =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("backplane send: ") +
+                             std::strerror(errno));
+    }
+    if (w == 0) return Status::IOError("backplane send: peer closed");
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+/// Extracts the correlation id from a response document. Every renderer
+/// begins with `{"id":N,` (protocol.cc Begin), so this is a prefix scan,
+/// not a JSON parse.
+bool ParseResponseId(const std::string& response, int64_t* id,
+                     size_t* id_end) {
+  constexpr const char kPrefix[] = "{\"id\":";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (response.compare(0, kPrefixLen, kPrefix) != 0) return false;
+  size_t pos = kPrefixLen;
+  bool neg = false;
+  if (pos < response.size() && response[pos] == '-') {
+    neg = true;
+    ++pos;
+  }
+  int64_t value = 0;
+  bool any = false;
+  while (pos < response.size() && response[pos] >= '0' &&
+         response[pos] <= '9') {
+    value = value * 10 + (response[pos] - '0');
+    any = true;
+    ++pos;
+  }
+  if (!any) return false;
+  *id = neg ? -value : value;
+  *id_end = pos;
+  return true;
+}
+
+std::string RewriteResponseId(const std::string& response, size_t id_end,
+                              int64_t new_id) {
+  return "{\"id\":" + std::to_string(new_id) + response.substr(id_end);
+}
+
+}  // namespace
+
+ShardProxy::ShardProxy(std::vector<int> shard_fds)
+    : ring_(static_cast<int>(shard_fds.size())) {
+  for (int fd : shard_fds) {
+    auto shard = std::make_unique<Shard>();
+    shard->fd = fd;
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardProxy::~ShardProxy() {
+  stopping_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    if (shard->fd >= 0) ::shutdown(shard->fd, SHUT_RDWR);
+  }
+  for (auto& shard : shards_) {
+    if (shard->reader.joinable()) shard->reader.join();
+    if (shard->fd >= 0) ::close(shard->fd);
+  }
+}
+
+void ShardProxy::Start() {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->reader =
+        std::thread([this, i] { ReaderLoop(static_cast<int>(i)); });
+  }
+}
+
+Status ShardProxy::WriteFrame(Shard& shard, const std::string& frame) {
+  std::lock_guard<std::mutex> lock(shard.write_mu);
+  return WriteAll(shard.fd, frame);
+}
+
+void ShardProxy::Forward(const service::WireRequest& req,
+                         std::function<void(std::string, bool)> done) {
+  if (req.op == "shutdown") {
+    service::WireRequest broadcast = req;
+    broadcast.id = -1;  // children ack to nobody; the parent acks below
+    const std::string frame = EncodeRequestFrame(broadcast);
+    for (auto& shard : shards_) {
+      if (shard->up.load(std::memory_order_acquire)) {
+        (void)WriteFrame(*shard, frame);
+      }
+    }
+    done(service::RenderShutdownAck(req.id), true);
+    return;
+  }
+
+  const int shard_index =
+      req.instance.empty() ? 0 : ring_.ShardFor(req.instance);
+  Shard& shard = *shards_[shard_index];
+  if (!shard.up.load(std::memory_order_acquire)) {
+    done(service::RenderError(
+             req.id, Status::Internal("shard " + std::to_string(shard_index) +
+                                      " is down")),
+         false);
+    return;
+  }
+
+  const int64_t backplane_id =
+      next_backplane_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(waiters_mu_);
+    waiters_[backplane_id] = Waiter{req.id, shard_index, std::move(done)};
+  }
+  service::WireRequest routed = req;
+  routed.id = backplane_id;
+  const Status wrote = WriteFrame(shard, EncodeRequestFrame(routed));
+  if (!wrote.ok()) {
+    Waiter waiter;
+    {
+      std::lock_guard<std::mutex> lock(waiters_mu_);
+      auto it = waiters_.find(backplane_id);
+      if (it == waiters_.end()) return;  // reader already resolved it
+      waiter = std::move(it->second);
+      waiters_.erase(it);
+    }
+    waiter.done(service::RenderError(waiter.client_id, wrote), false);
+  }
+}
+
+void ShardProxy::ReaderLoop(int shard_index) {
+  Shard& shard = *shards_[shard_index];
+  std::string buffer;
+  char chunk[16384];
+  while (true) {
+    const ssize_t n = ::recv(shard.fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // shard exited (or we are stopping)
+    buffer.append(chunk, static_cast<size_t>(n));
+    while (true) {
+      size_t consumed = 0;
+      Frame frame;
+      auto decoded = TryDecodeFrame(buffer, &consumed, &frame);
+      if (!decoded.ok() || !*decoded) {
+        if (!decoded.ok()) {
+          // Corrupt backplane stream: treat the shard as gone.
+          shard.up.store(false, std::memory_order_release);
+          FailShardWaiters(shard_index);
+          return;
+        }
+        break;
+      }
+      buffer.erase(0, consumed);
+      if (frame.type != kFrameResponse) continue;
+      int64_t backplane_id;
+      size_t id_end;
+      if (!ParseResponseId(frame.payload, &backplane_id, &id_end)) continue;
+      Waiter waiter;
+      {
+        std::lock_guard<std::mutex> lock(waiters_mu_);
+        auto it = waiters_.find(backplane_id);
+        if (it == waiters_.end()) continue;  // broadcast ack etc.
+        waiter = std::move(it->second);
+        waiters_.erase(it);
+      }
+      waiter.done(RewriteResponseId(frame.payload, id_end, waiter.client_id),
+                  false);
+    }
+  }
+  shard.up.store(false, std::memory_order_release);
+  if (!stopping_.load(std::memory_order_acquire)) FailShardWaiters(shard_index);
+}
+
+void ShardProxy::FailShardWaiters(int shard_index) {
+  std::vector<Waiter> failed;
+  {
+    std::lock_guard<std::mutex> lock(waiters_mu_);
+    for (auto it = waiters_.begin(); it != waiters_.end();) {
+      if (it->second.shard == shard_index) {
+        failed.push_back(std::move(it->second));
+        it = waiters_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& waiter : failed) {
+    waiter.done(
+        service::RenderError(
+            waiter.client_id,
+            Status::Internal("shard " + std::to_string(shard_index) +
+                             " died with the request in flight")),
+        false);
+  }
+}
+
+Status RunShardWorker(int fd, service::RequestRouter* router) {
+  std::mutex write_mu;
+  std::mutex state_mu;
+  std::condition_variable drained_cv;
+  int64_t inflight = 0;
+  bool shutdown = false;
+
+  std::string buffer;
+  char chunk[16384];
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(state_mu);
+      if (shutdown) break;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // parent closed the backplane
+    buffer.append(chunk, static_cast<size_t>(n));
+    while (true) {
+      size_t consumed = 0;
+      Frame frame;
+      auto decoded = TryDecodeFrame(buffer, &consumed, &frame);
+      if (!decoded.ok()) return decoded.status();
+      if (!*decoded) break;
+      buffer.erase(0, consumed);
+      if (frame.type != kFrameRequest) continue;
+
+      auto req = DecodeRequestPayload(frame.payload);
+      std::function<void(std::string, bool)> reply =
+          [fd, &write_mu, &state_mu, &drained_cv, &inflight, &shutdown](
+              std::string response, bool stop) {
+            {
+              std::lock_guard<std::mutex> lock(write_mu);
+              (void)WriteAll(fd, EncodeResponseFrame(response));
+            }
+            std::lock_guard<std::mutex> lock(state_mu);
+            --inflight;
+            if (stop) shutdown = true;
+            drained_cv.notify_all();
+          };
+      {
+        std::lock_guard<std::mutex> lock(state_mu);
+        ++inflight;
+      }
+      if (!req.ok()) {
+        reply(service::RenderError(-1, req.status()), false);
+        continue;
+      }
+      router->HandleAsync(*req, std::move(reply));
+    }
+  }
+  // Outstanding solves still write their responses; only then may the
+  // process tear the service down.
+  std::unique_lock<std::mutex> lock(state_mu);
+  drained_cv.wait(lock, [&] { return inflight == 0; });
+  return Status::OK();
+}
+
+}  // namespace licm::net

@@ -1,0 +1,93 @@
+// Shard backplane (DESIGN.md §14).
+//
+// `licm_serve --shards=N` forks N worker processes before any service
+// threads exist. Each child builds the full instance set (deterministic
+// from the shared specs) and serves binary frames over its end of a unix
+// socketpair via RunShardWorker(). The parent keeps no QueryService at
+// all: its epoll front end decodes client requests (either codec) and
+// hands them to ShardProxy::Forward, which
+//
+//   1. routes by consistent hash of the instance name (instance-less
+//      control ops go to shard 0),
+//   2. rewrites the correlation id to a parent-unique backplane id
+//      (every response document begins `{"id":N,` — see
+//      protocol.cc's Begin — so the reverse rewrite is a prefix splice),
+//   3. writes one binary frame to the shard, and
+//   4. resolves the waiter when the shard's reader thread sees the
+//      response frame come back.
+//
+// `shutdown` is intercepted: the parent broadcasts it to every shard,
+// acks the client itself, and stops the front end. A shard that dies
+// mid-flight fails its outstanding requests with kInternal instead of
+// hanging them.
+#ifndef LICM_NET_PROXY_H_
+#define LICM_NET_PROXY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/shard_router.h"
+#include "service/server.h"
+
+namespace licm::net {
+
+class ShardProxy {
+ public:
+  /// Takes ownership of one connected (blocking) backplane fd per shard.
+  explicit ShardProxy(std::vector<int> shard_fds);
+  ~ShardProxy();
+  ShardProxy(const ShardProxy&) = delete;
+  ShardProxy& operator=(const ShardProxy&) = delete;
+
+  /// Starts one reader thread per shard.
+  void Start();
+
+  /// NetFrontEnd::Dispatch-compatible entry point. `done` runs exactly
+  /// once — from a reader thread, or inline on routing/write failure.
+  void Forward(const service::WireRequest& req,
+               std::function<void(std::string, bool)> done);
+
+ private:
+  struct Waiter {
+    int64_t client_id = -1;
+    int shard = 0;
+    std::function<void(std::string, bool)> done;
+  };
+  struct Shard {
+    int fd = -1;
+    std::mutex write_mu;
+    std::thread reader;
+    std::atomic<bool> up{true};
+  };
+
+  void ReaderLoop(int shard_index);
+  /// Fails every waiter parked on `shard_index` (the shard died).
+  void FailShardWaiters(int shard_index);
+  Status WriteFrame(Shard& shard, const std::string& frame);
+
+  HashRing ring_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> next_backplane_id_{1};
+  std::atomic<bool> stopping_{false};
+  std::mutex waiters_mu_;
+  std::unordered_map<int64_t, Waiter> waiters_;  // by backplane id
+};
+
+/// Child-process side: serves binary request frames from `fd` until a
+/// shutdown request or EOF, executing against `router` with the same
+/// async path as the public front end. Responses may interleave in solve
+/// order; the parent correlates by id. Drains in-flight requests before
+/// returning.
+Status RunShardWorker(int fd, service::RequestRouter* router);
+
+}  // namespace licm::net
+
+#endif  // LICM_NET_PROXY_H_

@@ -1,0 +1,45 @@
+#include "net/shard_router.h"
+
+#include <algorithm>
+
+namespace licm::net {
+
+uint64_t HashKey(const std::string& key) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  // splitmix64 finisher: FNV alone clusters on short ASCII keys.
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return h;
+}
+
+HashRing::HashRing(int num_shards, int vnodes_per_shard)
+    : num_shards_(num_shards < 1 ? 1 : num_shards) {
+  points_.reserve(static_cast<size_t>(num_shards_) * vnodes_per_shard);
+  for (int s = 0; s < num_shards_; ++s) {
+    for (int v = 0; v < vnodes_per_shard; ++v) {
+      points_.push_back(
+          {HashKey(std::to_string(s) + "/" + std::to_string(v)), s});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) { return a.hash < b.hash; });
+}
+
+int HashRing::ShardFor(const std::string& key) const {
+  if (num_shards_ == 1 || points_.empty()) return 0;
+  const uint64_t h = HashKey(key);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, uint64_t hash) { return p.hash < hash; });
+  if (it == points_.end()) it = points_.begin();  // wrap: the ring closes
+  return it->shard;
+}
+
+}  // namespace licm::net

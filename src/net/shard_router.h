@@ -1,0 +1,42 @@
+// Consistent-hash shard routing (DESIGN.md §14).
+//
+// Requests are routed by instance name so each shard's ComponentCache
+// and IncumbentPool stay hot for the instances it owns. A hash ring with
+// virtual nodes keeps the assignment stable under shard-count changes:
+// each shard contributes `vnodes` points (hash of "shard/replica"), and
+// a key maps to the first point clockwise from its own hash.
+#ifndef LICM_NET_SHARD_ROUTER_H_
+#define LICM_NET_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace licm::net {
+
+/// 64-bit FNV-1a, finished with a splitmix64 avalanche so short keys
+/// spread over the whole ring.
+uint64_t HashKey(const std::string& key);
+
+class HashRing {
+ public:
+  /// Builds a ring for shards 0..num_shards-1.
+  explicit HashRing(int num_shards, int vnodes_per_shard = 64);
+
+  /// Shard owning `key`; 0 when the ring has a single shard.
+  int ShardFor(const std::string& key) const;
+
+  int num_shards() const { return num_shards_; }
+
+ private:
+  struct Point {
+    uint64_t hash;
+    int shard;
+  };
+  int num_shards_;
+  std::vector<Point> points_;  // sorted by hash
+};
+
+}  // namespace licm::net
+
+#endif  // LICM_NET_SHARD_ROUTER_H_

@@ -1,0 +1,99 @@
+// Compact length-prefixed binary protocol for the service data plane.
+//
+// Frame layout (DESIGN.md §14):
+//
+//   offset  size      field
+//   ------  --------  -----------------------------------------------
+//   0       1         magic 0xB5 (never a valid JSON first byte, so a
+//                     connection's codec is detected from byte one)
+//   1       1         version (kWireVersion = 0x01)
+//   2       1         type (0x01 request, 0x02 response)
+//   3       varint    payload length in bytes (LEB128, max 5 bytes)
+//   ...     len       payload
+//   ...     4         CRC32 (little-endian) over [version..payload]
+//
+// Request payloads are tag-length-value records: each field is a varint
+// tag `(field_number << 2) | wiretype` followed by its value, where
+// wiretype 0 = varint (zigzag for signed fields), 1 = length-prefixed
+// bytes, 2 = fixed64 (doubles). Unknown fields are skippable by
+// wiretype, so old servers tolerate new clients. Absent fields keep the
+// WireRequest defaults — encoders omit default values.
+//
+// Response payloads carry the *exact* line-JSON response text (without
+// trailing newline). This makes JSON<->binary response parity hold by
+// construction — the binary codec adds framing + integrity, never a
+// second serialization of the answer.
+#ifndef LICM_NET_WIRE_H_
+#define LICM_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "service/protocol.h"
+
+namespace licm::net {
+
+inline constexpr uint8_t kWireMagic = 0xB5;
+inline constexpr uint8_t kWireVersion = 0x01;
+inline constexpr uint8_t kFrameRequest = 0x01;
+inline constexpr uint8_t kFrameResponse = 0x02;
+
+/// Largest accepted payload (guards against hostile/corrupt length
+/// prefixes allocating unbounded buffers).
+inline constexpr size_t kMaxFramePayload = 16u << 20;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+/// Appends a LEB128 varint to `out`.
+void AppendVarint(std::string* out, uint64_t value);
+
+/// Zigzag mapping for signed fields (small negatives stay small).
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+struct Frame {
+  uint8_t type = 0;
+  std::string payload;
+};
+
+/// Serializes a request payload (TLV fields, defaults omitted).
+std::string EncodeRequestPayload(const service::WireRequest& req);
+
+/// Parses a request payload produced by EncodeRequestPayload (or any
+/// forward-compatible superset; unknown fields are skipped).
+Result<service::WireRequest> DecodeRequestPayload(const std::string& payload);
+
+/// Wraps a payload in a full frame (magic/version/type/len/payload/CRC).
+std::string EncodeFrame(uint8_t type, const std::string& payload);
+
+inline std::string EncodeRequestFrame(const service::WireRequest& req) {
+  return EncodeFrame(kFrameRequest, EncodeRequestPayload(req));
+}
+/// A response frame carries the line-JSON response text verbatim.
+inline std::string EncodeResponseFrame(const std::string& json_response) {
+  return EncodeFrame(kFrameResponse, json_response);
+}
+
+/// Incremental frame extraction from a connection buffer.
+/// Returns:
+///   - ok(true):  one frame extracted into *frame; *consumed bytes of
+///                `buf` (from offset 0) are done with.
+///   - ok(false): `buf` holds a frame prefix; read more bytes
+///                (*consumed == 0).
+///   - error:     the stream is corrupt (bad magic/version/type, length
+///                over kMaxFramePayload, or CRC mismatch) — the caller
+///                should drop the connection; byte-stream resync is not
+///                attempted.
+Result<bool> TryDecodeFrame(const std::string& buf, size_t* consumed,
+                            Frame* frame);
+
+}  // namespace licm::net
+
+#endif  // LICM_NET_WIRE_H_

@@ -102,6 +102,7 @@ QueryService::QueryService(ServiceConfig config)
 }
 
 QueryService::~QueryService() {
+  std::vector<std::shared_ptr<Pending>> orphaned;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
@@ -110,10 +111,18 @@ QueryService::~QueryService() {
     // with callers still inside Execute; this is the safety net.)
     for (auto& p : queue_) {
       p->outcome = Status::Internal("service stopped");
-      p->done = true;
-      p->done_cv.notify_all();
+      if (p->callback) {
+        orphaned.push_back(p);  // delivered below, off the lock
+      } else {
+        p->done = true;
+        p->done_cv.notify_all();
+      }
     }
     queue_.clear();
+  }
+  for (auto& p : orphaned) {
+    ResponseCallback cb = std::move(p->callback);
+    cb(*p->outcome);
   }
   work_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
@@ -255,27 +264,24 @@ void QueryService::SetSolveHookForTest(std::function<void()> hook) {
   solve_hook_ = std::move(hook);
 }
 
-Result<QueryResponse> QueryService::Execute(const QueryRequest& request) {
+Status QueryService::AdmitLocked(const std::shared_ptr<Pending>& pending) {
+  const QueryRequest& request = pending->request;
   if (request.query == nullptr || !rel::IsAggregate(*request.query)) {
     return Status::InvalidArgument(
         "request query must have an aggregate root");
   }
-  const double budget = request.deadline_s < 0.0 ? config_.default_deadline_s
-                                                 : request.deadline_s;
-  auto pending = std::make_shared<Pending>();
-  pending->request = &request;
-  // The budget starts at admission: queue wait spends it, so an admitted
-  // request can never occupy a worker longer than its deadline plus the
-  // degraded sampling pass.
-  pending->deadline = Deadline::After(budget);
-  pending->enqueue_ns = telemetry::NowNs();
-
-  std::unique_lock<std::mutex> lock(mu_);
   if (stopping_) return Status::Internal("service stopped");
   auto inst_it = instances_.find(request.instance);
   if (inst_it == instances_.end()) {
     return Status::NotFound("unknown instance '" + request.instance + "'");
   }
+  const double budget = request.deadline_s < 0.0 ? config_.default_deadline_s
+                                                 : request.deadline_s;
+  // The budget starts at admission: queue wait spends it, so an admitted
+  // request can never occupy a worker longer than its deadline plus the
+  // degraded sampling pass.
+  pending->deadline = Deadline::After(budget);
+  pending->enqueue_ns = telemetry::NowNs();
   // MVCC capture: the snapshot taken here — before admission completes —
   // is what the worker answers against, so mutations committing while the
   // request waits in the queue cannot change its view.
@@ -298,8 +304,35 @@ Result<QueryResponse> QueryService::Execute(const QueryRequest& request) {
   telemetry::Instant("service", "enqueue",
                      {{"queue_depth", static_cast<double>(queue_.size())}});
   work_cv_.notify_one();
+  return Status::OK();
+}
+
+Result<QueryResponse> QueryService::Execute(const QueryRequest& request) {
+  auto pending = std::make_shared<Pending>();
+  pending->request = request;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  LICM_RETURN_NOT_OK(AdmitLocked(pending));
   pending->done_cv.wait(lock, [&] { return pending->done; });
   return std::move(*pending->outcome);
+}
+
+void QueryService::ExecuteAsync(QueryRequest request, ResponseCallback done) {
+  auto pending = std::make_shared<Pending>();
+  pending->request = std::move(request);
+  pending->callback = std::move(done);
+  Status admitted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    admitted = AdmitLocked(pending);
+  }
+  if (!admitted.ok()) {
+    // Admission failures complete inline, off the service lock — the
+    // callback may re-enter the service (e.g. a coalescer fanning out
+    // an overload to its waiters).
+    ResponseCallback cb = std::move(pending->callback);
+    cb(Result<QueryResponse>(admitted));
+  }
 }
 
 void QueryService::WorkerLoop() {
@@ -341,13 +374,13 @@ void QueryService::WorkerLoop() {
       // match), acceptable at request granularity.
       metrics::MetricsRegistry::Default()
           .GetHistogram("licm_instance_request_total_ms",
-                        {{"instance", pending->request->instance}})
+                        {{"instance", pending->request.instance}})
           ->Observe(outcome->total_ms);
     } else {
       m.failed->Increment();
     }
 
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     --inflight_;
     m.inflight->Set(static_cast<double>(inflight_));
     if (outcome.ok()) {
@@ -361,8 +394,8 @@ void QueryService::WorkerLoop() {
         SlowQueryRecord rec;
         rec.seq = slow_captured_++;
         rec.ts_s = uptime_watch_.ElapsedMs() / 1e3;
-        rec.instance = pending->request->instance;
-        rec.query = QueryAggLabel(*pending->request->query);
+        rec.instance = pending->request.instance;
+        rec.query = QueryAggLabel(*pending->request.query);
         rec.degraded = outcome->degraded;
         rec.slo_ms = config_.slo_ms;
         rec.queue_ms = outcome->queue_ms;
@@ -384,14 +417,22 @@ void QueryService::WorkerLoop() {
       ++failed_;
     }
     pending->outcome = std::move(outcome);
-    pending->done = true;
-    pending->done_cv.notify_all();
+    if (pending->callback) {
+      // Async completion: deliver off the service lock (the callback may
+      // re-enter the service — e.g. a coalescer follower resubmitting).
+      lock.unlock();
+      ResponseCallback cb = std::move(pending->callback);
+      cb(*pending->outcome);
+    } else {
+      pending->done = true;
+      pending->done_cv.notify_all();
+    }
   }
 }
 
 Result<QueryResponse> QueryService::Process(const Pending& pending,
                                             double queue_ms) {
-  const QueryRequest& request = *pending.request;
+  const QueryRequest& request = pending.request;
   // The snapshot and structure were captured at admission (MVCC): no
   // instance lookup here — a concurrent mutation commit or replace-load
   // publishes a *new* snapshot and never touches this one.

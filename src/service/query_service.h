@@ -261,6 +261,18 @@ class QueryService {
   /// kInvalidArgument (malformed query).
   Result<QueryResponse> Execute(const QueryRequest& request);
 
+  /// Completion callback of ExecuteAsync. Fires exactly once: on a worker
+  /// thread when the request ran, or inline — before ExecuteAsync returns
+  /// — when admission failed (kOverloaded, unknown instance, stopping
+  /// service, malformed query).
+  using ResponseCallback = std::function<void(const Result<QueryResponse>&)>;
+
+  /// Callback-completion variant of Execute for event-driven transports
+  /// (src/net/): the caller thread only pays for admission (MVCC snapshot
+  /// capture + queue push) and is never parked on a condition variable.
+  /// The callback must not block for long — it runs on a request worker.
+  void ExecuteAsync(QueryRequest request, ResponseCallback done);
+
   ServiceStats Stats() const;
 
   /// Snapshot of the slow-query ring, newest first.
@@ -282,7 +294,8 @@ class QueryService {
   };
 
   struct Pending {
-    const QueryRequest* request = nullptr;
+    // Owned copy: async callers are gone by the time a worker runs this.
+    QueryRequest request;
     Deadline deadline = Deadline::Never();
     int64_t enqueue_ns = 0;
     // MVCC capture at admission: the worker answers against exactly this
@@ -290,12 +303,17 @@ class QueryService {
     std::shared_ptr<MutableInstance> inst;
     std::shared_ptr<const MutableInstance::Snapshot> snap;
     std::shared_ptr<const std::optional<sampler::WorldStructure>> structure;
-    // Filled by the worker, signalled through `done`.
+    // Filled by the worker, signalled through `done` (blocking path) or
+    // delivered through `callback` (async path), never both.
     std::optional<Result<QueryResponse>> outcome;
     bool done = false;
     std::condition_variable done_cv;
+    ResponseCallback callback;
   };
 
+  // Validates, captures the MVCC snapshot, and enqueues under mu_ (held
+  // by the caller). On failure nothing was enqueued.
+  Status AdmitLocked(const std::shared_ptr<Pending>& pending);
   void WorkerLoop();
   Result<QueryResponse> Process(const Pending& pending, double queue_ms);
   void Degrade(const QueryRequest& request, const LicmDatabase& db,

@@ -13,55 +13,103 @@
 
 namespace licm::service {
 
-std::string RequestRouter::Handle(const std::string& line, bool* shutdown) {
-  auto parsed = ParseRequestLine(line);
-  if (!parsed.ok()) return RenderError(-1, parsed.status());
-  const WireRequest& req = *parsed;
-
-  if (req.op == "ping") return RenderPong(req.id);
-  if (req.op == "stats") return RenderStats(req.id, service_->Stats());
-  if (req.op == "metrics") return RenderMetrics(req.id);
-  if (req.op == "slowlog") return RenderSlowLog(req.id, service_->SlowLog());
-  if (req.op == "instances") {
-    return RenderInstances(req.id, service_->InstanceNames());
-  }
-  if (req.op == "mutate") return HandleMutate(req);
-  if (req.op == "version") {
+bool RequestRouter::DispatchControl(const WireRequest& req, bool* shutdown,
+                                    std::string* response) {
+  if (req.op == "query") return false;
+  if (req.op == "ping") {
+    *response = RenderPong(req.id);
+  } else if (req.op == "stats") {
+    *response = RenderStats(req.id, service_->Stats());
+  } else if (req.op == "metrics") {
+    *response = RenderMetrics(req.id);
+  } else if (req.op == "slowlog") {
+    *response = RenderSlowLog(req.id, service_->SlowLog());
+  } else if (req.op == "instances") {
+    *response = RenderInstances(req.id, service_->InstanceNames());
+  } else if (req.op == "mutate") {
+    *response = HandleMutate(req);
+  } else if (req.op == "version") {
     auto version = service_->VersionOf(req.instance);
-    if (!version.ok()) return RenderError(req.id, version.status());
-    return RenderVersion(req.id, req.instance, *version);
-  }
-  if (req.op == "load") {
+    *response = version.ok()
+                    ? RenderVersion(req.id, req.instance, *version)
+                    : RenderError(req.id, version.status());
+  } else if (req.op == "load") {
     if (!loader_) {
-      return RenderError(req.id, Status::InvalidArgument(
-                                     "this server has no instance loader"));
+      *response = RenderError(req.id, Status::InvalidArgument(
+                                          "this server has no instance loader"));
+    } else {
+      auto version = loader_(req.instance, req.spec, req.replace);
+      // A fresh registration publishes version 1; anything later means an
+      // existing instance was swapped in place.
+      *response = version.ok()
+                      ? RenderLoadAck(req.id, req.instance, *version,
+                                      *version > 1)
+                      : RenderError(req.id, version.status());
     }
-    auto version = loader_(req.instance, req.spec, req.replace);
-    if (!version.ok()) return RenderError(req.id, version.status());
-    // A fresh registration publishes version 1; anything later means an
-    // existing instance was swapped in place.
-    return RenderLoadAck(req.id, req.instance, *version, *version > 1);
-  }
-  if (req.op == "shutdown") {
+  } else if (req.op == "shutdown") {
     if (shutdown != nullptr) *shutdown = true;
-    return RenderShutdownAck(req.id);
-  }
-  if (req.op != "query") {
-    return RenderError(
+    *response = RenderShutdownAck(req.id);
+  } else {
+    *response = RenderError(
         req.id, Status::InvalidArgument("unknown op '" + req.op + "'"));
   }
+  return true;
+}
 
+Result<QueryRequest> RequestRouter::BuildQuery(const WireRequest& req) const {
   auto query = factory_(req);
-  if (!query.ok()) return RenderError(req.id, query.status());
+  if (!query.ok()) return query.status();
   QueryRequest request;
   request.instance = req.instance;
   request.query = std::move(*query);
   request.deadline_s = req.deadline_ms < 0.0 ? -1.0 : req.deadline_ms / 1e3;
   request.mc_worlds = req.mc_worlds;
   request.mc_seed = req.seed;
-  auto response = service_->Execute(request);
-  if (!response.ok()) return RenderError(req.id, response.status());
-  return RenderQueryResponse(req.id, *response);
+  return request;
+}
+
+std::string RequestRouter::RenderQueryOutcome(
+    int64_t id, const Result<QueryResponse>& outcome) {
+  if (!outcome.ok()) return RenderError(id, outcome.status());
+  return RenderQueryResponse(id, *outcome);
+}
+
+std::string RequestRouter::Handle(const std::string& line, bool* shutdown) {
+  auto parsed = ParseRequestLine(line);
+  if (!parsed.ok()) return RenderError(-1, parsed.status());
+  const WireRequest& req = *parsed;
+
+  std::string response;
+  if (DispatchControl(req, shutdown, &response)) return response;
+
+  auto request = BuildQuery(req);
+  if (!request.ok()) return RenderError(req.id, request.status());
+  return RenderQueryOutcome(req.id, service_->Execute(std::move(*request)));
+}
+
+void RequestRouter::HandleAsync(const WireRequest& req,
+                                std::function<void(std::string, bool)> done) {
+  bool shutdown = false;
+  std::string response;
+  if (DispatchControl(req, &shutdown, &response)) {
+    done(std::move(response), shutdown);
+    return;
+  }
+  auto request = BuildQuery(req);
+  if (!request.ok()) {
+    done(RenderError(req.id, request.status()), false);
+    return;
+  }
+  const int64_t id = req.id;
+  auto finish = [id, done = std::move(done)](
+                    const Result<QueryResponse>& outcome) {
+    done(RenderQueryOutcome(id, outcome), false);
+  };
+  if (executor_) {
+    executor_(std::move(*request), std::move(finish));
+  } else {
+    service_->ExecuteAsync(std::move(*request), std::move(finish));
+  }
 }
 
 std::string RequestRouter::HandleMutate(const WireRequest& req) {
@@ -221,6 +269,7 @@ void TcpServer::HandleConnection(int fd) {
   bool peer_gone = false;
   while (!shutdown_requested && !peer_gone) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;  // signal, not peer state
     if (n <= 0) break;  // client closed, or Stop() shut the socket down
     buffer.append(chunk, static_cast<size_t>(n));
     size_t start = 0;
@@ -237,6 +286,7 @@ void TcpServer::HandleConnection(int fd) {
         const ssize_t w =
             ::send(fd, response.data() + sent, response.size() - sent,
                    MSG_NOSIGNAL);
+        if (w < 0 && errno == EINTR) continue;  // partial write: resume
         if (w <= 0) {
           peer_gone = true;
           break;

@@ -36,8 +36,18 @@ class RequestRouter {
   RequestRouter(QueryService* service, QueryFactory factory)
       : service_(service), factory_(std::move(factory)) {}
 
+  /// Replaces the query execution path. The default executor calls
+  /// QueryService::ExecuteAsync directly; the net front end injects a
+  /// coalescing wrapper (or a shard proxy) without the router knowing.
+  using AsyncExecutor =
+      std::function<void(QueryRequest, QueryService::ResponseCallback)>;
+
   /// Enables the `load` op; without a loader it reports kInvalidArgument.
   void set_loader(InstanceLoader loader) { loader_ = std::move(loader); }
+
+  void set_async_executor(AsyncExecutor executor) {
+    executor_ = std::move(executor);
+  }
 
   /// Handles one request line and returns the response line (no trailing
   /// newline). Never throws and never returns an empty string: malformed
@@ -45,12 +55,37 @@ class RequestRouter {
   /// (after rendering its ack).
   std::string Handle(const std::string& line, bool* shutdown);
 
+  /// Asynchronous twin of Handle() for already-parsed requests (the
+  /// binary codec decodes straight into a WireRequest; the line codec
+  /// parses first). Control ops complete inline — `done` may run before
+  /// HandleAsync returns; query ops complete from a worker thread via
+  /// the async executor. Exactly one `done(response, shutdown)` call per
+  /// request, response without trailing newline.
+  void HandleAsync(const WireRequest& req,
+                   std::function<void(std::string, bool)> done);
+
+  /// Builds the service-layer request for a `query` op (factory +
+  /// deadline/mc fields). Shared by the sync and async paths so both
+  /// front ends produce byte-identical responses.
+  Result<QueryRequest> BuildQuery(const WireRequest& req) const;
+
+  /// Renders a query outcome exactly as the sync path does.
+  static std::string RenderQueryOutcome(int64_t id,
+                                        const Result<QueryResponse>& outcome);
+
+  QueryService* service() const { return service_; }
+
  private:
   std::string HandleMutate(const WireRequest& req);
+  /// Handles every op except `query`; returns false for `query` (the
+  /// caller owns execution so it can choose sync vs async).
+  bool DispatchControl(const WireRequest& req, bool* shutdown,
+                       std::string* response);
 
   QueryService* service_;
   QueryFactory factory_;
   InstanceLoader loader_;
+  AsyncExecutor executor_;
 };
 
 /// Reads request lines from `in` until EOF or a shutdown request,

@@ -1,6 +1,8 @@
 #include "testing/invariants.h"
 
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 #include <sstream>
 
 #include "common/rng.h"
@@ -9,8 +11,11 @@
 #include "licm/evaluator.h"
 #include "licm/mutable_instance.h"
 #include "licm/ops.h"
+#include "net/wire.h"
 #include "sampler/monte_carlo.h"
+#include "service/json.h"
 #include "service/query_service.h"
+#include "service/server.h"
 #include "solver/lp_format.h"
 #include "solver/mip_solver.h"
 
@@ -641,6 +646,197 @@ InvariantReport CheckIncremental(const CaseContext& ctx) {
   return Pass(name);
 }
 
+// Compares every WireRequest field, returning the first mismatch name.
+std::string FirstRequestMismatch(const service::WireRequest& a,
+                                 const service::WireRequest& b) {
+  if (a.id != b.id) return "id";
+  if (a.op != b.op) return "op";
+  if (a.instance != b.instance) return "instance";
+  if (a.qnum != b.qnum) return "qnum";
+  if (a.deadline_ms != b.deadline_ms) return "deadline_ms";
+  if (a.mc_worlds != b.mc_worlds) return "mc_worlds";
+  if (a.seed != b.seed) return "seed";
+  if (a.action != b.action) return "action";
+  if (a.relation != b.relation) return "relation";
+  if (a.row != b.row) return "row";
+  if (a.maybe != b.maybe) return "maybe";
+  if (a.cindex != b.cindex) return "cindex";
+  if (a.cop != b.cop) return "cop";
+  if (a.rhs != b.rhs) return "rhs";
+  if (a.var != b.var) return "var";
+  if (a.value != b.value) return "value";
+  if (a.spec != b.spec) return "spec";
+  if (a.replace != b.replace) return "replace";
+  return "";
+}
+
+InvariantReport CheckWire(const CaseContext& ctx) {
+  const char* name = "wire";
+
+  // A query request with case-derived (thus varied) field values.
+  service::WireRequest req;
+  req.op = "query";
+  req.id = static_cast<int64_t>(ctx.c->seed % 100000);
+  req.instance = "case";
+  req.qnum = 1 + static_cast<int>(ctx.c->seed % 3);
+  req.deadline_ms = 1e12;
+  req.mc_worlds = static_cast<int>(ctx.c->seed % 16);
+  req.seed = ctx.c->seed;
+
+  // Binary round trip: decode(encode(req)) == req, and re-encoding the
+  // decoded request reproduces the exact bytes (canonical encoding).
+  const std::string payload = net::EncodeRequestPayload(req);
+  auto decoded = net::DecodeRequestPayload(payload);
+  if (!decoded.ok()) {
+    return Fail(name, "payload decode: " + decoded.status().ToString());
+  }
+  std::string mismatch = FirstRequestMismatch(req, *decoded);
+  if (!mismatch.empty()) {
+    return Fail(name, "binary round trip changed field " + mismatch);
+  }
+  if (net::EncodeRequestPayload(*decoded) != payload) {
+    return Fail(name, "re-encoding the decoded request changed the bytes");
+  }
+
+  // Codec agreement: the JSON line expressing the same request parses to
+  // the WireRequest the binary codec decoded.
+  {
+    std::ostringstream line;
+    line << "{\"op\":\"query\",\"id\":" << req.id
+         << ",\"instance\":\"case\",\"qnum\":" << req.qnum
+         << ",\"deadline_ms\":1e12,\"mc_worlds\":" << req.mc_worlds
+         << ",\"seed\":" << req.seed << "}";
+    auto parsed = service::ParseRequestLine(line.str());
+    if (!parsed.ok()) {
+      return Fail(name, "JSON parse: " + parsed.status().ToString());
+    }
+    mismatch = FirstRequestMismatch(*parsed, *decoded);
+    if (!mismatch.empty()) {
+      return Fail(name,
+                  "JSON and binary codecs disagree on field " + mismatch);
+    }
+  }
+
+  // Framing: every strict prefix asks for more bytes; flipping any byte
+  // under the checksum (everything but the magic and length prefix)
+  // never yields a successful decode.
+  const std::string frame_bytes = net::EncodeRequestFrame(req);
+  for (size_t cut = 0; cut < frame_bytes.size(); ++cut) {
+    size_t consumed = 0;
+    net::Frame frame;
+    auto got =
+        net::TryDecodeFrame(frame_bytes.substr(0, cut), &consumed, &frame);
+    if (!got.ok() || *got) {
+      return Fail(name, "prefix of " + std::to_string(cut) +
+                            " bytes did not ask for more input");
+    }
+  }
+  const size_t header = 3;  // magic + version + type
+  size_t len_bytes = 1;
+  while ((static_cast<uint8_t>(frame_bytes[header + len_bytes - 1]) & 0x80) !=
+         0) {
+    ++len_bytes;
+  }
+  for (size_t i = 1; i < frame_bytes.size(); ++i) {
+    if (i >= header && i < header + len_bytes) continue;
+    std::string bad = frame_bytes;
+    bad[i] = static_cast<char>(bad[i] ^ (1u << (i % 8)));
+    size_t consumed = 0;
+    net::Frame frame;
+    auto got = net::TryDecodeFrame(bad, &consumed, &frame);
+    if (got.ok() && *got) {
+      return Fail(name, "corrupting byte " + std::to_string(i) +
+                            " still decoded a frame");
+    }
+  }
+
+  // Response parity through a live service. The sync line path and the
+  // async binary path must agree on every answer field; the binary
+  // response frame must carry the JSON text byte-for-byte.
+  service::ServiceConfig cfg;
+  cfg.num_workers = 1;
+  cfg.solver_threads = 1;
+  service::QueryService svc(cfg);
+  Status added = svc.AddInstance("case", ctx.c->db);
+  if (!added.ok()) {
+    return Fail(name, "AddInstance: " + added.ToString());
+  }
+  service::RequestRouter router(
+      &svc, [&ctx](const service::WireRequest&) -> Result<rel::QueryNodePtr> {
+        return ctx.c->query;
+      });
+
+  std::ostringstream line;
+  line << "{\"op\":\"query\",\"id\":" << req.id
+       << ",\"instance\":\"case\",\"deadline_ms\":1e12}";
+  bool shutdown = false;
+  const std::string json_response = router.Handle(line.str(), &shutdown);
+
+  std::string async_response;
+  {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool delivered = false;
+    service::WireRequest async_req = req;
+    async_req.mc_worlds = 0;
+    async_req.seed = 0;
+    async_req.qnum = 1;
+    router.HandleAsync(async_req, [&](std::string response, bool) {
+      std::lock_guard<std::mutex> lock(mu);
+      async_response = std::move(response);
+      delivered = true;
+      cv.notify_one();
+    });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return delivered; });
+  }
+
+  auto sync_parsed = service::ParseJson(json_response);
+  auto async_parsed = service::ParseJson(async_response);
+  if (!sync_parsed.ok() || !async_parsed.ok()) {
+    return Fail(name, "a response failed to parse back");
+  }
+  auto sync_ok_field = sync_parsed->GetBool("ok", false);
+  auto async_ok_field = async_parsed->GetBool("ok", false);
+  const bool sync_ok = sync_ok_field.ok() && *sync_ok_field;
+  const bool async_ok = async_ok_field.ok() && *async_ok_field;
+  if (sync_ok != async_ok) {
+    return Fail(name, "sync ok=" + std::to_string(sync_ok) +
+                          " != async ok=" + std::to_string(async_ok));
+  }
+  if (sync_ok) {
+    for (const char* field : {"min", "max", "proved_min", "proved_max"}) {
+      auto s = sync_parsed->GetNumber(field, -1e300);
+      auto a = async_parsed->GetNumber(field, -1e300);
+      if (!s.ok() || !a.ok() || *s != *a) {
+        return Fail(name, std::string("sync/async disagree on ") + field +
+                              ": " + (s.ok() ? Num(*s) : "<missing>") +
+                              " vs " + (a.ok() ? Num(*a) : "<missing>"));
+      }
+    }
+  } else {
+    auto s = sync_parsed->GetString("status", "");
+    auto a = async_parsed->GetString("status", "");
+    if (!s.ok() || !a.ok() || *s != *a) {
+      return Fail(name, "sync/async disagree on the error status");
+    }
+  }
+
+  // Frame the async response exactly as the binary front end would and
+  // check the payload is the JSON text verbatim.
+  size_t consumed = 0;
+  net::Frame frame;
+  auto got = net::TryDecodeFrame(net::EncodeResponseFrame(async_response),
+                                 &consumed, &frame);
+  if (!got.ok() || !*got) {
+    return Fail(name, "response frame failed to decode");
+  }
+  if (frame.payload != async_response) {
+    return Fail(name, "response framing altered the JSON text");
+  }
+  return Pass(name);
+}
+
 }  // namespace
 
 const char* VerdictName(Verdict v) {
@@ -696,6 +892,10 @@ const std::vector<Invariant>& AllInvariants() {
        CheckLpRoundTrip},
       {"timeout", "deadline-capped solves stay valid and Gap-consistent",
        CheckTimeout},
+      {"wire", "binary request codec round-trips and agrees with the "
+               "JSON parser; frames reject truncation/corruption; sync and "
+               "async router paths answer identically",
+       CheckWire},
       {"service", "service responses match offline bounds; degraded "
                   "intervals contain them",
        CheckService},

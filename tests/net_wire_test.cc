@@ -1,0 +1,380 @@
+// Tests of the binary wire codec (src/net/wire.h): CRC32 vectors, varint
+// and zigzag edge cases, request-payload round trips (including a
+// randomized property sweep against the JSON request parser), frame
+// extraction from partial buffers, and rejection of truncated or
+// corrupted frames.
+#include "net/wire.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "service/protocol.h"
+
+namespace licm::net {
+namespace {
+
+// ------------------------------------------------------------- primitives --
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The canonical CRC-32/IEEE check value.
+  EXPECT_EQ(0xCBF43926u, Crc32("123456789", 9));
+  EXPECT_EQ(0x00000000u, Crc32("", 0));
+  // Incremental == one-shot.
+  const char* text = "possibilistic";
+  const uint32_t whole = Crc32(text, std::strlen(text));
+  uint32_t chained = Crc32(text, 4);
+  chained = Crc32(text + 4, std::strlen(text) - 4, chained);
+  EXPECT_EQ(whole, chained);
+  // Any single-byte change moves the checksum.
+  EXPECT_NE(Crc32("123456789", 9), Crc32("123456788", 9));
+}
+
+uint64_t RoundTripVarint(uint64_t value, size_t* encoded_size = nullptr) {
+  std::string buf;
+  AppendVarint(&buf, value);
+  if (encoded_size != nullptr) *encoded_size = buf.size();
+  // Decode through the only public consumer: a request payload would do,
+  // but the frame header is simpler — build a frame whose payload length
+  // is `value`... impractical for huge values, so decode by hand with the
+  // LEB128 rules the codec documents.
+  uint64_t out = 0;
+  int shift = 0;
+  for (char c : buf) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(c) & 0x7F) << shift;
+    shift += 7;
+  }
+  return out;
+}
+
+TEST(Varint, RoundTripsEdgeValues) {
+  const uint64_t cases[] = {0,
+                            1,
+                            127,
+                            128,
+                            129,
+                            16383,
+                            16384,
+                            (1ull << 32) - 1,
+                            1ull << 32,
+                            (1ull << 63),
+                            ~0ull};
+  for (uint64_t v : cases) {
+    size_t size = 0;
+    EXPECT_EQ(v, RoundTripVarint(v, &size)) << v;
+    EXPECT_LE(size, 10u);
+  }
+  size_t size = 0;
+  RoundTripVarint(127, &size);
+  EXPECT_EQ(1u, size);
+  RoundTripVarint(128, &size);
+  EXPECT_EQ(2u, size);
+}
+
+TEST(Zigzag, RoundTripsAndKeepsSmallNegativesSmall) {
+  const int64_t cases[] = {0, -1, 1, -2, 2, 63, -64, INT64_MAX, INT64_MIN};
+  for (int64_t v : cases) {
+    EXPECT_EQ(v, ZigzagDecode(ZigzagEncode(v))) << v;
+  }
+  EXPECT_EQ(1u, ZigzagEncode(-1));
+  EXPECT_EQ(2u, ZigzagEncode(1));
+  EXPECT_EQ(127u, ZigzagEncode(-64));
+}
+
+// -------------------------------------------------------- request payload --
+
+void ExpectRequestsEqual(const service::WireRequest& a,
+                         const service::WireRequest& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.op, b.op);
+  EXPECT_EQ(a.instance, b.instance);
+  EXPECT_EQ(a.qnum, b.qnum);
+  EXPECT_EQ(a.deadline_ms, b.deadline_ms);
+  EXPECT_EQ(a.mc_worlds, b.mc_worlds);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.action, b.action);
+  EXPECT_EQ(a.relation, b.relation);
+  EXPECT_EQ(a.row, b.row);
+  EXPECT_EQ(a.maybe, b.maybe);
+  EXPECT_EQ(a.cindex, b.cindex);
+  EXPECT_EQ(a.cop, b.cop);
+  EXPECT_EQ(a.rhs, b.rhs);
+  EXPECT_EQ(a.var, b.var);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.spec, b.spec);
+  EXPECT_EQ(a.replace, b.replace);
+}
+
+TEST(RequestPayload, DefaultRequestRoundTripsThroughTinyPayload) {
+  service::WireRequest req;
+  req.op = "ping";
+  const std::string payload = EncodeRequestPayload(req);
+  // Defaults are omitted: op tag + len + "ping" and nothing else.
+  EXPECT_LE(payload.size(), 8u);
+  auto decoded = DecodeRequestPayload(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectRequestsEqual(req, *decoded);
+}
+
+TEST(RequestPayload, AllFieldsRoundTrip) {
+  service::WireRequest req;
+  req.id = 123456789;
+  req.op = "mutate";
+  req.instance = "demo-instance";
+  req.qnum = 3;
+  req.deadline_ms = 2500.125;
+  req.mc_worlds = 64;
+  req.seed = ~0ull;
+  req.action = "edit";
+  req.relation = "trans_item";
+  req.row = "1,2,a b c";
+  req.maybe = true;
+  req.cindex = -1;  // default, omitted
+  req.cop = "ge";
+  req.rhs = -42;
+  req.var = 7;
+  req.value = 1;
+  req.spec = "demo=kanon:4";
+  req.replace = true;
+  auto decoded = DecodeRequestPayload(EncodeRequestPayload(req));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectRequestsEqual(req, *decoded);
+}
+
+TEST(RequestPayload, ReEncodeIsByteIdentical) {
+  service::WireRequest req;
+  req.op = "query";
+  req.id = 7;
+  req.instance = "case";
+  req.qnum = 2;
+  req.deadline_ms = 0.0;
+  const std::string payload = EncodeRequestPayload(req);
+  auto decoded = DecodeRequestPayload(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(payload, EncodeRequestPayload(*decoded));
+}
+
+TEST(RequestPayload, UnknownFieldsAreSkipped) {
+  service::WireRequest req;
+  req.op = "query";
+  req.instance = "case";
+  std::string payload = EncodeRequestPayload(req);
+  // A future field 60 in each wiretype, appended by a newer client.
+  AppendVarint(&payload, (60u << 2) | 0);  // varint
+  AppendVarint(&payload, 999);
+  AppendVarint(&payload, (61u << 2) | 1);  // length-prefixed
+  AppendVarint(&payload, 5);
+  payload += "later";
+  AppendVarint(&payload, (62u << 2) | 2);  // fixed64
+  payload.append(8, '\x5a');
+  auto decoded = DecodeRequestPayload(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectRequestsEqual(req, *decoded);
+}
+
+TEST(RequestPayload, TruncatedPayloadIsRejected) {
+  service::WireRequest req;
+  req.op = "query";
+  req.instance = "some-instance-name";
+  req.deadline_ms = 10.0;
+  const std::string payload = EncodeRequestPayload(req);
+  for (size_t cut = 1; cut < payload.size(); ++cut) {
+    auto decoded = DecodeRequestPayload(payload.substr(0, cut));
+    // Either a typed error, or (when the cut lands between whole TLV
+    // records) a request missing trailing fields — never a crash and
+    // never a misparse of the fields before the cut.
+    if (decoded.ok()) {
+      EXPECT_TRUE(decoded->op == "query" || decoded->op.empty());
+    }
+  }
+}
+
+// Randomized parity sweep: the binary codec and the JSON line parser
+// must agree on every request they can both express.
+TEST(RequestPayload, RandomizedRequestsMatchJsonParser) {
+  Rng rng(20260808);
+  const char* ops[] = {"query", "ping",    "stats",   "mutate",
+                       "load",  "version", "shutdown"};
+  for (int iter = 0; iter < 200; ++iter) {
+    service::WireRequest req;
+    req.op = ops[rng.Uniform(sizeof(ops) / sizeof(ops[0]))];
+    req.id = static_cast<int64_t>(rng.Uniform(1 << 20));
+    if (rng.Uniform(2) == 0) req.instance = "i" + std::to_string(iter);
+    req.qnum = 1 + static_cast<int>(rng.Uniform(3));
+    if (rng.Uniform(2) == 0) {
+      req.deadline_ms = static_cast<double>(rng.Uniform(10000)) / 8.0;
+    }
+    req.mc_worlds = static_cast<int>(rng.Uniform(64));
+    // The JSON number path goes through a double, so only seeds up to
+    // 2^53 survive both codecs; the binary codec itself is exact for all
+    // 64 bits (covered by AllFieldsRoundTrip's ~0 seed).
+    req.seed = rng.Next() >> 11;
+
+    // Binary round trip preserves every field.
+    auto decoded = DecodeRequestPayload(EncodeRequestPayload(req));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ExpectRequestsEqual(req, *decoded);
+
+    // The JSON line expressing the same request parses to the same
+    // WireRequest the binary codec decoded.
+    std::string line = "{\"op\":\"" + req.op +
+                       "\",\"id\":" + std::to_string(req.id);
+    if (!req.instance.empty()) {
+      line += ",\"instance\":\"" + req.instance + "\"";
+    }
+    line += ",\"qnum\":" + std::to_string(req.qnum);
+    if (req.deadline_ms >= 0) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", req.deadline_ms);
+      line += std::string(",\"deadline_ms\":") + buf;
+    }
+    line += ",\"mc_worlds\":" + std::to_string(req.mc_worlds);
+    line += ",\"seed\":" + std::to_string(req.seed);
+    line += "}";
+    auto parsed = service::ParseRequestLine(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << " " << line;
+    ExpectRequestsEqual(*parsed, *decoded);
+  }
+}
+
+// ----------------------------------------------------------------- frames --
+
+TEST(Frame, RoundTripsAndConcatenates) {
+  service::WireRequest req;
+  req.op = "query";
+  req.id = 5;
+  req.instance = "case";
+  const std::string f1 = EncodeRequestFrame(req);
+  const std::string f2 = EncodeResponseFrame("{\"id\":5,\"ok\":true}");
+  std::string buf = f1 + f2;
+
+  size_t consumed = 0;
+  Frame frame;
+  auto got = TryDecodeFrame(buf, &consumed, &frame);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_TRUE(*got);
+  EXPECT_EQ(f1.size(), consumed);
+  EXPECT_EQ(kFrameRequest, frame.type);
+  auto decoded = DecodeRequestPayload(frame.payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ("case", decoded->instance);
+
+  buf.erase(0, consumed);
+  got = TryDecodeFrame(buf, &consumed, &frame);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(*got);
+  EXPECT_EQ(kFrameResponse, frame.type);
+  EXPECT_EQ("{\"id\":5,\"ok\":true}", frame.payload);
+  EXPECT_EQ(buf.size(), consumed);
+}
+
+TEST(Frame, ResponsePayloadIsJsonTextVerbatim) {
+  // The parity-by-construction property: framing a response never alters
+  // its bytes, for any JSON text including embedded quotes and unicode.
+  const std::string texts[] = {
+      "{\"id\":-1,\"ok\":false,\"status\":\"InvalidArgument\"}",
+      "{\"id\":9,\"ok\":true,\"min\":-0.5,\"max\":12}",
+      std::string("{\"s\":\"\\u0001\x7f\"}"),
+  };
+  for (const std::string& text : texts) {
+    size_t consumed = 0;
+    Frame frame;
+    auto got = TryDecodeFrame(EncodeResponseFrame(text), &consumed, &frame);
+    ASSERT_TRUE(got.ok() && *got);
+    EXPECT_EQ(text, frame.payload);
+  }
+}
+
+TEST(Frame, EveryStrictPrefixAsksForMoreBytes) {
+  service::WireRequest req;
+  req.op = "query";
+  req.instance = "prefix-test";
+  req.deadline_ms = 1.5;
+  const std::string bytes = EncodeRequestFrame(req);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    size_t consumed = 123;
+    Frame frame;
+    auto got = TryDecodeFrame(bytes.substr(0, cut), &consumed, &frame);
+    ASSERT_TRUE(got.ok()) << "prefix " << cut << ": "
+                          << got.status().ToString();
+    EXPECT_FALSE(*got) << "prefix " << cut << " decoded a frame";
+    EXPECT_EQ(0u, consumed);
+  }
+}
+
+TEST(Frame, CorruptionPastTheMagicIsDetected) {
+  service::WireRequest req;
+  req.op = "query";
+  req.instance = "corrupt-test";
+  req.qnum = 2;
+  const std::string bytes = EncodeRequestFrame(req);
+  // Flipping any bit of the version, type, payload, or CRC bytes must
+  // fail the decode — all are under the checksum or validated directly.
+  // (Length-prefix corruption may instead leave the decoder waiting for
+  // bytes that never come, which also never yields a wrong frame.)
+  const size_t len_prefix_end = 3 + 1;  // magic+version+type+1 varint byte
+  for (size_t i = 1; i < bytes.size(); ++i) {
+    if (i >= 3 && i < len_prefix_end) continue;
+    std::string bad = bytes;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    size_t consumed = 0;
+    Frame frame;
+    auto got = TryDecodeFrame(bad, &consumed, &frame);
+    EXPECT_FALSE(got.ok() && *got) << "byte " << i
+                                   << " corruption went unnoticed";
+  }
+}
+
+TEST(Frame, BadMagicAndVersionAndTypeAreTypedErrors) {
+  const std::string good = EncodeResponseFrame("{}");
+  {
+    std::string bad = good;
+    bad[0] = '{';  // a JSON client on a binary decode path
+    size_t consumed = 0;
+    Frame frame;
+    EXPECT_FALSE(TryDecodeFrame(bad, &consumed, &frame).ok());
+  }
+  {
+    std::string bad = good;
+    bad[1] = '\x7e';  // unknown version
+    size_t consumed = 0;
+    Frame frame;
+    EXPECT_FALSE(TryDecodeFrame(bad, &consumed, &frame).ok());
+  }
+  {
+    std::string bad = good;
+    bad[2] = '\x09';  // unknown frame type
+    size_t consumed = 0;
+    Frame frame;
+    EXPECT_FALSE(TryDecodeFrame(bad, &consumed, &frame).ok());
+  }
+}
+
+TEST(Frame, OversizedLengthPrefixIsRejectedNotBuffered) {
+  // A hostile length prefix must fail fast, not make the server buffer
+  // gigabytes waiting for a payload that will never arrive.
+  std::string bytes;
+  bytes.push_back(static_cast<char>(kWireMagic));
+  bytes.push_back(static_cast<char>(kWireVersion));
+  bytes.push_back(static_cast<char>(kFrameRequest));
+  AppendVarint(&bytes, (64u << 20));  // 4x kMaxFramePayload
+  size_t consumed = 0;
+  Frame frame;
+  EXPECT_FALSE(TryDecodeFrame(bytes, &consumed, &frame).ok());
+}
+
+TEST(Frame, TrailingGarbageAfterCrcBelongsToTheNextFrame) {
+  const std::string good = EncodeResponseFrame("{\"id\":1,\"ok\":true}");
+  std::string buf = good + "\xB5garbage";
+  size_t consumed = 0;
+  Frame frame;
+  auto got = TryDecodeFrame(buf, &consumed, &frame);
+  ASSERT_TRUE(got.ok() && *got);
+  EXPECT_EQ(good.size(), consumed);  // garbage untouched, next decode fails
+}
+
+}  // namespace
+}  // namespace licm::net

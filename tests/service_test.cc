@@ -788,6 +788,29 @@ class TestClient {
   ~TestClient() {
     if (fd_ >= 0) ::close(fd_);
   }
+  bool SendRaw(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t w = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (w < 0 && errno == EINTR) continue;
+      if (w <= 0) return false;
+      sent += static_cast<size_t>(w);
+    }
+    return true;
+  }
+  Result<JsonValue> RecvReply() {
+    while (buffer_.find('\n') == std::string::npos) {
+      char chunk[1024];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return Status::IOError("connection closed");
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    const size_t nl = buffer_.find('\n');
+    std::string reply = buffer_.substr(0, nl);
+    buffer_.erase(0, nl + 1);
+    return ParseJson(reply);
+  }
   Result<JsonValue> RoundTrip(const std::string& line) {
     std::string framed = line + "\n";
     if (::send(fd_, framed.data(), framed.size(), MSG_NOSIGNAL) !=
@@ -858,6 +881,60 @@ TEST(Transport, TcpLoopbackSessionIncludingShutdown) {
     ASSERT_TRUE(bye.ok());
     EXPECT_TRUE(bye->GetBool("shutting_down", false).value());
   }
+  serve_thread.join();
+}
+
+// Regression test for short-read handling: the kernel may deliver a
+// request line in arbitrarily small pieces, and several lines may land
+// in one recv(). Both packetizations must behave exactly like whole-line
+// delivery.
+TEST(Transport, TcpSurvivesByteAtATimeAndPipelinedDelivery) {
+  QueryService svc({.num_workers = 1, .solver_threads = 1});
+  ServiceFixture f = ServiceFixture::Make();
+  ASSERT_TRUE(svc.AddInstance("case", f.fuzz.db).ok());
+  RequestRouter router(&svc, FixtureFactory(f));
+  TcpServer server(&router);
+  Status listening = server.Listen("127.0.0.1", 0);
+  if (!listening.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket here: "
+                 << listening.ToString();
+  }
+  std::thread serve_thread([&] { EXPECT_TRUE(server.Serve().ok()); });
+  {
+    TestClient c;
+    ASSERT_TRUE(c.Connect(server.port()));
+
+    // One byte per send() call.
+    const std::string line =
+        "{\"op\":\"query\",\"id\":21,\"instance\":\"case\"}\n";
+    for (char ch : line) {
+      ASSERT_TRUE(c.SendRaw(std::string(1, ch)));
+    }
+    auto dribbled = c.RecvReply();
+    ASSERT_TRUE(dribbled.ok()) << dribbled.status().ToString();
+    EXPECT_TRUE(dribbled->GetBool("ok", false).value());
+    EXPECT_EQ(21, dribbled->GetInt("id", 0).value());
+    EXPECT_EQ(f.exact_min, dribbled->GetNumber("min", -1e9).value());
+
+    // Three requests in a single send(), plus a trailing fragment that
+    // must stay buffered until its newline arrives.
+    ASSERT_TRUE(c.SendRaw(
+        "{\"op\":\"ping\",\"id\":22}\n"
+        "{\"op\":\"query\",\"id\":23,\"instance\":\"case\"}\n"
+        "{\"op\":\"ping\",\"id\":24}\n"
+        "{\"op\":\"ping\","));
+    for (int id = 22; id <= 24; ++id) {
+      auto reply = c.RecvReply();
+      ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+      EXPECT_TRUE(reply->GetBool("ok", false).value());
+      EXPECT_EQ(id, reply->GetInt("id", 0).value());
+    }
+    ASSERT_TRUE(c.SendRaw("\"id\":25}\n"));
+    auto tail = c.RecvReply();
+    ASSERT_TRUE(tail.ok()) << tail.status().ToString();
+    EXPECT_EQ(25, tail->GetInt("id", 0).value());
+  }
+  server.Stop();
   serve_thread.join();
 }
 

@@ -30,6 +30,8 @@ const std::unordered_set<std::string>& IdentitySet() {
       "cache", "k", "num_transactions", "txns", "items", "fanout",
       "requested_threads", "connections", "requests",
       "requests_per_connection", "burst", "mode",
+      "frontend", "codec", "shards", "max_outstanding", "offered_rps",
+      "duration_s",
   };
   return kSet;
 }
@@ -53,8 +55,8 @@ const std::unordered_set<std::string>& CounterSet() {
 
 const std::unordered_set<std::string>& RateSet() {
   static const std::unordered_set<std::string> kSet = {
-      "rows_per_s", "throughput_rps", "speedup", "query_speedup",
-      "cache_hit_rate", "cache_hits", "cuts_reused",
+      "rows_per_s", "throughput_rps", "achieved_rps", "speedup",
+      "query_speedup", "cache_hit_rate", "cache_hits", "cuts_reused",
   };
   return kSet;
 }

@@ -1,9 +1,12 @@
-// Load driver for licm_serve (DESIGN.md §10).
+// Load driver for licm_serve (DESIGN.md §10, §14).
 //
 //   licm_client --port P [--host H] [--connections C] [--requests N]
+//               [--binary] [--rate R --duration-s T [--max-outstanding W]]
 //               [--instance SPEC]... [--qnums 1,2,3] [--deadline-ms D]
 //               [--degraded-every K] [--burst B] [--verify]
-//               [--json BENCH_service.json] [--shutdown] [--version]
+//               [--frontend LABEL] [--shards-label N]
+//               [--json BENCH_service.json] [--json-append]
+//               [--shutdown] [--version]
 //   licm_client --port P --raw LINE [--raw LINE]...
 //
 // --raw sends the given request lines verbatim over one connection and
@@ -11,13 +14,24 @@
 // `mutate` / `version` / `load` verbs (exit 1 if any response has
 // ok:false). No load phase, no JSON report.
 //
-// Phase 1 (load): C concurrent connections each issue N query requests
-// round-robin over the instance x qnum mix, measuring per-request
-// latency. Phase 2 (optional, --burst B): B one-shot connections fire
-// simultaneously to provoke admission control; kOverloaded responses
-// are expected there and are not protocol errors. A final `stats`
-// request snapshots the server counters. Throughput and p50/p95/p99
-// latency go to --json in the standard BENCH format.
+// --binary speaks the length-prefixed binary protocol of net/wire.h
+// instead of line-JSON (the epoll server auto-detects per connection).
+//
+// Closed loop (default): C concurrent connections each issue N query
+// requests round-robin over the instance x qnum mix, measuring
+// per-request latency. Open loop (--rate R): requests arrive by a
+// Poisson process at R req/s for --duration-s seconds, fanned over the C
+// connections with at most --max-outstanding requests in flight (excess
+// arrivals are shed client-side and counted); latency is measured from
+// the *intended* arrival time, so queueing delay the server causes under
+// saturation is in the tail, not hidden by coordinated omission.
+// Phase 2 (optional, --burst B): B one-shot connections fire
+// simultaneously to provoke admission control; kOverloaded responses are
+// expected there and are not protocol errors. A final `stats` request
+// snapshots the server counters. Throughput and p50/p95/p99 latency go
+// to --json in the standard BENCH format (--json-append accumulates rows
+// across runs; --frontend/--shards-label tag the row's identity columns
+// so bench_diff compares like with like).
 //
 // --verify rebuilds every instance from the same specs the server got
 // and computes offline exact bounds per (instance, qnum); every
@@ -26,25 +40,32 @@
 // protocol error or verification failure.
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/version.h"
 #include "harness.h"
 #include "licm/evaluator.h"
+#include "net/wire.h"
 #include "service/json.h"
 #include "service_workload.h"
 
@@ -57,6 +78,8 @@ class Conn {
   ~Conn() {
     if (fd_ >= 0) ::close(fd_);
   }
+
+  void set_binary(bool binary) { binary_ = binary; }
 
   Status Connect(const std::string& host, int port) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -74,21 +97,36 @@ class Conn {
         0) {
       return Status::IOError(std::string("connect: ") + std::strerror(errno));
     }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     return Status::OK();
   }
 
-  Status SendLine(const std::string& line) {
-    std::string framed = line + "\n";
+  /// Unblocks any thread inside recv() (open-loop drain teardown).
+  void ShutdownSocket() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  }
+
+  Status SendBytes(const std::string& data) {
     size_t sent = 0;
-    while (sent < framed.size()) {
-      const ssize_t w = ::send(fd_, framed.data() + sent,
-                               framed.size() - sent, MSG_NOSIGNAL);
+    while (sent < data.size()) {
+      const ssize_t w = ::send(fd_, data.data() + sent, data.size() - sent,
+                               MSG_NOSIGNAL);
+      if (w < 0 && errno == EINTR) continue;
       if (w <= 0) {
         return Status::IOError(std::string("send: ") + std::strerror(errno));
       }
       sent += static_cast<size_t>(w);
     }
     return Status::OK();
+  }
+
+  Status SendLine(const std::string& line) { return SendBytes(line + "\n"); }
+
+  /// Sends one query-protocol request in the connection's codec.
+  Status SendRequest(const service::WireRequest& req) {
+    if (binary_) return SendBytes(net::EncodeRequestFrame(req));
+    return SendLine(RenderRequestLine(req));
   }
 
   Result<std::string> RecvLine() {
@@ -99,10 +137,27 @@ class Conn {
         buffer_.erase(0, nl + 1);
         return line;
       }
-      char chunk[4096];
-      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n <= 0) return Status::IOError("connection closed mid-response");
-      buffer_.append(chunk, static_cast<size_t>(n));
+      LICM_RETURN_NOT_OK(Fill());
+    }
+  }
+
+  /// One response document in the connection's codec — always the
+  /// line-JSON text (the binary framing carries it verbatim).
+  Result<std::string> RecvResponse() {
+    if (!binary_) return RecvLine();
+    while (true) {
+      size_t consumed = 0;
+      net::Frame frame;
+      LICM_ASSIGN_OR_RETURN(bool complete,
+                            net::TryDecodeFrame(buffer_, &consumed, &frame));
+      if (complete) {
+        buffer_.erase(0, consumed);
+        if (frame.type != net::kFrameResponse) {
+          return Status::InvalidArgument("unexpected frame type from server");
+        }
+        return std::move(frame.payload);
+      }
+      LICM_RETURN_NOT_OK(Fill());
     }
   }
 
@@ -112,8 +167,43 @@ class Conn {
     return service::ParseJson(line);
   }
 
+  Result<service::JsonValue> RoundTripRequest(
+      const service::WireRequest& req) {
+    LICM_RETURN_NOT_OK(SendRequest(req));
+    LICM_ASSIGN_OR_RETURN(std::string response, RecvResponse());
+    return service::ParseJson(response);
+  }
+
+  /// Client-side rendering of a query request as a protocol line.
+  static std::string RenderRequestLine(const service::WireRequest& req) {
+    std::string line = "{\"op\":\"" + req.op +
+                       "\",\"id\":" + std::to_string(req.id);
+    if (!req.instance.empty()) line += ",\"instance\":\"" + req.instance + "\"";
+    if (req.op == "query") {
+      line += ",\"qnum\":" + std::to_string(req.qnum);
+      if (req.deadline_ms >= 0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3f", req.deadline_ms);
+        line += std::string(",\"deadline_ms\":") + buf;
+      }
+    }
+    return line + "}";
+  }
+
  private:
+  Status Fill() {
+    char chunk[16384];
+    while (true) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return Status::IOError("connection closed mid-response");
+      buffer_.append(chunk, static_cast<size_t>(n));
+      return Status::OK();
+    }
+  }
+
   int fd_ = -1;
+  bool binary_ = false;
   std::string buffer_;
 };
 
@@ -131,18 +221,15 @@ struct Tally {
 
 std::atomic<int64_t> g_next_id{1};
 
-std::string QueryLine(const std::string& instance, int qnum,
-                      double deadline_ms) {
-  std::string line = "{\"op\":\"query\",\"id\":" +
-                     std::to_string(g_next_id.fetch_add(1)) +
-                     ",\"instance\":\"" + instance +
-                     "\",\"qnum\":" + std::to_string(qnum);
-  if (deadline_ms >= 0) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.3f", deadline_ms);
-    line += std::string(",\"deadline_ms\":") + buf;
-  }
-  return line + "}";
+service::WireRequest MakeQuery(const std::string& instance, int qnum,
+                               double deadline_ms) {
+  service::WireRequest req;
+  req.op = "query";
+  req.id = g_next_id.fetch_add(1);
+  req.instance = instance;
+  req.qnum = qnum;
+  req.deadline_ms = deadline_ms;
+  return req;
 }
 
 // Classifies one query response into the tally, verifying against the
@@ -206,9 +293,11 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --port P [--host H] [--connections C] [--requests N]\n"
+      "          [--binary] [--rate R --duration-s T [--max-outstanding W]]\n"
       "          [--instance SPEC]... [--qnums 1,2] [--deadline-ms D]\n"
       "          [--degraded-every K] [--burst B] [--verify]\n"
-      "          [--json FILE] [--shutdown] [--version]\n"
+      "          [--frontend LABEL] [--shards-label N]\n"
+      "          [--json FILE] [--json-append] [--shutdown] [--version]\n"
       "       %s --port P --raw LINE [--raw LINE]...\n",
       argv0, argv0);
   return 2;
@@ -221,6 +310,10 @@ int main(int argc, char** argv) {
   int port = 0;
   int connections = 4;
   int requests = 8;
+  bool binary = false;
+  double rate = 0.0;       // > 0 selects the open-loop mode
+  double duration_s = 5.0;
+  int max_outstanding = 256;
   std::vector<std::string> instance_args;
   std::vector<int> qnums;
   double deadline_ms = -1.0;
@@ -229,6 +322,9 @@ int main(int argc, char** argv) {
   bool verify = false;
   bool send_shutdown = false;
   std::string json_path = "BENCH_service.json";
+  bool json_append = false;
+  std::string frontend = "unspecified";
+  int shards_label = 1;
   std::vector<std::string> raw_lines;
 
   for (int i = 1; i < argc; ++i) {
@@ -241,8 +337,12 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--verify") {
       verify = true;
+    } else if (arg == "--binary") {
+      binary = true;
     } else if (arg == "--shutdown") {
       send_shutdown = true;
+    } else if (arg == "--json-append") {
+      json_append = true;
     } else if (arg == "--host") {
       const char* v = next();
       if (!v) return Usage(argv[0]);
@@ -259,6 +359,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       requests = std::atoi(v);
+    } else if (arg == "--rate") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      rate = std::atof(v);
+    } else if (arg == "--duration-s") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      duration_s = std::atof(v);
+    } else if (arg == "--max-outstanding") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      max_outstanding = std::atoi(v);
     } else if (arg == "--instance") {
       const char* v = next();
       if (!v) return Usage(argv[0]);
@@ -281,6 +393,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       burst = std::atoi(v);
+    } else if (arg == "--frontend") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      frontend = v;
+    } else if (arg == "--shards-label") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      shards_label = std::atoi(v);
     } else if (arg == "--json") {
       const char* v = next();
       if (!v) return Usage(argv[0]);
@@ -330,6 +450,7 @@ int main(int argc, char** argv) {
   if (qnums.empty()) qnums = {1, 2};
   if (connections < 1) connections = 1;
   if (requests < 1) requests = 1;
+  if (max_outstanding < 1) max_outstanding = 1;
 
   std::vector<tools::InstanceSpec> specs;
   for (const std::string& text : instance_args) {
@@ -378,53 +499,201 @@ int main(int argc, char** argv) {
                  expected.size());
   }
 
-  // Phase 1: sustained load at the target concurrency. Latencies go
-  // straight into a shared lock-free histogram; worker threads never
-  // contend on the tally mutex per request.
+  auto oracle_for = [&](const std::string& instance,
+                        int qnum) -> const Expected* {
+    if (!verify) return nullptr;
+    auto it = expected.find({instance, qnum});
+    return it == expected.end() ? nullptr : &it->second;
+  };
+
+  // Latencies go straight into a shared lock-free histogram; worker
+  // threads never contend on the tally mutex per request.
   static licm::metrics::Histogram latency_hist;
   std::mutex tally_mu;
   Tally tally;
-  StopWatch load_watch;
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(connections));
-  for (int c = 0; c < connections; ++c) {
-    threads.emplace_back([&, c] {
-      Tally local;
-      Conn conn;
-      Status connected = conn.Connect(host, port);
+  auto merge_tally = [&](const Tally& local) {
+    std::lock_guard<std::mutex> lock(tally_mu);
+    tally.ok += local.ok;
+    tally.degraded += local.degraded;
+    tally.overloaded += local.overloaded;
+    tally.protocol_errors += local.protocol_errors;
+    tally.verify_failures += local.verify_failures;
+  };
+
+  double load_s = 0.0;
+  int64_t shed = 0;
+  int64_t completed_requests = 0;
+
+  if (rate > 0.0) {
+    // ----------------------------------------------------------------
+    // Open loop: Poisson arrivals at `rate` req/s over C connections,
+    // at most `max_outstanding` in flight. One sender thread paces the
+    // schedule; one receiver thread per connection correlates responses
+    // by id against the intended arrival time.
+    // ----------------------------------------------------------------
+    std::vector<std::unique_ptr<Conn>> conns;
+    for (int c = 0; c < connections; ++c) {
+      auto conn = std::make_unique<Conn>();
+      conn->set_binary(binary);
+      Status connected = conn->Connect(host, port);
       if (!connected.ok()) {
         std::fprintf(stderr, "conn %d: %s\n", c,
                      connected.ToString().c_str());
-        local.protocol_errors += requests;
-      } else {
-        for (int r = 0; r < requests; ++r) {
-          const auto& spec = specs[static_cast<size_t>(c + r) %
-                                   specs.size()];
-          const int qnum = qnums[static_cast<size_t>(r) % qnums.size()];
-          const bool degrade = degraded_every > 0 &&
-                               (r + 1) % degraded_every == 0;
-          const double dl = degrade ? 0.0 : deadline_ms;
-          const Expected* want = nullptr;
-          if (verify) {
-            auto it = expected.find({spec.name, qnum});
-            if (it != expected.end()) want = &it->second;
-          }
-          StopWatch watch;
-          auto reply = conn.RoundTrip(QueryLine(spec.name, qnum, dl));
-          latency_hist.Observe(watch.ElapsedMs());
-          Classify(reply, want, &local);
-        }
+        return 1;
       }
-      std::lock_guard<std::mutex> lock(tally_mu);
-      tally.ok += local.ok;
-      tally.degraded += local.degraded;
-      tally.overloaded += local.overloaded;
-      tally.protocol_errors += local.protocol_errors;
-      tally.verify_failures += local.verify_failures;
-    });
+      conns.push_back(std::move(conn));
+    }
+
+    struct PendingReq {
+      const Expected* want = nullptr;
+      double intended_ms = 0.0;
+    };
+    std::mutex pending_mu;
+    std::unordered_map<int64_t, PendingReq> pending;
+    std::atomic<int64_t> outstanding{0};
+    std::atomic<int64_t> local_shed{0};
+    std::atomic<bool> draining{false};
+    StopWatch clock;
+
+    std::vector<std::thread> receivers;
+    receivers.reserve(conns.size());
+    for (auto& conn_ptr : conns) {
+      receivers.emplace_back([&, conn = conn_ptr.get()] {
+        Tally local;
+        while (true) {
+          auto response = conn->RecvResponse();
+          if (!response.ok()) {
+            // Socket torn down by the drain path — expected; anything
+            // else already failed the pending-map accounting below.
+            break;
+          }
+          auto parsed = service::ParseJson(*response);
+          PendingReq info;
+          bool known = false;
+          if (parsed.ok()) {
+            auto id = parsed->GetInt("id", -1);
+            if (id.ok()) {
+              std::lock_guard<std::mutex> lock(pending_mu);
+              auto it = pending.find(*id);
+              if (it != pending.end()) {
+                info = it->second;
+                pending.erase(it);
+                known = true;
+              }
+            }
+          }
+          if (known) {
+            latency_hist.Observe(clock.ElapsedMs() - info.intended_ms);
+            outstanding.fetch_sub(1);
+          }
+          Classify(parsed, known ? info.want : nullptr, &local);
+        }
+        merge_tally(local);
+      });
+    }
+
+    Tally sender_tally;
+    {
+      Rng rng(0x0b5e12a7);  // fixed seed: reproducible schedules
+      const double duration_ms = duration_s * 1e3;
+      double next_ms = 0.0;
+      size_t rr = 0;
+      int64_t seq = 0;
+      while (next_ms <= duration_ms) {
+        const double now = clock.ElapsedMs();
+        if (next_ms > now) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(next_ms - now));
+        }
+        if (outstanding.load(std::memory_order_relaxed) >= max_outstanding) {
+          // Bounded window: this arrival is shed, the schedule advances.
+          local_shed.fetch_add(1);
+        } else {
+          const auto& spec = specs[static_cast<size_t>(seq) % specs.size()];
+          const int qnum = qnums[static_cast<size_t>(seq) % qnums.size()];
+          const bool degrade =
+              degraded_every > 0 && (seq + 1) % degraded_every == 0;
+          service::WireRequest req =
+              MakeQuery(spec.name, qnum, degrade ? 0.0 : deadline_ms);
+          {
+            std::lock_guard<std::mutex> lock(pending_mu);
+            pending[req.id] = {oracle_for(spec.name, qnum), next_ms};
+          }
+          outstanding.fetch_add(1);
+          Status sent = conns[rr % conns.size()]->SendRequest(req);
+          ++rr;
+          if (!sent.ok()) {
+            {
+              std::lock_guard<std::mutex> lock(pending_mu);
+              pending.erase(req.id);
+            }
+            outstanding.fetch_sub(1);
+            ++sender_tally.protocol_errors;
+          }
+          ++seq;
+        }
+        // Exponential inter-arrival gap: a Poisson arrival process.
+        const double u =
+            static_cast<double>(rng.Next() >> 11) * (1.0 / 9007199254740992.0);
+        next_ms += -std::log1p(-u) * (1e3 / rate);
+      }
+    }
+
+    // Drain: give in-flight requests a grace period, then tear down the
+    // sockets to unblock the receivers.
+    StopWatch drain;
+    while (outstanding.load() > 0 && drain.ElapsedMs() < 30e3) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    load_s = clock.ElapsedMs() / 1e3;
+    const int64_t leftover = outstanding.load();
+    if (leftover > 0) {
+      std::fprintf(stderr, "drain timeout: %lld responses never arrived\n",
+                   static_cast<long long>(leftover));
+      sender_tally.protocol_errors += leftover;
+    }
+    draining.store(true);
+    for (auto& conn : conns) conn->ShutdownSocket();
+    for (std::thread& t : receivers) t.join();
+    merge_tally(sender_tally);
+    shed = local_shed.load();
+  } else {
+    // ----------------------------------------------------------------
+    // Closed loop: C connections, N sequential round trips each.
+    // ----------------------------------------------------------------
+    StopWatch load_watch;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(connections));
+    for (int c = 0; c < connections; ++c) {
+      threads.emplace_back([&, c] {
+        Tally local;
+        Conn conn;
+        conn.set_binary(binary);
+        Status connected = conn.Connect(host, port);
+        if (!connected.ok()) {
+          std::fprintf(stderr, "conn %d: %s\n", c,
+                       connected.ToString().c_str());
+          local.protocol_errors += requests;
+        } else {
+          for (int r = 0; r < requests; ++r) {
+            const auto& spec =
+                specs[static_cast<size_t>(c + r) % specs.size()];
+            const int qnum = qnums[static_cast<size_t>(r) % qnums.size()];
+            const bool degrade =
+                degraded_every > 0 && (r + 1) % degraded_every == 0;
+            StopWatch watch;
+            auto reply = conn.RoundTripRequest(
+                MakeQuery(spec.name, qnum, degrade ? 0.0 : deadline_ms));
+            latency_hist.Observe(watch.ElapsedMs());
+            Classify(reply, oracle_for(spec.name, qnum), &local);
+          }
+        }
+        merge_tally(local);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    load_s = load_watch.ElapsedMs() / 1e3;
   }
-  for (std::thread& t : threads) t.join();
-  const double load_s = load_watch.ElapsedMs() / 1e3;
 
   // Phase 2: simultaneous burst to provoke admission control.
   if (burst > 0) {
@@ -434,19 +703,20 @@ int main(int argc, char** argv) {
       burst_threads.emplace_back([&, b] {
         Tally local;
         Conn conn;
+        conn.set_binary(binary);
         if (!conn.Connect(host, port).ok()) {
           ++local.protocol_errors;
         } else {
           const auto& spec = specs[static_cast<size_t>(b) % specs.size()];
-          auto reply =
-              conn.RoundTrip(QueryLine(spec.name, qnums[0], deadline_ms));
+          // Nudge each deadline so no two burst requests are identical:
+          // the point of the burst is to overflow the admission queue,
+          // and identical in-flight requests would coalesce into one
+          // solve instead of sixteen.
+          auto reply = conn.RoundTripRequest(
+              MakeQuery(spec.name, qnums[0], deadline_ms + b + 1));
           Classify(reply, nullptr, &local);
         }
-        std::lock_guard<std::mutex> lock(tally_mu);
-        tally.ok += local.ok;
-        tally.degraded += local.degraded;
-        tally.overloaded += local.overloaded;
-        tally.protocol_errors += local.protocol_errors;
+        merge_tally(local);
       });
     }
     for (std::thread& t : burst_threads) t.join();
@@ -471,21 +741,23 @@ int main(int argc, char** argv) {
   // Quantiles from the shared log-bucketed histogram (common/metrics.h)
   // — one implementation for client- and server-side latency summaries.
   const licm::metrics::HistogramSnapshot lat = latency_hist.Snapshot();
+  completed_requests = lat.count;
   const double p50 = lat.Quantile(0.50);
   const double p95 = lat.Quantile(0.95);
   const double p99 = lat.Quantile(0.99);
   const double rps =
-      load_s > 0 ? static_cast<double>(lat.count) / load_s : 0.0;
+      load_s > 0 ? static_cast<double>(completed_requests) / load_s : 0.0;
 
   std::printf(
-      "requests=%zu ok=%lld degraded=%lld overloaded=%lld errors=%lld "
-      "verify_failures=%lld\n",
-      static_cast<size_t>(lat.count) + static_cast<size_t>(burst),
+      "requests=%lld ok=%lld degraded=%lld overloaded=%lld errors=%lld "
+      "verify_failures=%lld shed=%lld\n",
+      static_cast<long long>(completed_requests + burst),
       static_cast<long long>(tally.ok),
       static_cast<long long>(tally.degraded),
       static_cast<long long>(tally.overloaded),
       static_cast<long long>(tally.protocol_errors),
-      static_cast<long long>(tally.verify_failures));
+      static_cast<long long>(tally.verify_failures),
+      static_cast<long long>(shed));
   std::printf("throughput=%.1f req/s p50=%.2fms p95=%.2fms p99=%.2fms\n",
               rps, p50, p95, p99);
   if (server_rejected >= 0) {
@@ -495,22 +767,32 @@ int main(int argc, char** argv) {
 
   bench::JsonRecord rec;
   rec.AddString("bench", "service")
+      .AddString("frontend", frontend)
+      .AddString("codec", binary ? "binary" : "json")
+      .AddString("mode", rate > 0 ? "open" : "closed")
+      .AddInt("shards", shards_label)
       .AddInt("connections", connections)
-      .AddInt("requests_per_connection", requests)
+      .AddInt("requests_per_connection", rate > 0 ? 0 : requests)
       .AddInt("burst", burst)
+      .AddInt("max_outstanding", rate > 0 ? max_outstanding : 0)
+      .AddNumber("offered_rps", rate)
+      .AddNumber("duration_s", rate > 0 ? duration_s : 0.0)
       .AddInt("ok", tally.ok)
       .AddInt("degraded", tally.degraded)
       .AddInt("overloaded", tally.overloaded)
+      .AddInt("shed", shed)
       .AddInt("protocol_errors", tally.protocol_errors)
       .AddInt("verify_failures", tally.verify_failures)
       .AddInt("server_rejected_overload", server_rejected)
       .AddBool("verified", verify)
       .AddNumber("throughput_rps", rps)
+      .AddNumber("achieved_rps", rps)
       .AddNumber("p50_ms", p50)
       .AddNumber("p95_ms", p95)
       .AddNumber("p99_ms", p99)
       .AddNumber("load_seconds", load_s);
-  Status wrote = bench::WriteBenchJson(json_path, {rec});
+  Status wrote = json_append ? bench::AppendBenchJson(json_path, {rec})
+                             : bench::WriteBenchJson(json_path, {rec});
   if (!wrote.ok()) {
     std::fprintf(stderr, "writing %s failed: %s\n", json_path.c_str(),
                  wrote.ToString().c_str());
